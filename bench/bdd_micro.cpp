@@ -1,0 +1,128 @@
+// Microbenchmarks of the BDD substrate (the repository's CUDD substitute):
+// the operations whose cost the synthesis heuristic is built from. These
+// are real google-benchmark loops (unlike the one-shot synthesis benches).
+#include <benchmark/benchmark.h>
+
+#include "bdd/bdd.hpp"
+#include "casestudies/matching.hpp"
+#include "casestudies/token_ring.hpp"
+#include "core/ranks.hpp"
+#include "symbolic/relations.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace stsyn;
+using bdd::Bdd;
+using bdd::Manager;
+using bdd::Var;
+
+/// A deterministic pseudo-random function over `vars` variables.
+Bdd randomFunction(Manager& m, util::Rng& rng, Var vars, int ops) {
+  std::vector<Bdd> pool;
+  for (Var v = 0; v < vars; ++v) pool.push_back(m.var(v));
+  for (int i = 0; i < ops; ++i) {
+    const Bdd a = pool[rng.below(pool.size())];
+    const Bdd b = pool[rng.below(pool.size())];
+    switch (rng.below(3)) {
+      case 0: pool.push_back(a & b); break;
+      case 1: pool.push_back(a | b); break;
+      default: pool.push_back(a ^ b); break;
+    }
+  }
+  return pool.back();
+}
+
+void BM_Apply(benchmark::State& state) {
+  const Var vars = static_cast<Var>(state.range(0));
+  Manager m(vars);
+  util::Rng rng(1);
+  const Bdd f = randomFunction(m, rng, vars, 200);
+  const Bdd g = randomFunction(m, rng, vars, 200);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f & g);
+    benchmark::DoNotOptimize(f | g);
+    benchmark::DoNotOptimize(f ^ g);
+  }
+  state.counters["f_nodes"] = static_cast<double>(f.nodeCount());
+  state.counters["g_nodes"] = static_cast<double>(g.nodeCount());
+}
+
+void BM_Quantify(benchmark::State& state) {
+  const Var vars = static_cast<Var>(state.range(0));
+  Manager m(vars);
+  util::Rng rng(2);
+  const Bdd f = randomFunction(m, rng, vars, 200);
+  std::vector<Var> half;
+  for (Var v = 0; v < vars; v += 2) half.push_back(v);
+  const Bdd cube = m.cube(half);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.exists(cube));
+    benchmark::DoNotOptimize(f.forall(cube));
+  }
+}
+
+/// Image computation on a real protocol relation (the heuristic's
+/// workhorse): one image + one preimage of the token ring's p_im.
+void BM_ImagePreimage(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  const protocol::Protocol p = casestudies::tokenRing(k, 4);
+  symbolic::Encoding enc(p);
+  symbolic::SymbolicProtocol sp(enc);
+  const core::Ranking ranking = core::computeRanks(sp);
+  const Bdd notI = enc.validCur() & !sp.invariant();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sp.image(ranking.pim, notI));
+    benchmark::DoNotOptimize(sp.preimage(ranking.pim, notI));
+  }
+  state.counters["pim_nodes"] = static_cast<double>(ranking.pim.nodeCount());
+}
+
+void BM_GroupExpand(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  const protocol::Protocol p = casestudies::matching(k);
+  symbolic::Encoding enc(p);
+  symbolic::SymbolicProtocol sp(enc);
+  const Bdd notI = enc.validCur() & !sp.invariant();
+  const Bdd slice = sp.candidates(1) & notI;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sp.groupExpand(1, slice));
+  }
+}
+
+void BM_GarbageCollection(benchmark::State& state) {
+  Manager m(24);
+  util::Rng rng(3);
+  // Populate with garbage plus one live function.
+  const Bdd keep = randomFunction(m, rng, 24, 400);
+  for (int i = 0; i < 200; ++i) {
+    (void)randomFunction(m, rng, 24, 50);
+  }
+  for (auto _ : state) {
+    m.collectGarbage();
+  }
+  state.counters["live_nodes"] = static_cast<double>(m.stats().liveNodes);
+}
+
+void BM_SatCount(benchmark::State& state) {
+  const Var vars = static_cast<Var>(state.range(0));
+  Manager m(vars);
+  util::Rng rng(4);
+  const Bdd f = randomFunction(m, rng, vars, 300);
+  std::vector<Var> all(vars);
+  for (Var v = 0; v < vars; ++v) all[v] = v;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.satCount(all));
+  }
+}
+
+BENCHMARK(BM_Apply)->Arg(16)->Arg(32)->Arg(64);
+BENCHMARK(BM_Quantify)->Arg(16)->Arg(32)->Arg(64);
+BENCHMARK(BM_ImagePreimage)->Arg(3)->Arg(4)->Arg(5);
+BENCHMARK(BM_GroupExpand)->Arg(5)->Arg(7)->Arg(9);
+BENCHMARK(BM_GarbageCollection);
+BENCHMARK(BM_SatCount)->Arg(16)->Arg(32);
+
+}  // namespace
+
+BENCHMARK_MAIN();

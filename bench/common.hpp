@@ -1,0 +1,80 @@
+// Shared infrastructure for the figure-reproduction benchmarks.
+//
+// Every bench binary runs one synthesis per parameter point under
+// google-benchmark (a single timed iteration — synthesis is deterministic
+// and far beyond microbenchmark noise), attaches the paper's metrics as
+// counters, and finally prints the figure-shaped table: the time split
+// (ranking / SCC detection / total, Figures 6/8/10) and the space metrics
+// in BDD nodes (average SCC size / total program size, Figures 7/9/11).
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/stats.hpp"
+#include "util/table.hpp"
+
+namespace stsyn::bench {
+
+struct RunRecord {
+  std::string label;
+  double x = 0;  // the sweep parameter (#processes or |D|)
+  bool success = false;
+  core::SynthesisStats stats;
+  std::string note;  ///< failure diagnosis for unsuccessful runs
+};
+
+inline std::vector<RunRecord>& records() {
+  static std::vector<RunRecord> all;
+  return all;
+}
+
+inline void attachCounters(benchmark::State& state,
+                           const core::SynthesisStats& s, bool success) {
+  state.counters["success"] = success ? 1 : 0;
+  state.counters["ranking_s"] = s.rankingSeconds;
+  state.counters["scc_s"] = s.sccSeconds;
+  state.counters["total_s"] = s.totalSeconds;
+  state.counters["M"] = static_cast<double>(s.rankCount);
+  state.counters["program_nodes"] = static_cast<double>(s.programNodes);
+  state.counters["avg_scc_nodes"] = s.avgSccNodes();
+  state.counters["peak_nodes"] = static_cast<double>(s.peakLiveNodes);
+  state.counters["pass"] = s.passCompleted;
+}
+
+/// Prints the two tables a time/space figure pair reports.
+inline void printFigurePair(const char* sweepName, const char* timeTitle,
+                            const char* spaceTitle) {
+  util::Table time({sweepName, "ranking_s", "scc_detection_s", "total_s",
+                    "pass", "outcome"});
+  util::Table space({sweepName, "avg_scc_size_nodes", "program_size_nodes",
+                     "peak_live_nodes", "M"});
+  for (const RunRecord& r : records()) {
+    time.addRow({util::Table::cell(r.x),
+                 util::Table::cell(r.stats.rankingSeconds),
+                 util::Table::cell(r.stats.sccSeconds),
+                 util::Table::cell(r.stats.totalSeconds),
+                 util::Table::cell(static_cast<std::size_t>(
+                     r.stats.passCompleted)),
+                 r.success ? "ok" : (r.note.empty() ? "FAILED" : r.note)});
+    space.addRow({util::Table::cell(r.x),
+                  util::Table::cell(r.stats.avgSccNodes()),
+                  util::Table::cell(r.stats.programNodes),
+                  util::Table::cell(r.stats.peakLiveNodes),
+                  util::Table::cell(r.stats.rankCount)});
+  }
+  std::printf("\n=== %s ===\n", timeTitle);
+  time.printAligned(std::cout);
+  std::printf("\n=== %s ===\n", spaceTitle);
+  space.printAligned(std::cout);
+  std::printf("\nCSV (time):\n");
+  time.printCsv(std::cout);
+  std::printf("CSV (space):\n");
+  space.printCsv(std::cout);
+}
+
+}  // namespace stsyn::bench

@@ -1,0 +1,73 @@
+// Three coloring on a ring (paper Section VI-B): synthesize a strongly
+// stabilizing protocol, print its actions, then inject transient faults
+// and watch the explicit-state simulator drive recovery.
+//
+//   ./coloring_demo [processes] [trials]   (defaults: 8, 1000)
+#include <cstdio>
+#include <cstdlib>
+
+#include "stsyn.hpp"
+
+int main(int argc, char** argv) {
+  using namespace stsyn;
+  const int k = argc > 1 ? std::atoi(argv[1]) : 8;
+  const std::size_t trials = argc > 2 ? std::strtoull(argv[2], nullptr, 10)
+                                      : 1000;
+
+  std::printf("=== three coloring on a %d-ring ===\n\n", k);
+
+  const protocol::Protocol p = casestudies::coloring(k);
+  symbolic::Encoding enc(p);
+  symbolic::SymbolicProtocol sp(enc);
+  std::printf("proper colorings: %.0f of %.0f states\n",
+              enc.countStates(sp.invariant()), p.stateCount());
+
+  const auto local = explicitstate::analyzeLocalCorrectability(p);
+  std::printf("locally correctable: %s\n\n",
+              explicitstate::toString(local.verdict));
+
+  const core::StrongResult r = core::addStrongConvergence(sp);
+  if (!r.success) {
+    std::printf("synthesis failed: %s\n", core::toString(r.failure));
+    return 1;
+  }
+  std::printf("synthesis: pass %d, %s\n", r.stats.passCompleted,
+              r.stats.summary().c_str());
+  std::printf("  (SCC fast-path proofs of acyclicity: %zu — coloring forms "
+              "no cycles,\n   exactly as the paper reports)\n\n",
+              r.stats.sccFastPathHits);
+
+  const verify::Report rep = verify::check(sp, r.relation);
+  std::printf("verified strongly stabilizing: %s\n\n",
+              rep.stronglyStabilizing() ? "yes" : "NO");
+
+  // Print two representative processes (the paper prints P1 and a generic
+  // P_i; solutions may be asymmetric at the wrap-around).
+  const auto actions = extraction::extractAllActions(sp, r.addedPerProcess);
+  std::printf("%s", extraction::formatActions(p, actions[1]).c_str());
+  std::printf("%s\n",
+              extraction::formatActions(p, actions[k / 2]).c_str());
+
+  // Fault injection: drop the ring into uniformly random states and run
+  // the synthesized protocol under a random scheduler.
+  if (p.stateCount() <= 67108864.0) {
+    const explicitstate::StateSpace space(p);
+    std::vector<std::pair<explicitstate::StateId, explicitstate::StateId>>
+        edges;
+    for (const auto& [from, to] :
+         symbolic::decodeRelation(enc, r.relation)) {
+      edges.emplace_back(from, to);
+    }
+    const auto ts = explicitstate::fromEdges(space, edges);
+    util::Rng rng(2026);
+    const auto stats = explicitstate::convergenceExperiment(
+        space, ts, rng, trials, 100000);
+    std::printf("fault injection: %zu random faults, %zu recovered "
+                "(mean %.1f steps, max %zu)\n",
+                stats.trials, stats.converged, stats.meanSteps,
+                stats.maxSteps);
+  } else {
+    std::printf("(state space too large for explicit simulation)\n");
+  }
+  return 0;
+}

@@ -1,0 +1,132 @@
+// Reproduces the paper's Section VI-A findings on maximal matching:
+//
+//   1. the manually designed Gouda–Acharya protocol (as printed in the
+//      paper) FAILS verification — our tool pinpoints concrete flaws;
+//   2. synthesis from the empty protocol produces a correct, verified
+//      strongly stabilizing matching protocol (asymmetric, as the paper
+//      observes), whose actions we print like the paper prints P0's.
+//
+//   ./matching_flaw [processes]           (default: 5, as in the paper)
+#include <cstdio>
+#include <cstdlib>
+
+#include "stsyn.hpp"
+
+namespace {
+
+std::string pointer(stsyn::protocol::VarId, int v) {
+  return stsyn::casestudies::pointerName(v);
+}
+
+void diagnose(const stsyn::protocol::Protocol& p, const char* title) {
+  using namespace stsyn;
+  symbolic::Encoding enc(p);
+  symbolic::SymbolicProtocol sp(enc);
+  const bdd::Bdd rel = sp.protocolRelation();
+  const verify::Report rep = verify::check(sp, rel);
+  std::printf("--- %s ---\n", title);
+  std::printf("closed in IMM: %s, deadlock-free: %s, cycle-free: %s\n",
+              rep.closed ? "yes" : "NO", rep.deadlockFree ? "yes" : "NO",
+              rep.cycleFree ? "yes" : "NO");
+  if (!rep.closed) {
+    // Show one escaping step: a transition from IMM that leaves IMM.
+    const bdd::Bdd escape =
+        rel & sp.invariant() &
+        sp.onNext(enc.validCur() & !sp.invariant());
+    const auto [s0, s1] = sp.pickTransition(escape);
+    std::printf("closure violation: from legitimate state\n  %s\n"
+                "a step leads outside IMM to\n  %s\n",
+                verify::formatState(p, s0, pointer).c_str(),
+                verify::formatState(p, s1, pointer).c_str());
+  }
+  if (rep.deadlockFree && !rep.cycleFree) {
+    const auto cycle = verify::extractCycle(
+        sp, rel, rep.cycles.front(),
+        [&] {
+          std::vector<bdd::Bdd> per;
+          for (std::size_t j = 0; j < sp.processCount(); ++j) {
+            per.push_back(sp.processRelation(j));
+          }
+          return per;
+        }());
+    std::printf("non-progress cycle (schedule %s):\n%s\n",
+                verify::cycleSchedule(p, cycle).c_str(),
+                verify::formatCycle(p, cycle, pointer).c_str());
+  }
+  if (!rep.deadlockFree) {
+    const auto dead = sp.pickState(rep.deadlocks);
+    std::printf("deadlock outside IMM, e.g. %s\n",
+                verify::formatState(p, dead, pointer).c_str());
+  }
+  std::printf("verdict: %s\n\n", rep.stronglyStabilizing()
+                                     ? "strongly stabilizing"
+                                     : "NOT self-stabilizing");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace stsyn;
+  const int k = argc > 1 ? std::atoi(argv[1]) : 5;
+
+  std::printf("=== maximal matching on a %d-ring: manual designs vs "
+              "synthesis ===\n\n", k);
+
+  diagnose(casestudies::matchingGoudaAcharyaAsPrinted(k),
+           "Gouda-Acharya actions exactly as printed in the paper");
+  diagnose(casestudies::matchingGoudaAcharyaRepaired(k),
+           "Gouda-Acharya actions with the natural guard repair");
+
+  std::printf("--- synthesized from the empty protocol ---\n");
+  const protocol::Protocol p = casestudies::matching(k);
+  symbolic::Encoding enc(p);
+  symbolic::SymbolicProtocol sp(enc);
+  const core::StrongResult r = core::addStrongConvergence(sp);
+  if (!r.success) {
+    std::printf("synthesis failed: %s\n", core::toString(r.failure));
+    return 1;
+  }
+  const verify::Report rep = verify::check(sp, r.relation);
+  std::printf("synthesis succeeded (pass %d, %s)\n", r.stats.passCompleted,
+              r.stats.summary().c_str());
+  std::printf("verified strongly stabilizing: %s\n\n",
+              rep.stronglyStabilizing() ? "yes" : "NO");
+
+  // The paper prints P0's actions of its synthesized 5-process protocol and
+  // notes the solution is asymmetric; print every process to show it.
+  const auto actions = extraction::extractAllActions(sp, r.addedPerProcess);
+  for (const auto& pa : actions) {
+    std::printf("%s", extraction::formatActions(p, pa, pointer).c_str());
+  }
+
+  // Section VIII: the paper observes the synthesized matching is
+  // asymmetric while the manual design is symmetric — decided mechanically
+  // here.
+  const auto sym = extraction::analyzeRotationalSymmetry(sp,
+                                                         r.addedPerProcess);
+  std::printf("\nsymmetry: %zu equivalence classes among %d processes "
+              "(%s)\n",
+              sym.classCount, k,
+              sym.symmetric() ? "symmetric" : "asymmetric, as the paper "
+                                              "observes");
+
+  // The paper leaves "heuristics that enforce symmetry" as future work;
+  // the template-level synthesizer provides one:
+  const explicitstate::StateSpace space(p);
+  const auto symResult = explicitstate::addSymmetricConvergence(space);
+  if (symResult.success) {
+    const auto ts = explicitstate::fromEdges(space, symResult.relation);
+    std::printf("symmetry-enforcing synthesis: SUCCESS (pass %d, verified "
+                "%s, rotation-invariant %s, %zu recovery transitions)\n",
+                symResult.passCompleted,
+                explicitstate::check(space, ts).stronglyStabilizing()
+                    ? "yes" : "NO",
+                explicitstate::isRotationInvariant(space, symResult.relation)
+                    ? "yes" : "NO",
+                symResult.added.size());
+  } else {
+    std::printf("symmetry-enforcing synthesis: failed (%s)\n",
+                explicitstate::toString(symResult.failure));
+  }
+  return 0;
+}

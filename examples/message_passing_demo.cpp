@@ -1,0 +1,62 @@
+// Message-passing refinement demo (paper Section II's model justification):
+// refine Dijkstra's self-stabilizing token ring to single-writer regular
+// registers with heartbeats, corrupt EVERYTHING — variables, caches,
+// in-flight messages — and watch it recover.
+//
+//   ./message_passing_demo [processes] [domain] [trials]
+#include <cstdio>
+#include <cstdlib>
+
+#include "stsyn.hpp"
+
+int main(int argc, char** argv) {
+  using namespace stsyn;
+  const int k = argc > 1 ? std::atoi(argv[1]) : 5;
+  const int d = argc > 2 ? std::atoi(argv[2]) : 5;
+  const std::size_t trials =
+      argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 2000;
+
+  std::printf("=== message-passing refinement of Dijkstra's token ring "
+              "(%d processes, domain %d) ===\n\n", k, d);
+
+  const protocol::Protocol p = casestudies::dijkstraTokenRing(k, d);
+  const refinement::MessagePassingSystem sys(p);
+
+  std::printf("refinement: every x_j owned by P%c, successors cache it, "
+              "single-slot\nchannels with overwrite semantics, heartbeats "
+              "repair stale caches\n\n", 'j');
+
+  // One illustrated recovery.
+  util::Rng rng(42);
+  refinement::Configuration c = sys.randomConfiguration(rng);
+  std::printf("corrupted start: owned=<");
+  for (std::size_t v = 0; v < c.owned.size(); ++v) {
+    std::printf("%s%d", v ? "," : "", c.owned[v]);
+  }
+  std::printf(">, coherent=%s, legitimate=%s\n",
+              sys.coherent(c) ? "yes" : "no",
+              sys.legitimate(c) ? "yes" : "no");
+  const auto run = refinement::simulateRefined(sys, c, rng, 1000000);
+  std::printf("recovered after %zu events: %s\n\n", run.steps,
+              run.converged ? "legitimate and coherent" : "FAILED");
+
+  // Statistics over many corrupted configurations.
+  std::size_t converged = 0;
+  double totalSteps = 0;
+  std::size_t worst = 0;
+  for (std::size_t t = 0; t < trials; ++t) {
+    const auto r = refinement::simulateRefined(
+        sys, sys.randomConfiguration(rng), rng, 1000000);
+    if (r.converged) {
+      ++converged;
+      totalSteps += static_cast<double>(r.steps);
+      worst = std::max(worst, r.steps);
+    }
+  }
+  std::printf("fault injection: %zu/%zu corrupted configurations recovered "
+              "(mean %.1f events, max %zu)\n",
+              converged, trials,
+              converged ? totalSteps / static_cast<double>(converged) : 0.0,
+              worst);
+  return converged == trials ? 0 : 1;
+}

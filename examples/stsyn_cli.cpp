@@ -1,0 +1,275 @@
+// The stsyn command-line tool: the STSyn workflow on textual protocol
+// descriptions.
+//
+//   stsyn <protocol.stsyn> [options]
+//
+//   --weak               add weak convergence (Theorem IV.1) instead of
+//                        strong
+//   --verify             verify the input as-is (closure, deadlocks,
+//                        cycles, convergence) and print counterexamples;
+//                        no synthesis
+//   --portfolio N        run N rotated schedules in parallel (paper Fig. 1)
+//                        and keep the first success
+//   --schedule P2,P0,P1  recovery schedule (default: identity)
+//   --max-pass N         stop after pass N (1..3)
+//   --no-greedy          disable the greedy cycle-resolution pass
+//   --explain            on failure, print a per-deadlock diagnosis
+//   --output <file>      write the synthesized stabilizing protocol as
+//                        .stsyn text (original actions + recovery actions)
+//   --print              echo the parsed protocol back as .stsyn text
+//   --quiet              suppress the extracted actions
+//
+// Exit status: 0 synthesis succeeded (verified), 1 synthesis failed,
+// 2 usage/parse error.
+#include <cstdio>
+#include <fstream>
+#include <cstring>
+#include <string>
+
+#include "stsyn.hpp"
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: stsyn <protocol.stsyn> [--weak] [--schedule P1,P0,...]"
+               " [--max-pass N] [--no-greedy] [--print] [--quiet]\n");
+  return 2;
+}
+
+/// Parses "P2,P0,P1" against the protocol's process names.
+bool parseSchedule(const std::string& arg, const stsyn::protocol::Protocol& p,
+                   stsyn::core::Schedule& out) {
+  out.clear();
+  std::size_t pos = 0;
+  while (pos <= arg.size()) {
+    const std::size_t comma = arg.find(',', pos);
+    const std::string name =
+        arg.substr(pos, comma == std::string::npos ? comma : comma - pos);
+    bool found = false;
+    for (std::size_t j = 0; j < p.processes.size(); ++j) {
+      if (p.processes[j].name == name) {
+        out.push_back(j);
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      std::fprintf(stderr, "stsyn: unknown process '%s' in schedule\n",
+                   name.c_str());
+      return false;
+    }
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return stsyn::core::isValidSchedule(out, p.processes.size());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace stsyn;
+  if (argc < 2) return usage();
+
+  const char* path = nullptr;
+  bool weak = false;
+  bool verifyOnly = false;
+  unsigned portfolio = 0;
+  bool print = false;
+  bool quiet = false;
+  bool explain = false;
+  std::string scheduleArg;
+  std::string outputPath;
+  core::StrongOptions options;
+
+  for (int i = 1; i < argc; ++i) {
+    const char* a = argv[i];
+    if (!std::strcmp(a, "--weak")) {
+      weak = true;
+    } else if (!std::strcmp(a, "--verify")) {
+      verifyOnly = true;
+    } else if (!std::strcmp(a, "--portfolio") && i + 1 < argc) {
+      portfolio = static_cast<unsigned>(std::atoi(argv[++i]));
+    } else if (!std::strcmp(a, "--print")) {
+      print = true;
+    } else if (!std::strcmp(a, "--quiet")) {
+      quiet = true;
+    } else if (!std::strcmp(a, "--no-greedy")) {
+      options.greedyCycleResolution = false;
+    } else if (!std::strcmp(a, "--explain")) {
+      explain = true;
+    } else if (!std::strcmp(a, "--schedule") && i + 1 < argc) {
+      scheduleArg = argv[++i];
+    } else if (!std::strcmp(a, "--output") && i + 1 < argc) {
+      outputPath = argv[++i];
+    } else if (!std::strcmp(a, "--max-pass") && i + 1 < argc) {
+      options.maxPass = std::atoi(argv[++i]);
+    } else if (a[0] == '-') {
+      return usage();
+    } else if (path == nullptr) {
+      path = a;
+    } else {
+      return usage();
+    }
+  }
+  if (path == nullptr) return usage();
+
+  protocol::Protocol p;
+  try {
+    p = lang::parseProtocolFile(path);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "stsyn: %s\n", e.what());
+    return 2;
+  }
+  if (print) std::printf("%s\n", lang::printProtocol(p).c_str());
+
+  symbolic::Encoding enc(p);
+  symbolic::SymbolicProtocol sp(enc);
+  std::printf("protocol %s: %zu processes, %.0f states, %.0f legitimate\n",
+              p.name.c_str(), p.processCount(), p.stateCount(),
+              enc.countStates(sp.invariant()));
+
+  if (verifyOnly) {
+    const verify::Report rep = verify::check(sp, sp.protocolRelation());
+    std::printf("closure of I:        %s\n", rep.closed ? "yes" : "NO");
+    std::printf("deadlock-free in ~I: %s (%.0f deadlocks)\n",
+                rep.deadlockFree ? "yes" : "NO",
+                enc.countStates(rep.deadlocks));
+    std::printf("cycle-free in ~I:    %s (%zu non-progress components)\n",
+                rep.cycleFree ? "yes" : "NO", rep.cycles.size());
+    std::printf("weakly converges:    %s\n",
+                rep.weaklyConverges ? "yes" : "NO");
+    std::printf("verdict: %s\n",
+                rep.stronglyStabilizing()
+                    ? "STRONGLY SELF-STABILIZING"
+                    : "NOT self-stabilizing");
+    if (!rep.closed) {
+      const bdd::Bdd escape =
+          sp.protocolRelation() & sp.invariant() &
+          sp.onNext(enc.validCur() & !sp.invariant());
+      const auto [s0, s1] = sp.pickTransition(escape);
+      std::printf("closure violation: %s --> %s\n",
+                  verify::formatState(p, s0).c_str(),
+                  verify::formatState(p, s1).c_str());
+    }
+    if (!rep.deadlockFree) {
+      std::printf("example deadlock: %s\n",
+                  verify::formatState(p, sp.pickState(rep.deadlocks))
+                      .c_str());
+    }
+    if (!rep.cycleFree) {
+      std::vector<bdd::Bdd> perProcess;
+      for (std::size_t j = 0; j < sp.processCount(); ++j) {
+        perProcess.push_back(sp.processRelation(j));
+      }
+      const auto cycle = verify::extractCycle(
+          sp, sp.protocolRelation(), rep.cycles.front(), perProcess);
+      std::printf("non-progress cycle (schedule %s):\n%s\n",
+                  verify::cycleSchedule(p, cycle).c_str(),
+                  verify::formatCycle(p, cycle).c_str());
+    }
+    return rep.stronglyStabilizing() ? 0 : 1;
+  }
+
+  if (!verify::isClosed(sp, sp.protocolRelation(), sp.invariant())) {
+    std::fprintf(stderr,
+                 "stsyn: the invariant is not closed in the input protocol "
+                 "(Problem III.1 requires closure)\n");
+    return 1;
+  }
+
+  if (weak) {
+    const core::WeakResult w = core::addWeakConvergence(sp);
+    if (!w.success) {
+      std::printf("weak convergence: IMPOSSIBLE — %.0f states can never "
+                  "reach the invariant\n",
+                  enc.countStates(w.rankInfinityStates));
+      return 1;
+    }
+    std::printf("weak convergence added: M = %zu ranks, %s\n",
+                w.ranking.maxRank(), w.stats.summary().c_str());
+    std::printf("rank histogram (states at recovery distance i):\n");
+    for (std::size_t i = 0; i < w.ranking.ranks.size(); ++i) {
+      std::printf("  Rank[%zu]: %.0f states\n", i,
+                  enc.countStates(w.ranking.ranks[i]));
+    }
+    return 0;
+  }
+
+  if (!scheduleArg.empty() &&
+      !parseSchedule(scheduleArg, p, options.schedule)) {
+    return 2;
+  }
+
+  if (portfolio > 0) {
+    std::vector<core::Schedule> schedules;
+    for (std::size_t rot = 0; rot < p.processCount(); ++rot) {
+      schedules.push_back(core::rotatedSchedule(p.processCount(), rot));
+    }
+    const core::PortfolioResult pr =
+        core::synthesizePortfolio(p, schedules, portfolio);
+    if (!pr.success()) {
+      std::printf("portfolio synthesis FAILED for all %zu schedules\n",
+                  schedules.size());
+      return 1;
+    }
+    const auto& win = pr.instances[pr.winner];
+    const verify::Report rep =
+        verify::check(*win.symbolic, win.result.relation);
+    std::printf("portfolio: schedule %s won (pass %d), verified=%s\n",
+                core::toString(win.schedule).c_str(),
+                win.result.stats.passCompleted,
+                rep.stronglyStabilizing() ? "yes" : "NO");
+    if (!quiet) {
+      for (const auto& pa : extraction::extractAllActions(
+               *win.symbolic, win.result.addedPerProcess)) {
+        std::printf("%s", extraction::formatActions(p, pa).c_str());
+      }
+    }
+    return rep.stronglyStabilizing() ? 0 : 1;
+  }
+
+  const core::StrongResult r = core::addStrongConvergence(sp, options);
+  if (!r.success) {
+    std::printf("synthesis FAILED: %s (remaining deadlocks: %.0f)\n",
+                core::toString(r.failure),
+                enc.countStates(r.remainingDeadlocks));
+    if (explain) {
+      const core::Diagnosis d = core::diagnose(sp, r);
+      std::printf("%s", d.summary(p).c_str());
+    }
+    return 1;
+  }
+  const verify::Report rep = verify::check(sp, r.relation);
+  std::printf("synthesis succeeded: pass %d, verified strongly "
+              "stabilizing=%s\n  %s\n  worst-case recovery: %zu steps\n",
+              r.stats.passCompleted, rep.stronglyStabilizing() ? "yes" : "NO",
+              r.stats.summary().c_str(),
+              core::recoveryDepth(sp, r.relation));
+  std::printf("  rank histogram:");
+  for (std::size_t i = 0; i < r.ranking.ranks.size(); ++i) {
+    std::printf(" %zu:%.0f", i, enc.countStates(r.ranking.ranks[i]));
+  }
+  std::printf("\n");
+  if (!quiet) {
+    std::printf("\nadded recovery actions:\n");
+    for (const auto& pa :
+         extraction::extractAllActions(sp, r.addedPerProcess)) {
+      std::printf("%s", extraction::formatActions(p, pa).c_str());
+    }
+  }
+  if (!outputPath.empty()) {
+    const protocol::Protocol stabilized =
+        extraction::toProtocol(sp, r.addedPerProcess);
+    std::ofstream out(outputPath);
+    if (!out) {
+      std::fprintf(stderr, "stsyn: cannot write %s\n", outputPath.c_str());
+      return 2;
+    }
+    out << "# generated by stsyn: " << p.name
+        << " with synthesized convergence\n"
+        << lang::printProtocol(stabilized);
+    std::printf("wrote stabilizing protocol to %s\n", outputPath.c_str());
+  }
+  return rep.stronglyStabilizing() ? 0 : 1;
+}

@@ -1,0 +1,186 @@
+// Non-mutating BDD analyses: node counting, model counting, support,
+// evaluation, cube/assignment extraction.
+//
+// These traversals allocate no new nodes, so they are safe to run at any
+// time and do not interact with garbage collection.
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "bdd/bdd.hpp"
+
+namespace stsyn::bdd {
+
+// ---------------------------------------------------------------------------
+// Node count.
+// ---------------------------------------------------------------------------
+
+std::size_t Manager::nodeCountOf(NodeIndex f) const {
+  if (f == kFalse || f == kTrue) return 0;
+  std::unordered_set<NodeIndex> seen;
+  std::vector<NodeIndex> stack{f};
+  while (!stack.empty()) {
+    const NodeIndex n = stack.back();
+    stack.pop_back();
+    if (n == kFalse || n == kTrue || !seen.insert(n).second) continue;
+    stack.push_back(nodes_[n].low);
+    stack.push_back(nodes_[n].high);
+  }
+  return seen.size();
+}
+
+std::size_t Bdd::nodeCount() const {
+  if (!valid()) return 0;
+  return mgr_->nodeCountOf(index_);
+}
+
+// ---------------------------------------------------------------------------
+// Model counting over an explicit variable set.
+// ---------------------------------------------------------------------------
+
+double Manager::satCountOf(NodeIndex f, std::span<const Var> levels) const {
+  // countFrom(n, i): number of assignments to levels[i..] satisfying n,
+  // where var(n) >= levels[i].
+  std::unordered_map<std::uint64_t, double> memo;
+  // Map level -> position in `levels` for O(1) lookup.
+  std::unordered_map<Var, std::size_t> pos;
+  for (std::size_t i = 0; i < levels.size(); ++i) {
+    if (i > 0 && levels[i] <= levels[i - 1]) {
+      throw std::invalid_argument("satCount levels must be ascending");
+    }
+    pos.emplace(levels[i], i);
+  }
+
+  auto rec = [&](auto&& self, NodeIndex n, std::size_t i) -> double {
+    if (n == kFalse) return 0.0;
+    if (n == kTrue) return std::ldexp(1.0, static_cast<int>(levels.size() - i));
+    const Var v = nodes_[n].var;
+    const auto it = pos.find(v);
+    if (it == pos.end() || it->second < i) {
+      throw std::invalid_argument("satCount: support not covered by levels");
+    }
+    const std::size_t vi = it->second;
+    const std::uint64_t key = (std::uint64_t{n} << 16) | i;
+    if (const auto m = memo.find(key); m != memo.end()) return m->second;
+    const double below = self(self, nodes_[n].low, vi + 1) +
+                         self(self, nodes_[n].high, vi + 1);
+    const double result = std::ldexp(below, static_cast<int>(vi - i));
+    memo.emplace(key, result);
+    return result;
+  };
+  return rec(rec, f, 0);
+}
+
+double Bdd::satCount(std::span<const Var> levels) const {
+  if (!valid()) throw std::invalid_argument("satCount of a null BDD");
+  return mgr_->satCountOf(index_, levels);
+}
+
+// ---------------------------------------------------------------------------
+// Support.
+// ---------------------------------------------------------------------------
+
+void Manager::supportOf(NodeIndex f, std::vector<bool>& seenLevel) const {
+  std::unordered_set<NodeIndex> seen;
+  std::vector<NodeIndex> stack{f};
+  while (!stack.empty()) {
+    const NodeIndex n = stack.back();
+    stack.pop_back();
+    if (n == kFalse || n == kTrue || !seen.insert(n).second) continue;
+    seenLevel[nodes_[n].var] = true;
+    stack.push_back(nodes_[n].low);
+    stack.push_back(nodes_[n].high);
+  }
+}
+
+std::vector<Var> Bdd::support() const {
+  if (!valid()) return {};
+  std::vector<bool> seen(mgr_->varCount(), false);
+  mgr_->supportOf(index_, seen);
+  std::vector<Var> out;
+  for (Var v = 0; v < seen.size(); ++v) {
+    if (seen[v]) out.push_back(v);
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Evaluation and assignment extraction.
+// ---------------------------------------------------------------------------
+
+bool Manager::evalOf(NodeIndex f, std::span<const char> assign) const {
+  while (f != kFalse && f != kTrue) {
+    const Node& n = nodes_[f];
+    assert(n.var < assign.size());
+    f = assign[n.var] ? n.high : n.low;
+  }
+  return f == kTrue;
+}
+
+bool Bdd::eval(std::span<const char> assignment) const {
+  if (!valid()) throw std::invalid_argument("eval of a null BDD");
+  if (assignment.size() < mgr_->varCount()) {
+    throw std::invalid_argument("eval assignment too short");
+  }
+  return mgr_->evalOf(index_, assignment);
+}
+
+std::vector<signed char> Bdd::onePath() const {
+  if (!valid() || isFalse()) {
+    throw std::invalid_argument("onePath of an unsatisfiable BDD");
+  }
+  std::vector<signed char> out(mgr_->varCount(), -1);
+  NodeIndex n = index_;
+  while (n != Manager::kTrue) {
+    const auto& node = mgr_->nodes_[n];
+    // Deterministically prefer the low branch when it is satisfiable.
+    if (node.low != Manager::kFalse) {
+      out[node.var] = 0;
+      n = node.low;
+    } else {
+      out[node.var] = 1;
+      n = node.high;
+    }
+  }
+  return out;
+}
+
+void Bdd::forEachSat(
+    std::span<const Var> levels,
+    const std::function<void(std::span<const char>)>& fn) const {
+  if (!valid()) throw std::invalid_argument("forEachSat of a null BDD");
+  for (std::size_t i = 1; i < levels.size(); ++i) {
+    if (levels[i] <= levels[i - 1]) {
+      throw std::invalid_argument("forEachSat levels must be ascending");
+    }
+  }
+  std::vector<char> assign(levels.size(), 0);
+  // Recursive descent: position i in `levels`, node n with var(n) >=
+  // levels[i]. Don't-care levels fan out to both branches.
+  auto rec = [&](auto&& self, NodeIndex n, std::size_t i) -> void {
+    if (n == Manager::kFalse) return;
+    if (i == levels.size()) {
+      assert(n == Manager::kTrue && "support exceeds provided levels");
+      fn(assign);
+      return;
+    }
+    const auto& node = mgr_->nodes_[n];
+    if (n == Manager::kTrue || node.var != levels[i]) {
+      assert(n == Manager::kTrue || node.var > levels[i]);
+      assign[i] = 0;
+      self(self, n, i + 1);
+      assign[i] = 1;
+      self(self, n, i + 1);
+      return;
+    }
+    assign[i] = 0;
+    self(self, node.low, i + 1);
+    assign[i] = 1;
+    self(self, node.high, i + 1);
+  };
+  rec(rec, index_, 0);
+}
+
+}  // namespace stsyn::bdd

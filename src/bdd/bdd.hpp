@@ -1,0 +1,289 @@
+// A from-scratch Reduced Ordered Binary Decision Diagram (ROBDD) package.
+//
+// This is the repository's substitute for the CUDD/GLU library the paper's
+// STSyn tool used. It provides exactly the algebra the synthesis heuristic
+// needs:
+//
+//   * canonical node storage (unique table) with a fixed static variable
+//     order chosen at encoding time,
+//   * the boolean connectives, ITE, and negation,
+//   * existential/universal quantification over variable cubes,
+//   * the AndExists relational product (the image/preimage workhorse),
+//   * order-preserving variable renaming (current-state <-> next-state),
+//   * model counting, support computation, cube extraction, and per-BDD
+//     node counts (the space metric the paper's Figures 7/9/11 report),
+//   * mark-and-sweep garbage collection driven by RAII external handles.
+//
+// Concurrency: a Manager is confined to one thread. Distinct Managers are
+// independent, so parallel synthesis instances (one per recovery schedule,
+// as in the paper's Figure 1) each own a Manager.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace stsyn::bdd {
+
+/// Index of a node inside a Manager's node pool. 0 and 1 are the terminals.
+using NodeIndex = std::uint32_t;
+
+/// Variables are identified by their level in the (static) order:
+/// level 0 is the topmost variable.
+using Var = std::uint32_t;
+
+class Manager;
+
+/// An owning, reference-counted handle to a BDD node.
+///
+/// Bdd values are cheap to copy; copying bumps an external reference count
+/// in the Manager so garbage collection never frees a function the caller
+/// still holds. A default-constructed Bdd is "null" and usable only as a
+/// placeholder.
+class Bdd {
+ public:
+  Bdd() = default;
+  Bdd(const Bdd& other);
+  Bdd(Bdd&& other) noexcept;
+  Bdd& operator=(const Bdd& other);
+  Bdd& operator=(Bdd&& other) noexcept;
+  ~Bdd();
+
+  /// True for a handle that refers to an actual function.
+  [[nodiscard]] bool valid() const { return mgr_ != nullptr; }
+
+  [[nodiscard]] bool isFalse() const;
+  [[nodiscard]] bool isTrue() const;
+  [[nodiscard]] bool isConstant() const { return isFalse() || isTrue(); }
+
+  /// Structural identity; with canonical BDDs this is semantic equality.
+  friend bool operator==(const Bdd& a, const Bdd& b) {
+    return a.mgr_ == b.mgr_ && a.index_ == b.index_;
+  }
+
+  // Boolean algebra. All operands must come from the same Manager.
+  [[nodiscard]] Bdd operator&(const Bdd& rhs) const;
+  [[nodiscard]] Bdd operator|(const Bdd& rhs) const;
+  [[nodiscard]] Bdd operator^(const Bdd& rhs) const;
+  [[nodiscard]] Bdd operator!() const;
+  Bdd& operator&=(const Bdd& rhs) { return *this = *this & rhs; }
+  Bdd& operator|=(const Bdd& rhs) { return *this = *this | rhs; }
+  Bdd& operator^=(const Bdd& rhs) { return *this = *this ^ rhs; }
+  /// Difference: this AND NOT rhs.
+  [[nodiscard]] Bdd minus(const Bdd& rhs) const { return *this & !rhs; }
+  /// Implication test: is (this -> rhs) a tautology?
+  [[nodiscard]] bool implies(const Bdd& rhs) const;
+
+  /// Existential quantification over the positive cube `cube`.
+  [[nodiscard]] Bdd exists(const Bdd& cube) const;
+  /// Universal quantification over the positive cube `cube`.
+  [[nodiscard]] Bdd forall(const Bdd& cube) const;
+  /// Relational product: exists cube. (this AND rhs), computed in one pass.
+  [[nodiscard]] Bdd andExists(const Bdd& rhs, const Bdd& cube) const;
+
+  /// If-then-else with this function as the condition: (this AND g) OR
+  /// (NOT this AND h), computed in one pass.
+  [[nodiscard]] Bdd ite(const Bdd& g, const Bdd& h) const;
+
+  /// Functional composition: substitutes `g` for variable `v` in this
+  /// function (this[v := g]).
+  [[nodiscard]] Bdd compose(Var v, const Bdd& g) const;
+
+  /// Renames variables: level v becomes perm[v]. The permutation must
+  /// preserve the relative order of this function's support (checked).
+  [[nodiscard]] Bdd rename(std::span<const Var> perm) const;
+
+  /// Number of BDD nodes reachable from this function (terminals excluded),
+  /// the space metric of the paper's experimental section.
+  [[nodiscard]] std::size_t nodeCount() const;
+
+  /// Number of satisfying assignments over exactly the variables in
+  /// `levels` (sorted ascending). The support must be a subset of `levels`.
+  [[nodiscard]] double satCount(std::span<const Var> levels) const;
+
+  /// Levels occurring in this function, ascending.
+  [[nodiscard]] std::vector<Var> support() const;
+
+  /// Evaluates the function on a complete assignment indexed by level.
+  [[nodiscard]] bool eval(std::span<const char> assignment) const;
+
+  /// One satisfying cube as a per-level vector: 0, 1, or -1 (don't-care).
+  /// Precondition: not the constant false.
+  [[nodiscard]] std::vector<signed char> onePath() const;
+
+  /// Enumerates all satisfying assignments over `levels` (sorted ascending;
+  /// must cover the support). The callback receives a per-position
+  /// 0/1 vector aligned with `levels`.
+  void forEachSat(std::span<const Var> levels,
+                  const std::function<void(std::span<const char>)>& fn) const;
+
+  [[nodiscard]] Manager* manager() const { return mgr_; }
+  [[nodiscard]] NodeIndex raw() const { return index_; }
+
+ private:
+  friend class Manager;
+  Bdd(Manager* mgr, NodeIndex index);
+
+  Manager* mgr_ = nullptr;
+  NodeIndex index_ = 0;
+};
+
+/// Snapshot of a Manager's resource usage.
+struct ManagerStats {
+  std::size_t liveNodes = 0;      ///< currently allocated internal nodes
+  std::size_t peakLiveNodes = 0;  ///< high-water mark since construction
+  std::size_t gcRuns = 0;
+  std::size_t nodesFreed = 0;  ///< cumulative nodes reclaimed by GC
+};
+
+/// Owner of the node pool, unique table, operation cache, and GC machinery.
+class Manager {
+ public:
+  /// Creates a manager with a fixed number of boolean variables whose order
+  /// equals their numeric level.
+  explicit Manager(Var varCount);
+  ~Manager();
+
+  Manager(const Manager&) = delete;
+  Manager& operator=(const Manager&) = delete;
+
+  [[nodiscard]] Var varCount() const { return varCount_; }
+
+  [[nodiscard]] Bdd constant(bool value);
+  [[nodiscard]] Bdd falseBdd() { return constant(false); }
+  [[nodiscard]] Bdd trueBdd() { return constant(true); }
+  /// The projection function of variable `v` (or its negation).
+  [[nodiscard]] Bdd var(Var v);
+  [[nodiscard]] Bdd nvar(Var v);
+
+  /// Conjunction of the positive literals of `vars` (a quantification cube).
+  [[nodiscard]] Bdd cube(std::span<const Var> vars);
+
+  /// Conjunction over pairs (a, b) of the biconditional a <-> b.
+  [[nodiscard]] Bdd equalVars(std::span<const std::pair<Var, Var>> pairs);
+
+  [[nodiscard]] const ManagerStats& stats() const { return stats_; }
+
+  /// Lower bound on live nodes before the next GC attempt; GC runs lazily
+  /// at public operation boundaries.
+  void setGcThreshold(std::size_t nodes) { gcThreshold_ = nodes; }
+
+  /// Forces a mark-and-sweep collection now.
+  void collectGarbage();
+
+  /// Writes `f` in Graphviz DOT syntax, labelling levels via `varName`
+  /// (may be empty for numeric labels).
+  void writeDot(std::ostream& os, const Bdd& f,
+                const std::function<std::string(Var)>& varName = {}) const;
+
+ private:
+  friend class Bdd;
+
+  struct Node {
+    Var var;         // level; kTerminalVar for the two terminals
+    NodeIndex low;   // cofactor at var=0
+    NodeIndex high;  // cofactor at var=1
+    NodeIndex next;  // unique-table chain / free-list link
+  };
+
+  struct CacheEntry {
+    // Exact operands, not a hash: a false cache hit is a soundness bug.
+    NodeIndex a = ~NodeIndex{0};
+    NodeIndex b = 0;
+    NodeIndex c = 0;
+    std::uint8_t op = 0xff;
+    NodeIndex result = 0;
+  };
+
+  static constexpr Var kTerminalVar = ~Var{0};
+  static constexpr NodeIndex kFalse = 0;
+  static constexpr NodeIndex kTrue = 1;
+  static constexpr NodeIndex kNil = ~NodeIndex{0};
+
+  enum class Op : std::uint8_t {
+    And,
+    Or,
+    Xor,
+    Not,
+    Ite,
+    Exists,
+    Forall,
+    AndExists,
+    Rename,
+    Compose,
+  };
+
+  // --- node pool -----------------------------------------------------
+  [[nodiscard]] NodeIndex mk(Var var, NodeIndex low, NodeIndex high);
+  [[nodiscard]] NodeIndex allocNode(Var var, NodeIndex low, NodeIndex high);
+  void rehashIfNeeded();
+  [[nodiscard]] static std::uint64_t hashTriple(Var var, NodeIndex low,
+                                                NodeIndex high);
+
+  // --- external references & GC --------------------------------------
+  void ref(NodeIndex n);
+  void deref(NodeIndex n);
+  void maybeGc();
+  void markRecursive(NodeIndex n);
+
+  // --- operation cache ------------------------------------------------
+  [[nodiscard]] bool cacheLookup(Op op, NodeIndex a, NodeIndex b, NodeIndex c,
+                                 NodeIndex& out) const;
+  void cacheStore(Op op, NodeIndex a, NodeIndex b, NodeIndex c,
+                  NodeIndex result);
+  void clearCache();
+
+  // --- recursive kernels ----------------------------------------------
+  [[nodiscard]] NodeIndex applyRec(Op op, NodeIndex f, NodeIndex g);
+  [[nodiscard]] NodeIndex notRec(NodeIndex f);
+  [[nodiscard]] NodeIndex iteRec(NodeIndex f, NodeIndex g, NodeIndex h);
+  [[nodiscard]] NodeIndex quantRec(Op op, NodeIndex f, NodeIndex cube);
+  [[nodiscard]] NodeIndex andExistsRec(NodeIndex f, NodeIndex g,
+                                       NodeIndex cube);
+  [[nodiscard]] NodeIndex renameRec(NodeIndex f, std::span<const Var> perm,
+                                    std::uint64_t permTag);
+  [[nodiscard]] NodeIndex composeRec(NodeIndex f, Var v, NodeIndex g);
+
+  // --- analysis helpers (non-allocating) --------------------------------
+  [[nodiscard]] std::size_t nodeCountOf(NodeIndex f) const;
+  [[nodiscard]] double satCountOf(NodeIndex f,
+                                  std::span<const Var> levels) const;
+  void supportOf(NodeIndex f, std::vector<bool>& seenLevel) const;
+  [[nodiscard]] bool evalOf(NodeIndex f, std::span<const char> assign) const;
+
+  // Public-facing wrappers used by Bdd.
+  [[nodiscard]] Bdd wrap(NodeIndex n) { return Bdd(this, n); }
+
+  Var varCount_;
+  std::vector<Node> nodes_;
+  std::vector<NodeIndex> buckets_;  // unique table heads; size power of two
+  NodeIndex freeList_ = kNil;
+  std::size_t liveNodes_ = 0;
+
+  std::vector<CacheEntry> cache_;
+  std::vector<std::uint32_t> extRefs_;  // per-node external reference count
+
+  std::size_t gcThreshold_;
+  ManagerStats stats_;
+
+  // Rename permutations are cached per distinct permutation identity.
+  std::vector<std::vector<Var>> internedPerms_;
+
+  // Scratch marks for GC / traversals.
+  std::vector<bool> marks_;
+};
+
+/// Writes `f` in a self-describing text format (variable count, node
+/// table, root). Loadable by loadBdd into any manager with at least as
+/// many variables.
+void saveBdd(std::ostream& os, const Bdd& f);
+
+/// Reads a function previously written by saveBdd. Throws
+/// std::runtime_error on malformed input (bad references, order
+/// violations, variable count exceeding the manager's).
+[[nodiscard]] Bdd loadBdd(std::istream& is, Manager& manager);
+
+}  // namespace stsyn::bdd

@@ -1,0 +1,41 @@
+// Graphviz DOT export, mainly for debugging and documentation figures.
+#include <ostream>
+#include <unordered_set>
+
+#include "bdd/bdd.hpp"
+
+namespace stsyn::bdd {
+
+void Manager::writeDot(std::ostream& os, const Bdd& f,
+                       const std::function<std::string(Var)>& varName) const {
+  os << "digraph bdd {\n";
+  os << "  node [shape=circle];\n";
+  os << "  f0 [shape=box,label=\"0\"];\n";
+  os << "  f1 [shape=box,label=\"1\"];\n";
+  if (f.valid()) {
+    std::unordered_set<NodeIndex> seen;
+    std::vector<NodeIndex> stack{f.raw()};
+    auto name = [&](NodeIndex n) -> std::string {
+      if (n == kFalse) return "f0";
+      if (n == kTrue) return "f1";
+      return "n" + std::to_string(n);
+    };
+    while (!stack.empty()) {
+      const NodeIndex n = stack.back();
+      stack.pop_back();
+      if (n == kFalse || n == kTrue || !seen.insert(n).second) continue;
+      const Node& node = nodes_[n];
+      const std::string label =
+          varName ? varName(node.var) : "x" + std::to_string(node.var);
+      os << "  " << name(n) << " [label=\"" << label << "\"];\n";
+      os << "  " << name(n) << " -> " << name(node.low)
+         << " [style=dashed];\n";
+      os << "  " << name(n) << " -> " << name(node.high) << ";\n";
+      stack.push_back(node.low);
+      stack.push_back(node.high);
+    }
+  }
+  os << "}\n";
+}
+
+}  // namespace stsyn::bdd

@@ -1,0 +1,332 @@
+// Node pool, unique table, operation cache, external references, and
+// mark-and-sweep garbage collection.
+//
+// Invariants:
+//   * nodes_[0] / nodes_[1] are the FALSE / TRUE terminals and never move.
+//   * Every internal node n satisfies var(low) > var(n) and
+//     var(high) > var(n) (terminals have the largest pseudo-level).
+//   * low != high for every internal node (reduction rule).
+//   * The unique table holds exactly the live internal nodes, so structural
+//     equality of indices is semantic equality of functions.
+//
+// GC safety: collection only runs at public operation boundaries
+// (maybeGc()), never inside a recursive kernel, so intermediate results in
+// a running operation cannot be reclaimed.
+#include "bdd/bdd.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+#include <utility>
+
+namespace stsyn::bdd {
+
+namespace {
+constexpr std::size_t kInitialBuckets = 1u << 14;
+constexpr std::size_t kCacheEntries = 1u << 20;
+constexpr std::size_t kInitialGcThreshold = std::size_t{1} << 23;
+
+std::uint64_t mix64(std::uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ULL;
+  x ^= x >> 33;
+  return x;
+}
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Bdd handle: external reference counting.
+// ---------------------------------------------------------------------------
+
+Bdd::Bdd(Manager* mgr, NodeIndex index) : mgr_(mgr), index_(index) {
+  if (mgr_) mgr_->ref(index_);
+}
+
+Bdd::Bdd(const Bdd& other) : mgr_(other.mgr_), index_(other.index_) {
+  if (mgr_) mgr_->ref(index_);
+}
+
+Bdd::Bdd(Bdd&& other) noexcept : mgr_(other.mgr_), index_(other.index_) {
+  other.mgr_ = nullptr;
+  other.index_ = 0;
+}
+
+Bdd& Bdd::operator=(const Bdd& other) {
+  if (this == &other) return *this;
+  if (other.mgr_) other.mgr_->ref(other.index_);
+  if (mgr_) mgr_->deref(index_);
+  mgr_ = other.mgr_;
+  index_ = other.index_;
+  return *this;
+}
+
+Bdd& Bdd::operator=(Bdd&& other) noexcept {
+  if (this == &other) return *this;
+  if (mgr_) mgr_->deref(index_);
+  mgr_ = other.mgr_;
+  index_ = other.index_;
+  other.mgr_ = nullptr;
+  other.index_ = 0;
+  return *this;
+}
+
+Bdd::~Bdd() {
+  if (mgr_) mgr_->deref(index_);
+}
+
+bool Bdd::isFalse() const { return mgr_ != nullptr && index_ == Manager::kFalse; }
+bool Bdd::isTrue() const { return mgr_ != nullptr && index_ == Manager::kTrue; }
+
+// ---------------------------------------------------------------------------
+// Manager construction.
+// ---------------------------------------------------------------------------
+
+Manager::Manager(Var varCount)
+    : varCount_(varCount),
+      buckets_(kInitialBuckets, kNil),
+      cache_(kCacheEntries),
+      gcThreshold_(kInitialGcThreshold) {
+  nodes_.reserve(1u << 16);
+  // Terminals. Their var field is the out-of-band terminal level so that
+  // every internal level compares smaller.
+  nodes_.push_back(Node{kTerminalVar, kFalse, kFalse, kNil});
+  nodes_.push_back(Node{kTerminalVar, kTrue, kTrue, kNil});
+  extRefs_.resize(2, 0);
+}
+
+Manager::~Manager() = default;
+
+// ---------------------------------------------------------------------------
+// Unique table.
+// ---------------------------------------------------------------------------
+
+std::uint64_t Manager::hashTriple(Var var, NodeIndex low, NodeIndex high) {
+  return mix64((std::uint64_t{var} << 40) ^ (std::uint64_t{low} << 20) ^
+               std::uint64_t{high} ^ (std::uint64_t{high} << 44));
+}
+
+NodeIndex Manager::mk(Var var, NodeIndex low, NodeIndex high) {
+  assert(var < varCount_);
+  if (low == high) return low;
+  assert(nodes_[low].var > var && nodes_[high].var > var);
+
+  const std::uint64_t h = hashTriple(var, low, high);
+  const std::size_t bucket = h & (buckets_.size() - 1);
+  for (NodeIndex n = buckets_[bucket]; n != kNil; n = nodes_[n].next) {
+    const Node& node = nodes_[n];
+    if (node.var == var && node.low == low && node.high == high) return n;
+  }
+  const NodeIndex n = allocNode(var, low, high);
+  // allocNode may rehash; recompute the bucket before chaining.
+  const std::size_t b = h & (buckets_.size() - 1);
+  nodes_[n].next = buckets_[b];
+  buckets_[b] = n;
+  return n;
+}
+
+NodeIndex Manager::allocNode(Var var, NodeIndex low, NodeIndex high) {
+  NodeIndex n;
+  if (freeList_ != kNil) {
+    n = freeList_;
+    freeList_ = nodes_[n].next;
+    nodes_[n] = Node{var, low, high, kNil};
+  } else {
+    n = static_cast<NodeIndex>(nodes_.size());
+    if (n == kNil) throw std::length_error("BDD node pool exhausted");
+    nodes_.push_back(Node{var, low, high, kNil});
+    extRefs_.push_back(0);
+  }
+  ++liveNodes_;
+  stats_.liveNodes = liveNodes_;
+  if (liveNodes_ > stats_.peakLiveNodes) stats_.peakLiveNodes = liveNodes_;
+  rehashIfNeeded();
+  return n;
+}
+
+void Manager::rehashIfNeeded() {
+  if (liveNodes_ + 2 <= buckets_.size()) return;
+  std::vector<NodeIndex> fresh(buckets_.size() * 2, kNil);
+  for (std::size_t b = 0; b < buckets_.size(); ++b) {
+    NodeIndex n = buckets_[b];
+    while (n != kNil) {
+      const NodeIndex next = nodes_[n].next;
+      const Node& node = nodes_[n];
+      const std::size_t nb =
+          hashTriple(node.var, node.low, node.high) & (fresh.size() - 1);
+      nodes_[n].next = fresh[nb];
+      fresh[nb] = n;
+      n = next;
+    }
+  }
+  buckets_ = std::move(fresh);
+}
+
+// ---------------------------------------------------------------------------
+// External references and garbage collection.
+// ---------------------------------------------------------------------------
+
+void Manager::ref(NodeIndex n) { ++extRefs_[n]; }
+
+void Manager::deref(NodeIndex n) {
+  assert(extRefs_[n] > 0);
+  --extRefs_[n];
+}
+
+void Manager::maybeGc() {
+  // Only called at public operation boundaries, never from inside a
+  // recursive kernel, so intermediate results cannot be reclaimed.
+  if (liveNodes_ >= gcThreshold_) {
+    const std::size_t before = liveNodes_;
+    collectGarbage();
+    // If the heap is mostly live, collecting again soon is wasted work:
+    // back off geometrically.
+    if (liveNodes_ * 2 > before) gcThreshold_ *= 2;
+  }
+}
+
+void Manager::markRecursive(NodeIndex root) {
+  // Iterative DFS; state spaces of 160+ boolean variables produce BDDs too
+  // deep-ish for comfort with recursion during GC.
+  static thread_local std::vector<NodeIndex> stack;
+  stack.clear();
+  stack.push_back(root);
+  while (!stack.empty()) {
+    const NodeIndex n = stack.back();
+    stack.pop_back();
+    if (marks_[n]) continue;
+    marks_[n] = true;
+    if (nodes_[n].var == kTerminalVar) continue;
+    stack.push_back(nodes_[n].low);
+    stack.push_back(nodes_[n].high);
+  }
+}
+
+void Manager::collectGarbage() {
+  marks_.assign(nodes_.size(), false);
+  marks_[kFalse] = marks_[kTrue] = true;
+  for (NodeIndex n = 0; n < extRefs_.size(); ++n) {
+    if (extRefs_[n] > 0) markRecursive(n);
+  }
+
+  // Sweep: rebuild the unique table from live nodes; dead nodes join the
+  // free list. Indices are stable, so external handles stay valid.
+  std::fill(buckets_.begin(), buckets_.end(), kNil);
+  freeList_ = kNil;
+  std::size_t live = 0;
+  for (NodeIndex n = 2; n < nodes_.size(); ++n) {
+    if (marks_[n]) {
+      const Node& node = nodes_[n];
+      const std::size_t b =
+          hashTriple(node.var, node.low, node.high) & (buckets_.size() - 1);
+      nodes_[n].next = buckets_[b];
+      buckets_[b] = n;
+      ++live;
+    } else if (nodes_[n].var != kTerminalVar) {
+      stats_.nodesFreed += 1;
+      nodes_[n].var = kTerminalVar;  // tombstone
+      nodes_[n].next = freeList_;
+      freeList_ = n;
+    } else {
+      // already on the free list from a previous collection
+      nodes_[n].next = freeList_;
+      freeList_ = n;
+    }
+  }
+  liveNodes_ = live;
+  stats_.liveNodes = live;
+  stats_.gcRuns += 1;
+  // Sweep the operation cache instead of clearing it: an entry survives
+  // only if everything it references is still live. (For entries whose
+  // operand slots carry non-node payloads — the rename permutation tag —
+  // this is merely conservative: a stale-looking tag drops a valid entry,
+  // never the reverse, because lookups compare all operands exactly.)
+  for (CacheEntry& e : cache_) {
+    if (e.op == 0xff) continue;
+    if (e.a >= marks_.size() || e.b >= marks_.size() ||
+        e.c >= marks_.size() || !marks_[e.a] || !marks_[e.b] ||
+        !marks_[e.c] || !marks_[e.result]) {
+      e.a = ~NodeIndex{0};
+      e.op = 0xff;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Operation cache.
+// ---------------------------------------------------------------------------
+
+namespace {
+std::uint64_t cacheHash(std::uint8_t op, NodeIndex a, NodeIndex b,
+                        NodeIndex c) {
+  std::uint64_t k = op;
+  k = k * 0x100000001b3ULL ^ a;
+  k = k * 0x100000001b3ULL ^ b;
+  k = k * 0x100000001b3ULL ^ c;
+  return mix64(k);
+}
+}  // namespace
+
+bool Manager::cacheLookup(Op op, NodeIndex a, NodeIndex b, NodeIndex c,
+                          NodeIndex& out) const {
+  const auto o = static_cast<std::uint8_t>(op);
+  const CacheEntry& e = cache_[cacheHash(o, a, b, c) & (cache_.size() - 1)];
+  if (e.op != o || e.a != a || e.b != b || e.c != c) return false;
+  out = e.result;
+  return true;
+}
+
+void Manager::cacheStore(Op op, NodeIndex a, NodeIndex b, NodeIndex c,
+                         NodeIndex result) {
+  const auto o = static_cast<std::uint8_t>(op);
+  CacheEntry& e = cache_[cacheHash(o, a, b, c) & (cache_.size() - 1)];
+  e.op = o;
+  e.a = a;
+  e.b = b;
+  e.c = c;
+  e.result = result;
+}
+
+void Manager::clearCache() {
+  for (CacheEntry& e : cache_) e.a = ~NodeIndex{0}, e.op = 0xff;
+}
+
+// ---------------------------------------------------------------------------
+// Leaf constructors.
+// ---------------------------------------------------------------------------
+
+Bdd Manager::constant(bool value) { return wrap(value ? kTrue : kFalse); }
+
+Bdd Manager::var(Var v) {
+  if (v >= varCount_) throw std::out_of_range("BDD variable out of range");
+  return wrap(mk(v, kFalse, kTrue));
+}
+
+Bdd Manager::nvar(Var v) {
+  if (v >= varCount_) throw std::out_of_range("BDD variable out of range");
+  return wrap(mk(v, kTrue, kFalse));
+}
+
+Bdd Manager::cube(std::span<const Var> vars) {
+  // Build bottom-up (largest level first) so each mk() is O(1).
+  std::vector<Var> sorted(vars.begin(), vars.end());
+  std::sort(sorted.begin(), sorted.end());
+  NodeIndex acc = kTrue;
+  for (auto it = sorted.rbegin(); it != sorted.rend(); ++it) {
+    acc = mk(*it, kFalse, acc);
+  }
+  return wrap(acc);
+}
+
+Bdd Manager::equalVars(std::span<const std::pair<Var, Var>> pairs) {
+  Bdd acc = trueBdd();
+  for (const auto& [a, b] : pairs) {
+    const Bdd va = var(a);
+    const Bdd vb = var(b);
+    acc &= !(va ^ vb);
+  }
+  return acc;
+}
+
+}  // namespace stsyn::bdd

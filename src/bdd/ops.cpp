@@ -1,0 +1,347 @@
+// Recursive BDD operation kernels: apply (AND/OR/XOR), NOT, ITE,
+// quantification, the AndExists relational product, and order-preserving
+// renaming.
+//
+// All kernels share the direct-mapped operation cache. Kernels never
+// trigger garbage collection (see maybeGc() in manager.cpp); the public
+// wrappers run it before starting.
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "bdd/bdd.hpp"
+
+namespace stsyn::bdd {
+
+namespace {
+/// Requires both operands to come from the same live manager.
+Manager* commonManager(const Bdd& a, const Bdd& b) {
+  if (!a.valid() || !b.valid() || a.manager() != b.manager()) {
+    throw std::invalid_argument("BDD operands from different managers");
+  }
+  return a.manager();
+}
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// apply: AND / OR / XOR.
+// ---------------------------------------------------------------------------
+
+NodeIndex Manager::applyRec(Op op, NodeIndex f, NodeIndex g) {
+  // Terminal cases.
+  switch (op) {
+    case Op::And:
+      if (f == kFalse || g == kFalse) return kFalse;
+      if (f == kTrue) return g;
+      if (g == kTrue) return f;
+      if (f == g) return f;
+      break;
+    case Op::Or:
+      if (f == kTrue || g == kTrue) return kTrue;
+      if (f == kFalse) return g;
+      if (g == kFalse) return f;
+      if (f == g) return f;
+      break;
+    case Op::Xor:
+      if (f == kFalse) return g;
+      if (g == kFalse) return f;
+      if (f == g) return kFalse;
+      if (f == kTrue) return notRec(g);
+      if (g == kTrue) return notRec(f);
+      break;
+    default:
+      assert(false);
+  }
+  // Commutative: normalize operand order for better cache hit rates.
+  if (f > g) std::swap(f, g);
+
+  NodeIndex cached;
+  if (cacheLookup(op, f, g, 0, cached)) return cached;
+
+  // Copy (not reference) the nodes: recursion below may grow the pool and
+  // invalidate references into nodes_.
+  const Node nf = nodes_[f];
+  const Node ng = nodes_[g];
+  const Var top = nf.var < ng.var ? nf.var : ng.var;
+  const NodeIndex f0 = nf.var == top ? nf.low : f;
+  const NodeIndex f1 = nf.var == top ? nf.high : f;
+  const NodeIndex g0 = ng.var == top ? ng.low : g;
+  const NodeIndex g1 = ng.var == top ? ng.high : g;
+
+  const NodeIndex low = applyRec(op, f0, g0);
+  const NodeIndex high = applyRec(op, f1, g1);
+  const NodeIndex result = mk(top, low, high);
+  cacheStore(op, f, g, 0, result);
+  return result;
+}
+
+NodeIndex Manager::notRec(NodeIndex f) {
+  if (f == kFalse) return kTrue;
+  if (f == kTrue) return kFalse;
+  NodeIndex cached;
+  if (cacheLookup(Op::Not, f, 0, 0, cached)) return cached;
+  const Node nf = nodes_[f];  // copy: recursion may reallocate nodes_
+  const NodeIndex low = notRec(nf.low);
+  const NodeIndex high = notRec(nf.high);
+  const NodeIndex result = mk(nf.var, low, high);
+  cacheStore(Op::Not, f, 0, 0, result);
+  return result;
+}
+
+NodeIndex Manager::iteRec(NodeIndex f, NodeIndex g, NodeIndex h) {
+  if (f == kTrue) return g;
+  if (f == kFalse) return h;
+  if (g == h) return g;
+  if (g == kTrue && h == kFalse) return f;
+  if (g == kFalse && h == kTrue) return notRec(f);
+
+  NodeIndex cached;
+  if (cacheLookup(Op::Ite, f, g, h, cached)) return cached;
+
+  const Var vf = nodes_[f].var;
+  const Var vg = nodes_[g].var;
+  const Var vh = nodes_[h].var;
+  Var top = vf;
+  if (vg < top) top = vg;
+  if (vh < top) top = vh;
+
+  auto cof = [&](NodeIndex n, bool hi) {
+    const Node& node = nodes_[n];
+    if (node.var != top) return n;
+    return hi ? node.high : node.low;
+  };
+  const NodeIndex low = iteRec(cof(f, false), cof(g, false), cof(h, false));
+  const NodeIndex high = iteRec(cof(f, true), cof(g, true), cof(h, true));
+  const NodeIndex result = mk(top, low, high);
+  cacheStore(Op::Ite, f, g, h, result);
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// Quantification.
+// ---------------------------------------------------------------------------
+
+NodeIndex Manager::quantRec(Op op, NodeIndex f, NodeIndex cube) {
+  assert(op == Op::Exists || op == Op::Forall);
+  if (f == kFalse || f == kTrue) return f;
+  // Skip cube variables above the top variable of f.
+  while (cube != kTrue && nodes_[cube].var < nodes_[f].var) {
+    cube = nodes_[cube].high;
+  }
+  if (cube == kTrue) return f;
+
+  NodeIndex cached;
+  if (cacheLookup(op, f, cube, 0, cached)) return cached;
+
+  const Node nf = nodes_[f];  // copy: recursion may reallocate nodes_
+  const NodeIndex cubeRest = nodes_[cube].high;
+  NodeIndex result;
+  if (nf.var == nodes_[cube].var) {
+    const NodeIndex low = quantRec(op, nf.low, cubeRest);
+    const NodeIndex high = quantRec(op, nf.high, cubeRest);
+    result = op == Op::Exists ? applyRec(Op::Or, low, high)
+                              : applyRec(Op::And, low, high);
+  } else {
+    const NodeIndex low = quantRec(op, nf.low, cube);
+    const NodeIndex high = quantRec(op, nf.high, cube);
+    result = mk(nf.var, low, high);
+  }
+  cacheStore(op, f, cube, 0, result);
+  return result;
+}
+
+NodeIndex Manager::andExistsRec(NodeIndex f, NodeIndex g, NodeIndex cube) {
+  if (f == kFalse || g == kFalse) return kFalse;
+  if (f == kTrue && g == kTrue) return kTrue;
+  if (f == kTrue) return quantRec(Op::Exists, g, cube);
+  if (g == kTrue) return quantRec(Op::Exists, f, cube);
+  if (f == g) return quantRec(Op::Exists, f, cube);
+  if (f > g) std::swap(f, g);
+
+  const Node nf = nodes_[f];  // copies: recursion may reallocate nodes_
+  const Node ng = nodes_[g];
+  const Var top = nf.var < ng.var ? nf.var : ng.var;
+  while (cube != kTrue && nodes_[cube].var < top) cube = nodes_[cube].high;
+  if (cube == kTrue) return applyRec(Op::And, f, g);
+
+  NodeIndex cached;
+  if (cacheLookup(Op::AndExists, f, g, cube, cached)) return cached;
+
+  const NodeIndex f0 = nf.var == top ? nf.low : f;
+  const NodeIndex f1 = nf.var == top ? nf.high : f;
+  const NodeIndex g0 = ng.var == top ? ng.low : g;
+  const NodeIndex g1 = ng.var == top ? ng.high : g;
+
+  NodeIndex result;
+  const NodeIndex cubeRest = nodes_[cube].high;
+  const bool quantifyTop = nodes_[cube].var == top;
+  if (quantifyTop) {
+    const NodeIndex low = andExistsRec(f0, g0, cubeRest);
+    if (low == kTrue) {
+      result = kTrue;  // OR with anything is TRUE: short-circuit
+    } else {
+      const NodeIndex high = andExistsRec(f1, g1, cubeRest);
+      result = applyRec(Op::Or, low, high);
+    }
+  } else {
+    const NodeIndex low = andExistsRec(f0, g0, cube);
+    const NodeIndex high = andExistsRec(f1, g1, cube);
+    result = mk(top, low, high);
+  }
+  cacheStore(Op::AndExists, f, g, cube, result);
+  return result;
+}
+
+NodeIndex Manager::composeRec(NodeIndex f, Var v, NodeIndex g) {
+  if (f == kFalse || f == kTrue) return f;
+  const Node nf = nodes_[f];  // copy: recursion may reallocate nodes_
+  if (nf.var > v) return f;   // v cannot appear below its own level
+  NodeIndex cached;
+  if (cacheLookup(Op::Compose, f, static_cast<NodeIndex>(v), g, cached)) {
+    return cached;
+  }
+  NodeIndex result;
+  if (nf.var == v) {
+    result = iteRec(g, nf.high, nf.low);
+  } else {
+    const NodeIndex low = composeRec(nf.low, v, g);
+    const NodeIndex high = composeRec(nf.high, v, g);
+    // g may depend on variables above nf.var, so rebuild with a full ITE
+    // on nf.var's projection rather than mk().
+    const NodeIndex proj = mk(nf.var, kFalse, kTrue);
+    result = iteRec(proj, high, low);
+  }
+  cacheStore(Op::Compose, f, static_cast<NodeIndex>(v), g, result);
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// Renaming.
+// ---------------------------------------------------------------------------
+
+NodeIndex Manager::renameRec(NodeIndex f, std::span<const Var> perm,
+                             std::uint64_t permTag) {
+  if (f == kFalse || f == kTrue) return f;
+  NodeIndex cached;
+  const auto tag = static_cast<NodeIndex>(permTag);
+  if (cacheLookup(Op::Rename, f, tag, 0, cached)) return cached;
+
+  const Node nf = nodes_[f];  // copy: recursion may reallocate nodes_
+  const NodeIndex low = renameRec(nf.low, perm, permTag);
+  const NodeIndex high = renameRec(nf.high, perm, permTag);
+  const Var target = perm[nf.var];
+  // The order-preservation precondition guarantees target is above the
+  // renamed children; mk() asserts it in debug builds.
+  const NodeIndex result = mk(target, low, high);
+  cacheStore(Op::Rename, f, tag, 0, result);
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// Public wrappers on Bdd.
+// ---------------------------------------------------------------------------
+
+Bdd Bdd::operator&(const Bdd& rhs) const {
+  Manager* m = commonManager(*this, rhs);
+  m->maybeGc();
+  return m->wrap(m->applyRec(Manager::Op::And, index_, rhs.index_));
+}
+
+Bdd Bdd::operator|(const Bdd& rhs) const {
+  Manager* m = commonManager(*this, rhs);
+  m->maybeGc();
+  return m->wrap(m->applyRec(Manager::Op::Or, index_, rhs.index_));
+}
+
+Bdd Bdd::operator^(const Bdd& rhs) const {
+  Manager* m = commonManager(*this, rhs);
+  m->maybeGc();
+  return m->wrap(m->applyRec(Manager::Op::Xor, index_, rhs.index_));
+}
+
+Bdd Bdd::operator!() const {
+  if (!valid()) throw std::invalid_argument("negation of a null BDD");
+  mgr_->maybeGc();
+  return mgr_->wrap(mgr_->notRec(index_));
+}
+
+bool Bdd::implies(const Bdd& rhs) const {
+  Manager* m = commonManager(*this, rhs);
+  // f -> g is valid iff f AND NOT g is unsatisfiable.
+  m->maybeGc();
+  const NodeIndex ng = m->notRec(rhs.index_);
+  return m->applyRec(Manager::Op::And, index_, ng) == Manager::kFalse;
+}
+
+Bdd Bdd::ite(const Bdd& g, const Bdd& h) const {
+  Manager* m = commonManager(*this, g);
+  if (h.manager() != m) {
+    throw std::invalid_argument("BDD operands from different managers");
+  }
+  m->maybeGc();
+  return m->wrap(m->iteRec(index_, g.raw(), h.raw()));
+}
+
+Bdd Bdd::compose(Var v, const Bdd& g) const {
+  Manager* m = commonManager(*this, g);
+  if (v >= m->varCount()) {
+    throw std::out_of_range("compose: variable out of range");
+  }
+  m->maybeGc();
+  return m->wrap(m->composeRec(index_, v, g.raw()));
+}
+
+Bdd Bdd::exists(const Bdd& cube) const {
+  Manager* m = commonManager(*this, cube);
+  m->maybeGc();
+  return m->wrap(m->quantRec(Manager::Op::Exists, index_, cube.index_));
+}
+
+Bdd Bdd::forall(const Bdd& cube) const {
+  Manager* m = commonManager(*this, cube);
+  m->maybeGc();
+  return m->wrap(m->quantRec(Manager::Op::Forall, index_, cube.index_));
+}
+
+Bdd Bdd::andExists(const Bdd& rhs, const Bdd& cube) const {
+  Manager* m = commonManager(*this, rhs);
+  if (cube.manager() != m) {
+    throw std::invalid_argument("BDD operands from different managers");
+  }
+  m->maybeGc();
+  return m->wrap(m->andExistsRec(index_, rhs.index_, cube.index_));
+}
+
+Bdd Bdd::rename(std::span<const Var> perm) const {
+  if (!valid()) throw std::invalid_argument("rename of a null BDD");
+  if (perm.size() != mgr_->varCount()) {
+    throw std::invalid_argument("rename permutation has wrong arity");
+  }
+#ifndef NDEBUG
+  {
+    // Precondition: the permutation preserves the relative order of this
+    // function's support. (Our current<->next renamings always do, because
+    // the quantified side has been projected away first.)
+    const std::vector<Var> sup = support();
+    for (std::size_t i = 1; i < sup.size(); ++i) {
+      assert(perm[sup[i - 1]] < perm[sup[i]] &&
+             "rename permutation must be monotone on the support");
+    }
+  }
+#endif
+  // Intern the permutation so the cache can distinguish different renamings.
+  std::uint64_t tag = 0;
+  for (; tag < mgr_->internedPerms_.size(); ++tag) {
+    const auto& p = mgr_->internedPerms_[tag];
+    if (std::equal(p.begin(), p.end(), perm.begin(), perm.end())) break;
+  }
+  if (tag == mgr_->internedPerms_.size()) {
+    mgr_->internedPerms_.emplace_back(perm.begin(), perm.end());
+  }
+  mgr_->maybeGc();
+  return mgr_->wrap(mgr_->renameRec(index_, perm, tag));
+}
+
+}  // namespace stsyn::bdd

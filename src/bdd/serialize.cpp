@@ -1,0 +1,108 @@
+// Textual (de)serialization of BDDs.
+//
+// Format:
+//   bdd <varCount> <nodeCount> <rootRef>
+//   <ref> <var> <lowRef> <highRef>        (nodeCount lines)
+//
+// Refs 0 and 1 are the terminals; internal nodes use refs 2.. in
+// bottom-up order (children always precede their parents), which lets the
+// loader rebuild with the public algebra and re-canonicalize on the fly.
+// The writer likewise uses only the public interface (top-of-support +
+// cofactoring via compose), so serialization stays decoupled from the
+// manager's internals.
+#include <functional>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+#include <tuple>
+#include <unordered_map>
+
+#include "bdd/bdd.hpp"
+
+namespace stsyn::bdd {
+
+void saveBdd(std::ostream& os, const Bdd& f) {
+  if (!f.valid()) throw std::invalid_argument("saveBdd: null BDD");
+  Manager* m = f.manager();
+
+  std::unordered_map<NodeIndex, std::uint64_t> ref{{f.manager()->falseBdd().raw(), 0},
+                                                   {f.manager()->trueBdd().raw(), 1}};
+  std::vector<std::tuple<std::uint64_t, Var, std::uint64_t, std::uint64_t>>
+      rows;
+  std::uint64_t next = 2;
+
+  const std::function<std::uint64_t(const Bdd&)> visit =
+      [&](const Bdd& g) -> std::uint64_t {
+    if (g.isFalse()) return 0;
+    if (g.isTrue()) return 1;
+    const auto it = ref.find(g.raw());
+    if (it != ref.end()) return it->second;
+    const Var v = g.support().front();
+    const std::uint64_t low = visit(g.compose(v, m->falseBdd()));
+    const std::uint64_t high = visit(g.compose(v, m->trueBdd()));
+    const std::uint64_t id = next++;
+    ref.emplace(g.raw(), id);
+    rows.emplace_back(id, v, low, high);
+    return id;
+  };
+  const std::uint64_t root = visit(f);
+
+  os << "bdd " << m->varCount() << ' ' << rows.size() << ' ' << root << '\n';
+  for (const auto& [id, var, low, high] : rows) {
+    os << id << ' ' << var << ' ' << low << ' ' << high << '\n';
+  }
+}
+
+Bdd loadBdd(std::istream& is, Manager& manager) {
+  std::string magic;
+  std::uint64_t varCount = 0;
+  std::uint64_t nodeCount = 0;
+  std::uint64_t root = 0;
+  if (!(is >> magic >> varCount >> nodeCount >> root) || magic != "bdd") {
+    throw std::runtime_error("loadBdd: bad header");
+  }
+  if (varCount > manager.varCount()) {
+    throw std::runtime_error("loadBdd: function uses more variables than "
+                             "the manager has");
+  }
+
+  std::unordered_map<std::uint64_t, Bdd> byRef;
+  byRef.emplace(0, manager.falseBdd());
+  byRef.emplace(1, manager.trueBdd());
+  auto resolve = [&](std::uint64_t r) -> const Bdd& {
+    const auto it = byRef.find(r);
+    if (it == byRef.end()) {
+      throw std::runtime_error("loadBdd: forward or dangling reference");
+    }
+    return it->second;
+  };
+
+  for (std::uint64_t i = 0; i < nodeCount; ++i) {
+    std::uint64_t id = 0;
+    Var var = 0;
+    std::uint64_t lowRef = 0;
+    std::uint64_t highRef = 0;
+    if (!(is >> id >> var >> lowRef >> highRef)) {
+      throw std::runtime_error("loadBdd: truncated node table");
+    }
+    if (var >= varCount || byRef.contains(id) || id < 2) {
+      throw std::runtime_error("loadBdd: malformed node row");
+    }
+    const Bdd low = resolve(lowRef);
+    const Bdd high = resolve(highRef);
+    // Re-canonicalize through the public algebra: ite on the projection.
+    const Bdd node = manager.var(var).ite(high, low);
+    // Ordering sanity: the rebuilt node's top variable must be `var`
+    // unless the row was redundant (low == high).
+    if (!(low == high)) {
+      const auto sup = node.support();
+      if (sup.empty() || sup.front() != var) {
+        throw std::runtime_error("loadBdd: variable order violation");
+      }
+    }
+    byRef.emplace(id, node);
+  }
+  return resolve(root);
+}
+
+}  // namespace stsyn::bdd

@@ -1,0 +1,51 @@
+#include "casestudies/coloring.hpp"
+
+#include <stdexcept>
+
+#include "protocol/builder.hpp"
+
+namespace stsyn::casestudies {
+
+using protocol::E;
+using protocol::Protocol;
+using protocol::ProtocolBuilder;
+using protocol::ref;
+using protocol::VarId;
+
+Protocol coloring(int processes, int colors) {
+  if (processes < 3) {
+    throw std::invalid_argument("coloring needs >= 3 processes");
+  }
+  if (colors < 3) {
+    throw std::invalid_argument(
+        "a ring needs >= 3 colors for local correctability");
+  }
+  const int k = processes;
+  ProtocolBuilder b("coloring");
+  std::vector<VarId> c(k);
+  for (int i = 0; i < k; ++i) {
+    c[i] = b.variable("c" + std::to_string(i), colors);
+  }
+
+  E inv;
+  for (int i = 0; i < k; ++i) {
+    const int prev = (i + k - 1) % k;
+    const E lc = ref(c[prev]) != ref(c[i]);
+    inv = i == 0 ? lc : (inv && lc);
+  }
+  b.invariant(inv);
+
+  for (int i = 0; i < k; ++i) {
+    const int prev = (i + k - 1) % k;
+    const int next = (i + 1) % k;
+    const std::size_t proc =
+        b.process("P" + std::to_string(i), {c[prev], c[i], c[next]}, {c[i]});
+    // The local predicate must be over P_i's readable variables; giving
+    // P_i responsibility for both of its edges keeps AND LC_i == I.
+    b.localPredicate(proc,
+                     ref(c[prev]) != ref(c[i]) && ref(c[i]) != ref(c[next]));
+  }
+  return b.build();
+}
+
+}  // namespace stsyn::casestudies

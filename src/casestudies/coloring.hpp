@@ -1,0 +1,24 @@
+// Three Coloring on a ring (paper Section VI-B, Figures 8/9 benchmark
+// subject — the locally-correctable case that scales to 40 processes).
+//
+// K processes on a ring, each c_i in {0, 1, 2}. P_i reads c_{i-1}, c_i,
+// c_{i+1} and writes c_i. The non-stabilizing input protocol is empty; the
+// target predicate is a proper coloring:
+//
+//   I_coloring = AND_i (c_{i-1} != c_i)
+//
+// I_coloring decomposes into per-process local predicates, and a process
+// can always fix its own conflict by choosing the third color — the
+// protocol is locally correctable, which is why synthesis never meets an
+// SCC and scales much further than matching.
+#pragma once
+
+#include "protocol/protocol.hpp"
+
+namespace stsyn::casestudies {
+
+/// The empty non-stabilizing coloring protocol with K >= 3 processes and
+/// `colors` >= 3 colors (3 in the paper).
+[[nodiscard]] protocol::Protocol coloring(int processes, int colors = 3);
+
+}  // namespace stsyn::casestudies

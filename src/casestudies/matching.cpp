@@ -1,0 +1,115 @@
+#include "casestudies/matching.hpp"
+
+#include <stdexcept>
+
+#include "protocol/builder.hpp"
+
+namespace stsyn::casestudies {
+
+using protocol::E;
+using protocol::lit;
+using protocol::Protocol;
+using protocol::ProtocolBuilder;
+using protocol::ref;
+using protocol::VarId;
+
+namespace {
+
+/// Builds variables, topology, invariant and local predicates shared by
+/// the empty protocol and the manual baselines.
+ProtocolBuilder matchingSkeleton(const std::string& name, int k,
+                                 std::vector<VarId>& m) {
+  if (k < 3) throw std::invalid_argument("matching needs >= 3 processes");
+  ProtocolBuilder b(name);
+  m.resize(k);
+  for (int i = 0; i < k; ++i) {
+    m[i] = b.variable("m" + std::to_string(i), 3);
+  }
+  auto left = [&](int i) { return ref(m[(i + k - 1) % k]); };
+  auto right = [&](int i) { return ref(m[(i + 1) % k]); };
+  auto mine = [&](int i) { return ref(m[i]); };
+
+  E inv;
+  for (int i = 0; i < k; ++i) {
+    const E lc = (mine(i) == lit(kLeft)).implies(left(i) == lit(kRight)) &&
+                 (mine(i) == lit(kRight)).implies(right(i) == lit(kLeft)) &&
+                 (mine(i) == lit(kSelf))
+                     .implies(left(i) == lit(kLeft) &&
+                              right(i) == lit(kRight));
+    inv = i == 0 ? lc : (inv && lc);
+    const std::size_t proc = b.process(
+        "P" + std::to_string(i),
+        {m[(i + k - 1) % k], m[i], m[(i + 1) % k]}, {m[i]});
+    b.localPredicate(proc, lc);
+  }
+  b.invariant(inv);
+  return b;
+}
+
+Protocol withManualActions(const std::string& name, int k,
+                           bool printedVariant) {
+  std::vector<VarId> m;
+  ProtocolBuilder b = matchingSkeleton(name, k, m);
+  auto left = [&](int i) { return ref(m[(i + k - 1) % k]); };
+  auto right = [&](int i) { return ref(m[(i + 1) % k]); };
+  auto mine = [&](int i) { return ref(m[i]); };
+
+  for (int i = 0; i < k; ++i) {
+    b.action(i, "giveUpLeft",
+             mine(i) == lit(kLeft) && left(i) == lit(kLeft),
+             {{m[i], lit(kSelf)}});
+    b.action(i, "giveUpRight",
+             mine(i) == lit(kRight) && right(i) == lit(kRight),
+             {{m[i], lit(kSelf)}});
+    if (printedVariant) {
+      // Verbatim from the paper's Section VI-A rendering.
+      b.action(i, "takeLeft",
+               mine(i) == lit(kSelf) && left(i) == lit(kLeft),
+               {{m[i], lit(kLeft)}});
+      b.action(i, "takeRight",
+               mine(i) == lit(kSelf) && right(i) == lit(kRight),
+               {{m[i], lit(kRight)}});
+    } else {
+      // Accept a neighbour that points at this process.
+      b.action(i, "takeLeft",
+               mine(i) == lit(kSelf) && left(i) == lit(kRight),
+               {{m[i], lit(kLeft)}});
+      b.action(i, "takeRight",
+               mine(i) == lit(kSelf) && right(i) == lit(kLeft),
+               {{m[i], lit(kRight)}});
+    }
+  }
+  return b.build();
+}
+
+}  // namespace
+
+Protocol matching(int processes) {
+  std::vector<VarId> m;
+  return matchingSkeleton("matching", processes, m).build();
+}
+
+Protocol matchingGoudaAcharyaAsPrinted(int processes) {
+  return withManualActions("matching-gouda-acharya-printed", processes,
+                           /*printedVariant=*/true);
+}
+
+Protocol matchingGoudaAcharyaRepaired(int processes) {
+  return withManualActions("matching-gouda-acharya-repaired", processes,
+                           /*printedVariant=*/false);
+}
+
+const char* pointerName(int value) {
+  switch (value) {
+    case kLeft:
+      return "left";
+    case kRight:
+      return "right";
+    case kSelf:
+      return "self";
+    default:
+      return "?";
+  }
+}
+
+}  // namespace stsyn::casestudies

@@ -1,0 +1,58 @@
+// Maximal Matching on a bidirectional ring (paper Section VI-A,
+// Figures 6/7 benchmark subject).
+//
+// K processes on a ring; each m_i in {left, right, self}. Two neighbours
+// are matched when they point at each other. The legitimate states are
+// IMM = AND_i LC_i with
+//
+//   LC_i = (m_i = left  => m_{i-1} = right)
+//        ∧ (m_i = right => m_{i+1} = left)
+//        ∧ (m_i = self  => m_{i-1} = left ∧ m_{i+1} = right)
+//
+// The NON-stabilizing input protocol is empty (no transitions): the
+// synthesizer must invent the entire recovery behaviour. The protocol is
+// NOT locally correctable (a process fixing its own LC_i can invalidate a
+// neighbour's), which is exactly why the paper uses it as the stress case.
+//
+// The module also provides the manually designed protocol of Gouda &
+// Acharya exactly as rendered in the paper's Section VI-A, in which the
+// paper's tool discovered a design flaw; our verifier reproduces a
+// concrete flaw report for it (see tests and examples/matching_flaw.cpp).
+#pragma once
+
+#include "protocol/protocol.hpp"
+
+namespace stsyn::casestudies {
+
+/// Pointer values of m_i.
+inline constexpr int kLeft = 0;
+inline constexpr int kRight = 1;
+inline constexpr int kSelf = 2;
+
+/// The empty non-stabilizing matching protocol with K >= 3 processes,
+/// invariant IMM and its per-process local predicates.
+[[nodiscard]] protocol::Protocol matching(int processes);
+
+/// Gouda & Acharya's manually designed matching protocol with the four
+/// actions exactly as printed in the paper:
+///
+///   m_i = left  ∧ m_{i-1} = left  -> m_i := self
+///   m_i = right ∧ m_{i+1} = right -> m_i := self
+///   m_i = self  ∧ m_{i-1} = left  -> m_i := left
+///   m_i = self  ∧ m_{i+1} = right -> m_i := right
+[[nodiscard]] protocol::Protocol matchingGoudaAcharyaAsPrinted(int processes);
+
+/// The natural repair of the printed actions (accept a neighbour that
+/// points at you; the printed guards point the wrong way and break the
+/// closure of IMM):
+///
+///   m_i = left  ∧ m_{i-1} = left  -> m_i := self
+///   m_i = right ∧ m_{i+1} = right -> m_i := self
+///   m_i = self  ∧ m_{i-1} = right -> m_i := left
+///   m_i = self  ∧ m_{i+1} = left  -> m_i := right
+[[nodiscard]] protocol::Protocol matchingGoudaAcharyaRepaired(int processes);
+
+/// Renders a pointer value as "left"/"right"/"self" (for diagnostics).
+[[nodiscard]] const char* pointerName(int value);
+
+}  // namespace stsyn::casestudies

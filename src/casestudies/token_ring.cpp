@@ -1,0 +1,85 @@
+#include "casestudies/token_ring.hpp"
+
+#include <stdexcept>
+
+#include "protocol/builder.hpp"
+
+namespace stsyn::casestudies {
+
+using protocol::blit;
+using protocol::E;
+using protocol::lit;
+using protocol::Protocol;
+using protocol::ProtocolBuilder;
+using protocol::ref;
+using protocol::VarId;
+
+namespace {
+
+/// Shared scaffolding of both variants: variables, topology, invariant.
+/// `stabilizing` selects Dijkstra's widened guard for A_j.
+Protocol makeRing(int k, int d, bool stabilizing) {
+  if (k < 2) throw std::invalid_argument("token ring needs >= 2 processes");
+  if (d < 2) throw std::invalid_argument("token ring needs domain >= 2");
+
+  ProtocolBuilder b(stabilizing ? "dijkstra-token-ring" : "token-ring");
+  std::vector<VarId> x(k);
+  for (int j = 0; j < k; ++j) {
+    x[j] = b.variable("x" + std::to_string(j), d);
+  }
+
+  // S1 (the paper's legitimate states, written there as four disjuncts for
+  // k = 4): the "wavefront" states in which the token sits at P_j — the
+  // prefix x_0..x_{j-1} holds some value v+1 and the suffix x_j..x_{k-1}
+  // holds v (all equal when j = 0, token at P0). Exactly one token holds in
+  // each such state, and S1 is closed under the protocol; the plain
+  // "exactly one token" predicate is strictly weaker and NOT closed when
+  // the domain is smaller than the ring.
+  E inv;
+  for (int j = 0; j < k; ++j) {
+    E disj = blit(true);
+    for (int i = 1; i < j; ++i) disj = disj && (ref(x[i]) == ref(x[0]));
+    for (int i = j + 1; i < k; ++i) disj = disj && (ref(x[i]) == ref(x[j]));
+    if (j > 0) {
+      disj = disj && ((ref(x[j]) + lit(1)).mod(d) == ref(x[0]));
+    }
+    inv = j == 0 ? disj : (inv || disj);
+  }
+  b.invariant(inv);
+
+  // Processes: P_j reads x_{j-1} and x_j, writes x_j.
+  for (int j = 0; j < k; ++j) {
+    const int prev = (j + k - 1) % k;
+    b.process("P" + std::to_string(j), {x[prev], x[j]}, {x[j]});
+  }
+
+  b.action(0, "A0", ref(x[0]) == ref(x[k - 1]),
+           {{x[0], (ref(x[k - 1]) + lit(1)).mod(d)}});
+  for (int j = 1; j < k; ++j) {
+    const E hasToken = (ref(x[j]) + lit(1)).mod(d) == ref(x[j - 1]);
+    const E guard = stabilizing ? (ref(x[j]) != ref(x[j - 1])) : hasToken;
+    b.action(j, "A" + std::to_string(j), guard, {{x[j], ref(x[j - 1])}});
+  }
+  return b.build();
+}
+
+}  // namespace
+
+Protocol tokenRing(int processes, int domain) {
+  return makeRing(processes, domain, /*stabilizing=*/false);
+}
+
+Protocol dijkstraTokenRing(int processes, int domain) {
+  return makeRing(processes, domain, /*stabilizing=*/true);
+}
+
+E tokenAt(const Protocol& p, int j) {
+  const int k = static_cast<int>(p.processes.size());
+  const int d = p.vars.at(0).domain;
+  if (j < 0 || j >= k) throw std::out_of_range("tokenAt: no such process");
+  if (j == 0) return ref(0) == ref(static_cast<VarId>(k - 1));
+  return (ref(static_cast<VarId>(j)) + lit(1)).mod(d) ==
+         ref(static_cast<VarId>(j - 1));
+}
+
+}  // namespace stsyn::casestudies

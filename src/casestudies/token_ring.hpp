@@ -1,0 +1,33 @@
+// Dijkstra's token ring (paper Section II running example, Section V
+// synthesis target, Figures 10/11 benchmark subject).
+//
+// The NON-stabilizing input protocol has k processes on a unidirectional
+// ring, each with x_j in {0..D-1}:
+//
+//   A0: x_0 == x_{k-1}            -> x_0 := x_{k-1} + 1  (mod D)
+//   Aj: x_j + 1 == x_{j-1} (mod D) -> x_j := x_{j-1}       (1 <= j < k)
+//
+// P_j holds a token iff its guard holds; the legitimate states S1 are the
+// states with exactly one token. Dijkstra's classic STABILIZING protocol
+// widens Aj's guard to x_j != x_{j-1}; the paper's heuristic re-derives it
+// automatically in pass 2 with schedule (P1, ..., P_{k-1}, P0).
+#pragma once
+
+#include "protocol/protocol.hpp"
+
+namespace stsyn::casestudies {
+
+/// The non-stabilizing token ring with `processes` >= 2 processes and
+/// domain size `domain` >= 2. The paper's running example is (4, 3); the
+/// Figures 10/11 sweep uses domain 4.
+[[nodiscard]] protocol::Protocol tokenRing(int processes, int domain);
+
+/// Dijkstra's manually designed stabilizing token ring (same shape, guard
+/// of Aj widened to inequality) — the expected synthesis output and the
+/// baseline the experiments compare against.
+[[nodiscard]] protocol::Protocol dijkstraTokenRing(int processes, int domain);
+
+/// The "P_j holds a token" predicate (for tests and the examples' output).
+[[nodiscard]] protocol::E tokenAt(const protocol::Protocol& p, int j);
+
+}  // namespace stsyn::casestudies

@@ -1,0 +1,98 @@
+#include "casestudies/two_ring.hpp"
+
+#include <stdexcept>
+
+#include "protocol/builder.hpp"
+
+namespace stsyn::casestudies {
+
+using protocol::E;
+using protocol::lit;
+using protocol::Protocol;
+using protocol::ProtocolBuilder;
+using protocol::ref;
+using protocol::VarId;
+
+Protocol twoRing(int domain) {
+  if (domain < 2) throw std::invalid_argument("twoRing needs domain >= 2");
+  constexpr int kRing = 4;
+  const int d = domain;
+
+  ProtocolBuilder b("two-ring");
+  std::vector<VarId> a(kRing);
+  std::vector<VarId> bb(kRing);
+  for (int i = 0; i < kRing; ++i) a[i] = b.variable("a" + std::to_string(i), d);
+  for (int i = 0; i < kRing; ++i) {
+    bb[i] = b.variable("b" + std::to_string(i), d);
+  }
+  const VarId turn = b.variable("turn", 2);
+
+  auto inc = [&](E e) { return (e + lit(1)).mod(d); };
+  auto allEqual = [&](const std::vector<VarId>& xs) {
+    E acc = ref(xs[1]) == ref(xs[0]);
+    for (int i = 2; i < kRing; ++i) acc = acc && (ref(xs[i]) == ref(xs[0]));
+    return acc;
+  };
+  /// Wavefront on ring xs with the token at position i (1..3): prefix
+  /// x0..x_{i-1} equal, suffix x_i..x_3 equal, suffix + 1 = prefix.
+  auto wavefront = [&](const std::vector<VarId>& xs, int i) {
+    E acc = inc(ref(xs[i])) == ref(xs[0]);
+    for (int p = 1; p < i; ++p) acc = acc && (ref(xs[p]) == ref(xs[0]));
+    for (int s = i + 1; s < kRing; ++s) acc = acc && (ref(xs[s]) == ref(xs[i]));
+    return acc;
+  };
+
+  // Legitimate states: the circulation orbit. `turn` marks which ring's
+  // round-start is pending: PA0 flips it to 0 when starting ring A's round
+  // (so A circulates with turn = 0), PB0 flips it back to 1. Exactly one
+  // token exists in every legitimate state.
+  const E turnA = ref(turn) == lit(1);  // PA0 may start a round
+  const E turnB = ref(turn) == lit(0);  // PB0 may start a round
+  E inv =  // token at PA0: both rings settled on the same value
+      (allEqual(a) && allEqual(bb) && ref(a[0]) == ref(bb[0]) && turnA);
+  for (int i = 1; i < kRing; ++i) {  // token at PA_i: A's round in flight
+    inv = inv || (wavefront(a, i) && allEqual(bb) &&
+                  ref(bb[0]) == ref(a[i]) && turnB);
+  }
+  // token at PB0: ring A finished its round, ring B one behind
+  inv = inv || (allEqual(a) && allEqual(bb) &&
+                inc(ref(bb[0])) == ref(a[0]) && turnB);
+  for (int i = 1; i < kRing; ++i) {  // token at PB_i: B's round in flight
+    inv = inv || (allEqual(a) && wavefront(bb, i) &&
+                  ref(a[0]) == ref(bb[0]) && turnA);
+  }
+  b.invariant(inv);
+
+  // Cross process PA0: starts ring A's round and hands `turn` to ring B.
+  const std::size_t pa0 =
+      b.process("PA0", {a[3], a[0], bb[0], bb[3], turn}, {a[0], turn});
+  b.action(pa0, "start",
+           turnA && ref(a[0]) == ref(a[3]) && ref(bb[0]) == ref(bb[3]) &&
+               ref(a[0]) == ref(bb[0]),
+           {{a[0], inc(ref(a[3]))}, {turn, lit(0)}});
+  // PA1..PA3: plain Dijkstra copy processes within ring A.
+  for (int i = 1; i < kRing; ++i) {
+    const std::size_t p =
+        b.process("PA" + std::to_string(i), {a[i - 1], a[i]}, {a[i]});
+    b.action(p, "copy", ref(a[i - 1]) == inc(ref(a[i])),
+             {{a[i], ref(a[i - 1])}});
+  }
+
+  // Cross process PB0: starts ring B's round once ring A has settled one
+  // step ahead, and hands `turn` back.
+  const std::size_t pb0 =
+      b.process("PB0", {bb[3], bb[0], a[0], a[3], turn}, {bb[0], turn});
+  b.action(pb0, "start",
+           turnB && ref(bb[0]) == ref(bb[3]) && ref(a[0]) == ref(a[3]) &&
+               inc(ref(bb[0])) == ref(a[0]),
+           {{bb[0], inc(ref(bb[3]))}, {turn, lit(1)}});
+  for (int i = 1; i < kRing; ++i) {
+    const std::size_t p =
+        b.process("PB" + std::to_string(i), {bb[i - 1], bb[i]}, {bb[i]});
+    b.action(p, "copy", ref(bb[i - 1]) == inc(ref(bb[i])),
+             {{bb[i], ref(bb[i - 1])}});
+  }
+  return b.build();
+}
+
+}  // namespace stsyn::casestudies

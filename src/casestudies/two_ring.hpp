@@ -1,0 +1,35 @@
+// The Two-Ring Token Ring TR² (paper Section VI-C).
+//
+// Eight processes on two unidirectional 4-rings A and B, coupled at
+// PA0/PB0, with token predicates exactly as the paper defines them:
+//
+//   PA_i (1<=i<=3) holds the token iff a_{i-1} = a_i (+) 1
+//   PA_0           holds the token iff a0 = a3 ∧ b0 = b3 ∧ a0 = b0
+//   PB_i (1<=i<=3) holds the token iff b_{i-1} = b_i (+) 1
+//   PB_0           holds the token iff b0 = b3 ∧ a0 = a3 ∧ b0 (+) 1 = a0
+//
+// ((+) is addition modulo 4.) A Boolean `turn` couples the rings: ring A's
+// round may start only when turn = 1 and ring B's only when turn = 0.
+//
+// The paper leaves the full action system to its technical report; this
+// reconstruction (documented in DESIGN.md) realizes the stated semantics
+// with `turn` owned by the cross processes: PA0 starts ring A's round
+// (a0 := a3 (+) 1) and flips turn to 0; PB0 starts ring B's round and
+// flips it back; PA1..PA3 / PB1..PB3 are plain Dijkstra copy processes
+// within their ring. Mechanical checks in the test suite confirm the
+// properties the paper asserts: the legitimate predicate (exactly one
+// token, turn consistent with the circulation phase) is closed, the
+// non-stabilizing version deadlocks under transient faults, and the
+// heuristic synthesizes a strongly stabilizing version for all 8
+// processes (pass 2, identity schedule).
+#pragma once
+
+#include "protocol/protocol.hpp"
+
+namespace stsyn::casestudies {
+
+/// The non-stabilizing TR² protocol (8 processes, |D| = 4, plus `turn`).
+/// `domain` generalizes the per-variable domain (4 in the paper).
+[[nodiscard]] protocol::Protocol twoRing(int domain = 4);
+
+}  // namespace stsyn::casestudies

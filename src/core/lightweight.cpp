@@ -1,0 +1,42 @@
+#include "core/lightweight.hpp"
+
+#include <stdexcept>
+
+#include "util/timer.hpp"
+
+namespace stsyn::core {
+
+ScaleResult scaleUp(const std::function<protocol::Protocol(int)>& family,
+                    const ScaleOptions& options) {
+  if (!family) throw std::invalid_argument("scaleUp: family is empty");
+  if (options.step < 1 || options.kMin < 1 || options.kMax < options.kMin) {
+    throw std::invalid_argument("scaleUp: invalid k range");
+  }
+
+  ScaleResult out;
+  util::Stopwatch budget;
+  for (int k = options.kMin; k <= options.kMax; k += options.step) {
+    if (budget.seconds() >= options.budgetSeconds) {
+      out.stoppedOnBudget = true;
+      break;
+    }
+    const protocol::Protocol proto = family(k);
+    symbolic::Encoding enc(proto);
+    symbolic::SymbolicProtocol sp(enc);
+    StrongOptions opt;
+    if (options.schedule) opt.schedule = options.schedule(k);
+    opt.greedyCycleResolution = options.greedyCycleResolution;
+    const StrongResult r = addStrongConvergence(sp, opt);
+
+    ScaleInstance instance;
+    instance.k = k;
+    instance.success = r.success;
+    instance.failure = r.failure;
+    instance.stats = r.stats;
+    out.instances.push_back(instance);
+    if (!r.success) break;  // scaling past a failure teaches nothing new
+  }
+  return out;
+}
+
+}  // namespace stsyn::core

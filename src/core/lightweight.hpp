@@ -1,0 +1,62 @@
+// The lightweight method proper (paper Figure 1 and Section I): "we start
+// from instances of a protocol with small number of processes and add
+// convergence automatically. Then, we inductively increase the number of
+// processes as long as the available computational resources permit."
+//
+// scaleUp() drives that loop for a parameterized protocol family: it
+// synthesizes k = kMin, kMin+step, ... until the wall-clock budget is
+// exhausted, a synthesis fails, or kMax is reached, collecting the per-k
+// outcome and statistics. Small synthesized instances are exactly what the
+// paper offers designers as "valuable insights ... as to how convergence
+// should be added as a protocol scales up".
+#pragma once
+
+#include <functional>
+
+#include "core/heuristic.hpp"
+
+namespace stsyn::core {
+
+struct ScaleOptions {
+  int kMin = 3;
+  int kMax = 64;   ///< hard upper bound on instance size
+  int step = 1;
+  double budgetSeconds = 60.0;  ///< total wall-clock budget for the loop
+  /// Schedule factory per k (empty result = identity schedule).
+  std::function<Schedule(int)> schedule;
+  bool greedyCycleResolution = true;
+};
+
+struct ScaleInstance {
+  int k = 0;
+  bool success = false;
+  Failure failure = Failure::None;
+  SynthesisStats stats;
+};
+
+struct ScaleResult {
+  std::vector<ScaleInstance> instances;
+
+  /// Largest k that synthesized successfully (0 when none).
+  [[nodiscard]] int largestSolved() const {
+    int best = 0;
+    for (const ScaleInstance& i : instances) {
+      if (i.success) best = std::max(best, i.k);
+    }
+    return best;
+  }
+
+  /// True when the loop stopped because the budget ran out (rather than a
+  /// failure or reaching kMax).
+  bool stoppedOnBudget = false;
+};
+
+/// Runs the scaling loop. `family(k)` builds the k-process instance. Each
+/// instance gets its own encoding and manager; synthesized relations are
+/// not retained (the OUTCOME and statistics are the product — rerun the
+/// single-instance API to obtain a relation for a specific k).
+[[nodiscard]] ScaleResult scaleUp(
+    const std::function<protocol::Protocol(int)>& family,
+    const ScaleOptions& options = {});
+
+}  // namespace stsyn::core

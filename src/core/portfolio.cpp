@@ -1,0 +1,53 @@
+#include "core/portfolio.hpp"
+
+#include <atomic>
+#include <thread>
+
+namespace stsyn::core {
+
+PortfolioResult synthesizePortfolio(const protocol::Protocol& proto,
+                                    const std::vector<Schedule>& schedules,
+                                    unsigned threads) {
+  PortfolioResult out;
+  out.instances.resize(schedules.size());
+  if (schedules.empty()) return out;
+
+  if (threads == 0) threads = std::thread::hardware_concurrency();
+  if (threads == 0) threads = 1;
+  threads = std::min<unsigned>(threads, schedules.size());
+
+  std::atomic<std::size_t> next{0};
+  auto worker = [&]() {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1);
+      if (i >= schedules.size()) return;
+      PortfolioInstance& inst = out.instances[i];
+      inst.schedule = schedules[i];
+      inst.encoding = std::make_unique<symbolic::Encoding>(proto);
+      inst.symbolic =
+          std::make_unique<symbolic::SymbolicProtocol>(*inst.encoding);
+      StrongOptions opt;
+      opt.schedule = schedules[i];
+      inst.result = addStrongConvergence(*inst.symbolic, opt);
+    }
+  };
+
+  if (threads == 1) {
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(threads);
+    for (unsigned t = 0; t < threads; ++t) pool.emplace_back(worker);
+    for (std::thread& t : pool) t.join();
+  }
+
+  for (std::size_t i = 0; i < out.instances.size(); ++i) {
+    if (out.instances[i].result.success) {
+      out.winner = i;
+      break;
+    }
+  }
+  return out;
+}
+
+}  // namespace stsyn::core

@@ -1,0 +1,42 @@
+// Schedule-portfolio synthesis (the paper's Figure 1).
+//
+// The success of the heuristic can depend on the recovery schedule; the
+// paper's lightweight method runs one heuristic instance per schedule,
+// "each on a separate machine". Here each instance runs on its own thread
+// with its own BDD manager (managers are single-threaded by design, so
+// instances share nothing).
+#pragma once
+
+#include <memory>
+
+#include "core/heuristic.hpp"
+
+namespace stsyn::core {
+
+/// One completed synthesis instance. Owns the encoding the result's BDDs
+/// live in; the input protocol must outlive this object.
+struct PortfolioInstance {
+  Schedule schedule;
+  std::unique_ptr<symbolic::Encoding> encoding;
+  std::unique_ptr<symbolic::SymbolicProtocol> symbolic;
+  StrongResult result;
+};
+
+struct PortfolioResult {
+  /// Index into `instances` of the first (by schedule order) successful
+  /// instance, or SIZE_MAX when every schedule failed.
+  std::size_t winner = SIZE_MAX;
+  std::vector<PortfolioInstance> instances;
+
+  [[nodiscard]] bool success() const { return winner != SIZE_MAX; }
+};
+
+/// Runs the heuristic once per schedule, using up to `threads` worker
+/// threads (0 = hardware concurrency). Deterministic: the outcome of each
+/// instance is independent of the thread interleaving, and the winner is
+/// the first successful schedule in input order.
+[[nodiscard]] PortfolioResult synthesizePortfolio(
+    const protocol::Protocol& proto, const std::vector<Schedule>& schedules,
+    unsigned threads = 0);
+
+}  // namespace stsyn::core

@@ -1,0 +1,49 @@
+#include "core/ranks.hpp"
+
+#include "util/timer.hpp"
+
+namespace stsyn::core {
+
+using bdd::Bdd;
+
+Ranking computeRanks(const symbolic::SymbolicProtocol& sp,
+                     SynthesisStats* stats) {
+  double elapsed = 0.0;
+  Ranking out;
+  {
+    util::ScopedAccumulator timeIt(elapsed);
+
+    const Bdd inv = sp.invariant();
+
+    // Step 1: p_im = delta_p union the weakest groups starting in ¬I.
+    // A group has a member starting in I iff its expansion intersects
+    // I x S'; such groups are excluded wholesale (constraint C1).
+    Bdd pim = sp.protocolRelation();
+    for (std::size_t j = 0; j < sp.processCount(); ++j) {
+      const Bdd all = sp.candidates(j);
+      const Bdd touchingI = sp.groupExpand(j, all & inv);
+      pim |= all & !touchingI;
+    }
+    out.pim = pim;
+
+    // Step 2: backward BFS from I. Each iteration i collects the states
+    // outside `explored` with a single p_im transition into `explored`.
+    Bdd explored = inv;
+    out.ranks.push_back(inv);
+    for (;;) {
+      const Bdd frontier =
+          sp.preimage(pim, explored) & sp.enc().validCur() & !explored;
+      if (frontier.isFalse()) break;
+      out.ranks.push_back(frontier);
+      explored |= frontier;
+    }
+    out.unreachable = sp.enc().validCur() & !explored;
+  }
+  if (stats != nullptr) {
+    stats->rankingSeconds += elapsed;
+    stats->rankCount = out.maxRank();
+  }
+  return out;
+}
+
+}  // namespace stsyn::core

@@ -1,0 +1,55 @@
+#include "core/schedule.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace stsyn::core {
+
+Schedule identitySchedule(std::size_t processCount) {
+  Schedule s(processCount);
+  std::iota(s.begin(), s.end(), std::size_t{0});
+  return s;
+}
+
+Schedule rotatedSchedule(std::size_t processCount, std::size_t start) {
+  Schedule s(processCount);
+  for (std::size_t i = 0; i < processCount; ++i) {
+    s[i] = (start + i) % processCount;
+  }
+  return s;
+}
+
+std::vector<Schedule> allSchedules(std::size_t processCount) {
+  if (processCount > 8) {
+    throw std::invalid_argument("allSchedules: factorial blow-up beyond 8 "
+                                "processes; enumerate selectively instead");
+  }
+  std::vector<Schedule> out;
+  Schedule s = identitySchedule(processCount);
+  do {
+    out.push_back(s);
+  } while (std::next_permutation(s.begin(), s.end()));
+  return out;
+}
+
+bool isValidSchedule(const Schedule& s, std::size_t processCount) {
+  if (s.size() != processCount) return false;
+  std::vector<bool> seen(processCount, false);
+  for (std::size_t p : s) {
+    if (p >= processCount || seen[p]) return false;
+    seen[p] = true;
+  }
+  return true;
+}
+
+std::string toString(const Schedule& s) {
+  std::string out = "(";
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (i) out += ",";
+    out += "P" + std::to_string(s[i]);
+  }
+  return out + ")";
+}
+
+}  // namespace stsyn::core

@@ -1,0 +1,36 @@
+// Recovery schedules (Section I / Figure 1 of the paper).
+//
+// A schedule is a permutation of the processes; the heuristic asks the
+// processes for recovery transitions in this order, and different
+// schedules can yield different stabilizing protocols (or succeed where
+// another schedule fails). The paper's lightweight method runs one
+// heuristic instance per schedule, possibly in parallel.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace stsyn::core {
+
+using Schedule = std::vector<std::size_t>;
+
+/// P0, P1, ..., P(k-1).
+[[nodiscard]] Schedule identitySchedule(std::size_t processCount);
+
+/// Pstart, Pstart+1, ..., wrapping around — e.g. rotatedSchedule(4, 1) is
+/// the paper's token-ring schedule (P1, P2, P3, P0).
+[[nodiscard]] Schedule rotatedSchedule(std::size_t processCount,
+                                       std::size_t start);
+
+/// All k! schedules in lexicographic order; intended for small k only
+/// (ablation benchmarks). Throws for processCount > 8.
+[[nodiscard]] std::vector<Schedule> allSchedules(std::size_t processCount);
+
+/// Validates that `s` is a permutation of 0..processCount-1.
+[[nodiscard]] bool isValidSchedule(const Schedule& s,
+                                   std::size_t processCount);
+
+[[nodiscard]] std::string toString(const Schedule& s);
+
+}  // namespace stsyn::core

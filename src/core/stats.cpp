@@ -1,0 +1,19 @@
+#include "core/stats.hpp"
+
+#include <cstdio>
+
+namespace stsyn::core {
+
+std::string SynthesisStats::summary() const {
+  char buf[512];
+  std::snprintf(buf, sizeof buf,
+                "ranking %.3fs, scc %.3fs (%zu calls, %zu components), "
+                "total %.3fs, M=%zu, program %zu nodes, avg scc %.1f nodes, "
+                "peak %zu nodes, pass %d",
+                rankingSeconds, sccSeconds, sccDetectionCalls,
+                sccComponentsFound, totalSeconds, rankCount, programNodes,
+                avgSccNodes(), peakLiveNodes, passCompleted);
+  return buf;
+}
+
+}  // namespace stsyn::core

@@ -1,0 +1,47 @@
+// Instrumentation of a synthesis run — exactly the quantities the paper's
+// experimental section reports: ranking time, SCC-detection time, total
+// time (Figures 6/8/10) and BDD node counts: average SCC size and total
+// program size (Figures 7/9/11).
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace stsyn::core {
+
+struct SynthesisStats {
+  double rankingSeconds = 0.0;
+  double sccSeconds = 0.0;
+  double totalSeconds = 0.0;
+
+  std::size_t rankCount = 0;  ///< M: number of non-empty ranks
+
+  std::size_t sccDetectionCalls = 0;
+  /// Batches proven acyclic by the incremental cone test, skipping full
+  /// SCC detection (always the case for the coloring protocol).
+  std::size_t sccFastPathHits = 0;
+  std::size_t sccComponentsFound = 0;
+  std::size_t sccNodesTotal = 0;  ///< sum over components of BDD node counts
+  std::size_t sccSymbolicSteps = 0;
+
+  std::size_t programNodes = 0;   ///< BDD nodes of the synthesized relation
+  std::size_t peakLiveNodes = 0;  ///< manager high-water mark
+
+  /// Pass that resolved the last deadlock: 1..3 are the paper's passes,
+  /// 4 is the implementation's greedy cycle-resolution pass, 0 means the
+  /// input needed no recovery.
+  int passCompleted = 0;
+
+  /// Average SCC size in BDD nodes (0 when no SCC was ever formed), the
+  /// metric plotted in the paper's Figures 7 and 11.
+  [[nodiscard]] double avgSccNodes() const {
+    return sccComponentsFound == 0
+               ? 0.0
+               : static_cast<double>(sccNodesTotal) /
+                     static_cast<double>(sccComponentsFound);
+  }
+
+  [[nodiscard]] std::string summary() const;
+};
+
+}  // namespace stsyn::core

@@ -1,0 +1,20 @@
+#include "core/weak.hpp"
+
+#include "util/timer.hpp"
+
+namespace stsyn::core {
+
+WeakResult addWeakConvergence(const symbolic::SymbolicProtocol& sp) {
+  WeakResult out;
+  util::Stopwatch total;
+  out.ranking = computeRanks(sp, &out.stats);
+  out.relation = out.ranking.pim;
+  out.rankInfinityStates = out.ranking.unreachable;
+  out.success = out.ranking.complete();
+  out.stats.totalSeconds = total.seconds();
+  out.stats.programNodes = out.relation.nodeCount();
+  out.stats.peakLiveNodes = sp.manager().stats().peakLiveNodes;
+  return out;
+}
+
+}  // namespace stsyn::core

@@ -1,0 +1,124 @@
+#include "explicitstate/graph.hpp"
+
+#include <algorithm>
+#include <deque>
+
+namespace stsyn::explicitstate {
+
+std::vector<std::int64_t> backwardRanks(const TransitionSystem& ts,
+                                        const std::vector<bool>& targets) {
+  const std::size_t n = ts.succ.size();
+
+  // Reverse adjacency (targets of BFS expansion).
+  std::vector<std::vector<StateId>> pred(n);
+  for (StateId s = 0; s < n; ++s) {
+    for (const auto& [t, proc] : ts.succ[s]) pred[t].push_back(s);
+  }
+
+  std::vector<std::int64_t> rank(n, kRankInfinity);
+  std::deque<StateId> queue;
+  for (StateId s = 0; s < n; ++s) {
+    if (targets[s]) {
+      rank[s] = 0;
+      queue.push_back(s);
+    }
+  }
+  while (!queue.empty()) {
+    const StateId s = queue.front();
+    queue.pop_front();
+    for (StateId p : pred[s]) {
+      if (rank[p] == kRankInfinity) {
+        rank[p] = rank[s] + 1;
+        queue.push_back(p);
+      }
+    }
+  }
+  return rank;
+}
+
+namespace {
+
+/// Iterative Tarjan over the subgraph induced by `domain`.
+struct Tarjan {
+  const TransitionSystem& ts;
+  const std::vector<bool>& domain;
+
+  std::vector<std::int64_t> index;
+  std::vector<std::int64_t> low;
+  std::vector<bool> onStack;
+  std::vector<StateId> stack;
+  std::int64_t counter = 0;
+  std::vector<std::vector<StateId>> components;
+
+  explicit Tarjan(const TransitionSystem& t, const std::vector<bool>& d)
+      : ts(t), domain(d), index(t.succ.size(), -1), low(t.succ.size(), 0),
+        onStack(t.succ.size(), false) {}
+
+  void run(StateId root) {
+    struct Frame {
+      StateId v;
+      std::size_t edge;
+    };
+    std::vector<Frame> frames{{root, 0}};
+    index[root] = low[root] = counter++;
+    stack.push_back(root);
+    onStack[root] = true;
+
+    while (!frames.empty()) {
+      Frame& f = frames.back();
+      bool descended = false;
+      while (f.edge < ts.succ[f.v].size()) {
+        const StateId w = ts.succ[f.v][f.edge].first;
+        ++f.edge;
+        if (!domain[w]) continue;
+        if (index[w] < 0) {
+          index[w] = low[w] = counter++;
+          stack.push_back(w);
+          onStack[w] = true;
+          frames.push_back(Frame{w, 0});
+          descended = true;
+          break;
+        }
+        if (onStack[w]) low[f.v] = std::min(low[f.v], index[w]);
+      }
+      if (descended) continue;
+
+      // f.v is finished: pop its component if it is a root.
+      const StateId v = f.v;
+      if (low[v] == index[v]) {
+        std::vector<StateId> comp;
+        for (;;) {
+          const StateId w = stack.back();
+          stack.pop_back();
+          onStack[w] = false;
+          comp.push_back(w);
+          if (w == v) break;
+        }
+        const bool selfLoop = ts.has(v, v);
+        if (comp.size() > 1 || selfLoop) {
+          std::sort(comp.begin(), comp.end());
+          components.push_back(std::move(comp));
+        }
+      }
+      frames.pop_back();
+      if (!frames.empty()) {
+        low[frames.back().v] = std::min(low[frames.back().v], low[v]);
+      }
+    }
+  }
+};
+
+}  // namespace
+
+std::vector<std::vector<StateId>> nontrivialSccs(
+    const TransitionSystem& ts, const std::vector<bool>& domain) {
+  Tarjan tarjan(ts, domain);
+  for (StateId s = 0; s < ts.succ.size(); ++s) {
+    if (domain[s] && tarjan.index[s] < 0) tarjan.run(s);
+  }
+  std::sort(tarjan.components.begin(), tarjan.components.end(),
+            [](const auto& a, const auto& b) { return a.front() < b.front(); });
+  return tarjan.components;
+}
+
+}  // namespace stsyn::explicitstate

@@ -1,0 +1,24 @@
+// Explicit graph algorithms: backward BFS ranking (the oracle for
+// ComputeRanks) and iterative Tarjan SCC (the oracle for the symbolic
+// lockstep SCC detection).
+#pragma once
+
+#include "explicitstate/semantics.hpp"
+
+namespace stsyn::explicitstate {
+
+/// Sentinel rank for states that cannot reach the target set.
+inline constexpr std::int64_t kRankInfinity = -1;
+
+/// rank[s] = length of the shortest path from s to a target state (0 for
+/// target states themselves, kRankInfinity when unreachable).
+[[nodiscard]] std::vector<std::int64_t> backwardRanks(
+    const TransitionSystem& ts, const std::vector<bool>& targets);
+
+/// Non-trivial SCCs (>= 2 states, or one state with a self-loop) of the
+/// subgraph induced by `domain`. Components are returned with sorted state
+/// lists, ordered by smallest member.
+[[nodiscard]] std::vector<std::vector<StateId>> nontrivialSccs(
+    const TransitionSystem& ts, const std::vector<bool>& domain);
+
+}  // namespace stsyn::explicitstate

@@ -1,0 +1,150 @@
+// Explicit transition-group machinery (Section II of the paper): a group
+// of process j is identified by the readable part of its source plus the
+// values written to the target; members range over all completions of the
+// unreadable variables. Shared by the explicit synthesis engines.
+#pragma once
+
+#include <map>
+#include <set>
+
+#include "explicitstate/space.hpp"
+
+namespace stsyn::explicitstate {
+
+using Edge = std::pair<StateId, StateId>;
+
+/// A transition group of process j is determined by the values of j's
+/// readable variables in the source plus the values written to the target
+/// (Section II): members range over all completions of the unreadables.
+struct GroupKey {
+  std::size_t process;
+  std::uint64_t readSig;
+  std::uint64_t writeSig;
+
+  friend auto operator<=>(const GroupKey&, const GroupKey&) = default;
+};
+
+/// Concrete group machinery: signatures, member enumeration, the
+/// "some member starts in I" predicate.
+class GroupUniverse {
+ public:
+  explicit GroupUniverse(const StateSpace& space) : space_(space) {
+    const protocol::Protocol& p = space.proto();
+    const std::size_t k = p.processes.size();
+    bySig_.resize(k);
+    sigTouchesI_.resize(k);
+    for (StateId s = 0; s < space.size(); ++s) {
+      const std::vector<int> state = space.unpack(s);
+      for (std::size_t j = 0; j < k; ++j) {
+        const std::uint64_t sig = readSig(j, state);
+        bySig_[j][sig].push_back(s);
+        if (space.inInvariant(s)) sigTouchesI_[j].insert(sig);
+      }
+    }
+  }
+
+  [[nodiscard]] std::uint64_t readSig(std::size_t j,
+                                      std::span<const int> state) const {
+    const protocol::Process& proc = space_.proto().processes[j];
+    std::uint64_t sig = 0;
+    for (std::size_t r = proc.reads.size(); r-- > 0;) {
+      const protocol::VarId v = proc.reads[r];
+      sig = sig * static_cast<std::uint64_t>(space_.proto().vars[v].domain) +
+            static_cast<std::uint64_t>(state[v]);
+    }
+    return sig;
+  }
+
+  [[nodiscard]] std::uint64_t writeSig(std::size_t j,
+                                       std::span<const int> values) const {
+    const protocol::Process& proc = space_.proto().processes[j];
+    std::uint64_t sig = 0;
+    for (std::size_t w = proc.writes.size(); w-- > 0;) {
+      const protocol::VarId v = proc.writes[w];
+      sig = sig * static_cast<std::uint64_t>(space_.proto().vars[v].domain) +
+            static_cast<std::uint64_t>(values[w]);
+    }
+    return sig;
+  }
+
+  [[nodiscard]] std::vector<int> unpackWriteSig(std::size_t j,
+                                                std::uint64_t sig) const {
+    const protocol::Process& proc = space_.proto().processes[j];
+    std::vector<int> values(proc.writes.size());
+    for (std::size_t w = 0; w < proc.writes.size(); ++w) {
+      const auto d = static_cast<std::uint64_t>(
+          space_.proto().vars[proc.writes[w]].domain);
+      values[w] = static_cast<int>(sig % d);
+      sig /= d;
+    }
+    return values;
+  }
+
+  /// Does some member of a group with this read signature start in I?
+  /// (Constraint C1 — a per-signature property, shared by all write sigs.)
+  [[nodiscard]] bool sigTouchesInvariant(std::size_t j,
+                                         std::uint64_t sig) const {
+    return sigTouchesI_[j].contains(sig);
+  }
+
+  /// Source states of every member of groups with this signature.
+  [[nodiscard]] const std::vector<StateId>& sourcesOf(
+      std::size_t j, std::uint64_t sig) const {
+    static const std::vector<StateId> kEmpty;
+    const auto it = bySig_[j].find(sig);
+    return it == bySig_[j].end() ? kEmpty : it->second;
+  }
+
+  /// The target of the member of `key` starting at `source`.
+  [[nodiscard]] StateId apply(const GroupKey& key, StateId source) const {
+    const protocol::Process& proc =
+        space_.proto().processes[key.process];
+    std::vector<int> state = space_.unpack(source);
+    const std::vector<int> writeVals =
+        unpackWriteSig(key.process, key.writeSig);
+    for (std::size_t w = 0; w < proc.writes.size(); ++w) {
+      state[proc.writes[w]] = writeVals[w];
+    }
+    return space_.pack(state);
+  }
+
+  /// All member transitions of `key`.
+  [[nodiscard]] std::vector<Edge> members(const GroupKey& key) const {
+    std::vector<Edge> out;
+    for (const StateId s : sourcesOf(key.process, key.readSig)) {
+      out.emplace_back(s, apply(key, s));
+    }
+    return out;
+  }
+
+  /// The group of an arbitrary process-j transition.
+  [[nodiscard]] GroupKey groupOf(std::size_t j, StateId from,
+                                 StateId to) const {
+    const protocol::Process& proc = space_.proto().processes[j];
+    const std::vector<int> target = space_.unpack(to);
+    std::vector<int> writeVals(proc.writes.size());
+    for (std::size_t w = 0; w < proc.writes.size(); ++w) {
+      writeVals[w] = target[proc.writes[w]];
+    }
+    return GroupKey{j, readSig(j, space_.unpack(from)),
+                    writeSig(j, writeVals)};
+  }
+
+  /// True when the group's write leaves every written variable at its
+  /// current (readable) value — i.e. every member is a self-loop. Such
+  /// groups are never recovery candidates (a self-loop outside I is a
+  /// non-progress cycle).
+  [[nodiscard]] bool isDiagonal(const GroupKey& key) const {
+    const auto& sources = sourcesOf(key.process, key.readSig);
+    if (sources.empty()) return true;
+    return apply(key, sources.front()) == sources.front();
+  }
+
+ private:
+  const StateSpace& space_;
+  std::vector<std::map<std::uint64_t, std::vector<StateId>>> bySig_;
+  std::vector<std::set<std::uint64_t>> sigTouchesI_;
+};
+
+
+}  // namespace stsyn::explicitstate

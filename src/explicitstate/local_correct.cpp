@@ -1,0 +1,111 @@
+#include "explicitstate/local_correct.hpp"
+
+#include <functional>
+
+namespace stsyn::explicitstate {
+
+const char* toString(LocalCorrectability v) {
+  switch (v) {
+    case LocalCorrectability::Yes:
+      return "Yes";
+    case LocalCorrectability::NoCorrectionBlocked:
+      return "No (local correction blocked)";
+    case LocalCorrectability::NoGlobalInvariant:
+      return "No (invariant not locally decomposable)";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Enumerates every write of process j applied to `state`, invoking fn with
+/// the modified state; restores on return. fn returns true to stop early.
+bool forEachWrite(const protocol::Protocol& p, std::size_t j,
+                  std::vector<int>& state,
+                  const std::function<bool(const std::vector<int>&)>& fn) {
+  const std::vector<protocol::VarId>& writes = p.processes[j].writes;
+  std::vector<int> saved;
+  saved.reserve(writes.size());
+  for (protocol::VarId v : writes) saved.push_back(state[v]);
+
+  // Odometer over the writable variables' domains.
+  for (protocol::VarId v : writes) state[v] = 0;
+  bool stopped = false;
+  for (;;) {
+    if (fn(state)) {
+      stopped = true;
+      break;
+    }
+    std::size_t pos = 0;
+    for (; pos < writes.size(); ++pos) {
+      if (++state[writes[pos]] < p.vars[writes[pos]].domain) break;
+      state[writes[pos]] = 0;
+    }
+    if (pos == writes.size()) break;
+  }
+  for (std::size_t i = 0; i < writes.size(); ++i) state[writes[i]] = saved[i];
+  return stopped;
+}
+
+}  // namespace
+
+LocalCorrectReport analyzeLocalCorrectability(
+    const protocol::Protocol& proto) {
+  LocalCorrectReport report;
+  if (proto.localPredicates.empty()) {
+    report.verdict = LocalCorrectability::NoGlobalInvariant;
+    return report;
+  }
+
+  const StateSpace space(proto);
+  const std::size_t k = proto.processes.size();
+
+  // First: the decomposition must be faithful (AND LC_i == I everywhere).
+  for (StateId s = 0; s < space.size(); ++s) {
+    const std::vector<int> state = space.unpack(s);
+    bool all = true;
+    for (std::size_t j = 0; j < k && all; ++j) {
+      all = protocol::evalBool(*proto.localPredicates[j], state);
+    }
+    if (all != space.inInvariant(s)) {
+      report.verdict = LocalCorrectability::NoGlobalInvariant;
+      report.witnessState = s;
+      return report;
+    }
+  }
+
+  // Second: every violated LC_j must have a safe local fix.
+  for (StateId s = 0; s < space.size(); ++s) {
+    std::vector<int> state = space.unpack(s);
+    std::vector<bool> holds(k);
+    for (std::size_t j = 0; j < k; ++j) {
+      holds[j] = protocol::evalBool(*proto.localPredicates[j], state);
+    }
+    for (std::size_t j = 0; j < k; ++j) {
+      if (holds[j]) continue;
+      const bool fixable = forEachWrite(
+          proto, j, state, [&](const std::vector<int>& candidate) {
+            if (!protocol::evalBool(*proto.localPredicates[j], candidate)) {
+              return false;
+            }
+            for (std::size_t i = 0; i < k; ++i) {
+              if (holds[i] &&
+                  !protocol::evalBool(*proto.localPredicates[i], candidate)) {
+                return false;  // breaks a neighbour that was satisfied
+              }
+            }
+            return true;  // safe fix found
+          });
+      if (!fixable) {
+        report.verdict = LocalCorrectability::NoCorrectionBlocked;
+        report.witnessState = s;
+        report.witnessProcess = j;
+        return report;
+      }
+    }
+  }
+  report.verdict = LocalCorrectability::Yes;
+  return report;
+}
+
+}  // namespace stsyn::explicitstate

@@ -1,0 +1,52 @@
+// Local-correctability analysis (the paper's Figure 5 / "Table 1").
+//
+// A protocol with a conjunctive invariant I = AND_i LC_i (one local
+// predicate per process, over that process's readable variables) is
+// LOCALLY CORRECTABLE when every process can always re-establish its own
+// violated LC_i by writing its writable variables, without falsifying any
+// LC_k that currently holds. Locally correctable protocols (three
+// coloring) are the easy case for convergence design; the paper's point is
+// that its heuristic also handles the others (matching, token rings).
+//
+// Verdicts:
+//   * Yes                — conjunctive I, and every violation is locally
+//                          fixable as defined above;
+//   * NoCorrectionBlocked — conjunctive I, but some reachable violation has
+//                          no safe local fix (witness provided);
+//   * NoGlobalInvariant  — I has no per-process conjunctive decomposition
+//                          (localPredicates absent or AND LC_i != I).
+#pragma once
+
+#include <string>
+
+#include "explicitstate/space.hpp"
+
+namespace stsyn::explicitstate {
+
+enum class LocalCorrectability {
+  Yes,
+  NoCorrectionBlocked,
+  NoGlobalInvariant,
+};
+
+[[nodiscard]] const char* toString(LocalCorrectability v);
+
+struct LocalCorrectReport {
+  LocalCorrectability verdict = LocalCorrectability::NoGlobalInvariant;
+
+  /// For NoCorrectionBlocked: a state and process where every local fix
+  /// either fails to establish LC_i or breaks a neighbour's LC_k.
+  StateId witnessState = 0;
+  std::size_t witnessProcess = 0;
+
+  [[nodiscard]] bool isLocallyCorrectable() const {
+    return verdict == LocalCorrectability::Yes;
+  }
+};
+
+/// Decides local correctability by explicit enumeration. The protocol must
+/// be small enough for a StateSpace.
+[[nodiscard]] LocalCorrectReport analyzeLocalCorrectability(
+    const protocol::Protocol& proto);
+
+}  // namespace stsyn::explicitstate

@@ -1,0 +1,71 @@
+#include "explicitstate/semantics.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace stsyn::explicitstate {
+
+std::size_t TransitionSystem::transitionCount() const {
+  std::size_t n = 0;
+  for (const auto& out : succ) n += out.size();
+  return n;
+}
+
+bool TransitionSystem::has(StateId from, StateId to) const {
+  const auto& out = succ[from];
+  return std::any_of(out.begin(), out.end(),
+                     [to](const auto& e) { return e.first == to; });
+}
+
+TransitionSystem buildTransitions(const StateSpace& space) {
+  const protocol::Protocol& p = space.proto();
+  TransitionSystem ts;
+  ts.succ.resize(space.size());
+
+  std::vector<int> state(p.vars.size());
+  std::vector<int> next(p.vars.size());
+  for (StateId s = 0; s < space.size(); ++s) {
+    state = space.unpack(s);
+    for (std::size_t j = 0; j < p.processes.size(); ++j) {
+      for (const protocol::Action& a : p.processes[j].actions) {
+        if (!protocol::evalBool(*a.guard, state)) continue;
+        next = state;
+        for (const protocol::Assignment& asg : a.assigns) {
+          const long v = protocol::evalInt(*asg.value, state);
+          if (v < 0 || v >= p.vars[asg.var].domain) {
+            throw std::domain_error(
+                "action " + p.processes[j].name + "/" + a.label +
+                " assigns a value outside the target domain");
+          }
+          next[asg.var] = static_cast<int>(v);
+        }
+        ts.succ[s].emplace_back(space.pack(next),
+                                static_cast<std::uint16_t>(j));
+      }
+    }
+    auto& out = ts.succ[s];
+    std::sort(out.begin(), out.end());
+    out.erase(std::unique(out.begin(), out.end()), out.end());
+  }
+  return ts;
+}
+
+TransitionSystem fromEdges(
+    const StateSpace& space,
+    std::span<const std::pair<StateId, StateId>> edges) {
+  TransitionSystem ts;
+  ts.succ.resize(space.size());
+  for (const auto& [from, to] : edges) {
+    if (from >= space.size() || to >= space.size()) {
+      throw std::out_of_range("fromEdges: state id out of range");
+    }
+    ts.succ[from].emplace_back(to, kUnknownProcess);
+  }
+  for (auto& out : ts.succ) {
+    std::sort(out.begin(), out.end());
+    out.erase(std::unique(out.begin(), out.end()), out.end());
+  }
+  return ts;
+}
+
+}  // namespace stsyn::explicitstate

@@ -1,0 +1,34 @@
+// Explicit transition semantics: guarded commands -> adjacency lists.
+#pragma once
+
+#include <utility>
+
+#include "explicitstate/space.hpp"
+
+namespace stsyn::explicitstate {
+
+/// Marker for transitions whose owning process is unknown (e.g. decoded
+/// from a symbolic relation).
+inline constexpr std::uint16_t kUnknownProcess = 0xffff;
+
+/// Forward adjacency: succ[s] lists (target, process) pairs, deduplicated
+/// and sorted.
+struct TransitionSystem {
+  std::vector<std::vector<std::pair<StateId, std::uint16_t>>> succ;
+
+  [[nodiscard]] std::size_t transitionCount() const;
+
+  /// Does the system contain the transition (from, to) (any process)?
+  [[nodiscard]] bool has(StateId from, StateId to) const;
+};
+
+/// Executes every guarded command of every process on every state.
+[[nodiscard]] TransitionSystem buildTransitions(const StateSpace& space);
+
+/// Wraps an externally produced edge list (e.g. a decoded symbolic
+/// relation) in a TransitionSystem; processes are unknown.
+[[nodiscard]] TransitionSystem fromEdges(
+    const StateSpace& space,
+    std::span<const std::pair<StateId, StateId>> edges);
+
+}  // namespace stsyn::explicitstate

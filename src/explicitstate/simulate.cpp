@@ -1,0 +1,48 @@
+#include "explicitstate/simulate.hpp"
+
+namespace stsyn::explicitstate {
+
+SimulationRun simulate(const StateSpace& space, const TransitionSystem& ts,
+                       StateId start, util::Rng& rng, std::size_t maxSteps,
+                       bool keepTrace) {
+  SimulationRun run;
+  StateId cur = start;
+  if (keepTrace) run.trace.push_back(cur);
+  for (std::size_t step = 0; step < maxSteps; ++step) {
+    if (space.inInvariant(cur)) {
+      run.converged = true;
+      run.steps = step;
+      return run;
+    }
+    const auto& out = ts.succ[cur];
+    if (out.empty()) break;  // deadlock
+    cur = out[rng.below(out.size())].first;
+    if (keepTrace) run.trace.push_back(cur);
+  }
+  run.converged = space.inInvariant(cur);
+  run.steps = maxSteps;
+  return run;
+}
+
+ConvergenceStats convergenceExperiment(const StateSpace& space,
+                                       const TransitionSystem& ts,
+                                       util::Rng& rng, std::size_t trials,
+                                       std::size_t maxSteps) {
+  ConvergenceStats stats;
+  stats.trials = trials;
+  double totalSteps = 0.0;
+  for (std::size_t t = 0; t < trials; ++t) {
+    const StateId start = rng.below(space.size());
+    const SimulationRun run = simulate(space, ts, start, rng, maxSteps);
+    if (run.converged) {
+      stats.converged += 1;
+      totalSteps += static_cast<double>(run.steps);
+      stats.maxSteps = std::max(stats.maxSteps, run.steps);
+    }
+  }
+  stats.meanSteps =
+      stats.converged == 0 ? 0.0 : totalSteps / static_cast<double>(stats.converged);
+  return stats;
+}
+
+}  // namespace stsyn::explicitstate

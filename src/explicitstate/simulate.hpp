@@ -1,0 +1,40 @@
+// Random-scheduler simulation: executes a protocol under a uniformly
+// random weakly-fair interleaving and measures convergence. Used by the
+// examples to demonstrate recovery from injected transient faults, and by
+// tests as a behavioural sanity check on synthesized protocols.
+#pragma once
+
+#include "explicitstate/semantics.hpp"
+#include "util/rng.hpp"
+
+namespace stsyn::explicitstate {
+
+struct SimulationRun {
+  bool converged = false;    ///< reached I within the step budget
+  std::size_t steps = 0;     ///< steps taken until convergence (or budget)
+  std::vector<StateId> trace;  ///< visited states, start included
+};
+
+/// Runs one execution from `start`, picking uniformly among enabled
+/// transitions, until a state in I is reached, a deadlock occurs, or
+/// `maxSteps` elapse. The trace is recorded only when `keepTrace`.
+[[nodiscard]] SimulationRun simulate(const StateSpace& space,
+                                     const TransitionSystem& ts,
+                                     StateId start, util::Rng& rng,
+                                     std::size_t maxSteps,
+                                     bool keepTrace = false);
+
+struct ConvergenceStats {
+  std::size_t trials = 0;
+  std::size_t converged = 0;
+  double meanSteps = 0.0;    ///< over converged trials
+  std::size_t maxSteps = 0;  ///< over converged trials
+};
+
+/// Repeats `trials` runs from uniformly random start states (fault
+/// injection: a transient fault may leave the protocol anywhere).
+[[nodiscard]] ConvergenceStats convergenceExperiment(
+    const StateSpace& space, const TransitionSystem& ts, util::Rng& rng,
+    std::size_t trials, std::size_t maxSteps);
+
+}  // namespace stsyn::explicitstate

@@ -1,0 +1,52 @@
+#include "explicitstate/space.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace stsyn::explicitstate {
+
+StateSpace::StateSpace(protocol::Protocol proto, StateId maxStates)
+    : proto_(std::move(proto)) {
+  protocol::validate(proto_);
+  double count = 1.0;
+  for (const protocol::Variable& v : proto_.vars) count *= v.domain;
+  if (count > static_cast<double>(maxStates)) {
+    throw std::length_error(
+        "StateSpace: protocol too large for explicit enumeration");
+  }
+  size_ = static_cast<StateId>(count);
+
+  invariant_.resize(size_);
+  std::vector<int> state(proto_.vars.size(), 0);
+  for (StateId id = 0; id < size_; ++id) {
+    const bool in = protocol::evalBool(*proto_.invariant, state);
+    invariant_[id] = in;
+    invariantSize_ += in ? 1 : 0;
+    // Advance the mixed-radix odometer; id order equals pack() order.
+    for (std::size_t v = 0; v < state.size(); ++v) {
+      if (++state[v] < proto_.vars[v].domain) break;
+      state[v] = 0;
+    }
+  }
+}
+
+StateId StateSpace::pack(std::span<const int> state) const {
+  StateId id = 0;
+  for (std::size_t v = proto_.vars.size(); v-- > 0;) {
+    id = id * static_cast<StateId>(proto_.vars[v].domain) +
+         static_cast<StateId>(state[v]);
+  }
+  return id;
+}
+
+std::vector<int> StateSpace::unpack(StateId id) const {
+  std::vector<int> state(proto_.vars.size());
+  for (std::size_t v = 0; v < proto_.vars.size(); ++v) {
+    const auto d = static_cast<StateId>(proto_.vars[v].domain);
+    state[v] = static_cast<int>(id % d);
+    id /= d;
+  }
+  return state;
+}
+
+}  // namespace stsyn::explicitstate

@@ -1,0 +1,47 @@
+// Explicit-state engine: an independent oracle for the symbolic machinery.
+//
+// Everything here enumerates states and transitions directly (no BDDs) so
+// the test suite can cross-validate the symbolic ranks, SCCs, deadlock sets
+// and synthesized relations on every instance small enough to enumerate.
+// It also powers the random-scheduler simulator used by the examples and
+// the local-correctability analysis behind the paper's Figure 5 table.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "protocol/protocol.hpp"
+
+namespace stsyn::explicitstate {
+
+/// Dense state identifier: mixed-radix packing of the variable valuation.
+using StateId = std::uint64_t;
+
+class StateSpace {
+ public:
+  /// Enumerable state spaces only; throws when |S_p| exceeds `maxStates`
+  /// (the symbolic engine is the tool for anything larger). The protocol
+  /// is copied (cheap: expression trees are shared), so temporaries are
+  /// safe to pass.
+  explicit StateSpace(protocol::Protocol proto,
+                      StateId maxStates = StateId{1} << 26);
+
+  [[nodiscard]] const protocol::Protocol& proto() const { return proto_; }
+  [[nodiscard]] StateId size() const { return size_; }
+
+  [[nodiscard]] StateId pack(std::span<const int> state) const;
+  [[nodiscard]] std::vector<int> unpack(StateId id) const;
+
+  /// Is the state in the invariant I? (Precomputed for all states.)
+  [[nodiscard]] bool inInvariant(StateId id) const { return invariant_[id]; }
+
+  [[nodiscard]] StateId invariantSize() const { return invariantSize_; }
+
+ private:
+  protocol::Protocol proto_;
+  StateId size_;
+  std::vector<bool> invariant_;
+  StateId invariantSize_ = 0;
+};
+
+}  // namespace stsyn::explicitstate

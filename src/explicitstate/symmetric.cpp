@@ -1,0 +1,332 @@
+#include "explicitstate/symmetric.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "explicitstate/graph.hpp"
+#include "explicitstate/groups.hpp"
+
+namespace stsyn::explicitstate {
+
+namespace {
+
+/// Rotation r maps process j to (j + r) mod K and variable i's value to
+/// position (i + r) mod K.
+std::vector<int> rotateState(std::span<const int> state, std::size_t r) {
+  const std::size_t k = state.size();
+  std::vector<int> out(k);
+  for (std::size_t i = 0; i < k; ++i) out[(i + r) % k] = state[i];
+  return out;
+}
+
+/// Structural applicability: one variable per process (owned by it), all
+/// domains equal, identical read offsets everywhere.
+bool symmetricShape(const protocol::Protocol& p) {
+  const std::size_t k = p.processes.size();
+  if (p.vars.size() != k || k < 2) return false;
+  std::set<std::size_t> offsets;
+  for (std::size_t j = 0; j < k; ++j) {
+    const protocol::Process& proc = p.processes[j];
+    if (proc.writes.size() != 1 || proc.writes[0] != j) return false;
+    if (p.vars[j].domain != p.vars[0].domain) return false;
+    std::set<std::size_t> mine;
+    for (const protocol::VarId v : proc.reads) mine.insert((v + k - j) % k);
+    if (j == 0) {
+      offsets = std::move(mine);
+    } else if (mine != offsets) {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Semantic applicability: I and the protocol's transition relation are
+/// invariant under every rotation.
+bool rotationInvariantSemantics(const StateSpace& space,
+                                const TransitionSystem& ts) {
+  const std::size_t k = space.proto().processes.size();
+  for (StateId s = 0; s < space.size(); ++s) {
+    const std::vector<int> state = space.unpack(s);
+    const StateId rot = space.pack(rotateState(state, 1));
+    if (space.inInvariant(s) != space.inInvariant(rot)) return false;
+  }
+  (void)k;
+  // Transition relation: edge (s, t) exists iff (rot s, rot t) does.
+  for (StateId s = 0; s < space.size(); ++s) {
+    const StateId rs = space.pack(rotateState(space.unpack(s), 1));
+    for (const auto& [t, proc] : ts.succ[s]) {
+      const StateId rt = space.pack(rotateState(space.unpack(t), 1));
+      if (!ts.has(rs, rt)) return false;
+    }
+  }
+  return true;
+}
+
+/// A recovery template: the process-0 group it instantiates from.
+struct Template {
+  std::uint64_t readSig;
+  std::uint64_t writeSig;
+
+  friend auto operator<=>(const Template&, const Template&) = default;
+};
+
+class SymmetricSynthesizer {
+ public:
+  SymmetricSynthesizer(const StateSpace& space, const GroupUniverse& groups)
+      : space_(space), groups_(groups),
+        k_(space.proto().processes.size()) {
+    const TransitionSystem ts = buildTransitions(space);
+    for (StateId s = 0; s < space.size(); ++s) {
+      for (const auto& [t, proc] : ts.succ[s]) pss_.insert({s, t});
+    }
+    recomputeDeadlocks();
+  }
+
+  [[nodiscard]] const std::set<Edge>& pss() const { return pss_; }
+  [[nodiscard]] const std::set<Edge>& added() const { return added_; }
+  [[nodiscard]] const std::set<StateId>& deadlocks() const {
+    return deadlocks_;
+  }
+
+  /// All member edges of every rotation of a template.
+  [[nodiscard]] std::vector<Edge> instantiate(const Template& t) const {
+    std::vector<Edge> out;
+    for (std::size_t r = 0; r < k_; ++r) {
+      // Rotate one representative member of the process-0 group, then
+      // group-close at the rotated process.
+      const GroupKey base{0, t.readSig, t.writeSig};
+      for (const Edge& e : groups_.members(base)) {
+        const StateId from =
+            space_.pack(rotateState(space_.unpack(e.first), r));
+        const StateId to =
+            space_.pack(rotateState(space_.unpack(e.second), r));
+        out.emplace_back(from, to);
+      }
+    }
+    std::sort(out.begin(), out.end());
+    out.erase(std::unique(out.begin(), out.end()), out.end());
+    return out;
+  }
+
+  /// Candidate templates with some instantiation member from `from` whose
+  /// target's rank equals rankTo (rankTo < 0: anywhere), C1-allowed and
+  /// non-diagonal.
+  [[nodiscard]] std::set<Template> candidates(
+      const std::set<StateId>& from, int rankTo,
+      const std::vector<std::int64_t>& ranks) const {
+    std::set<Template> out;
+    for (const StateId s : from) {
+      const std::vector<int> state = space_.unpack(s);
+      for (std::size_t r = 0; r < k_; ++r) {
+        // The member at `s` belongs to process r's instantiation; map it
+        // back to the process-0 template by rotating the state by -r.
+        const std::vector<int> base = rotateState(state, k_ - r);
+        const std::uint64_t sig = groups_.readSig(0, base);
+        if (groups_.sigTouchesInvariant(0, sig)) continue;  // C1
+        const protocol::Process& p0 = space_.proto().processes[0];
+        std::uint64_t combos = 1;
+        for (const protocol::VarId v : p0.writes) {
+          combos *= static_cast<std::uint64_t>(
+              space_.proto().vars[v].domain);
+        }
+        for (std::uint64_t wsig = 0; wsig < combos; ++wsig) {
+          const GroupKey key{0, sig, wsig};
+          if (groups_.isDiagonal(key)) continue;
+          const StateId baseTarget =
+              groups_.apply(key, space_.pack(base));
+          const StateId target =
+              space_.pack(rotateState(space_.unpack(baseTarget), r));
+          if (target == s) continue;
+          if (rankTo >= 0 && ranks[target] != rankTo) continue;
+          out.insert(Template{sig, wsig});
+        }
+      }
+    }
+    return out;
+  }
+
+  /// One symmetric Add_Convergence: admit templates whose full
+  /// instantiation passes the constraints, then cycle-filter at template
+  /// granularity, then (greedy) retry survivors one template at a time.
+  void addTemplates(const std::set<StateId>& from, int rankTo,
+                    const std::vector<std::int64_t>& ranks, int passNo) {
+    std::set<Template> templates = candidates(from, rankTo, ranks);
+    if (templates.empty()) return;
+
+    if (passNo == 1) {  // C4: no instantiation member may hit a deadlock
+      for (auto it = templates.begin(); it != templates.end();) {
+        bool bad = false;
+        for (const Edge& e : instantiate(*it)) {
+          if (deadlocks_.contains(e.second)) {
+            bad = true;
+            break;
+          }
+        }
+        it = bad ? templates.erase(it) : std::next(it);
+      }
+    }
+
+    // Batch cycle filter (Identify_Resolve_Cycles at template level).
+    std::set<Edge> batch;
+    for (const Template& t : templates) {
+      for (const Edge& e : instantiate(t)) batch.insert(e);
+    }
+    for (const auto& component : sccsWith(batch)) {
+      const std::set<StateId> inC(component.begin(), component.end());
+      for (auto it = templates.begin(); it != templates.end();) {
+        bool bad = false;
+        for (const Edge& e : instantiate(*it)) {
+          if (inC.contains(e.first) && inC.contains(e.second)) {
+            bad = true;
+            break;
+          }
+        }
+        it = bad ? templates.erase(it) : std::next(it);
+      }
+    }
+    for (const Template& t : templates) {
+      for (const Edge& e : instantiate(t)) {
+        pss_.insert(e);
+        added_.insert(e);
+      }
+    }
+    recomputeDeadlocks();
+  }
+
+  /// Greedy template pass: retry cycle-blocked templates one at a time.
+  bool greedyTemplates(const std::vector<std::int64_t>& ranks) {
+    std::set<Template> pool =
+        candidates(deadlocks_, /*rankTo=*/-1, ranks);
+    for (const Template& t : pool) {
+      if (deadlocks_.empty()) return true;
+      bool useful = false;
+      const std::vector<Edge> edges = instantiate(t);
+      for (const Edge& e : edges) useful |= deadlocks_.contains(e.first);
+      if (!useful) continue;
+      std::set<Edge> extra(edges.begin(), edges.end());
+      if (!sccsWith(extra).empty()) continue;
+      for (const Edge& e : edges) {
+        pss_.insert(e);
+        added_.insert(e);
+      }
+      recomputeDeadlocks();
+    }
+    return deadlocks_.empty();
+  }
+
+  [[nodiscard]] std::vector<std::vector<StateId>> sccsWith(
+      const std::set<Edge>& extra) const {
+    std::set<Edge> all(extra);
+    all.insert(pss_.begin(), pss_.end());
+    const std::vector<Edge> edges(all.begin(), all.end());
+    const TransitionSystem ts = fromEdges(space_, edges);
+    std::vector<bool> notI(space_.size());
+    for (StateId s = 0; s < space_.size(); ++s) {
+      notI[s] = !space_.inInvariant(s);
+    }
+    return nontrivialSccs(ts, notI);
+  }
+
+ private:
+  void recomputeDeadlocks() {
+    std::vector<bool> hasOut(space_.size(), false);
+    for (const Edge& e : pss_) hasOut[e.first] = true;
+    deadlocks_.clear();
+    for (StateId s = 0; s < space_.size(); ++s) {
+      if (!space_.inInvariant(s) && !hasOut[s]) deadlocks_.insert(s);
+    }
+  }
+
+  const StateSpace& space_;
+  const GroupUniverse& groups_;
+  std::size_t k_;
+  std::set<Edge> pss_;
+  std::set<Edge> added_;
+  std::set<StateId> deadlocks_;
+};
+
+}  // namespace
+
+bool isRotationInvariant(const StateSpace& space,
+                         std::span<const Edge> edges) {
+  std::set<Edge> all(edges.begin(), edges.end());
+  for (const Edge& e : all) {
+    const Edge rot{space.pack(rotateState(space.unpack(e.first), 1)),
+                   space.pack(rotateState(space.unpack(e.second), 1))};
+    if (!all.contains(rot)) return false;
+  }
+  return true;
+}
+
+SymmetricSynthResult addSymmetricConvergence(const StateSpace& space) {
+  SymmetricSynthResult out;
+  const protocol::Protocol& p = space.proto();
+  if (!symmetricShape(p)) return out;
+  {
+    const TransitionSystem ts = buildTransitions(space);
+    if (!rotationInvariantSemantics(space, ts)) return out;
+  }
+  out.applicable = true;
+
+  const GroupUniverse groups(space);
+  const WeakSynthResult weak = addWeakConvergenceExplicit(space);
+  std::size_t maxRank = 0;
+  for (const std::int64_t r : weak.ranks) {
+    if (r > 0) maxRank = std::max(maxRank, static_cast<std::size_t>(r));
+  }
+  out.maxRank = maxRank;
+
+  const auto finish = [&](SymmetricSynthesizer& syn, bool success,
+                          SynthFailure failure) {
+    out.success = success;
+    out.failure = failure;
+    out.relation.assign(syn.pss().begin(), syn.pss().end());
+    out.added.assign(syn.added().begin(), syn.added().end());
+    out.remainingDeadlocks.assign(syn.deadlocks().begin(),
+                                  syn.deadlocks().end());
+    return out;
+  };
+
+  SymmetricSynthesizer syn(space, groups);
+  if (!weak.success) {
+    return finish(syn, false, SynthFailure::NoStabilizingVersionExists);
+  }
+  if (!syn.sccsWith({}).empty()) {
+    // Keep it simple: symmetric synthesis requires a cycle-free input
+    // outside I (all four case studies satisfy this).
+    return finish(syn, false, SynthFailure::PreexistingCycleUnremovable);
+  }
+  if (syn.deadlocks().empty()) {
+    out.passCompleted = 0;
+    return finish(syn, true, SynthFailure::None);
+  }
+
+  for (int pass = 1; pass <= 3; ++pass) {
+    out.passCompleted = pass;
+    if (pass <= 2) {
+      for (std::size_t i = 1; i <= maxRank; ++i) {
+        std::set<StateId> from;
+        for (const StateId s : syn.deadlocks()) {
+          if (weak.ranks[s] == static_cast<std::int64_t>(i)) from.insert(s);
+        }
+        if (from.empty()) continue;
+        syn.addTemplates(from, static_cast<int>(i) - 1, weak.ranks, pass);
+        if (syn.deadlocks().empty()) {
+          return finish(syn, true, SynthFailure::None);
+        }
+      }
+    } else {
+      syn.addTemplates(syn.deadlocks(), -1, weak.ranks, pass);
+      if (syn.deadlocks().empty()) {
+        return finish(syn, true, SynthFailure::None);
+      }
+    }
+  }
+  out.passCompleted = 4;
+  if (syn.greedyTemplates(weak.ranks)) {
+    return finish(syn, true, SynthFailure::None);
+  }
+  return finish(syn, false, SynthFailure::UnresolvedDeadlocks);
+}
+
+}  // namespace stsyn::explicitstate

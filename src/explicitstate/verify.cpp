@@ -1,0 +1,46 @@
+#include "explicitstate/verify.hpp"
+
+namespace stsyn::explicitstate {
+
+Report check(const StateSpace& space, const TransitionSystem& ts) {
+  Report r;
+  const StateId n = space.size();
+
+  // Closure: no transition from I escapes I.
+  r.closed = true;
+  for (StateId s = 0; s < n && r.closed; ++s) {
+    if (!space.inInvariant(s)) continue;
+    for (const auto& [t, proc] : ts.succ[s]) {
+      if (!space.inInvariant(t)) {
+        r.closed = false;
+        break;
+      }
+    }
+  }
+
+  // Deadlocks outside I.
+  for (StateId s = 0; s < n; ++s) {
+    if (!space.inInvariant(s) && ts.succ[s].empty()) {
+      r.deadlocks.push_back(s);
+    }
+  }
+  r.deadlockFree = r.deadlocks.empty();
+
+  // Non-progress cycles in the ¬I-induced subgraph.
+  std::vector<bool> notI(n);
+  for (StateId s = 0; s < n; ++s) notI[s] = !space.inInvariant(s);
+  r.cycles = nontrivialSccs(ts, notI);
+  r.cycleFree = r.cycles.empty();
+
+  // Weak convergence: every state reaches I.
+  std::vector<bool> inv(n);
+  for (StateId s = 0; s < n; ++s) inv[s] = space.inInvariant(s);
+  const std::vector<std::int64_t> rank = backwardRanks(ts, inv);
+  for (StateId s = 0; s < n; ++s) {
+    if (rank[s] == kRankInfinity) r.weaklyUnreachable.push_back(s);
+  }
+  r.weaklyConverges = r.weaklyUnreachable.empty();
+  return r;
+}
+
+}  // namespace stsyn::explicitstate

@@ -1,0 +1,30 @@
+// Explicit verification of closure / convergence / stabilization —
+// the oracle counterpart of src/verify (symbolic).
+#pragma once
+
+#include "explicitstate/graph.hpp"
+
+namespace stsyn::explicitstate {
+
+struct Report {
+  bool closed = false;
+  bool deadlockFree = false;
+  bool cycleFree = false;
+  bool weaklyConverges = false;
+
+  [[nodiscard]] bool stronglyConverges() const {
+    return deadlockFree && cycleFree;
+  }
+  [[nodiscard]] bool stronglyStabilizing() const {
+    return closed && stronglyConverges();
+  }
+
+  std::vector<StateId> deadlocks;                 ///< deadlock states in ¬I
+  std::vector<std::vector<StateId>> cycles;       ///< non-trivial SCCs in ¬I
+  std::vector<StateId> weaklyUnreachable;         ///< no path to I
+};
+
+[[nodiscard]] Report check(const StateSpace& space,
+                           const TransitionSystem& ts);
+
+}  // namespace stsyn::explicitstate

@@ -1,0 +1,154 @@
+#include "extraction/actions.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace stsyn::extraction {
+
+using bdd::Bdd;
+using bdd::Var;
+using protocol::VarId;
+
+ProcessActions extractProcessActions(const symbolic::SymbolicProtocol& sp,
+                                     std::size_t j, const Bdd& rel) {
+  const symbolic::Encoding& enc = sp.enc();
+  const protocol::Process& proc = enc.proto().processes.at(j);
+
+  // Signature levels: current copies of the readable variables plus next
+  // copies of the writable ones, ascending (required by forEachSat).
+  struct Pos {
+    enum Kind { Read, Write } kind;
+    std::size_t index;  // into proc.reads / proc.writes
+    int bit;
+  };
+  std::vector<Var> levels;
+  std::vector<Pos> meaning;
+  for (std::size_t r = 0; r < proc.reads.size(); ++r) {
+    for (int b = 0; b < enc.bitsOf(proc.reads[r]); ++b) {
+      levels.push_back(enc.curLevels(proc.reads[r])[b]);
+      meaning.push_back(Pos{Pos::Read, r, b});
+    }
+  }
+  for (std::size_t w = 0; w < proc.writes.size(); ++w) {
+    for (int b = 0; b < enc.bitsOf(proc.writes[w]); ++b) {
+      levels.push_back(enc.nextLevels(proc.writes[w])[b]);
+      meaning.push_back(Pos{Pos::Write, w, b});
+    }
+  }
+  std::vector<std::size_t> order(levels.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t b) { return levels[a] < levels[b]; });
+  std::vector<Var> sortedLevels(levels.size());
+  std::vector<Pos> sortedMeaning(levels.size());
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    sortedLevels[i] = levels[order[i]];
+    sortedMeaning[i] = meaning[order[i]];
+  }
+
+  // Project: quantify every level not in the signature. For process-j
+  // transitions the projection loses nothing — unreadables are unchanged
+  // and non-written readables keep their current value.
+  std::vector<Var> others;
+  {
+    std::vector<bool> keep(enc.manager().varCount(), false);
+    for (Var l : sortedLevels) keep[l] = true;
+    for (Var l = 0; l < enc.manager().varCount(); ++l) {
+      if (!keep[l]) others.push_back(l);
+    }
+  }
+  const Bdd projected =
+      (rel & enc.validCur() & enc.validNext()).exists(enc.manager().cube(others));
+
+  // Enumerate signature rows and bucket them by written values.
+  std::map<std::vector<int>, std::vector<std::vector<int>>> rows;
+  projected.forEachSat(sortedLevels, [&](std::span<const char> bits) {
+    std::vector<int> readVals(proc.reads.size(), 0);
+    std::vector<int> writeVals(proc.writes.size(), 0);
+    for (std::size_t i = 0; i < bits.size(); ++i) {
+      const Pos& pos = sortedMeaning[i];
+      int& slot = pos.kind == Pos::Read ? readVals[pos.index]
+                                        : writeVals[pos.index];
+      slot |= (bits[i] ? 1 : 0) << pos.bit;
+    }
+    // Binary codes above the domain are unreachable thanks to the valid
+    // constraints; assert-level safety is covered by tests.
+    rows[writeVals].push_back(std::move(readVals));
+  });
+
+  ProcessActions out;
+  out.process = j;
+  for (auto& [writeVals, guardPoints] : rows) {
+    ExtractedAction action;
+    action.writeValues = writeVals;
+    action.guard = coverFromPoints(guardPoints);
+    minimize(action.guard);
+    out.actions.push_back(std::move(action));
+  }
+  return out;
+}
+
+std::vector<ProcessActions> extractAllActions(
+    const symbolic::SymbolicProtocol& sp,
+    const std::vector<Bdd>& perProcess) {
+  std::vector<ProcessActions> out;
+  out.reserve(perProcess.size());
+  for (std::size_t j = 0; j < perProcess.size(); ++j) {
+    out.push_back(extractProcessActions(sp, j, perProcess[j]));
+  }
+  return out;
+}
+
+std::string formatActions(
+    const protocol::Protocol& proto, const ProcessActions& pa,
+    const std::function<std::string(VarId, int)>& valueName) {
+  const protocol::Process& proc = proto.processes.at(pa.process);
+  auto value = [&](VarId v, int val) {
+    return valueName ? valueName(v, val) : std::to_string(val);
+  };
+
+  std::string out = proc.name + ":\n";
+  if (pa.actions.empty()) {
+    out += "  (no actions)\n";
+    return out;
+  }
+  for (const ExtractedAction& action : pa.actions) {
+    std::string guard;
+    for (std::size_t c = 0; c < action.guard.cubes.size(); ++c) {
+      const Cube& cube = action.guard.cubes[c];
+      std::string conj;
+      for (std::size_t r = 0; r < proc.reads.size(); ++r) {
+        const VarId v = proc.reads[r];
+        const ValueSet full =
+            (ValueSet{1} << proto.vars[v].domain) - 1;
+        if (cube.sets[r] == full) continue;  // unconstrained
+        std::string lits;
+        int count = 0;
+        for (int val = 0; val < proto.vars[v].domain; ++val) {
+          if (cube.sets[r] >> val & 1u) {
+            if (count++) lits += ",";
+            lits += value(v, val);
+          }
+        }
+        std::string term = count == 1
+                               ? proto.vars[v].name + " == " + lits
+                               : proto.vars[v].name + " in {" + lits + "}";
+        if (!conj.empty()) conj += " && ";
+        conj += term;
+      }
+      if (conj.empty()) conj = "true";
+      if (c) guard += "\n     || ";
+      guard += action.guard.cubes.size() > 1 ? "(" + conj + ")" : conj;
+    }
+    std::string stmt;
+    for (std::size_t w = 0; w < proc.writes.size(); ++w) {
+      if (w) stmt += ", ";
+      stmt += proto.vars[proc.writes[w]].name + " := " +
+              value(proc.writes[w], action.writeValues[w]);
+    }
+    out += "  " + guard + "\n    --> " + stmt + "\n";
+  }
+  return out;
+}
+
+}  // namespace stsyn::extraction

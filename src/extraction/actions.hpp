@@ -1,0 +1,50 @@
+// Extraction of readable guarded commands from a synthesized relation.
+//
+// Every transition of process j is determined by the values of j's
+// readable variables before the step and the values it writes: this module
+// projects a per-process transition relation onto that signature,
+// minimizes the guards, and renders Dijkstra-style actions like the ones
+// the paper prints for its synthesized protocols.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "extraction/cubes.hpp"
+#include "symbolic/relations.hpp"
+
+namespace stsyn::extraction {
+
+/// One extracted action of a process: when the readable variables match
+/// `guard`, write `writeValues` to the process's writable variables.
+struct ExtractedAction {
+  Cover guard;                  ///< over the process's readable variables
+  std::vector<int> writeValues;  ///< aligned with Process::writes
+};
+
+/// All actions of one process.
+struct ProcessActions {
+  std::size_t process = 0;
+  std::vector<ExtractedAction> actions;
+};
+
+/// Projects `rel` (whose process-j transitions must satisfy frame_j) onto
+/// process j's signature and returns its minimized actions. Transitions
+/// that merely keep every written variable unchanged (self-loops of the
+/// projection) are kept — callers typically pass recovery relations, which
+/// contain none.
+[[nodiscard]] ProcessActions extractProcessActions(
+    const symbolic::SymbolicProtocol& sp, std::size_t j, const bdd::Bdd& rel);
+
+/// Extraction for every process of the protocol.
+[[nodiscard]] std::vector<ProcessActions> extractAllActions(
+    const symbolic::SymbolicProtocol& sp,
+    const std::vector<bdd::Bdd>& perProcess);
+
+/// Renders actions in guarded-command syntax, optionally mapping values
+/// through `valueName` (e.g. left/right/self in the matching protocol).
+[[nodiscard]] std::string formatActions(
+    const protocol::Protocol& proto, const ProcessActions& pa,
+    const std::function<std::string(protocol::VarId, int)>& valueName = {});
+
+}  // namespace stsyn::extraction

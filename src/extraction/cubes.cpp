@@ -1,0 +1,102 @@
+#include "extraction/cubes.hpp"
+
+#include <algorithm>
+#include <span>
+
+namespace stsyn::extraction {
+
+bool Cube::contains(std::span<const int> point) const {
+  for (std::size_t i = 0; i < sets.size(); ++i) {
+    if ((sets[i] >> point[i] & 1u) == 0) return false;
+  }
+  return true;
+}
+
+bool Cover::contains(std::span<const int> point) const {
+  return std::any_of(cubes.begin(), cubes.end(),
+                     [&](const Cube& c) { return c.contains(point); });
+}
+
+std::size_t Cover::countPoints(std::span<const int> domains) const {
+  // Odometer over the full space; extraction spaces are tiny (readable
+  // valuations of one process).
+  std::size_t total = 1;
+  for (int d : domains) total *= static_cast<std::size_t>(d);
+  std::vector<int> point(domains.size(), 0);
+  std::size_t covered = 0;
+  for (std::size_t it = 0; it < total; ++it) {
+    if (contains(point)) ++covered;
+    for (std::size_t i = 0; i < point.size(); ++i) {
+      if (++point[i] < domains[i]) break;
+      point[i] = 0;
+    }
+  }
+  return covered;
+}
+
+Cover coverFromPoints(std::span<const std::vector<int>> points) {
+  Cover cover;
+  cover.cubes.reserve(points.size());
+  for (const std::vector<int>& p : points) {
+    Cube c;
+    c.sets.reserve(p.size());
+    for (int v : p) c.sets.push_back(ValueSet{1} << v);
+    cover.cubes.push_back(std::move(c));
+  }
+  return cover;
+}
+
+namespace {
+
+/// True when a's sets all include b's (a covers b).
+bool subsumes(const Cube& a, const Cube& b) {
+  for (std::size_t i = 0; i < a.sets.size(); ++i) {
+    if ((b.sets[i] & ~a.sets[i]) != 0) return false;
+  }
+  return true;
+}
+
+/// If a and b differ in exactly one position, merge b into a and report
+/// success. Identical cubes merge trivially.
+bool tryMerge(Cube& a, const Cube& b) {
+  std::size_t diff = a.sets.size();
+  for (std::size_t i = 0; i < a.sets.size(); ++i) {
+    if (a.sets[i] != b.sets[i]) {
+      if (diff != a.sets.size()) return false;  // second difference
+      diff = i;
+    }
+  }
+  if (diff != a.sets.size()) a.sets[diff] |= b.sets[diff];
+  return true;
+}
+
+}  // namespace
+
+void minimize(Cover& cover) {
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (std::size_t i = 0; i < cover.cubes.size(); ++i) {
+      for (std::size_t j = cover.cubes.size(); j-- > i + 1;) {
+        if (tryMerge(cover.cubes[i], cover.cubes[j])) {
+          cover.cubes.erase(cover.cubes.begin() +
+                            static_cast<std::ptrdiff_t>(j));
+          changed = true;
+        }
+      }
+    }
+    // Drop subsumed cubes.
+    for (std::size_t i = 0; i < cover.cubes.size(); ++i) {
+      for (std::size_t j = cover.cubes.size(); j-- > 0;) {
+        if (i != j && subsumes(cover.cubes[i], cover.cubes[j])) {
+          cover.cubes.erase(cover.cubes.begin() +
+                            static_cast<std::ptrdiff_t>(j));
+          if (j < i) --i;
+          changed = true;
+        }
+      }
+    }
+  }
+}
+
+}  // namespace stsyn::extraction

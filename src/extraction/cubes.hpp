@@ -1,0 +1,47 @@
+// Multi-valued cube representation and a greedy two-level minimizer.
+//
+// Guarded-command extraction produces one row per readable valuation; the
+// minimizer merges rows into compact guards (e.g. the paper prints
+// "x_j = x_{j-1} + 1 -> ..." rather than nine enumerated cases). Greedy
+// merging is not guaranteed minimal — it only needs to be correct and
+// readable; correctness is what the tests check.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace stsyn::extraction {
+
+/// Per-position set of admitted values, as a bitmask (domains <= 32).
+using ValueSet = std::uint32_t;
+
+/// A cube over k positions: position i admits the values in sets[i].
+/// The cube denotes the Cartesian product of its sets.
+struct Cube {
+  std::vector<ValueSet> sets;
+
+  [[nodiscard]] bool contains(std::span<const int> point) const;
+  friend bool operator==(const Cube&, const Cube&) = default;
+};
+
+/// A union of cubes (a DNF over multi-valued literals).
+struct Cover {
+  std::vector<Cube> cubes;
+
+  [[nodiscard]] bool contains(std::span<const int> point) const;
+
+  /// Number of points covered (cubes may overlap; counts the union), for
+  /// test oracles. `domains` gives each position's domain size.
+  [[nodiscard]] std::size_t countPoints(std::span<const int> domains) const;
+};
+
+/// Builds a cover with one singleton cube per point.
+[[nodiscard]] Cover coverFromPoints(std::span<const std::vector<int>> points);
+
+/// Greedy minimization: repeatedly merge two cubes that are identical in
+/// all positions but one (union that position's sets), then drop cubes
+/// subsumed by others. Preserves the covered set exactly.
+void minimize(Cover& cover);
+
+}  // namespace stsyn::extraction

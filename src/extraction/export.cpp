@@ -1,0 +1,74 @@
+#include "extraction/export.hpp"
+
+#include "protocol/builder.hpp"
+
+namespace stsyn::extraction {
+
+using protocol::E;
+
+E coverToExpr(const Cover& cover, std::span<const protocol::VarId> reads,
+              std::span<const int> domains) {
+  E guard = protocol::blit(false);
+  for (const Cube& cube : cover.cubes) {
+    E conj = protocol::blit(true);
+    for (std::size_t r = 0; r < reads.size(); ++r) {
+      const int domain = domains[reads[r]];
+      const ValueSet full = (ValueSet{1} << domain) - 1;
+      if (cube.sets[r] == full) continue;  // unconstrained position
+      E anyVal = protocol::blit(false);
+      for (int v = 0; v < domain; ++v) {
+        if (cube.sets[r] >> v & 1u) {
+          anyVal = anyVal || (protocol::ref(reads[r]) == protocol::lit(v));
+        }
+      }
+      conj = conj && anyVal;
+    }
+    guard = guard || conj;
+  }
+  return guard;
+}
+
+protocol::Protocol toProtocol(const symbolic::SymbolicProtocol& sp,
+                              const std::vector<bdd::Bdd>& addedPerProcess,
+                              const std::string& nameSuffix) {
+  const protocol::Protocol& p = sp.enc().proto();
+  const std::vector<int> domains = p.domains();
+
+  protocol::ProtocolBuilder b(p.name + nameSuffix);
+  for (const protocol::Variable& v : p.vars) b.variable(v.name, v.domain);
+  for (std::size_t j = 0; j < p.processes.size(); ++j) {
+    const protocol::Process& proc = p.processes[j];
+    b.process(proc.name, proc.reads, proc.writes);
+    for (const protocol::Action& a : proc.actions) {
+      std::vector<std::pair<protocol::VarId, E>> assigns;
+      for (const protocol::Assignment& asg : a.assigns) {
+        assigns.emplace_back(asg.var, E(asg.value));
+      }
+      b.action(j, a.label, E(a.guard), std::move(assigns));
+    }
+    if (!p.localPredicates.empty()) {
+      b.localPredicate(j, E(p.localPredicates[j]));
+    }
+  }
+  b.invariant(E(p.invariant));
+
+  for (std::size_t j = 0; j < addedPerProcess.size(); ++j) {
+    const protocol::Process& proc = p.processes[j];
+    const ProcessActions pa =
+        extractProcessActions(sp, j, addedPerProcess[j]);
+    std::size_t label = 0;
+    for (const ExtractedAction& action : pa.actions) {
+      const E guard = coverToExpr(action.guard, proc.reads, domains);
+      std::vector<std::pair<protocol::VarId, E>> assigns;
+      for (std::size_t w = 0; w < proc.writes.size(); ++w) {
+        assigns.emplace_back(proc.writes[w],
+                             protocol::lit(action.writeValues[w]));
+      }
+      b.action(j, "recovery" + std::to_string(label++), guard,
+               std::move(assigns));
+    }
+  }
+  return b.build();
+}
+
+}  // namespace stsyn::extraction

@@ -1,0 +1,104 @@
+#include "extraction/symmetry.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace stsyn::extraction {
+
+namespace {
+
+/// Ring offset of variable v relative to owner j, canonicalized into
+/// (-K/2, K/2] so that left/right neighbours normalize consistently.
+int offsetOf(std::size_t v, std::size_t j, std::size_t k) {
+  int off = static_cast<int>((v + k - j) % k);
+  if (off > static_cast<int>(k) / 2) off -= static_cast<int>(k);
+  return off;
+}
+
+/// A process's normalized behaviour: rows of (read values keyed by offset,
+/// written value), as a canonical set.
+using NormalizedRow = std::pair<std::vector<std::pair<int, int>>, int>;
+using NormalizedTable = std::set<NormalizedRow>;
+
+}  // namespace
+
+SymmetryReport analyzeRotationalSymmetry(
+    const symbolic::SymbolicProtocol& sp,
+    const std::vector<bdd::Bdd>& perProcess) {
+  SymmetryReport report;
+  const protocol::Protocol& p = sp.enc().proto();
+  const std::size_t k = p.processes.size();
+
+  // Applicability: one variable per process, process j writes exactly
+  // variable j, every process reads the same set of offsets, and all
+  // domains agree.
+  if (p.vars.size() != k || perProcess.size() != k) return report;
+  std::set<int> offsets;
+  for (std::size_t j = 0; j < k; ++j) {
+    const protocol::Process& proc = p.processes[j];
+    if (proc.writes.size() != 1 || proc.writes[0] != j) return report;
+    if (p.vars[j].domain != p.vars[0].domain) return report;
+    std::set<int> mine;
+    for (const protocol::VarId v : proc.reads) {
+      mine.insert(offsetOf(v, j, k));
+    }
+    if (j == 0) {
+      offsets = std::move(mine);
+    } else if (mine != offsets) {
+      return report;
+    }
+  }
+  report.applicable = true;
+
+  // Normalize each process's extracted action rows by read offset.
+  std::vector<NormalizedTable> tables(k);
+  for (std::size_t j = 0; j < k; ++j) {
+    // Enumerate raw (readVals -> writeVal) rows straight from the cubes of
+    // the extraction (pre-minimization would also work; rows are exact).
+    const ProcessActions pa = extractProcessActions(sp, j, perProcess[j]);
+    const protocol::Process& proc = p.processes[j];
+    for (const ExtractedAction& action : pa.actions) {
+      // Expand the minimized cover back into explicit rows — row sets are
+      // the canonical object; cover shapes may differ between processes.
+      std::vector<std::pair<int, int>> row(proc.reads.size());
+      std::vector<int> idx(proc.reads.size(), 0);
+      for (const Cube& cube : action.guard.cubes) {
+        // Odometer over the cube's value sets.
+        std::vector<std::vector<int>> choices(proc.reads.size());
+        for (std::size_t r = 0; r < proc.reads.size(); ++r) {
+          for (int v = 0; v < p.vars[proc.reads[r]].domain; ++v) {
+            if (cube.sets[r] >> v & 1u) choices[r].push_back(v);
+          }
+        }
+        std::vector<std::size_t> pos(proc.reads.size(), 0);
+        for (;;) {
+          for (std::size_t r = 0; r < proc.reads.size(); ++r) {
+            row[r] = {offsetOf(proc.reads[r], j, k), choices[r][pos[r]]};
+          }
+          std::vector<std::pair<int, int>> sorted = row;
+          std::sort(sorted.begin(), sorted.end());
+          tables[j].insert({sorted, action.writeValues[0]});
+          std::size_t r = 0;
+          for (; r < pos.size(); ++r) {
+            if (++pos[r] < choices[r].size()) break;
+            pos[r] = 0;
+          }
+          if (r == pos.size()) break;
+        }
+      }
+    }
+  }
+
+  // Partition by identical normalized tables.
+  std::map<NormalizedTable, std::size_t> classes;
+  report.classOf.resize(k);
+  for (std::size_t j = 0; j < k; ++j) {
+    const auto [it, inserted] = classes.emplace(tables[j], classes.size());
+    report.classOf[j] = it->second;
+  }
+  report.classCount = classes.size();
+  return report;
+}
+
+}  // namespace stsyn::extraction

@@ -1,0 +1,46 @@
+// Rotational-symmetry analysis of synthesized recovery (paper Section
+// VIII, "Symmetry"): the paper observes that some synthesized protocols
+// come out symmetric (token ring, coloring's generic processes) while
+// others are asymmetric (maximal matching), and names the factors —
+// schedule, domains, addition order — as open questions.
+//
+// This module decides the question mechanically for ring protocols whose
+// process j owns variable j and reads fixed index offsets: two processes
+// are equivalent when their extracted recovery actions coincide after
+// re-indexing every read through its offset from the owner. The analysis
+// partitions the processes into equivalence classes; |classes| == 1 means
+// a fully symmetric solution.
+#pragma once
+
+#include "extraction/actions.hpp"
+
+namespace stsyn::extraction {
+
+struct SymmetryReport {
+  /// False when the protocol does not fit the one-variable-per-process
+  /// ring shape this analysis understands (e.g. TR² with its `turn`
+  /// variable); nothing else is meaningful then.
+  bool applicable = false;
+
+  /// classOf[j]: equivalence class of process j (0-based, in order of
+  /// first appearance). Processes with identical normalized action tables
+  /// share a class.
+  std::vector<std::size_t> classOf;
+
+  std::size_t classCount = 0;
+
+  /// Fully symmetric: every process's recovery is the same action table
+  /// modulo rotation.
+  [[nodiscard]] bool symmetric() const {
+    return applicable && classCount <= 1;
+  }
+};
+
+/// Analyzes the per-process recovery relations of a synthesis result.
+/// `perProcess` is StrongResult::addedPerProcess (or any per-process
+/// relation vector).
+[[nodiscard]] SymmetryReport analyzeRotationalSymmetry(
+    const symbolic::SymbolicProtocol& sp,
+    const std::vector<bdd::Bdd>& perProcess);
+
+}  // namespace stsyn::extraction

@@ -1,0 +1,194 @@
+#include "lang/lexer.hpp"
+
+#include <cctype>
+#include <map>
+#include <stdexcept>
+
+namespace stsyn::lang {
+
+const char* toString(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::Identifier: return "identifier";
+    case TokenKind::Integer: return "integer";
+    case TokenKind::KwProtocol: return "'protocol'";
+    case TokenKind::KwVar: return "'var'";
+    case TokenKind::KwProcess: return "'process'";
+    case TokenKind::KwReads: return "'reads'";
+    case TokenKind::KwWrites: return "'writes'";
+    case TokenKind::KwAction: return "'action'";
+    case TokenKind::KwLocal: return "'local'";
+    case TokenKind::KwInvariant: return "'invariant'";
+    case TokenKind::KwTrue: return "'true'";
+    case TokenKind::KwFalse: return "'false'";
+    case TokenKind::KwMod: return "'mod'";
+    case TokenKind::Semicolon: return "';'";
+    case TokenKind::Colon: return "':'";
+    case TokenKind::Comma: return "','";
+    case TokenKind::LBrace: return "'{'";
+    case TokenKind::RBrace: return "'}'";
+    case TokenKind::LParen: return "'('";
+    case TokenKind::RParen: return "')'";
+    case TokenKind::DotDot: return "'..'";
+    case TokenKind::Assign: return "':='";
+    case TokenKind::Arrow: return "'->'";
+    case TokenKind::EqEq: return "'=='";
+    case TokenKind::NotEq: return "'!='";
+    case TokenKind::LessEq: return "'<='";
+    case TokenKind::GreaterEq: return "'>='";
+    case TokenKind::Less: return "'<'";
+    case TokenKind::Greater: return "'>'";
+    case TokenKind::AndAnd: return "'&&'";
+    case TokenKind::OrOr: return "'||'";
+    case TokenKind::Not: return "'!'";
+    case TokenKind::Implies: return "'=>'";
+    case TokenKind::Iff: return "'<=>'";
+    case TokenKind::Plus: return "'+'";
+    case TokenKind::Minus: return "'-'";
+    case TokenKind::Star: return "'*'";
+    case TokenKind::EndOfInput: return "end of input";
+  }
+  return "?";
+}
+
+ParseError::ParseError(const std::string& message, int line, int column)
+    : std::runtime_error("line " + std::to_string(line) + ":" +
+                         std::to_string(column) + ": " + message),
+      line(line),
+      column(column) {}
+
+std::vector<Token> tokenize(std::string_view src) {
+  static const std::map<std::string, TokenKind, std::less<>> keywords = {
+      {"protocol", TokenKind::KwProtocol}, {"var", TokenKind::KwVar},
+      {"process", TokenKind::KwProcess},   {"reads", TokenKind::KwReads},
+      {"writes", TokenKind::KwWrites},     {"action", TokenKind::KwAction},
+      {"local", TokenKind::KwLocal},       {"invariant", TokenKind::KwInvariant},
+      {"true", TokenKind::KwTrue},         {"false", TokenKind::KwFalse},
+      {"mod", TokenKind::KwMod},
+  };
+
+  std::vector<Token> out;
+  int line = 1;
+  int column = 1;
+  std::size_t i = 0;
+
+  auto peek = [&](std::size_t off = 0) -> char {
+    return i + off < src.size() ? src[i + off] : '\0';
+  };
+  auto advance = [&]() {
+    if (src[i] == '\n') {
+      ++line;
+      column = 1;
+    } else {
+      ++column;
+    }
+    ++i;
+  };
+  auto push = [&](TokenKind kind, std::string text, int startCol) {
+    out.push_back(Token{kind, std::move(text), 0, line, startCol});
+  };
+
+  while (i < src.size()) {
+    const char c = peek();
+    if (c == ' ' || c == '\t' || c == '\r' || c == '\n') {
+      advance();
+      continue;
+    }
+    if (c == '#' || (c == '/' && peek(1) == '/')) {
+      while (i < src.size() && peek() != '\n') advance();
+      continue;
+    }
+    const int startCol = column;
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      std::string word;
+      while (i < src.size() &&
+             (std::isalnum(static_cast<unsigned char>(peek())) ||
+              peek() == '_')) {
+        word += peek();
+        advance();
+      }
+      const auto kw = keywords.find(word);
+      push(kw == keywords.end() ? TokenKind::Identifier : kw->second,
+           std::move(word), startCol);
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      std::string digits;
+      while (i < src.size() &&
+             std::isdigit(static_cast<unsigned char>(peek()))) {
+        digits += peek();
+        advance();
+      }
+      Token tok{TokenKind::Integer, digits, std::stol(digits), line, startCol};
+      out.push_back(std::move(tok));
+      continue;
+    }
+
+    auto two = [&](char a, char b) { return c == a && peek(1) == b; };
+    auto three = [&](char a, char b, char d) {
+      return c == a && peek(1) == b && peek(2) == d;
+    };
+    TokenKind kind;
+    int length = 1;
+    if (three('<', '=', '>')) {
+      kind = TokenKind::Iff;
+      length = 3;
+    } else if (two('.', '.')) {
+      kind = TokenKind::DotDot;
+      length = 2;
+    } else if (two(':', '=')) {
+      kind = TokenKind::Assign;
+      length = 2;
+    } else if (two('-', '>')) {
+      kind = TokenKind::Arrow;
+      length = 2;
+    } else if (two('=', '=')) {
+      kind = TokenKind::EqEq;
+      length = 2;
+    } else if (two('!', '=')) {
+      kind = TokenKind::NotEq;
+      length = 2;
+    } else if (two('<', '=')) {
+      kind = TokenKind::LessEq;
+      length = 2;
+    } else if (two('>', '=')) {
+      kind = TokenKind::GreaterEq;
+      length = 2;
+    } else if (two('&', '&')) {
+      kind = TokenKind::AndAnd;
+      length = 2;
+    } else if (two('|', '|')) {
+      kind = TokenKind::OrOr;
+      length = 2;
+    } else if (two('=', '>')) {
+      kind = TokenKind::Implies;
+      length = 2;
+    } else {
+      switch (c) {
+        case ';': kind = TokenKind::Semicolon; break;
+        case ':': kind = TokenKind::Colon; break;
+        case ',': kind = TokenKind::Comma; break;
+        case '{': kind = TokenKind::LBrace; break;
+        case '}': kind = TokenKind::RBrace; break;
+        case '(': kind = TokenKind::LParen; break;
+        case ')': kind = TokenKind::RParen; break;
+        case '<': kind = TokenKind::Less; break;
+        case '>': kind = TokenKind::Greater; break;
+        case '!': kind = TokenKind::Not; break;
+        case '+': kind = TokenKind::Plus; break;
+        case '-': kind = TokenKind::Minus; break;
+        case '*': kind = TokenKind::Star; break;
+        case '%': kind = TokenKind::KwMod; break;
+        default:
+          throw ParseError(std::string("unexpected character '") + c + "'",
+                           line, startCol);
+      }
+    }
+    std::string text(src.substr(i, static_cast<std::size_t>(length)));
+    for (int k = 0; k < length; ++k) advance();
+    push(kind, std::move(text), startCol);
+  }
+  push(TokenKind::EndOfInput, "", column);
+  return out;
+}
+
+}  // namespace stsyn::lang

@@ -1,0 +1,78 @@
+// Lexer for the .stsyn protocol description language (see lang/parser.hpp
+// for the grammar).
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace stsyn::lang {
+
+enum class TokenKind : std::uint8_t {
+  Identifier,
+  Integer,
+  // keywords
+  KwProtocol,
+  KwVar,
+  KwProcess,
+  KwReads,
+  KwWrites,
+  KwAction,
+  KwLocal,
+  KwInvariant,
+  KwTrue,
+  KwFalse,
+  KwMod,
+  // punctuation / operators
+  Semicolon,
+  Colon,
+  Comma,
+  LBrace,
+  RBrace,
+  LParen,
+  RParen,
+  DotDot,      // ..
+  Assign,      // :=
+  Arrow,       // ->
+  EqEq,
+  NotEq,
+  LessEq,
+  GreaterEq,
+  Less,
+  Greater,
+  AndAnd,
+  OrOr,
+  Not,
+  Implies,     // =>
+  Iff,         // <=>
+  Plus,
+  Minus,
+  Star,
+  EndOfInput,
+};
+
+[[nodiscard]] const char* toString(TokenKind kind);
+
+struct Token {
+  TokenKind kind;
+  std::string text;  // identifier spelling / integer digits
+  long value = 0;    // Integer payload
+  int line = 1;
+  int column = 1;
+};
+
+/// Thrown on lexical and syntax errors, with position info in what().
+class ParseError : public std::runtime_error {
+ public:
+  ParseError(const std::string& message, int line, int column);
+
+  int line;
+  int column;
+};
+
+/// Tokenizes the whole input. Comments run from '#' or "//" to end of line.
+[[nodiscard]] std::vector<Token> tokenize(std::string_view source);
+
+}  // namespace stsyn::lang

@@ -1,0 +1,268 @@
+#include "lang/parser.hpp"
+
+#include <fstream>
+#include <optional>
+#include <map>
+#include <sstream>
+
+#include "protocol/builder.hpp"
+
+namespace stsyn::lang {
+
+using protocol::E;
+using protocol::VarId;
+
+namespace {
+
+/// Recursive-descent parser; also performs name resolution on the fly so
+/// expressions elaborate directly into protocol::E values.
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  protocol::Protocol parse() {
+    expect(TokenKind::KwProtocol);
+    const std::string name = expect(TokenKind::Identifier).text;
+    expect(TokenKind::Semicolon);
+    builder_.emplace(name);
+
+    bool sawInvariant = false;
+    while (!at(TokenKind::EndOfInput)) {
+      if (at(TokenKind::KwVar)) {
+        parseVar();
+      } else if (at(TokenKind::KwProcess)) {
+        parseProcess();
+      } else if (at(TokenKind::KwInvariant)) {
+        parseInvariant();
+        sawInvariant = true;
+      } else {
+        fail("expected 'var', 'process' or 'invariant'");
+      }
+    }
+    if (!sawInvariant) fail("protocol has no invariant");
+    return builder_->build();
+  }
+
+ private:
+  // --- token plumbing -------------------------------------------------
+  [[nodiscard]] const Token& peek() const { return tokens_[pos_]; }
+  [[nodiscard]] bool at(TokenKind kind) const { return peek().kind == kind; }
+  Token advance() { return tokens_[pos_++]; }
+  bool accept(TokenKind kind) {
+    if (!at(kind)) return false;
+    ++pos_;
+    return true;
+  }
+  Token expect(TokenKind kind) {
+    if (!at(kind)) {
+      fail(std::string("expected ") + toString(kind) + ", found " +
+           toString(peek().kind));
+    }
+    return advance();
+  }
+  [[noreturn]] void fail(const std::string& message) const {
+    throw ParseError(message, peek().line, peek().column);
+  }
+
+  // --- declarations ---------------------------------------------------
+  void parseVar() {
+    expect(TokenKind::KwVar);
+    const Token name = expect(TokenKind::Identifier);
+    expect(TokenKind::Colon);
+    const Token lo = expect(TokenKind::Integer);
+    expect(TokenKind::DotDot);
+    const Token hi = expect(TokenKind::Integer);
+    expect(TokenKind::Semicolon);
+    if (lo.value != 0) fail("variable domains must start at 0");
+    if (hi.value < lo.value) fail("empty variable domain");
+    if (vars_.contains(name.text)) fail("duplicate variable " + name.text);
+    vars_[name.text] =
+        builder_->variable(name.text, static_cast<int>(hi.value) + 1);
+  }
+
+  void parseProcess() {
+    expect(TokenKind::KwProcess);
+    const Token name = expect(TokenKind::Identifier);
+    expect(TokenKind::LBrace);
+
+    std::vector<VarId> reads;
+    std::vector<VarId> writes;
+    struct PendingAction {
+      std::string label;
+      E guard;
+      std::vector<std::pair<VarId, E>> assigns;
+    };
+    std::vector<PendingAction> actions;
+    E local;
+
+    while (!accept(TokenKind::RBrace)) {
+      if (accept(TokenKind::KwReads)) {
+        parseIdentList(reads);
+        expect(TokenKind::Semicolon);
+      } else if (accept(TokenKind::KwWrites)) {
+        parseIdentList(writes);
+        expect(TokenKind::Semicolon);
+      } else if (accept(TokenKind::KwAction)) {
+        PendingAction a;
+        a.label = at(TokenKind::Identifier)
+                      ? advance().text
+                      : "a" + std::to_string(actions.size());
+        expect(TokenKind::Colon);
+        a.guard = parseExpr();
+        expect(TokenKind::Arrow);
+        do {
+          const VarId target = resolve(expect(TokenKind::Identifier));
+          expect(TokenKind::Assign);
+          a.assigns.emplace_back(target, parseExpr());
+        } while (accept(TokenKind::Comma));
+        expect(TokenKind::Semicolon);
+        actions.push_back(std::move(a));
+      } else if (accept(TokenKind::KwLocal)) {
+        expect(TokenKind::Colon);
+        local = parseExpr();
+        expect(TokenKind::Semicolon);
+      } else {
+        fail("expected 'reads', 'writes', 'action', 'local' or '}'");
+      }
+    }
+
+    const std::size_t proc = builder_->process(name.text, reads, writes);
+    for (PendingAction& a : actions) {
+      builder_->action(proc, std::move(a.label), a.guard,
+                       std::move(a.assigns));
+    }
+    if (!local.empty()) builder_->localPredicate(proc, local);
+  }
+
+  void parseIdentList(std::vector<VarId>& out) {
+    do {
+      out.push_back(resolve(expect(TokenKind::Identifier)));
+    } while (accept(TokenKind::Comma));
+  }
+
+  void parseInvariant() {
+    expect(TokenKind::KwInvariant);
+    expect(TokenKind::Colon);
+    builder_->invariant(parseExpr());
+    expect(TokenKind::Semicolon);
+  }
+
+  VarId resolve(const Token& name) {
+    const auto it = vars_.find(name.text);
+    if (it == vars_.end()) {
+      throw ParseError("undeclared variable " + name.text, name.line,
+                       name.column);
+    }
+    return it->second;
+  }
+
+  // --- expressions ------------------------------------------------------
+  E parseExpr() { return parseIff(); }
+
+  E parseIff() {
+    E lhs = parseImplies();
+    while (accept(TokenKind::Iff)) lhs = lhs.iff(parseImplies());
+    return lhs;
+  }
+
+  E parseImplies() {
+    E lhs = parseOr();
+    if (accept(TokenKind::Implies)) return lhs.implies(parseImplies());
+    return lhs;
+  }
+
+  E parseOr() {
+    E lhs = parseAnd();
+    while (accept(TokenKind::OrOr)) lhs = lhs || parseAnd();
+    return lhs;
+  }
+
+  E parseAnd() {
+    E lhs = parseUnary();
+    while (accept(TokenKind::AndAnd)) lhs = lhs && parseUnary();
+    return lhs;
+  }
+
+  E parseUnary() {
+    if (accept(TokenKind::Not)) return !parseUnary();
+    return parseCompare();
+  }
+
+  E parseCompare() {
+    E lhs = parseSum();
+    switch (peek().kind) {
+      case TokenKind::EqEq: advance(); return lhs == parseSum();
+      case TokenKind::NotEq: advance(); return lhs != parseSum();
+      case TokenKind::Less: advance(); return lhs < parseSum();
+      case TokenKind::LessEq: advance(); return lhs <= parseSum();
+      case TokenKind::Greater: advance(); return lhs > parseSum();
+      case TokenKind::GreaterEq: advance(); return lhs >= parseSum();
+      default: return lhs;
+    }
+  }
+
+  E parseSum() {
+    E lhs = parseTerm();
+    for (;;) {
+      if (accept(TokenKind::Plus)) {
+        lhs = lhs + parseTerm();
+      } else if (accept(TokenKind::Minus)) {
+        lhs = lhs - parseTerm();
+      } else {
+        return lhs;
+      }
+    }
+  }
+
+  E parseTerm() {
+    E lhs = parseFactor();
+    for (;;) {
+      if (accept(TokenKind::Star)) {
+        lhs = lhs * parseFactor();
+      } else if (accept(TokenKind::KwMod)) {
+        const Token m = expect(TokenKind::Integer);
+        lhs = lhs.mod(m.value);
+      } else {
+        return lhs;
+      }
+    }
+  }
+
+  E parseFactor() {
+    if (at(TokenKind::Integer)) return protocol::lit(advance().value);
+    if (accept(TokenKind::KwTrue)) return protocol::blit(true);
+    if (accept(TokenKind::KwFalse)) return protocol::blit(false);
+    if (accept(TokenKind::Minus)) {
+      return protocol::lit(0) - parseFactor();
+    }
+    if (at(TokenKind::Identifier)) return protocol::ref(resolve(advance()));
+    if (accept(TokenKind::LParen)) {
+      E inner = parseExpr();
+      expect(TokenKind::RParen);
+      return inner;
+    }
+    fail("expected an expression");
+  }
+
+  std::vector<Token> tokens_;
+  std::size_t pos_ = 0;
+  std::optional<protocol::ProtocolBuilder> builder_;
+  std::map<std::string, VarId, std::less<>> vars_;
+};
+
+}  // namespace
+
+protocol::Protocol parseProtocol(std::string_view source) {
+  Parser parser(tokenize(source));
+  return parser.parse();
+}
+
+protocol::Protocol parseProtocolFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open protocol file " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return parseProtocol(buf.str());
+}
+
+}  // namespace stsyn::lang

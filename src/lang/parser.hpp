@@ -1,0 +1,44 @@
+// Parser for the .stsyn protocol description language.
+//
+// Grammar (EBNF; '#' and '//' start line comments):
+//
+//   file       := "protocol" IDENT ";" item*
+//   item       := vardecl | procdecl | invariant
+//   vardecl    := "var" IDENT ":" INT ".." INT ";"
+//   procdecl   := "process" IDENT "{" proc-item* "}"
+//   proc-item  := "reads" identlist ";"
+//               | "writes" identlist ";"
+//               | "action" [IDENT] ":" expr "->" assigns ";"
+//               | "local" ":" expr ";"
+//   assigns    := IDENT ":=" expr ("," IDENT ":=" expr)*
+//   invariant  := "invariant" ":" expr ";"
+//
+//   expr       := iff
+//   iff        := implies ("<=>" implies)*
+//   implies    := or ("=>" or)*           (right-associative)
+//   or         := and ("||" and)*
+//   and        := unary ("&&" unary)*
+//   unary      := "!" unary | compare
+//   compare    := sum (("=="|"!="|"<"|"<="|">"|">=") sum)?
+//   sum        := term (("+"|"-") term)*
+//   term       := factor (("*"|"mod"|"%") factor)*
+//   factor     := INT | "true" | "false" | IDENT | "(" expr ")" | "-" factor
+//
+// Variables must be declared before use; domains are INT..INT with the
+// lower bound required to be 0 (values are plain 0-based codes).
+#pragma once
+
+#include "lang/lexer.hpp"
+#include "protocol/protocol.hpp"
+
+namespace stsyn::lang {
+
+/// Parses and elaborates a protocol description; throws ParseError on
+/// lexical/syntax errors and std::invalid_argument on semantic ones
+/// (undeclared names, read/write violations — via protocol::validate).
+[[nodiscard]] protocol::Protocol parseProtocol(std::string_view source);
+
+/// Convenience: reads the file and parses it.
+[[nodiscard]] protocol::Protocol parseProtocolFile(const std::string& path);
+
+}  // namespace stsyn::lang

@@ -1,0 +1,17 @@
+// Renders a protocol::Protocol back into .stsyn source text.
+//
+// Round-trips with lang/parser (tested): printing a parsed protocol and
+// re-parsing yields a protocol with identical semantics. Also used to
+// generate the shipped examples/protocols/*.stsyn files from the case
+// studies.
+#pragma once
+
+#include <string>
+
+#include "protocol/protocol.hpp"
+
+namespace stsyn::lang {
+
+[[nodiscard]] std::string printProtocol(const protocol::Protocol& proto);
+
+}  // namespace stsyn::lang

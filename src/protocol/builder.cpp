@@ -1,0 +1,76 @@
+#include "protocol/builder.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace stsyn::protocol {
+
+ProtocolBuilder::ProtocolBuilder(std::string name) {
+  proto_.name = std::move(name);
+}
+
+VarId ProtocolBuilder::variable(std::string name, int domain) {
+  if (domain < 1) {
+    throw std::invalid_argument("variable " + name + ": domain must be >= 1");
+  }
+  proto_.vars.push_back(Variable{std::move(name), domain});
+  return proto_.vars.size() - 1;
+}
+
+std::size_t ProtocolBuilder::process(std::string name, std::vector<VarId> reads,
+                                     std::vector<VarId> writes) {
+  auto normalize = [](std::vector<VarId>& xs) {
+    std::sort(xs.begin(), xs.end());
+    xs.erase(std::unique(xs.begin(), xs.end()), xs.end());
+  };
+  normalize(reads);
+  normalize(writes);
+  proto_.processes.push_back(
+      Process{std::move(name), std::move(reads), std::move(writes), {}});
+  if (!proto_.localPredicates.empty()) {
+    proto_.localPredicates.push_back(nullptr);
+  }
+  return proto_.processes.size() - 1;
+}
+
+ProtocolBuilder& ProtocolBuilder::action(
+    std::size_t proc, std::string label, E guard,
+    std::vector<std::pair<VarId, E>> assigns) {
+  Action a;
+  a.label = std::move(label);
+  a.guard = guard.ptr();
+  for (auto& [var, value] : assigns) {
+    a.assigns.push_back(Assignment{var, value.ptr()});
+  }
+  proto_.processes.at(proc).actions.push_back(std::move(a));
+  return *this;
+}
+
+ProtocolBuilder& ProtocolBuilder::invariant(E inv) {
+  proto_.invariant = inv.ptr();
+  return *this;
+}
+
+ProtocolBuilder& ProtocolBuilder::localPredicate(std::size_t proc, E pred) {
+  if (proto_.localPredicates.empty()) {
+    proto_.localPredicates.assign(proto_.processes.size(), nullptr);
+  }
+  proto_.localPredicates.at(proc) = pred.ptr();
+  return *this;
+}
+
+Protocol ProtocolBuilder::build() const {
+  Protocol p = proto_;
+  if (!p.localPredicates.empty()) {
+    for (const ExprPtr& lp : p.localPredicates) {
+      if (!lp) {
+        throw std::invalid_argument(
+            "localPredicate set for some but not all processes");
+      }
+    }
+  }
+  validate(p);
+  return p;
+}
+
+}  // namespace stsyn::protocol

@@ -1,0 +1,45 @@
+// Fluent construction of Protocol values with validation at build time.
+//
+// Case studies and tests use this instead of filling the structs by hand;
+// it keeps read/write sets sorted, resolves names, and runs validate().
+#pragma once
+
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "protocol/protocol.hpp"
+
+namespace stsyn::protocol {
+
+class ProtocolBuilder {
+ public:
+  explicit ProtocolBuilder(std::string name);
+
+  /// Declares a variable with values 0 .. domain-1; returns its id.
+  VarId variable(std::string name, int domain);
+
+  /// Declares a process with the given locality. Ids may be given in any
+  /// order; they are normalized. Returns the process index.
+  std::size_t process(std::string name, std::vector<VarId> reads,
+                      std::vector<VarId> writes);
+
+  /// Adds a guarded command to a previously declared process.
+  ProtocolBuilder& action(std::size_t proc, std::string label, E guard,
+                          std::vector<std::pair<VarId, E>> assigns);
+
+  /// Sets the legitimate-state predicate I.
+  ProtocolBuilder& invariant(E inv);
+
+  /// Supplies the per-process conjunctive decomposition of I, when one
+  /// exists (enables the local-correctability analysis).
+  ProtocolBuilder& localPredicate(std::size_t proc, E pred);
+
+  /// Validates and returns the protocol; the builder is left reusable.
+  [[nodiscard]] Protocol build() const;
+
+ private:
+  Protocol proto_;
+};
+
+}  // namespace stsyn::protocol

@@ -1,0 +1,287 @@
+#include "protocol/expr.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace stsyn::protocol {
+
+namespace {
+
+ExprPtr node(Expr::Kind kind, std::vector<ExprPtr> args) {
+  auto e = std::make_shared<Expr>();
+  e->kind = kind;
+  e->args = std::move(args);
+  return e;
+}
+
+E binary(Expr::Kind kind, const E& a, const E& b) {
+  if (a.empty() || b.empty()) {
+    throw std::invalid_argument("expression operand is empty");
+  }
+  return E(node(kind, {a.ptr(), b.ptr()}));
+}
+
+long euclideanMod(long a, long m) {
+  const long r = a % m;
+  return r < 0 ? r + m : r;
+}
+
+}  // namespace
+
+bool Expr::isBool() const {
+  switch (kind) {
+    case Kind::Eq:
+    case Kind::Ne:
+    case Kind::Lt:
+    case Kind::Le:
+    case Kind::Gt:
+    case Kind::Ge:
+    case Kind::And:
+    case Kind::Or:
+    case Kind::Not:
+    case Kind::Implies:
+    case Kind::Iff:
+    case Kind::BoolConst:
+      return true;
+    default:
+      return false;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Constructors.
+// ---------------------------------------------------------------------------
+
+E lit(long v) {
+  auto e = std::make_shared<Expr>();
+  e->kind = Expr::Kind::Const;
+  e->value = v;
+  return E(e);
+}
+
+E blit(bool v) {
+  auto e = std::make_shared<Expr>();
+  e->kind = Expr::Kind::BoolConst;
+  e->value = v ? 1 : 0;
+  return E(e);
+}
+
+E ref(VarId v) {
+  auto e = std::make_shared<Expr>();
+  e->kind = Expr::Kind::Ref;
+  e->var = v;
+  return E(e);
+}
+
+E ite(E cond, E thenE, E elseE) {
+  if (cond.empty() || thenE.empty() || elseE.empty()) {
+    throw std::invalid_argument("ite operand is empty");
+  }
+  return E(node(Expr::Kind::Ite, {cond.ptr(), thenE.ptr(), elseE.ptr()}));
+}
+
+E allOf(std::span<const E> es) {
+  E acc = blit(true);
+  for (const E& e : es) acc = acc && e;
+  return acc;
+}
+
+E anyOf(std::span<const E> es) {
+  E acc = blit(false);
+  for (const E& e : es) acc = acc || e;
+  return acc;
+}
+
+E operator+(E a, E b) { return binary(Expr::Kind::Add, a, b); }
+E operator-(E a, E b) { return binary(Expr::Kind::Sub, a, b); }
+E operator*(E a, E b) { return binary(Expr::Kind::Mul, a, b); }
+
+E E::mod(long m) const {
+  if (m <= 0) throw std::invalid_argument("mod requires a positive modulus");
+  return binary(Expr::Kind::Mod, *this, lit(m));
+}
+
+E operator==(E a, E b) { return binary(Expr::Kind::Eq, a, b); }
+E operator!=(E a, E b) { return binary(Expr::Kind::Ne, a, b); }
+E operator<(E a, E b) { return binary(Expr::Kind::Lt, a, b); }
+E operator<=(E a, E b) { return binary(Expr::Kind::Le, a, b); }
+E operator>(E a, E b) { return binary(Expr::Kind::Gt, a, b); }
+E operator>=(E a, E b) { return binary(Expr::Kind::Ge, a, b); }
+E operator&&(E a, E b) { return binary(Expr::Kind::And, a, b); }
+E operator||(E a, E b) { return binary(Expr::Kind::Or, a, b); }
+
+E operator!(E a) {
+  if (a.empty()) throw std::invalid_argument("negation of empty expression");
+  return E(node(Expr::Kind::Not, {a.ptr()}));
+}
+
+E E::implies(E rhs) const { return binary(Expr::Kind::Implies, *this, rhs); }
+E E::iff(E rhs) const { return binary(Expr::Kind::Iff, *this, rhs); }
+
+// ---------------------------------------------------------------------------
+// Explicit evaluation.
+// ---------------------------------------------------------------------------
+
+long evalInt(const Expr& e, std::span<const int> state) {
+  switch (e.kind) {
+    case Expr::Kind::Const:
+      return e.value;
+    case Expr::Kind::Ref:
+      assert(e.var < state.size());
+      return state[e.var];
+    case Expr::Kind::Add:
+      return evalInt(*e.args[0], state) + evalInt(*e.args[1], state);
+    case Expr::Kind::Sub:
+      return evalInt(*e.args[0], state) - evalInt(*e.args[1], state);
+    case Expr::Kind::Mul:
+      return evalInt(*e.args[0], state) * evalInt(*e.args[1], state);
+    case Expr::Kind::Mod:
+      return euclideanMod(evalInt(*e.args[0], state),
+                          evalInt(*e.args[1], state));
+    case Expr::Kind::Ite:
+      return evalBool(*e.args[0], state) ? evalInt(*e.args[1], state)
+                                         : evalInt(*e.args[2], state);
+    default:
+      throw std::logic_error("evalInt on a bool-valued expression");
+  }
+}
+
+bool evalBool(const Expr& e, std::span<const int> state) {
+  switch (e.kind) {
+    case Expr::Kind::BoolConst:
+      return e.value != 0;
+    case Expr::Kind::Eq:
+      return evalInt(*e.args[0], state) == evalInt(*e.args[1], state);
+    case Expr::Kind::Ne:
+      return evalInt(*e.args[0], state) != evalInt(*e.args[1], state);
+    case Expr::Kind::Lt:
+      return evalInt(*e.args[0], state) < evalInt(*e.args[1], state);
+    case Expr::Kind::Le:
+      return evalInt(*e.args[0], state) <= evalInt(*e.args[1], state);
+    case Expr::Kind::Gt:
+      return evalInt(*e.args[0], state) > evalInt(*e.args[1], state);
+    case Expr::Kind::Ge:
+      return evalInt(*e.args[0], state) >= evalInt(*e.args[1], state);
+    case Expr::Kind::And:
+      return evalBool(*e.args[0], state) && evalBool(*e.args[1], state);
+    case Expr::Kind::Or:
+      return evalBool(*e.args[0], state) || evalBool(*e.args[1], state);
+    case Expr::Kind::Not:
+      return !evalBool(*e.args[0], state);
+    case Expr::Kind::Implies:
+      return !evalBool(*e.args[0], state) || evalBool(*e.args[1], state);
+    case Expr::Kind::Iff:
+      return evalBool(*e.args[0], state) == evalBool(*e.args[1], state);
+    default:
+      throw std::logic_error("evalBool on an int-valued expression");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Static analyses.
+// ---------------------------------------------------------------------------
+
+void collectSupport(const Expr& e, std::set<VarId>& out) {
+  if (e.kind == Expr::Kind::Ref) out.insert(e.var);
+  for (const ExprPtr& a : e.args) collectSupport(*a, out);
+}
+
+std::set<long> possibleValues(const Expr& e, std::span<const int> domains) {
+  switch (e.kind) {
+    case Expr::Kind::Const:
+      return {e.value};
+    case Expr::Kind::Ref: {
+      assert(e.var < domains.size());
+      std::set<long> out;
+      for (int v = 0; v < domains[e.var]; ++v) out.insert(v);
+      return out;
+    }
+    case Expr::Kind::Add:
+    case Expr::Kind::Sub:
+    case Expr::Kind::Mul:
+    case Expr::Kind::Mod: {
+      const std::set<long> as = possibleValues(*e.args[0], domains);
+      const std::set<long> bs = possibleValues(*e.args[1], domains);
+      std::set<long> out;
+      for (long a : as) {
+        for (long b : bs) {
+          switch (e.kind) {
+            case Expr::Kind::Add:
+              out.insert(a + b);
+              break;
+            case Expr::Kind::Sub:
+              out.insert(a - b);
+              break;
+            case Expr::Kind::Mul:
+              out.insert(a * b);
+              break;
+            default:
+              if (b > 0) out.insert(euclideanMod(a, b));
+              break;
+          }
+        }
+      }
+      return out;
+    }
+    case Expr::Kind::Ite: {
+      std::set<long> out = possibleValues(*e.args[1], domains);
+      out.merge(possibleValues(*e.args[2], domains));
+      return out;
+    }
+    default:
+      throw std::logic_error("possibleValues on a bool-valued expression");
+  }
+}
+
+std::string toString(const Expr& e, std::span<const std::string> varNames) {
+  auto bin = [&](const char* op) {
+    return "(" + toString(*e.args[0], varNames) + " " + op + " " +
+           toString(*e.args[1], varNames) + ")";
+  };
+  switch (e.kind) {
+    case Expr::Kind::Const:
+      return std::to_string(e.value);
+    case Expr::Kind::BoolConst:
+      return e.value ? "true" : "false";
+    case Expr::Kind::Ref:
+      return e.var < varNames.size() ? varNames[e.var]
+                                     : "v" + std::to_string(e.var);
+    case Expr::Kind::Add:
+      return bin("+");
+    case Expr::Kind::Sub:
+      return bin("-");
+    case Expr::Kind::Mul:
+      return bin("*");
+    case Expr::Kind::Mod:
+      return bin("mod");
+    case Expr::Kind::Ite:
+      return "(" + toString(*e.args[0], varNames) + " ? " +
+             toString(*e.args[1], varNames) + " : " +
+             toString(*e.args[2], varNames) + ")";
+    case Expr::Kind::Eq:
+      return bin("==");
+    case Expr::Kind::Ne:
+      return bin("!=");
+    case Expr::Kind::Lt:
+      return bin("<");
+    case Expr::Kind::Le:
+      return bin("<=");
+    case Expr::Kind::Gt:
+      return bin(">");
+    case Expr::Kind::Ge:
+      return bin(">=");
+    case Expr::Kind::And:
+      return bin("&&");
+    case Expr::Kind::Or:
+      return bin("||");
+    case Expr::Kind::Not:
+      return "!" + toString(*e.args[0], varNames);
+    case Expr::Kind::Implies:
+      return bin("=>");
+    case Expr::Kind::Iff:
+      return bin("<=>");
+  }
+  return "?";
+}
+
+}  // namespace stsyn::protocol

@@ -1,0 +1,125 @@
+// Expression AST shared by guards, assignments, and invariants.
+//
+// The same AST is evaluated two ways: explicitly over concrete states
+// (src/explicitstate) and symbolically into BDDs (src/symbolic). Integer
+// expressions range over small finite value sets derived from variable
+// domains, which keeps the symbolic compilation exact (one BDD indicator
+// per possible value).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <set>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace stsyn::protocol {
+
+/// Index into Protocol::vars.
+using VarId = std::size_t;
+
+struct Expr;
+using ExprPtr = std::shared_ptr<const Expr>;
+
+struct Expr {
+  enum class Kind : std::uint8_t {
+    // int-valued
+    Const,
+    Ref,
+    Add,
+    Sub,
+    Mul,
+    Mod,
+    Ite,  // args: bool, int, int
+    // bool-valued
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    And,
+    Or,
+    Not,
+    Implies,
+    Iff,
+    BoolConst,
+  };
+
+  Kind kind;
+  long value = 0;  // Const payload; BoolConst uses 0/1
+  VarId var = 0;   // Ref payload
+  std::vector<ExprPtr> args;
+
+  [[nodiscard]] bool isBool() const;
+};
+
+/// Thin value wrapper enabling natural operator syntax when constructing
+/// expressions in C++ (case studies, tests). `E` is cheap to copy.
+class E {
+ public:
+  E() = default;
+  explicit E(ExprPtr p) : ptr_(std::move(p)) {}
+
+  [[nodiscard]] const ExprPtr& ptr() const { return ptr_; }
+  [[nodiscard]] bool empty() const { return ptr_ == nullptr; }
+
+  // Arithmetic (int-valued).
+  friend E operator+(E a, E b);
+  friend E operator-(E a, E b);
+  friend E operator*(E a, E b);
+  /// Euclidean remainder: result is always in [0, m).
+  [[nodiscard]] E mod(long m) const;
+
+  // Comparisons (bool-valued).
+  friend E operator==(E a, E b);
+  friend E operator!=(E a, E b);
+  friend E operator<(E a, E b);
+  friend E operator<=(E a, E b);
+  friend E operator>(E a, E b);
+  friend E operator>=(E a, E b);
+
+  // Boolean connectives.
+  friend E operator&&(E a, E b);
+  friend E operator||(E a, E b);
+  friend E operator!(E a);
+  [[nodiscard]] E implies(E rhs) const;
+  [[nodiscard]] E iff(E rhs) const;
+
+ private:
+  ExprPtr ptr_;
+};
+
+/// Integer literal.
+[[nodiscard]] E lit(long v);
+/// Boolean literal.
+[[nodiscard]] E blit(bool v);
+/// Variable reference.
+[[nodiscard]] E ref(VarId v);
+/// bool ? thenInt : elseInt.
+[[nodiscard]] E ite(E cond, E thenE, E elseE);
+/// Conjunction over a list (true when empty).
+[[nodiscard]] E allOf(std::span<const E> es);
+/// Disjunction over a list (false when empty).
+[[nodiscard]] E anyOf(std::span<const E> es);
+
+/// Evaluates an int-valued expression on a concrete state (value per VarId).
+[[nodiscard]] long evalInt(const Expr& e, std::span<const int> state);
+/// Evaluates a bool-valued expression on a concrete state.
+[[nodiscard]] bool evalBool(const Expr& e, std::span<const int> state);
+
+/// Collects the variables referenced by the expression.
+void collectSupport(const Expr& e, std::set<VarId>& out);
+
+/// All values an int-valued expression can take, given per-variable domain
+/// sizes. Used by the symbolic compiler; exact for the small domains the
+/// paper's protocols use.
+[[nodiscard]] std::set<long> possibleValues(const Expr& e,
+                                            std::span<const int> domains);
+
+/// Human-readable rendering with variable names supplied by the caller.
+[[nodiscard]] std::string toString(const Expr& e,
+                                   std::span<const std::string> varNames);
+
+}  // namespace stsyn::protocol

@@ -1,0 +1,150 @@
+#include "protocol/protocol.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace stsyn::protocol {
+
+namespace {
+
+bool sortedMember(const std::vector<VarId>& xs, VarId v) {
+  return std::binary_search(xs.begin(), xs.end(), v);
+}
+
+void requireSortedUnique(const std::vector<VarId>& xs, const std::string& who,
+                         std::size_t varCount) {
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    if (xs[i] >= varCount) {
+      throw std::invalid_argument(who + ": variable id out of range");
+    }
+    if (i > 0 && xs[i] <= xs[i - 1]) {
+      throw std::invalid_argument(who + ": read/write set must be sorted and "
+                                        "duplicate-free");
+    }
+  }
+}
+
+}  // namespace
+
+bool Process::canRead(VarId v) const { return sortedMember(reads, v); }
+bool Process::canWrite(VarId v) const { return sortedMember(writes, v); }
+
+std::vector<int> Protocol::domains() const {
+  std::vector<int> d(vars.size());
+  for (std::size_t i = 0; i < vars.size(); ++i) d[i] = vars[i].domain;
+  return d;
+}
+
+double Protocol::stateCount() const {
+  double n = 1.0;
+  for (const Variable& v : vars) n *= v.domain;
+  return n;
+}
+
+std::vector<VarId> Protocol::unreadableOf(std::size_t j) const {
+  std::vector<VarId> out;
+  const Process& p = processes.at(j);
+  for (VarId v = 0; v < vars.size(); ++v) {
+    if (!p.canRead(v)) out.push_back(v);
+  }
+  return out;
+}
+
+std::vector<std::string> Protocol::varNames() const {
+  std::vector<std::string> names(vars.size());
+  for (std::size_t i = 0; i < vars.size(); ++i) names[i] = vars[i].name;
+  return names;
+}
+
+void validate(const Protocol& p) {
+  if (p.vars.empty()) throw std::invalid_argument("protocol has no variables");
+  for (const Variable& v : p.vars) {
+    if (v.domain < 1) {
+      throw std::invalid_argument("variable " + v.name +
+                                  " has an empty domain");
+    }
+  }
+  if (!p.invariant || !p.invariant->isBool()) {
+    throw std::invalid_argument("protocol invariant must be a boolean "
+                                "expression");
+  }
+  {
+    std::set<VarId> sup;
+    collectSupport(*p.invariant, sup);
+    for (VarId v : sup) {
+      if (v >= p.vars.size()) {
+        throw std::invalid_argument("invariant references unknown variable");
+      }
+    }
+  }
+  if (!p.localPredicates.empty() &&
+      p.localPredicates.size() != p.processes.size()) {
+    throw std::invalid_argument(
+        "localPredicates must be empty or have one entry per process");
+  }
+
+  for (std::size_t j = 0; j < p.processes.size(); ++j) {
+    const Process& proc = p.processes[j];
+    const std::string who = "process " + proc.name;
+    requireSortedUnique(proc.reads, who, p.vars.size());
+    requireSortedUnique(proc.writes, who, p.vars.size());
+    for (VarId w : proc.writes) {
+      if (!proc.canRead(w)) {
+        throw std::invalid_argument(who + ": writes must be a subset of "
+                                          "reads (w_j subseteq r_j)");
+      }
+    }
+    for (const Action& a : proc.actions) {
+      if (!a.guard || !a.guard->isBool()) {
+        throw std::invalid_argument(who + "/" + a.label +
+                                    ": guard must be boolean");
+      }
+      std::set<VarId> sup;
+      collectSupport(*a.guard, sup);
+      for (const Assignment& asg : a.assigns) {
+        if (!proc.canWrite(asg.var)) {
+          throw std::invalid_argument(
+              who + "/" + a.label + ": assignment writes an unwritable "
+                                    "variable (write restriction)");
+        }
+        if (!asg.value || asg.value->isBool()) {
+          throw std::invalid_argument(who + "/" + a.label +
+                                      ": assignment value must be integer");
+        }
+        collectSupport(*asg.value, sup);
+      }
+      // Read restriction: guard and right-hand sides see only r_j. This is
+      // what makes each action's transition set a union of whole groups.
+      for (VarId v : sup) {
+        if (!proc.canRead(v)) {
+          throw std::invalid_argument(
+              who + "/" + a.label + ": reads an unreadable variable (read "
+                                    "restriction)");
+        }
+      }
+      // No variable may be assigned twice in one action.
+      std::set<VarId> assigned;
+      for (const Assignment& asg : a.assigns) {
+        if (!assigned.insert(asg.var).second) {
+          throw std::invalid_argument(who + "/" + a.label +
+                                      ": duplicate assignment target");
+        }
+      }
+    }
+    if (!p.localPredicates.empty()) {
+      if (!p.localPredicates[j] || !p.localPredicates[j]->isBool()) {
+        throw std::invalid_argument(who + ": local predicate must be boolean");
+      }
+      std::set<VarId> sup;
+      collectSupport(*p.localPredicates[j], sup);
+      for (VarId v : sup) {
+        if (!proc.canRead(v)) {
+          throw std::invalid_argument(
+              who + ": local predicate must be over readable variables");
+        }
+      }
+    }
+  }
+}
+
+}  // namespace stsyn::protocol

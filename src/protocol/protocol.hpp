@@ -1,0 +1,84 @@
+// The protocol model of Section II of the paper: finite-domain variables,
+// processes with read/write restrictions (the topology T_p), and guarded
+// commands whose transitions are implicitly closed under the transition
+// groups induced by read restrictions.
+#pragma once
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "protocol/expr.hpp"
+
+namespace stsyn::protocol {
+
+/// A finite-domain variable; values range over 0 .. domain-1.
+struct Variable {
+  std::string name;
+  int domain = 0;
+};
+
+/// One parallel assignment inside a guarded command.
+struct Assignment {
+  VarId var;
+  ExprPtr value;
+};
+
+/// A guarded command `guard -> assignments` (Dijkstra's notation). Its
+/// transition set is { (s0, s1) : guard(s0), s1 = s0[assignments],
+/// all unassigned variables unchanged }.
+struct Action {
+  std::string label;
+  ExprPtr guard;
+  std::vector<Assignment> assigns;
+};
+
+/// A process: its locality (readable variables), write permission, and
+/// guarded commands. Guards and assignment right-hand sides may only
+/// reference readable variables; assigned variables must be writable.
+/// These checks make every action automatically group-closed (Section II).
+struct Process {
+  std::string name;
+  std::vector<VarId> reads;   // sorted, unique
+  std::vector<VarId> writes;  // sorted, unique, subset of reads
+  std::vector<Action> actions;
+
+  [[nodiscard]] bool canRead(VarId v) const;
+  [[nodiscard]] bool canWrite(VarId v) const;
+};
+
+/// A protocol p = (V_p, delta_p, Pi_p, T_p) plus the legitimate-state
+/// predicate I the synthesis problem targets.
+struct Protocol {
+  std::string name;
+  std::vector<Variable> vars;
+  std::vector<Process> processes;
+  ExprPtr invariant;  // the state predicate I
+
+  /// Optional conjunctive decomposition I = AND_i localPredicates[i], one
+  /// per process over that process's readable variables. Used by the
+  /// local-correctability analysis (paper's Figure 5); empty when I has no
+  /// such decomposition.
+  std::vector<ExprPtr> localPredicates;
+
+  [[nodiscard]] std::size_t varCount() const { return vars.size(); }
+  [[nodiscard]] std::size_t processCount() const { return processes.size(); }
+
+  /// Domain sizes indexed by VarId.
+  [[nodiscard]] std::vector<int> domains() const;
+
+  /// Total number of states |S_p| as a double (may exceed 2^64).
+  [[nodiscard]] double stateCount() const;
+
+  /// Variables process j cannot read (ascending).
+  [[nodiscard]] std::vector<VarId> unreadableOf(std::size_t j) const;
+
+  /// Variable names indexed by VarId (for diagnostics).
+  [[nodiscard]] std::vector<std::string> varNames() const;
+};
+
+/// Validates the structural well-formedness rules described above; throws
+/// std::invalid_argument with a diagnostic on violation.
+void validate(const Protocol& p);
+
+}  // namespace stsyn::protocol

@@ -1,0 +1,200 @@
+#include "refinement/message_passing.hpp"
+
+#include <stdexcept>
+
+namespace stsyn::refinement {
+
+using protocol::VarId;
+
+MessagePassingSystem::MessagePassingSystem(const protocol::Protocol& proto)
+    : proto_(proto) {
+  protocol::validate(proto_);
+  const std::size_t n = proto_.vars.size();
+  const std::size_t k = proto_.processes.size();
+
+  owner_.assign(n, SIZE_MAX);
+  for (std::size_t j = 0; j < k; ++j) {
+    for (const VarId v : proto_.processes[j].writes) {
+      if (owner_[v] != SIZE_MAX) {
+        throw std::invalid_argument(
+            "message-passing refinement requires a unique writer per "
+            "variable; '" +
+            proto_.vars[v].name + "' has several");
+      }
+      owner_[v] = j;
+    }
+  }
+  for (VarId v = 0; v < n; ++v) {
+    if (owner_[v] == SIZE_MAX) {
+      throw std::invalid_argument(
+          "message-passing refinement requires every variable to have a "
+          "writer; '" +
+          proto_.vars[v].name + "' has none");
+    }
+  }
+
+  cached_.resize(k);
+  readersOf_.resize(n);
+  for (std::size_t j = 0; j < k; ++j) {
+    for (const VarId v : proto_.processes[j].reads) {
+      if (owner_[v] != j) {
+        cached_[j].push_back(v);
+        readersOf_[v].push_back(j);
+      }
+    }
+  }
+}
+
+Configuration MessagePassingSystem::embed(std::span<const int> state) const {
+  Configuration c;
+  c.owned.assign(state.begin(), state.end());
+  c.cache.resize(proto_.processes.size());
+  for (std::size_t j = 0; j < proto_.processes.size(); ++j) {
+    for (const VarId v : cached_[j]) c.cache[j][v] = state[v];
+  }
+  for (VarId v = 0; v < proto_.vars.size(); ++v) {
+    for (const std::size_t j : readersOf_[v]) {
+      c.channel[{j, v}] = std::nullopt;  // nothing in flight
+    }
+  }
+  return c;
+}
+
+Configuration MessagePassingSystem::randomConfiguration(
+    util::Rng& rng) const {
+  std::vector<int> state(proto_.vars.size());
+  for (VarId v = 0; v < proto_.vars.size(); ++v) {
+    state[v] = static_cast<int>(rng.below(proto_.vars[v].domain));
+  }
+  Configuration c = embed(state);
+  // Corrupt caches and channel slots independently.
+  for (std::size_t j = 0; j < proto_.processes.size(); ++j) {
+    for (auto& [v, value] : c.cache[j]) {
+      value = static_cast<int>(rng.below(proto_.vars[v].domain));
+    }
+  }
+  for (auto& [key, slot] : c.channel) {
+    if (rng.flip()) {
+      slot = static_cast<int>(rng.below(proto_.vars[key.second].domain));
+    }
+  }
+  return c;
+}
+
+std::vector<int> MessagePassingSystem::viewOf(const Configuration& config,
+                                              std::size_t j) const {
+  std::vector<int> view = config.owned;
+  for (const auto& [v, value] : config.cache[j]) view[v] = value;
+  return view;
+}
+
+void MessagePassingSystem::send(Configuration& config, std::size_t /*owner*/,
+                                VarId v, int value) const {
+  for (const std::size_t reader : readersOf_[v]) {
+    config.channel[{reader, v}] = value;  // overwrite semantics
+  }
+}
+
+std::vector<Event> MessagePassingSystem::enabledEvents(
+    const Configuration& config) const {
+  std::vector<Event> events;
+  // Deliveries: any occupied channel slot.
+  for (const auto& [key, slot] : config.channel) {
+    if (slot.has_value()) {
+      events.push_back(Event{Event::Kind::Deliver, key.first, key.second, 0});
+    }
+  }
+  for (std::size_t j = 0; j < proto_.processes.size(); ++j) {
+    // Heartbeats are always enabled for processes that own something that
+    // somebody reads.
+    bool heartbeats = false;
+    for (const VarId v : proto_.processes[j].writes) {
+      heartbeats |= !readersOf_[v].empty();
+    }
+    if (heartbeats) {
+      events.push_back(Event{Event::Kind::Heartbeat, j, 0, 0});
+    }
+    // Executions: guards evaluated on the process's mixed view.
+    const std::vector<int> view = viewOf(config, j);
+    for (std::size_t a = 0; a < proto_.processes[j].actions.size(); ++a) {
+      if (protocol::evalBool(*proto_.processes[j].actions[a].guard, view)) {
+        events.push_back(Event{Event::Kind::Execute, j, 0, a});
+      }
+    }
+  }
+  return events;
+}
+
+void MessagePassingSystem::apply(Configuration& config,
+                                 const Event& event) const {
+  switch (event.kind) {
+    case Event::Kind::Deliver: {
+      auto& slot = config.channel.at({event.process, event.var});
+      if (slot.has_value()) {
+        config.cache[event.process][event.var] = *slot;
+        slot = std::nullopt;
+      }
+      return;
+    }
+    case Event::Kind::Heartbeat: {
+      for (const VarId v : proto_.processes[event.process].writes) {
+        send(config, event.process, v, config.owned[v]);
+      }
+      return;
+    }
+    case Event::Kind::Execute: {
+      const protocol::Process& proc = proto_.processes[event.process];
+      const protocol::Action& action = proc.actions.at(event.action);
+      const std::vector<int> view = viewOf(config, event.process);
+      if (!protocol::evalBool(*action.guard, view)) return;  // raced away
+      for (const protocol::Assignment& asg : action.assigns) {
+        const long value = protocol::evalInt(*asg.value, view);
+        if (value < 0 || value >= proto_.vars[asg.var].domain) {
+          throw std::domain_error("refined execution left the domain");
+        }
+        config.owned[asg.var] = static_cast<int>(value);
+        send(config, event.process, asg.var, config.owned[asg.var]);
+      }
+      return;
+    }
+  }
+}
+
+bool MessagePassingSystem::coherent(const Configuration& config) const {
+  for (std::size_t j = 0; j < proto_.processes.size(); ++j) {
+    for (const auto& [v, value] : config.cache[j]) {
+      if (value != config.owned[v]) return false;
+    }
+  }
+  for (const auto& [key, slot] : config.channel) {
+    if (slot.has_value() && *slot != config.owned[key.second]) return false;
+  }
+  return true;
+}
+
+bool MessagePassingSystem::legitimate(const Configuration& config) const {
+  return coherent(config) &&
+         protocol::evalBool(*proto_.invariant, config.owned);
+}
+
+RefinedRun simulateRefined(const MessagePassingSystem& sys,
+                           Configuration start, util::Rng& rng,
+                           std::size_t maxSteps) {
+  RefinedRun run;
+  Configuration config = std::move(start);
+  for (std::size_t step = 0; step < maxSteps; ++step) {
+    if (sys.legitimate(config)) {
+      run.converged = true;
+      run.steps = step;
+      return run;
+    }
+    const std::vector<Event> events = sys.enabledEvents(config);
+    if (events.empty()) break;  // refined deadlock
+    sys.apply(config, events[rng.below(events.size())]);
+  }
+  run.converged = sys.legitimate(config);
+  run.steps = maxSteps;
+  return run;
+}
+
+}  // namespace stsyn::refinement

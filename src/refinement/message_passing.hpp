@@ -1,0 +1,124 @@
+// Shared-memory to message-passing refinement.
+//
+// The paper adopts the shared-memory model because "several
+// (correctness-preserving) transformations exist for the refinement of
+// shared memory SS protocols to their message-passing versions"
+// (Section II, citing Nesterenko–Arora and Demirbas–Arora). This module
+// supplies that substrate: a mechanical refinement of a Protocol into a
+// message-passing system plus an explicit simulator for it, so the
+// stabilization of refined protocols can be exercised end to end.
+//
+// Refinement scheme (single-writer regular registers):
+//   * every variable is OWNED by the unique process that writes it;
+//   * each reader keeps a CACHED copy of every variable it reads but does
+//     not own;
+//   * owner -> reader links are single-slot channels with overwrite
+//     semantics (a fresh update replaces an undelivered one) — the
+//     message-passing analogue of a regular register;
+//   * processes HEARTBEAT: they (re)send their owned values even when
+//     unchanged, so corrupted caches are eventually repaired;
+//   * a process executes a guarded command against its mixed view (owned
+//     variables read directly, others through the cache) and then
+//     broadcasts the written values.
+//
+// Transient faults may corrupt owned values, caches, and channel slots
+// arbitrarily. A configuration is LEGITIMATE when the owned valuation
+// satisfies I and every cache and occupied channel slot agrees with the
+// owned values (coherence).
+//
+// Note the refinement is faithful to the weaker read/write atomicity: a
+// protocol proven stabilizing under the paper's composite-atomicity model
+// may or may not stabilize here. Dijkstra's token ring famously does; the
+// simulator makes such claims testable.
+#pragma once
+
+#include <map>
+#include <optional>
+
+#include "protocol/protocol.hpp"
+#include "util/rng.hpp"
+
+namespace stsyn::refinement {
+
+/// A refined configuration: the owned variable values plus per-reader
+/// caches and in-flight updates.
+struct Configuration {
+  /// True value of each variable, held by its owner (indexed by VarId).
+  std::vector<int> owned;
+
+  /// cache[j][v]: process j's cached copy of readable-but-unowned var v.
+  std::vector<std::map<protocol::VarId, int>> cache;
+
+  /// channel[{j, v}]: undelivered update of var v addressed to process j
+  /// (single slot, overwrite semantics). Empty optional = slot free.
+  std::map<std::pair<std::size_t, protocol::VarId>, std::optional<int>>
+      channel;
+};
+
+/// One schedulable event of the refined system.
+struct Event {
+  enum class Kind { Deliver, Execute, Heartbeat } kind;
+  std::size_t process;           ///< acting process
+  protocol::VarId var = 0;       ///< Deliver: which cached var to refresh
+  std::size_t action = 0;        ///< Execute: which guarded command fired
+};
+
+class MessagePassingSystem {
+ public:
+  /// Refines `proto`. Requires every variable to have EXACTLY ONE writer
+  /// (throws std::invalid_argument otherwise — e.g. TR² shares `turn`).
+  explicit MessagePassingSystem(const protocol::Protocol& proto);
+
+  [[nodiscard]] const protocol::Protocol& proto() const { return proto_; }
+
+  /// Owner process of each variable.
+  [[nodiscard]] std::size_t ownerOf(protocol::VarId v) const {
+    return owner_[v];
+  }
+
+  /// A coherent configuration embedding the given shared-memory state.
+  [[nodiscard]] Configuration embed(std::span<const int> state) const;
+
+  /// A uniformly random (fault-corrupted) configuration.
+  [[nodiscard]] Configuration randomConfiguration(util::Rng& rng) const;
+
+  /// All events currently enabled in `config`.
+  [[nodiscard]] std::vector<Event> enabledEvents(
+      const Configuration& config) const;
+
+  /// Applies one event in place.
+  void apply(Configuration& config, const Event& event) const;
+
+  /// Is the configuration legitimate: owned state in I and every cache and
+  /// occupied channel slot coherent with the owned values?
+  [[nodiscard]] bool legitimate(const Configuration& config) const;
+
+  /// Coherence alone (caches and channels agree with owned values).
+  [[nodiscard]] bool coherent(const Configuration& config) const;
+
+ private:
+  /// Process j's view: owned variables read directly, the rest from cache.
+  [[nodiscard]] std::vector<int> viewOf(const Configuration& config,
+                                        std::size_t j) const;
+  void send(Configuration& config, std::size_t owner,
+            protocol::VarId v, int value) const;
+
+  protocol::Protocol proto_;
+  std::vector<std::size_t> owner_;                    // by VarId
+  std::vector<std::vector<protocol::VarId>> cached_;  // per process
+  std::vector<std::vector<std::size_t>> readersOf_;   // per VarId
+};
+
+struct RefinedRun {
+  bool converged = false;
+  std::size_t steps = 0;
+};
+
+/// Runs the refined system from `start` under a uniformly random scheduler
+/// until it reaches a legitimate configuration (and reports the step
+/// count) or the budget runs out.
+[[nodiscard]] RefinedRun simulateRefined(const MessagePassingSystem& sys,
+                                         Configuration start, util::Rng& rng,
+                                         std::size_t maxSteps);
+
+}  // namespace stsyn::refinement

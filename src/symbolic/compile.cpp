@@ -1,0 +1,156 @@
+#include "symbolic/compile.hpp"
+
+#include <map>
+#include <stdexcept>
+
+namespace stsyn::symbolic {
+
+using bdd::Bdd;
+using protocol::Expr;
+
+namespace {
+
+long euclideanMod(long a, long m) {
+  const long r = a % m;
+  return r < 0 ? r + m : r;
+}
+
+/// Merges duplicate values, OR-ing their conditions.
+std::vector<ValueCase> normalize(std::map<long, Bdd>&& byValue) {
+  std::vector<ValueCase> out;
+  out.reserve(byValue.size());
+  for (auto& [value, when] : byValue) {
+    if (!when.isFalse()) out.push_back(ValueCase{value, when});
+  }
+  return out;
+}
+
+std::vector<ValueCase> combine(const Expr& e, const Encoding& enc,
+                               StateCopy copy) {
+  const std::vector<ValueCase> as = compileInt(*e.args[0], enc, copy);
+  const std::vector<ValueCase> bs = compileInt(*e.args[1], enc, copy);
+  std::map<long, Bdd> byValue;
+  for (const ValueCase& a : as) {
+    for (const ValueCase& b : bs) {
+      long v;
+      switch (e.kind) {
+        case Expr::Kind::Add:
+          v = a.value + b.value;
+          break;
+        case Expr::Kind::Sub:
+          v = a.value - b.value;
+          break;
+        case Expr::Kind::Mul:
+          v = a.value * b.value;
+          break;
+        case Expr::Kind::Mod:
+          if (b.value <= 0) {
+            throw std::invalid_argument("mod by a non-positive value");
+          }
+          v = euclideanMod(a.value, b.value);
+          break;
+        default:
+          throw std::logic_error("combine: not an arithmetic node");
+      }
+      const Bdd when = a.when & b.when;
+      if (auto it = byValue.find(v); it != byValue.end()) {
+        it->second |= when;
+      } else {
+        byValue.emplace(v, when);
+      }
+    }
+  }
+  return normalize(std::move(byValue));
+}
+
+/// Comparison of two value decompositions under a predicate on value pairs.
+template <typename Cmp>
+Bdd compare(const Expr& e, const Encoding& enc, StateCopy copy, Cmp cmp) {
+  const std::vector<ValueCase> as = compileInt(*e.args[0], enc, copy);
+  const std::vector<ValueCase> bs = compileInt(*e.args[1], enc, copy);
+  Bdd acc = enc.manager().falseBdd();
+  for (const ValueCase& a : as) {
+    for (const ValueCase& b : bs) {
+      if (cmp(a.value, b.value)) acc |= a.when & b.when;
+    }
+  }
+  return acc;
+}
+
+}  // namespace
+
+std::vector<ValueCase> compileInt(const Expr& e, const Encoding& enc,
+                                  StateCopy copy) {
+  switch (e.kind) {
+    case Expr::Kind::Const:
+      return {ValueCase{e.value, enc.manager().trueBdd()}};
+    case Expr::Kind::Ref: {
+      std::vector<ValueCase> out;
+      const int d = enc.proto().vars.at(e.var).domain;
+      out.reserve(d);
+      for (int v = 0; v < d; ++v) {
+        out.push_back(ValueCase{
+            v, copy == StateCopy::Current ? enc.curValue(e.var, v)
+                                          : enc.nextValue(e.var, v)});
+      }
+      return out;
+    }
+    case Expr::Kind::Add:
+    case Expr::Kind::Sub:
+    case Expr::Kind::Mul:
+    case Expr::Kind::Mod:
+      return combine(e, enc, copy);
+    case Expr::Kind::Ite: {
+      const Bdd cond = compileBool(*e.args[0], enc, copy);
+      std::map<long, Bdd> byValue;
+      for (const ValueCase& c : compileInt(*e.args[1], enc, copy)) {
+        byValue.emplace(c.value, enc.manager().falseBdd()).first->second |=
+            c.when & cond;
+      }
+      for (const ValueCase& c : compileInt(*e.args[2], enc, copy)) {
+        byValue.emplace(c.value, enc.manager().falseBdd()).first->second |=
+            c.when & !cond;
+      }
+      return normalize(std::move(byValue));
+    }
+    default:
+      throw std::logic_error("compileInt on a bool-valued expression");
+  }
+}
+
+Bdd compileBool(const Expr& e, const Encoding& enc, StateCopy copy) {
+  switch (e.kind) {
+    case Expr::Kind::BoolConst:
+      return enc.manager().constant(e.value != 0);
+    case Expr::Kind::Eq:
+      return compare(e, enc, copy, [](long a, long b) { return a == b; });
+    case Expr::Kind::Ne:
+      return compare(e, enc, copy, [](long a, long b) { return a != b; });
+    case Expr::Kind::Lt:
+      return compare(e, enc, copy, [](long a, long b) { return a < b; });
+    case Expr::Kind::Le:
+      return compare(e, enc, copy, [](long a, long b) { return a <= b; });
+    case Expr::Kind::Gt:
+      return compare(e, enc, copy, [](long a, long b) { return a > b; });
+    case Expr::Kind::Ge:
+      return compare(e, enc, copy, [](long a, long b) { return a >= b; });
+    case Expr::Kind::And:
+      return compileBool(*e.args[0], enc, copy) &
+             compileBool(*e.args[1], enc, copy);
+    case Expr::Kind::Or:
+      return compileBool(*e.args[0], enc, copy) |
+             compileBool(*e.args[1], enc, copy);
+    case Expr::Kind::Not:
+      return !compileBool(*e.args[0], enc, copy);
+    case Expr::Kind::Implies:
+      return (!compileBool(*e.args[0], enc, copy)) |
+             compileBool(*e.args[1], enc, copy);
+    case Expr::Kind::Iff:
+      return !(compileBool(*e.args[0], enc, copy) ^
+               compileBool(*e.args[1], enc, copy));
+    default:
+      throw std::logic_error("compileBool on an int-valued expression");
+  }
+}
+
+}  // namespace stsyn::symbolic

@@ -1,0 +1,36 @@
+// Compilation of protocol expressions into BDDs over an Encoding.
+//
+// Integer expressions compile into exact value decompositions: a list of
+// (value, condition-BDD) pairs whose conditions partition the valid states.
+// This is precise for the small finite domains of the paper's protocols and
+// avoids bit-level arithmetic circuits.
+#pragma once
+
+#include <vector>
+
+#include "symbolic/encoding.hpp"
+
+namespace stsyn::symbolic {
+
+/// Which copy of the state an expression should be read from.
+enum class StateCopy { Current, Next };
+
+/// One branch of an integer expression's value decomposition.
+struct ValueCase {
+  long value;
+  bdd::Bdd when;  ///< condition over the chosen state copy
+};
+
+/// Compiles an int-valued expression; the returned cases are disjoint and,
+/// restricted to valid states, exhaustive.
+[[nodiscard]] std::vector<ValueCase> compileInt(const protocol::Expr& e,
+                                                const Encoding& enc,
+                                                StateCopy copy);
+
+/// Compiles a bool-valued expression into a predicate over the chosen copy.
+/// The result is implicitly an "within valid codes" predicate: callers
+/// conjoin validCur()/validNext() at the point of use.
+[[nodiscard]] bdd::Bdd compileBool(const protocol::Expr& e, const Encoding& enc,
+                                   StateCopy copy);
+
+}  // namespace stsyn::symbolic

@@ -1,0 +1,56 @@
+#include "symbolic/decode.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace stsyn::symbolic {
+
+using bdd::Bdd;
+
+std::uint64_t packState(const protocol::Protocol& p,
+                        std::span<const int> state) {
+  std::uint64_t packed = 0;
+  // Most-significant digit last so unpacking peels variables in order.
+  for (std::size_t v = p.vars.size(); v-- > 0;) {
+    packed = packed * static_cast<std::uint64_t>(p.vars[v].domain) +
+             static_cast<std::uint64_t>(state[v]);
+  }
+  return packed;
+}
+
+std::vector<int> unpackState(const protocol::Protocol& p,
+                             std::uint64_t packed) {
+  std::vector<int> state(p.vars.size());
+  for (std::size_t v = 0; v < p.vars.size(); ++v) {
+    const auto d = static_cast<std::uint64_t>(p.vars[v].domain);
+    state[v] = static_cast<int>(packed % d);
+    packed /= d;
+  }
+  return state;
+}
+
+std::vector<std::uint64_t> decodeStates(const Encoding& enc, const Bdd& s) {
+  std::vector<std::uint64_t> out;
+  const Bdd restricted = s & enc.validCur();
+  restricted.forEachSat(enc.allCurLevels(), [&](std::span<const char> bits) {
+    out.push_back(packState(enc.proto(), enc.decodeCur(bits)));
+  });
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<ExplicitTransition> decodeRelation(const Encoding& enc,
+                                               const Bdd& rel) {
+  std::vector<ExplicitTransition> out;
+  const Bdd restricted = rel & enc.validCur() & enc.validNext();
+  restricted.forEachSat(
+      enc.curNextLevels(), [&](std::span<const char> bits) {
+        const auto [cur, nxt] = enc.decodePair(bits);
+        out.push_back(ExplicitTransition{packState(enc.proto(), cur),
+                                         packState(enc.proto(), nxt)});
+      });
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace stsyn::symbolic

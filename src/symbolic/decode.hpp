@@ -1,0 +1,40 @@
+// Decoding symbolic sets and relations back into explicit form.
+//
+// Used by the test-suite oracles (symbolic results re-checked by the
+// independent explicit-state engine), by guarded-command extraction, and by
+// the examples when printing small protocols.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "symbolic/encoding.hpp"
+
+namespace stsyn::symbolic {
+
+/// Mixed-radix packing of a concrete state into one integer; the inverse of
+/// unpackState. Requires the state space to fit in 64 bits.
+[[nodiscard]] std::uint64_t packState(const protocol::Protocol& p,
+                                      std::span<const int> state);
+[[nodiscard]] std::vector<int> unpackState(const protocol::Protocol& p,
+                                           std::uint64_t packed);
+
+/// Enumerates all states of a current-state predicate, packed; ascending.
+[[nodiscard]] std::vector<std::uint64_t> decodeStates(const Encoding& enc,
+                                                      const bdd::Bdd& s);
+
+/// An explicit transition (source, target), packed.
+struct ExplicitTransition {
+  std::uint64_t from;
+  std::uint64_t to;
+
+  friend auto operator<=>(const ExplicitTransition&,
+                          const ExplicitTransition&) = default;
+};
+
+/// Enumerates all transitions of a relation, restricted to valid codes on
+/// both sides; sorted ascending.
+[[nodiscard]] std::vector<ExplicitTransition> decodeRelation(
+    const Encoding& enc, const bdd::Bdd& rel);
+
+}  // namespace stsyn::symbolic

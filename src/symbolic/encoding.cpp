@@ -1,0 +1,220 @@
+#include "symbolic/encoding.hpp"
+
+#include <cassert>
+#include <utility>
+#include <stdexcept>
+
+namespace stsyn::symbolic {
+
+using bdd::Bdd;
+using bdd::Var;
+using protocol::VarId;
+
+namespace {
+int bitsForDomain(int d) {
+  int b = 1;
+  while ((1 << b) < d) ++b;
+  return b;
+}
+}  // namespace
+
+Encoding::Encoding(protocol::Protocol proto) : proto_(std::move(proto)) {
+  protocol::validate(proto_);
+
+  const std::size_t n = proto_.vars.size();
+  bits_.resize(n);
+  curLevels_.resize(n);
+  nextLevels_.resize(n);
+
+  Var level = 0;
+  for (VarId v = 0; v < n; ++v) {
+    bits_[v] = bitsForDomain(proto_.vars[v].domain);
+    for (int k = 0; k < bits_[v]; ++k) {
+      curLevels_[v].push_back(level++);
+      nextLevels_[v].push_back(level++);
+    }
+  }
+  mgr_ = std::make_unique<bdd::Manager>(level);
+
+  for (VarId v = 0; v < n; ++v) {
+    for (int k = 0; k < bits_[v]; ++k) {
+      allCur_.push_back(curLevels_[v][k]);
+      allNext_.push_back(nextLevels_[v][k]);
+    }
+  }
+  allLevels_.resize(level);
+  for (Var l = 0; l < level; ++l) allLevels_[l] = l;
+
+  // The cur<->next renaming swaps each interleaved pair. It is monotone on
+  // any function whose support touches only one side of each pair, which is
+  // the only way we ever use it.
+  permNextToCur_.resize(level);
+  permCurToNext_.resize(level);
+  for (VarId v = 0; v < n; ++v) {
+    for (int k = 0; k < bits_[v]; ++k) {
+      const Var c = curLevels_[v][k];
+      const Var x = nextLevels_[v][k];
+      permNextToCur_[x] = c;
+      permNextToCur_[c] = c;
+      permCurToNext_[c] = x;
+      permCurToNext_[x] = x;
+    }
+  }
+
+  // Value indicators.
+  curValue_.resize(n);
+  nextValue_.resize(n);
+  for (VarId v = 0; v < n; ++v) {
+    const int d = proto_.vars[v].domain;
+    curValue_[v].resize(d);
+    nextValue_[v].resize(d);
+    for (int val = 0; val < d; ++val) {
+      Bdd cur = mgr_->trueBdd();
+      Bdd nxt = mgr_->trueBdd();
+      for (int k = 0; k < bits_[v]; ++k) {
+        const bool bit = (val >> k) & 1;
+        cur &= bit ? mgr_->var(curLevels_[v][k]) : mgr_->nvar(curLevels_[v][k]);
+        nxt &= bit ? mgr_->var(nextLevels_[v][k])
+                   : mgr_->nvar(nextLevels_[v][k]);
+      }
+      curValue_[v][val] = cur;
+      nextValue_[v][val] = nxt;
+    }
+  }
+
+  // Valid codes, per-variable frames, the diagonal, quantification cubes.
+  validCur_ = mgr_->trueBdd();
+  validNext_ = mgr_->trueBdd();
+  diagonal_ = mgr_->trueBdd();
+  unchanged_.resize(n);
+  for (VarId v = 0; v < n; ++v) {
+    Bdd someCur = mgr_->falseBdd();
+    Bdd someNext = mgr_->falseBdd();
+    for (int val = 0; val < proto_.vars[v].domain; ++val) {
+      someCur |= curValue_[v][val];
+      someNext |= nextValue_[v][val];
+    }
+    validCur_ &= someCur;
+    validNext_ &= someNext;
+
+    Bdd eq = mgr_->trueBdd();
+    for (int k = 0; k < bits_[v]; ++k) {
+      eq &= !(mgr_->var(curLevels_[v][k]) ^ mgr_->var(nextLevels_[v][k]));
+    }
+    unchanged_[v] = eq;
+    diagonal_ &= eq;
+  }
+  curCube_ = mgr_->cube(allCur_);
+  nextCube_ = mgr_->cube(allNext_);
+}
+
+Bdd Encoding::curValue(VarId v, int value) const {
+  if (value < 0 || value >= proto_.vars[v].domain) {
+    throw std::out_of_range("curValue: value outside variable domain");
+  }
+  return curValue_[v][value];
+}
+
+Bdd Encoding::nextValue(VarId v, int value) const {
+  if (value < 0 || value >= proto_.vars[v].domain) {
+    throw std::out_of_range("nextValue: value outside variable domain");
+  }
+  return nextValue_[v][value];
+}
+
+Bdd Encoding::nextToCur(const Bdd& f) const { return f.rename(permNextToCur_); }
+Bdd Encoding::curToNext(const Bdd& f) const { return f.rename(permCurToNext_); }
+
+Bdd Encoding::stateBdd(std::span<const int> state) const {
+  assert(state.size() == proto_.vars.size());
+  Bdd s = mgr_->trueBdd();
+  for (VarId v = 0; v < state.size(); ++v) s &= curValue(v, state[v]);
+  return s;
+}
+
+std::vector<int> Encoding::completeState(
+    std::span<const signed char> path) const {
+  std::vector<int> state(proto_.vars.size());
+  for (VarId v = 0; v < proto_.vars.size(); ++v) {
+    int chosen = -1;
+    for (int val = 0; val < proto_.vars[v].domain && chosen < 0; ++val) {
+      bool ok = true;
+      for (int k = 0; k < bits_[v] && ok; ++k) {
+        const signed char bit = path[curLevels_[v][k]];
+        if (bit >= 0 && bit != ((val >> k) & 1)) ok = false;
+      }
+      if (ok) chosen = val;
+    }
+    if (chosen < 0) {
+      throw std::logic_error("completeState: path excludes every domain value"
+                             " (predicate not within validCur)");
+    }
+    state[v] = chosen;
+  }
+  return state;
+}
+
+std::pair<std::vector<int>, std::vector<int>> Encoding::completeTransition(
+    std::span<const signed char> path) const {
+  auto complete = [&](const std::vector<std::vector<bdd::Var>>& levels) {
+    std::vector<int> state(proto_.vars.size());
+    for (VarId v = 0; v < proto_.vars.size(); ++v) {
+      int chosen = -1;
+      for (int val = 0; val < proto_.vars[v].domain && chosen < 0; ++val) {
+        bool ok = true;
+        for (int k = 0; k < bits_[v] && ok; ++k) {
+          const signed char bit = path[levels[v][k]];
+          if (bit >= 0 && bit != ((val >> k) & 1)) ok = false;
+        }
+        if (ok) chosen = val;
+      }
+      if (chosen < 0) {
+        throw std::logic_error(
+            "completeTransition: path excludes every domain value "
+            "(relation not within valid codes)");
+      }
+      state[v] = chosen;
+    }
+    return state;
+  };
+  return {complete(curLevels_), complete(nextLevels_)};
+}
+
+std::vector<int> Encoding::decodeCur(std::span<const char> bits) const {
+  assert(bits.size() == allCur_.size());
+  std::vector<int> state(proto_.vars.size());
+  std::size_t pos = 0;
+  for (VarId v = 0; v < proto_.vars.size(); ++v) {
+    int val = 0;
+    for (int k = 0; k < bits_[v]; ++k, ++pos) {
+      val |= (bits[pos] ? 1 : 0) << k;
+    }
+    state[v] = val;
+  }
+  return state;
+}
+
+std::pair<std::vector<int>, std::vector<int>> Encoding::decodePair(
+    std::span<const char> bits) const {
+  assert(bits.size() == allLevels_.size());
+  std::vector<int> cur(proto_.vars.size());
+  std::vector<int> nxt(proto_.vars.size());
+  for (VarId v = 0; v < proto_.vars.size(); ++v) {
+    int cv = 0;
+    int nv = 0;
+    for (int k = 0; k < bits_[v]; ++k) {
+      // allLevels_ is the identity, so positions equal the levels.
+      cv |= (bits[curLevels_[v][k]] ? 1 : 0) << k;
+      nv |= (bits[nextLevels_[v][k]] ? 1 : 0) << k;
+    }
+    cur[v] = cv;
+    nxt[v] = nv;
+  }
+  return {cur, nxt};
+}
+
+double Encoding::countStates(const Bdd& s) const {
+  return s.satCount(allCur_);
+}
+
+}  // namespace stsyn::symbolic

@@ -1,0 +1,134 @@
+#include "symbolic/relations.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace stsyn::symbolic {
+
+using bdd::Bdd;
+using bdd::Var;
+using protocol::VarId;
+
+Bdd actionRelation(const Encoding& enc, std::size_t proc,
+                   const protocol::Action& action) {
+  const protocol::Protocol& p = enc.proto();
+  const protocol::Process& pr = p.processes.at(proc);
+
+  Bdd rel = compileBool(*action.guard, enc, StateCopy::Current);
+  std::vector<bool> assigned(p.vars.size(), false);
+  for (const protocol::Assignment& asg : action.assigns) {
+    assigned[asg.var] = true;
+    // x'_v takes the value of the right-hand side, evaluated on the
+    // current state (all assignments in one action are parallel).
+    Bdd target = enc.manager().falseBdd();
+    for (const ValueCase& c : compileInt(*asg.value, enc, StateCopy::Current)) {
+      if (c.value < 0 || c.value >= p.vars[asg.var].domain) {
+        // A right-hand side may range outside the domain only under
+        // conditions where the guard is false; intersecting with the guard
+        // later would mask a modelling bug, so reject loudly here.
+        throw std::invalid_argument(
+            "action " + pr.name + "/" + action.label +
+            ": assignment can produce a value outside the target domain; "
+            "apply .mod(domain) to the right-hand side");
+      }
+      target |= c.when & enc.nextValue(asg.var, static_cast<int>(c.value));
+    }
+    rel &= target;
+  }
+  for (VarId v = 0; v < p.vars.size(); ++v) {
+    if (!assigned[v]) rel &= enc.unchanged(v);
+  }
+  return rel & enc.validCur();
+}
+
+SymbolicProtocol::SymbolicProtocol(const Encoding& enc) : enc_(enc) {
+  const protocol::Protocol& p = enc.proto();
+  bdd::Manager& m = enc.manager();
+
+  invariant_ =
+      compileBool(*p.invariant, enc, StateCopy::Current) & enc.validCur();
+
+  protocolRel_ = m.falseBdd();
+  processRel_.reserve(p.processes.size());
+  frame_.reserve(p.processes.size());
+  candidates_.reserve(p.processes.size());
+  unreadCube_.reserve(p.processes.size());
+  unreadUnchanged_.reserve(p.processes.size());
+
+  for (std::size_t j = 0; j < p.processes.size(); ++j) {
+    Bdd rel = m.falseBdd();
+    for (const protocol::Action& a : p.processes[j].actions) {
+      rel |= actionRelation(enc, j, a);
+    }
+    processRel_.push_back(rel);
+    protocolRel_ |= rel;
+
+    Bdd frame = m.trueBdd();
+    for (VarId v = 0; v < p.vars.size(); ++v) {
+      if (!p.processes[j].canWrite(v)) frame &= enc.unchanged(v);
+    }
+    frame_.push_back(frame);
+    candidates_.push_back(frame & enc.validCur() & enc.validNext() &
+                          !enc.diagonal());
+
+    std::vector<Var> levels;
+    Bdd unreadEq = m.trueBdd();
+    for (VarId v : p.unreadableOf(j)) {
+      levels.insert(levels.end(), enc.curLevels(v).begin(),
+                    enc.curLevels(v).end());
+      levels.insert(levels.end(), enc.nextLevels(v).begin(),
+                    enc.nextLevels(v).end());
+      unreadEq &= enc.unchanged(v);
+    }
+    std::sort(levels.begin(), levels.end());
+    unreadCube_.push_back(m.cube(levels));
+    unreadUnchanged_.push_back(unreadEq);
+  }
+}
+
+Bdd SymbolicProtocol::groupExpand(std::size_t j, const Bdd& t) const {
+  // Two transitions are groupmates of process j iff they agree on the
+  // readable variables in both source and target (and each keeps the
+  // unreadables unchanged). Projecting out both copies of the unreadables
+  // and re-imposing "unreadables unchanged" therefore yields exactly the
+  // union of the groups intersecting t.
+  return t.exists(unreadCube_[j]) & unreadUnchanged_[j] & enc_.validCur() &
+         enc_.validNext();
+}
+
+Bdd SymbolicProtocol::image(const Bdd& t, const Bdd& s) const {
+  return enc_.nextToCur(t.andExists(s, enc_.curCube()));
+}
+
+Bdd SymbolicProtocol::preimage(const Bdd& t, const Bdd& s) const {
+  return t.andExists(enc_.curToNext(s), enc_.nextCube());
+}
+
+Bdd SymbolicProtocol::restrictRel(const Bdd& t, const Bdd& x) const {
+  return t & x & enc_.curToNext(x);
+}
+
+Bdd SymbolicProtocol::sources(const Bdd& t) const {
+  return t.exists(enc_.nextCube());
+}
+
+Bdd SymbolicProtocol::deadlocks(const Bdd& t) const {
+  return enc_.validCur() & !invariant_ & !sources(t);
+}
+
+std::vector<int> SymbolicProtocol::pickState(const Bdd& s) const {
+  if (s.isFalse()) {
+    throw std::invalid_argument("pickState on an empty state predicate");
+  }
+  return enc_.completeState(s.onePath());
+}
+
+std::pair<std::vector<int>, std::vector<int>> SymbolicProtocol::pickTransition(
+    const Bdd& rel) const {
+  if (rel.isFalse()) {
+    throw std::invalid_argument("pickTransition on an empty relation");
+  }
+  return enc_.completeTransition(rel.onePath());
+}
+
+}  // namespace stsyn::symbolic

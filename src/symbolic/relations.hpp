@@ -1,0 +1,106 @@
+// Symbolic transition-relation machinery for a protocol: per-process
+// relations, the "weakest candidate" relations used by the synthesis
+// heuristic, image/preimage operators, and the group-expansion operator
+// E_j that closes a transition set under groupmates (Section II of the
+// paper: transitions come in groups induced by read restrictions).
+#pragma once
+
+#include <vector>
+
+#include "symbolic/compile.hpp"
+#include "symbolic/encoding.hpp"
+
+namespace stsyn::symbolic {
+
+class SymbolicProtocol {
+ public:
+  explicit SymbolicProtocol(const Encoding& enc);
+
+  [[nodiscard]] const Encoding& enc() const { return enc_; }
+  [[nodiscard]] bdd::Manager& manager() const { return enc_.manager(); }
+  [[nodiscard]] std::size_t processCount() const {
+    return enc_.proto().processes.size();
+  }
+
+  /// The legitimate-state predicate I, compiled over current-state levels
+  /// and restricted to valid codes.
+  [[nodiscard]] bdd::Bdd invariant() const { return invariant_; }
+
+  /// Transition relation of one process (union of its guarded commands),
+  /// restricted to valid source codes.
+  [[nodiscard]] bdd::Bdd processRelation(std::size_t j) const {
+    return processRel_[j];
+  }
+
+  /// delta_p: union over processes.
+  [[nodiscard]] bdd::Bdd protocolRelation() const { return protocolRel_; }
+
+  /// frame_j = AND over v not writable by j of (x'_v = x_v): what any
+  /// transition of process j must leave untouched.
+  [[nodiscard]] bdd::Bdd frame(std::size_t j) const { return frame_[j]; }
+
+  /// A_j: every transition process j could possibly take — valid source and
+  /// target, respects frame_j, and is not a self-loop. The universe from
+  /// which recovery transitions are drawn.
+  [[nodiscard]] bdd::Bdd candidates(std::size_t j) const {
+    return candidates_[j];
+  }
+
+  /// Group expansion E_j(T): the union of all transition groups of process
+  /// j that intersect T. T must consist of process-j transitions (i.e.
+  /// satisfy frame_j); the result again satisfies frame_j.
+  [[nodiscard]] bdd::Bdd groupExpand(std::size_t j, const bdd::Bdd& t) const;
+
+  /// Successors of S under relation T: { s' : exists s in S, (s,s') in T },
+  /// expressed over current-state levels.
+  [[nodiscard]] bdd::Bdd image(const bdd::Bdd& t, const bdd::Bdd& s) const;
+
+  /// Predecessors of S under T: { s : exists s' in S, (s,s') in T }.
+  [[nodiscard]] bdd::Bdd preimage(const bdd::Bdd& t, const bdd::Bdd& s) const;
+
+  /// Restriction T | X: transitions of T that start and end in X
+  /// (the projection delta_p|X of Section II).
+  [[nodiscard]] bdd::Bdd restrictRel(const bdd::Bdd& t,
+                                     const bdd::Bdd& x) const;
+
+  /// Source states having at least one outgoing transition in T.
+  [[nodiscard]] bdd::Bdd sources(const bdd::Bdd& t) const;
+
+  /// Deadlock states of relation T outside I: valid states in ¬I with no
+  /// outgoing transition (Proposition II.1).
+  [[nodiscard]] bdd::Bdd deadlocks(const bdd::Bdd& t) const;
+
+  /// Lifts a current-state predicate to the same predicate on next-state
+  /// levels (for building (s0, s1) constraints on targets).
+  [[nodiscard]] bdd::Bdd onNext(const bdd::Bdd& s) const {
+    return enc_.curToNext(s);
+  }
+
+  /// A deterministic representative state of a non-empty predicate.
+  [[nodiscard]] std::vector<int> pickState(const bdd::Bdd& s) const;
+
+  /// A deterministic representative transition of a non-empty relation.
+  [[nodiscard]] std::pair<std::vector<int>, std::vector<int>> pickTransition(
+      const bdd::Bdd& rel) const;
+
+ private:
+  const Encoding& enc_;
+  bdd::Bdd invariant_;
+  std::vector<bdd::Bdd> processRel_;
+  bdd::Bdd protocolRel_;
+  std::vector<bdd::Bdd> frame_;
+  std::vector<bdd::Bdd> candidates_;
+
+  // Per-process cubes/equalities for E_j: quantify both copies of the
+  // unreadable variables, then re-impose "unreadables unchanged".
+  std::vector<bdd::Bdd> unreadCube_;
+  std::vector<bdd::Bdd> unreadUnchanged_;
+};
+
+/// Compiles one guarded command of process j into its transition relation:
+/// guard(x) AND assigned next-values AND frame over unassigned variables,
+/// restricted to valid current codes.
+[[nodiscard]] bdd::Bdd actionRelation(const Encoding& enc, std::size_t proc,
+                                      const protocol::Action& action);
+
+}  // namespace stsyn::symbolic

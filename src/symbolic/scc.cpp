@@ -1,0 +1,188 @@
+#include "symbolic/scc.hpp"
+
+#include <cassert>
+#include <utility>
+
+namespace stsyn::symbolic {
+
+using bdd::Bdd;
+
+namespace {
+
+/// Successors of S under the partitioned relation, all within `within`.
+Bdd imageParts(const SymbolicProtocol& sp, std::span<const Bdd> parts,
+               const Bdd& s, const Bdd& within) {
+  Bdd out = sp.manager().falseBdd();
+  for (const Bdd& part : parts) out |= sp.image(part, s) & within;
+  return out;
+}
+
+/// Predecessors of S under the partitioned relation, within `within`.
+Bdd preimageParts(const SymbolicProtocol& sp, std::span<const Bdd> parts,
+                  const Bdd& s, const Bdd& within) {
+  Bdd out = sp.manager().falseBdd();
+  for (const Bdd& part : parts) out |= sp.preimage(part, s) & within;
+  return out;
+}
+
+/// One lockstep refinement step: returns the SCC of a pivot state inside V
+/// together with the converged search set, growing the forward and backward
+/// reachable sets in lockstep so the work is proportional to the smaller of
+/// the two (the property that makes the algorithm's symbolic step count
+/// linear up to a log factor).
+struct Lockstep {
+  Bdd scc;        // the pivot's SCC
+  Bdd converged;  // the search set that converged first (closed within V)
+};
+
+Lockstep lockstep(const SymbolicProtocol& sp, std::span<const Bdd> parts,
+                  const Bdd& v, const Bdd& pivot, std::size_t& steps) {
+  Bdd fwd = pivot;
+  Bdd bwd = pivot;
+  Bdd fFront = pivot;
+  Bdd bFront = pivot;
+
+  while (!fFront.isFalse() && !bFront.isFalse()) {
+    fFront = imageParts(sp, parts, fFront, v) & !fwd;
+    fwd |= fFront;
+    bFront = preimageParts(sp, parts, bFront, v) & !bwd;
+    bwd |= bFront;
+    steps += 2;
+  }
+  if (fFront.isFalse()) {
+    // Forward search converged: the pivot's SCC lies inside fwd. Finish the
+    // backward search but only within fwd.
+    bwd &= fwd;
+    bFront &= fwd;
+    while (!bFront.isFalse()) {
+      bFront = preimageParts(sp, parts, bFront, fwd) & !bwd;
+      bwd |= bFront;
+      ++steps;
+    }
+    return Lockstep{fwd & bwd, fwd};
+  }
+  fwd &= bwd;
+  fFront &= bwd;
+  while (!fFront.isFalse()) {
+    fFront = imageParts(sp, parts, fFront, bwd) & !fwd;
+    fwd |= fFront;
+    ++steps;
+  }
+  return Lockstep{fwd & bwd, bwd};
+}
+
+/// Does `scc` contain an internal transition of some part? (Distinguishes
+/// a genuine cycle from a trivial single-state component.)
+bool hasInternalEdge(const SymbolicProtocol& sp, std::span<const Bdd> parts,
+                     const Bdd& scc) {
+  const Bdd next = sp.onNext(scc);
+  for (const Bdd& part : parts) {
+    if (!(part & scc & next).isFalse()) return true;
+  }
+  return false;
+}
+
+/// Trims `domain` to its cycle core: repeatedly drop states with no
+/// successor or no predecessor inside the remaining set. Every non-trivial
+/// SCC survives, and on cycle-free graphs the core empties out in
+/// O(longest chain) rounds. The per-part relations are re-restricted to
+/// the shrinking core so each round's operands keep getting smaller.
+Bdd trimToCore(const SymbolicProtocol& sp, std::span<const Bdd> parts,
+               const Bdd& domain, std::size_t& steps) {
+  std::vector<Bdd> r(parts.begin(), parts.end());
+  for (Bdd& part : r) part = sp.restrictRel(part, domain);
+  Bdd core = domain;
+  for (;;) {
+    Bdd hasSucc = sp.manager().falseBdd();
+    Bdd hasPred = sp.manager().falseBdd();
+    for (const Bdd& part : r) {
+      hasSucc |= sp.sources(part);
+      hasPred |= sp.enc().nextToCur(part.exists(sp.enc().curCube()));
+    }
+    steps += 2;
+    const Bdd keep = core & hasSucc & hasPred;
+    if (keep == core) return core;
+    core = keep;
+    if (core.isFalse()) return core;
+    for (Bdd& part : r) part = sp.restrictRel(part, core);
+  }
+}
+
+}  // namespace
+
+SccResult nontrivialSccs(const SymbolicProtocol& sp,
+                         std::span<const Bdd> parts, const Bdd& domain) {
+  SccResult result;
+  const Bdd core = trimToCore(sp, parts, domain, result.symbolicSteps);
+  if (core.isFalse()) return result;
+
+  std::vector<Bdd> work{core};
+  while (!work.empty()) {
+    Bdd v = std::move(work.back());
+    work.pop_back();
+    if (v.isFalse()) continue;
+    assert(v.implies(sp.enc().validCur()) &&
+           "SCC work set escaped the valid state codes");
+
+    const Bdd pivot = sp.enc().stateBdd(sp.pickState(v));
+    const Lockstep ls = lockstep(sp, parts, v, pivot, result.symbolicSteps);
+
+    if (hasInternalEdge(sp, parts, ls.scc)) {
+      result.components.push_back(ls.scc);
+    }
+    // SCCs never straddle the converged set: recurse on both sides.
+    work.push_back(ls.converged & !ls.scc);
+    work.push_back(v & !ls.converged);
+  }
+  return result;
+}
+
+SccResult nontrivialSccs(const SymbolicProtocol& sp, const Bdd& rel,
+                         const Bdd& domain) {
+  const std::vector<Bdd> parts{rel};
+  return nontrivialSccs(sp, parts, domain);
+}
+
+bool hasCycle(const SymbolicProtocol& sp, std::span<const Bdd> parts,
+              const Bdd& domain) {
+  // Self-loops are cycles.
+  const Bdd diag = domain & sp.enc().diagonal();
+  for (const Bdd& part : parts) {
+    if (!(part & diag).isFalse()) return true;
+  }
+  // Otherwise a cycle exists iff the trimmed core is non-empty.
+  std::size_t steps = 0;
+  return !trimToCore(sp, parts, domain, steps).isFalse();
+}
+
+bool hasCycle(const SymbolicProtocol& sp, const Bdd& rel, const Bdd& domain) {
+  const std::vector<Bdd> parts{rel};
+  return hasCycle(sp, parts, domain);
+}
+
+bool certainlyAcyclicIncrement(const SymbolicProtocol& sp, const Bdd& base,
+                               const Bdd& delta, const Bdd& domain,
+                               std::size_t* steps) {
+  // Delta self-loops inside the domain are cycles outright.
+  if (!(delta & domain & sp.enc().diagonal()).isFalse()) return false;
+
+  const Bdd inDomain = sp.restrictRel(delta, domain);
+  if (inDomain.isFalse()) return true;  // delta never re-enters the domain
+  const Bdd sources = sp.sources(inDomain);
+  const Bdd targets = sp.image(inDomain, domain);
+
+  // BFS of the targets' forward cone under base ∪ delta, bailing out the
+  // moment it can touch a delta source (then a closing edge may exist).
+  const Bdd combined = base | delta;
+  Bdd reach = targets;
+  Bdd frontier = targets;
+  for (;;) {
+    if (!(frontier & sources).isFalse()) return false;  // inconclusive
+    frontier = sp.image(combined, frontier) & domain & !reach;
+    if (steps != nullptr) ++*steps;
+    if (frontier.isFalse()) return true;  // cone closed without meeting them
+    reach |= frontier;
+  }
+}
+
+}  // namespace stsyn::symbolic

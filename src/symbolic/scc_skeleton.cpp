@@ -1,0 +1,172 @@
+// Skeleton-based symbolic SCC detection after Gentilini, Piazza, Policriti
+// ("Computing strongly connected components in a linear number of symbolic
+// steps", SODA 2003) — the algorithm the paper's Identify_Resolve_Cycles
+// cites. The forward search records its onion rings; a path ("skeleton")
+// from the pivot to the last ring seeds the recursion so each symbolic
+// step is charged to at most a constant number of output states.
+//
+// Shares the trimming prepass and the partitioned image operators with the
+// lockstep implementation via small local copies (the two backends are
+// deliberately independent above the SymbolicProtocol primitives).
+#include <cassert>
+#include <utility>
+#include <vector>
+
+#include "symbolic/scc.hpp"
+
+namespace stsyn::symbolic {
+
+using bdd::Bdd;
+
+namespace {
+
+Bdd imageParts(const SymbolicProtocol& sp, std::span<const Bdd> parts,
+               const Bdd& s, const Bdd& within) {
+  Bdd out = sp.manager().falseBdd();
+  for (const Bdd& part : parts) out |= sp.image(part, s) & within;
+  return out;
+}
+
+Bdd preimageParts(const SymbolicProtocol& sp, std::span<const Bdd> parts,
+                  const Bdd& s, const Bdd& within) {
+  Bdd out = sp.manager().falseBdd();
+  for (const Bdd& part : parts) out |= sp.preimage(part, s) & within;
+  return out;
+}
+
+Bdd trimToCoreLocal(const SymbolicProtocol& sp, std::span<const Bdd> parts,
+                    const Bdd& domain, std::size_t& steps) {
+  std::vector<Bdd> r(parts.begin(), parts.end());
+  for (Bdd& part : r) part = sp.restrictRel(part, domain);
+  Bdd core = domain;
+  for (;;) {
+    Bdd hasSucc = sp.manager().falseBdd();
+    Bdd hasPred = sp.manager().falseBdd();
+    for (const Bdd& part : r) {
+      hasSucc |= sp.sources(part);
+      hasPred |= sp.enc().nextToCur(part.exists(sp.enc().curCube()));
+    }
+    steps += 2;
+    const Bdd keep = core & hasSucc & hasPred;
+    if (keep == core) return core;
+    core = keep;
+    if (core.isFalse()) return core;
+    for (Bdd& part : r) part = sp.restrictRel(part, core);
+  }
+}
+
+bool hasInternalEdge(const SymbolicProtocol& sp, std::span<const Bdd> parts,
+                     const Bdd& scc) {
+  const Bdd next = sp.onNext(scc);
+  for (const Bdd& part : parts) {
+    if (!(part & scc & next).isFalse()) return true;
+  }
+  return false;
+}
+
+Bdd singleton(const SymbolicProtocol& sp, const Bdd& set) {
+  return sp.enc().stateBdd(sp.pickState(set));
+}
+
+struct SkelFwdResult {
+  Bdd fw;        // forward-reachable set of the pivot within V
+  Bdd skeleton;  // states of one path pivot ->* deepest ring
+  Bdd head;      // the deepest state of that path (a singleton)
+};
+
+/// Forward search with onion rings + skeleton construction (SKEL_FORWARD
+/// in the Gentilini et al. paper).
+SkelFwdResult skelForward(const SymbolicProtocol& sp,
+                          std::span<const Bdd> parts, const Bdd& v,
+                          const Bdd& pivot, std::size_t& steps) {
+  std::vector<Bdd> rings;
+  Bdd fw = sp.manager().falseBdd();
+  Bdd level = pivot;
+  while (!level.isFalse()) {
+    rings.push_back(level);
+    fw |= level;
+    level = imageParts(sp, parts, level, v) & !fw;
+    ++steps;
+  }
+  // Build the skeleton: one state per ring, consecutive states connected.
+  SkelFwdResult out;
+  out.fw = fw;
+  out.head = singleton(sp, rings.back());
+  Bdd cur = out.head;
+  Bdd skel = cur;
+  for (std::size_t i = rings.size() - 1; i-- > 0;) {
+    const Bdd preds = preimageParts(sp, parts, cur, rings[i]);
+    ++steps;
+    cur = singleton(sp, preds);
+    skel |= cur;
+  }
+  out.skeleton = skel;
+  return out;
+}
+
+}  // namespace
+
+SccResult nontrivialSccsSkeleton(const SymbolicProtocol& sp,
+                                 std::span<const Bdd> parts,
+                                 const Bdd& domain) {
+  SccResult result;
+  const Bdd core = trimToCoreLocal(sp, parts, domain, result.symbolicSteps);
+  if (core.isFalse()) return result;
+
+  struct Task {
+    Bdd v;
+    Bdd skeleton;  // S: a path's states inside v (possibly empty)
+    Bdd head;      // N: the state of S all of S reaches (possibly empty)
+  };
+  const Bdd empty = sp.manager().falseBdd();
+  std::vector<Task> work{{core, empty, empty}};
+
+  while (!work.empty()) {
+    Task task = std::move(work.back());
+    work.pop_back();
+    if (task.v.isFalse()) continue;
+    assert(task.v.implies(sp.enc().validCur()));
+
+    const Bdd pivot = task.head.isFalse() ? singleton(sp, task.v)
+                                          : singleton(sp, task.head);
+    const SkelFwdResult fwd =
+        skelForward(sp, parts, task.v, pivot, result.symbolicSteps);
+
+    // The pivot's SCC: backward closure of {pivot} inside FW.
+    Bdd scc = pivot;
+    for (;;) {
+      const Bdd grow =
+          preimageParts(sp, parts, scc, fwd.fw) & !scc;
+      ++result.symbolicSteps;
+      if (grow.isFalse()) break;
+      scc |= grow;
+    }
+    if (hasInternalEdge(sp, parts, scc)) result.components.push_back(scc);
+
+    // Recursion 1: V \ FW, with the old skeleton minus the SCC; its new
+    // head is the fringe of the old skeleton just above the SCC.
+    {
+      const Bdd s1 = task.skeleton.minus(scc);
+      const Bdd n1 =
+          preimageParts(sp, parts, scc & task.skeleton, s1);
+      ++result.symbolicSteps;
+      work.push_back(Task{task.v.minus(fwd.fw), s1 & task.v.minus(fwd.fw),
+                          n1 & task.v.minus(fwd.fw)});
+    }
+    // Recursion 2: FW \ SCC with the fresh skeleton minus the SCC.
+    {
+      const Bdd v2 = fwd.fw.minus(scc);
+      work.push_back(
+          Task{v2, fwd.skeleton.minus(scc), fwd.head.minus(scc)});
+    }
+  }
+  return result;
+}
+
+SccResult nontrivialSccsSkeleton(const SymbolicProtocol& sp, const Bdd& rel,
+                                 const Bdd& domain) {
+  const std::vector<Bdd> parts{rel};
+  return nontrivialSccsSkeleton(sp, parts, domain);
+}
+
+}  // namespace stsyn::symbolic

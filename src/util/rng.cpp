@@ -1,0 +1,26 @@
+#include "util/rng.hpp"
+
+#include <cassert>
+#include <numeric>
+
+namespace stsyn::util {
+
+std::uint64_t Rng::below(std::uint64_t bound) {
+  assert(bound > 0);
+  // Rejection sampling to avoid modulo bias; the loop almost never repeats.
+  const std::uint64_t limit = ~std::uint64_t{0} - (~std::uint64_t{0} % bound);
+  std::uint64_t v = next();
+  while (v >= limit) v = next();
+  return v % bound;
+}
+
+std::vector<std::size_t> Rng::permutation(std::size_t n) {
+  std::vector<std::size_t> p(n);
+  std::iota(p.begin(), p.end(), std::size_t{0});
+  for (std::size_t i = n; i > 1; --i) {
+    std::swap(p[i - 1], p[below(i)]);
+  }
+  return p;
+}
+
+}  // namespace stsyn::util

@@ -1,0 +1,36 @@
+// Plain-text table and CSV emission for benchmark harnesses.
+//
+// Every bench binary prints, after the google-benchmark output, a table in
+// the same shape as the corresponding figure in the paper; this is the
+// shared formatter.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace stsyn::util {
+
+/// A column-aligned text table with an optional CSV rendering.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Adds a row; must have the same arity as the header.
+  void addRow(std::vector<std::string> row);
+
+  /// Convenience: formats arithmetic cells with %g-style precision.
+  static std::string cell(double v);
+  static std::string cell(std::size_t v);
+
+  void printAligned(std::ostream& os) const;
+  void printCsv(std::ostream& os) const;
+
+  [[nodiscard]] std::size_t rowCount() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace stsyn::util

@@ -1,0 +1,3 @@
+#include "util/timer.hpp"
+
+// All members are defined inline; this translation unit anchors the target.

@@ -1,0 +1,42 @@
+// Wall-clock timing helpers used by the synthesis instrumentation
+// (the paper reports ranking time, SCC-detection time, and total time).
+#pragma once
+
+#include <chrono>
+
+namespace stsyn::util {
+
+/// A restartable stopwatch over the monotonic clock.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Seconds elapsed since construction or the last restart().
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  void restart() { start_ = Clock::now(); }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Accumulates the lifetime of the guard into a running total.
+/// Used to attribute time to a phase (ranking, SCC detection) across
+/// many scattered calls.
+class ScopedAccumulator {
+ public:
+  explicit ScopedAccumulator(double& total) : total_(total) {}
+  ~ScopedAccumulator() { total_ += watch_.seconds(); }
+
+  ScopedAccumulator(const ScopedAccumulator&) = delete;
+  ScopedAccumulator& operator=(const ScopedAccumulator&) = delete;
+
+ private:
+  double& total_;
+  Stopwatch watch_;
+};
+
+}  // namespace stsyn::util

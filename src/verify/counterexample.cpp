@@ -1,0 +1,45 @@
+#include "verify/counterexample.hpp"
+
+namespace stsyn::verify {
+
+std::string formatState(
+    const protocol::Protocol& proto, std::span<const int> state,
+    const std::function<std::string(protocol::VarId, int)>& valueName) {
+  std::string out = "<";
+  for (std::size_t v = 0; v < state.size(); ++v) {
+    if (v) out += ", ";
+    out += proto.vars[v].name + "=";
+    out += valueName ? valueName(v, state[v]) : std::to_string(state[v]);
+  }
+  return out + ">";
+}
+
+std::string formatCycle(
+    const protocol::Protocol& proto, const std::vector<Step>& cycle,
+    const std::function<std::string(protocol::VarId, int)>& valueName) {
+  std::string out;
+  for (std::size_t i = 0; i < cycle.size(); ++i) {
+    out += "  " + formatState(proto, cycle[i].state, valueName);
+    if (i + 1 < cycle.size()) {
+      const std::size_t p = cycle[i].process;
+      out += "\n    --" +
+             (p == SIZE_MAX ? std::string("?")
+                            : proto.processes[p].name) +
+             "-->\n";
+    }
+  }
+  return out;
+}
+
+std::string cycleSchedule(const protocol::Protocol& proto,
+                          const std::vector<Step>& cycle) {
+  std::string out;
+  for (std::size_t i = 0; i + 1 < cycle.size(); ++i) {
+    if (i) out += ",";
+    const std::size_t p = cycle[i].process;
+    out += p == SIZE_MAX ? std::string("?") : proto.processes[p].name;
+  }
+  return out;
+}
+
+}  // namespace stsyn::verify

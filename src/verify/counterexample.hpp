@@ -1,0 +1,28 @@
+// Pretty-printing of verification counterexamples.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "verify/verify.hpp"
+
+namespace stsyn::verify {
+
+/// Formats a state as <name=value, ...> using the protocol's variable
+/// names, optionally mapping values through `valueName` (e.g. the matching
+/// protocol's left/right/self).
+[[nodiscard]] std::string formatState(
+    const protocol::Protocol& proto, std::span<const int> state,
+    const std::function<std::string(protocol::VarId, int)>& valueName = {});
+
+/// Formats a cycle as one line per step:  <state>  --P2-->.
+[[nodiscard]] std::string formatCycle(
+    const protocol::Protocol& proto, const std::vector<Step>& cycle,
+    const std::function<std::string(protocol::VarId, int)>& valueName = {});
+
+/// The process schedule of a cycle (e.g. "P3,P2,P1,P0 repeated"), the way
+/// the paper describes the Gouda–Acharya counterexample.
+[[nodiscard]] std::string cycleSchedule(const protocol::Protocol& proto,
+                                        const std::vector<Step>& cycle);
+
+}  // namespace stsyn::verify

@@ -1,0 +1,85 @@
+#include "verify/verify.hpp"
+
+namespace stsyn::verify {
+
+using bdd::Bdd;
+using symbolic::SymbolicProtocol;
+
+bool isClosed(const SymbolicProtocol& sp, const Bdd& rel, const Bdd& x) {
+  // A transition violating closure starts in X and ends outside X.
+  const Bdd escape = rel & x & sp.onNext(sp.enc().validCur() & !x);
+  return escape.isFalse();
+}
+
+bool agreesInsideInvariant(const SymbolicProtocol& sp, const Bdd& original,
+                           const Bdd& synthesized) {
+  const Bdd inv = sp.invariant();
+  return sp.restrictRel(original, inv) == sp.restrictRel(synthesized, inv);
+}
+
+Report check(const SymbolicProtocol& sp, const Bdd& rel) {
+  Report r;
+  const Bdd valid = sp.enc().validCur();
+  const Bdd inv = sp.invariant();
+  const Bdd notI = valid & !inv;
+
+  r.closed = isClosed(sp, rel, inv);
+
+  r.deadlocks = sp.deadlocks(rel);
+  r.deadlockFree = r.deadlocks.isFalse();
+
+  r.cycles = symbolic::nontrivialSccs(sp, sp.restrictRel(rel, notI), notI)
+                 .components;
+  r.cycleFree = r.cycles.empty();
+
+  // Weak convergence: every valid state is backward-reachable from I.
+  Bdd explored = inv;
+  for (;;) {
+    const Bdd frontier = sp.preimage(rel, explored) & valid & !explored;
+    if (frontier.isFalse()) break;
+    explored |= frontier;
+  }
+  r.weaklyUnreachable = valid & !explored;
+  r.weaklyConverges = r.weaklyUnreachable.isFalse();
+  return r;
+}
+
+std::vector<Step> extractCycle(const SymbolicProtocol& sp, const Bdd& rel,
+                               const Bdd& component,
+                               const std::vector<Bdd>& perProcess) {
+  // Walk forward inside the component until a state repeats, then cut the
+  // walk down to the loop.
+  const Bdd inC = sp.restrictRel(rel, component);
+  std::vector<std::vector<int>> walk;
+  std::vector<int> cur = sp.pickState(component);
+  for (;;) {
+    for (std::size_t i = 0; i < walk.size(); ++i) {
+      if (walk[i] == cur) {
+        // Loop found: walk[i..] plus the closing state.
+        std::vector<Step> cycle;
+        for (std::size_t k = i; k < walk.size(); ++k) {
+          cycle.push_back(Step{walk[k], SIZE_MAX});
+        }
+        cycle.push_back(Step{cur, SIZE_MAX});
+        // Attribute each step to a process.
+        for (std::size_t k = 0; k + 1 < cycle.size(); ++k) {
+          const Bdd edge = sp.enc().stateBdd(cycle[k].state) &
+                           sp.onNext(sp.enc().stateBdd(cycle[k + 1].state));
+          for (std::size_t j = 0; j < perProcess.size(); ++j) {
+            if (!(perProcess[j] & edge).isFalse()) {
+              cycle[k].process = j;
+              break;
+            }
+          }
+        }
+        return cycle;
+      }
+    }
+    walk.push_back(cur);
+    const Bdd succ = sp.image(inC, sp.enc().stateBdd(cur));
+    // Every state of a non-trivial SCC has a successor inside it.
+    cur = sp.pickState(succ);
+  }
+}
+
+}  // namespace stsyn::verify

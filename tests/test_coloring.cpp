@@ -1,0 +1,116 @@
+// Case-study tests for three coloring on a ring (paper Section VI-B): the
+// locally-correctable case. Synthesis must succeed without ever meeting a
+// cycle, and must scale.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "casestudies/coloring.hpp"
+#include "core/heuristic.hpp"
+#include "explicitstate/verify.hpp"
+#include "symbolic/decode.hpp"
+#include "verify/verify.hpp"
+
+namespace {
+
+using namespace stsyn;
+using symbolic::Encoding;
+using symbolic::SymbolicProtocol;
+
+TEST(Coloring, InvariantIsProperColoring) {
+  const protocol::Protocol p = casestudies::coloring(5);
+  const std::vector<int> proper{0, 1, 2, 0, 1};
+  const std::vector<int> clash{0, 1, 1, 0, 1};
+  const std::vector<int> wrapClash{0, 1, 2, 0, 0};  // c4 == c0
+  EXPECT_TRUE(protocol::evalBool(*p.invariant, proper));
+  EXPECT_FALSE(protocol::evalBool(*p.invariant, clash));
+  EXPECT_FALSE(protocol::evalBool(*p.invariant, wrapClash));
+}
+
+TEST(Coloring, InvariantCountMatchesChromaticPolynomial) {
+  // Proper 3-colorings of a cycle C_n: (3-1)^n + (-1)^n * (3-1) = 2^n + 2
+  // for even n, 2^n - 2 for odd n.
+  for (int n : {3, 4, 5, 6}) {
+    const protocol::Protocol p = casestudies::coloring(n);
+    const Encoding enc(p);
+    const SymbolicProtocol sp(enc);
+    const double expected = std::pow(2.0, n) + (n % 2 == 0 ? 2.0 : -2.0);
+    EXPECT_DOUBLE_EQ(enc.countStates(sp.invariant()), expected) << n;
+  }
+}
+
+class ColoringSynthesis : public ::testing::TestWithParam<int> {};
+
+TEST_P(ColoringSynthesis, SynthesizesWithoutAnyCycleFormation) {
+  const int k = GetParam();
+  const protocol::Protocol p = casestudies::coloring(k);
+  const Encoding enc(p);
+  const SymbolicProtocol sp(enc);
+  const core::StrongResult r = core::addStrongConvergence(sp);
+  ASSERT_TRUE(r.success) << "K=" << k << ": " << core::toString(r.failure);
+  EXPECT_TRUE(verify::check(sp, r.relation).stronglyStabilizing());
+  // Section VII: "the added recovery transitions for the coloring protocol
+  // do not create any SCCs outside I".
+  EXPECT_EQ(r.stats.sccComponentsFound, 0u) << "K=" << k;
+  // Silent in the invariant.
+  EXPECT_TRUE((r.relation & sp.invariant()).isFalse());
+}
+
+INSTANTIATE_TEST_SUITE_P(RingSizes, ColoringSynthesis,
+                         ::testing::Values(3, 4, 5, 7, 8),
+                         [](const auto& info) {
+                           return "K" + std::to_string(info.param);
+                         });
+
+TEST(Coloring, ExplicitOracleOnSmallInstance) {
+  const protocol::Protocol p = casestudies::coloring(6);
+  const Encoding enc(p);
+  const SymbolicProtocol sp(enc);
+  const core::StrongResult r = core::addStrongConvergence(sp);
+  ASSERT_TRUE(r.success);
+
+  const explicitstate::StateSpace space(p);
+  std::vector<std::pair<explicitstate::StateId, explicitstate::StateId>>
+      edges;
+  for (const auto& [from, to] : symbolic::decodeRelation(enc, r.relation)) {
+    edges.emplace_back(from, to);
+  }
+  const auto ts = explicitstate::fromEdges(space, edges);
+  EXPECT_TRUE(explicitstate::check(space, ts).stronglyStabilizing());
+}
+
+TEST(Coloring, SynthesizedRecoveryPicksProperColors) {
+  // Every added transition ends in a state where the writer no longer
+  // clashes with its left neighbour — and never breaks a satisfied
+  // neighbour edge (local correctability in action).
+  const protocol::Protocol p = casestudies::coloring(5);
+  const Encoding enc(p);
+  const SymbolicProtocol sp(enc);
+  const core::StrongResult r = core::addStrongConvergence(sp);
+  ASSERT_TRUE(r.success);
+  for (std::size_t j = 0; j < 5; ++j) {
+    for (const auto& [from, to] :
+         symbolic::decodeRelation(enc, r.addedPerProcess[j])) {
+      const auto s1 = symbolic::unpackState(p, to);
+      const int left = static_cast<int>((j + 4) % 5);
+      EXPECT_NE(s1[j], s1[left])
+          << "recovery of P" << j << " leaves a left clash";
+    }
+  }
+}
+
+TEST(Coloring, MoreColorsAlsoSynthesize) {
+  const protocol::Protocol p = casestudies::coloring(4, 4);
+  const Encoding enc(p);
+  const SymbolicProtocol sp(enc);
+  const core::StrongResult r = core::addStrongConvergence(sp);
+  ASSERT_TRUE(r.success);
+  EXPECT_TRUE(verify::check(sp, r.relation).stronglyStabilizing());
+}
+
+TEST(Coloring, RejectsDegenerateParameters) {
+  EXPECT_THROW((void)casestudies::coloring(2), std::invalid_argument);
+  EXPECT_THROW((void)casestudies::coloring(5, 2), std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,145 @@
+// Tests for protocol export (extraction::toProtocol) and the lightweight
+// scaling driver (core::scaleUp — the paper's Figure 1 loop).
+#include <gtest/gtest.h>
+
+#include "casestudies/coloring.hpp"
+#include "casestudies/matching.hpp"
+#include "casestudies/token_ring.hpp"
+#include "core/heuristic.hpp"
+#include "core/lightweight.hpp"
+#include "explicitstate/verify.hpp"
+#include "extraction/export.hpp"
+#include "lang/parser.hpp"
+#include "lang/printer.hpp"
+#include "symbolic/decode.hpp"
+#include "verify/verify.hpp"
+
+namespace {
+
+using namespace stsyn;
+
+TEST(Export, CoverToExprMatchesTheCoverPointwise) {
+  extraction::Cover cover;
+  cover.cubes.push_back({{0b011, 0b100}});  // pos0 in {0,1}, pos1 == 2
+  cover.cubes.push_back({{0b100, 0b111}});  // pos0 == 2, pos1 free
+  const std::vector<protocol::VarId> reads{0, 1};
+  const std::vector<int> domains{3, 3};
+  const protocol::E guard =
+      extraction::coverToExpr(cover, reads, domains);
+  for (int a = 0; a < 3; ++a) {
+    for (int b = 0; b < 3; ++b) {
+      const std::vector<int> state{a, b};
+      const std::vector<int> point{a, b};
+      EXPECT_EQ(protocol::evalBool(*guard.ptr(), state),
+                cover.contains(point))
+          << a << "," << b;
+    }
+  }
+}
+
+TEST(Export, StabilizedTokenRingRoundTripsThroughTheLanguage) {
+  const protocol::Protocol p = casestudies::tokenRing(4, 3);
+  symbolic::Encoding enc(p);
+  symbolic::SymbolicProtocol sp(enc);
+  core::StrongOptions opt;
+  opt.schedule = core::rotatedSchedule(4, 1);
+  const core::StrongResult r = core::addStrongConvergence(sp, opt);
+  ASSERT_TRUE(r.success);
+
+  const protocol::Protocol stabilized =
+      extraction::toProtocol(sp, r.addedPerProcess);
+  EXPECT_EQ(stabilized.name, "token-ring_ss");
+
+  // Same transition semantics as the synthesized relation...
+  symbolic::Encoding enc2(stabilized);
+  symbolic::SymbolicProtocol sp2(enc2);
+  EXPECT_EQ(symbolic::decodeRelation(enc2, sp2.protocolRelation()),
+            symbolic::decodeRelation(enc, r.relation));
+  // ...it is itself verified stabilizing...
+  EXPECT_TRUE(verify::check(sp2, sp2.protocolRelation())
+                  .stronglyStabilizing());
+  // ...and it survives a print -> parse round trip. (The printer rejects
+  // names the grammar cannot express, so rename first.)
+  protocol::Protocol printable = stabilized;
+  printable.name = "token_ring_ss";
+  const protocol::Protocol reparsed =
+      lang::parseProtocol(lang::printProtocol(printable));
+  symbolic::Encoding enc3(reparsed);
+  symbolic::SymbolicProtocol sp3(enc3);
+  EXPECT_EQ(symbolic::decodeRelation(enc3, sp3.protocolRelation()),
+            symbolic::decodeRelation(enc, r.relation));
+}
+
+TEST(Export, StabilizedMatchingVerifiesExplicitly) {
+  const protocol::Protocol p = casestudies::matching(5);
+  symbolic::Encoding enc(p);
+  symbolic::SymbolicProtocol sp(enc);
+  const core::StrongResult r = core::addStrongConvergence(sp);
+  ASSERT_TRUE(r.success);
+  const protocol::Protocol stabilized =
+      extraction::toProtocol(sp, r.addedPerProcess);
+  // Local predicates carry over.
+  EXPECT_EQ(stabilized.localPredicates.size(), 5u);
+  const explicitstate::StateSpace space(stabilized);
+  const auto ts = explicitstate::buildTransitions(space);
+  EXPECT_TRUE(explicitstate::check(space, ts).stronglyStabilizing());
+}
+
+TEST(Lightweight, ScalesColoringUntilTheBound) {
+  core::ScaleOptions opt;
+  opt.kMin = 3;
+  opt.kMax = 7;
+  opt.budgetSeconds = 120.0;
+  const core::ScaleResult r = core::scaleUp(
+      [](int k) { return casestudies::coloring(k); }, opt);
+  EXPECT_EQ(r.largestSolved(), 7);
+  EXPECT_FALSE(r.stoppedOnBudget);
+  ASSERT_EQ(r.instances.size(), 5u);
+  for (const auto& inst : r.instances) EXPECT_TRUE(inst.success);
+}
+
+TEST(Lightweight, StopsAtTheFirstFailure) {
+  // TR with |D| = 2 is unrealizable from k = 4 on (a pre-existing cycle
+  // outside S1 whose groups extend into S1): the loop must stop there and
+  // report it.
+  core::ScaleOptions opt;
+  opt.kMin = 2;
+  opt.kMax = 6;
+  opt.schedule = [](int k) {
+    return core::rotatedSchedule(static_cast<std::size_t>(k), 1);
+  };
+  const core::ScaleResult r = core::scaleUp(
+      [](int k) { return casestudies::tokenRing(k, 2); }, opt);
+  ASSERT_EQ(r.instances.size(), 3u);  // k = 2, 3 succeed; k = 4 fails
+  EXPECT_TRUE(r.instances[0].success);
+  EXPECT_TRUE(r.instances[1].success);
+  EXPECT_FALSE(r.instances.back().success);
+  EXPECT_EQ(r.instances.back().failure,
+            core::Failure::PreexistingCycleUnremovable);
+  EXPECT_EQ(r.largestSolved(), 3);
+}
+
+TEST(Lightweight, RespectsTheBudget) {
+  core::ScaleOptions opt;
+  opt.kMin = 3;
+  opt.kMax = 1000;
+  opt.step = 1;
+  opt.budgetSeconds = 0.5;
+  const core::ScaleResult r = core::scaleUp(
+      [](int k) { return casestudies::matching(k); }, opt);
+  EXPECT_TRUE(r.stoppedOnBudget || !r.instances.back().success);
+  EXPECT_GE(r.largestSolved(), 3);
+  EXPECT_LT(r.instances.size(), 30u);  // the budget cut it off early
+}
+
+TEST(Lightweight, ValidatesItsOptions) {
+  EXPECT_THROW((void)core::scaleUp(nullptr), std::invalid_argument);
+  core::ScaleOptions bad;
+  bad.kMin = 5;
+  bad.kMax = 3;
+  EXPECT_THROW((void)core::scaleUp(
+                   [](int k) { return casestudies::coloring(k); }, bad),
+               std::invalid_argument);
+}
+
+}  // namespace

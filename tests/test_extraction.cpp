@@ -1,0 +1,165 @@
+// Tests for cube minimization and guarded-command extraction.
+#include <gtest/gtest.h>
+
+#include "casestudies/token_ring.hpp"
+#include "core/heuristic.hpp"
+#include "extraction/actions.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace stsyn;
+using extraction::Cover;
+using extraction::coverFromPoints;
+using extraction::Cube;
+using extraction::minimize;
+
+TEST(Cubes, ContainsChecksEveryPosition) {
+  Cube c;
+  c.sets = {0b011, 0b100};  // pos0 in {0,1}, pos1 == 2
+  const std::vector<int> in{1, 2};
+  const std::vector<int> out{2, 2};
+  EXPECT_TRUE(c.contains(in));
+  EXPECT_FALSE(c.contains(out));
+}
+
+TEST(Cubes, MinimizeMergesAdjacentPoints) {
+  // {<0,0>, <1,0>, <2,0>} over domains {3,3} merges into one cube.
+  const std::vector<std::vector<int>> points{{0, 0}, {1, 0}, {2, 0}};
+  Cover cover = coverFromPoints(points);
+  minimize(cover);
+  ASSERT_EQ(cover.cubes.size(), 1u);
+  EXPECT_EQ(cover.cubes[0].sets[0], 0b111u);
+  EXPECT_EQ(cover.cubes[0].sets[1], 0b001u);
+}
+
+TEST(Cubes, MinimizeDropsSubsumedCubes) {
+  const std::vector<std::vector<int>> points{{0, 0}, {0, 1}, {0, 0}};
+  Cover cover = coverFromPoints(points);
+  minimize(cover);
+  ASSERT_EQ(cover.cubes.size(), 1u);  // duplicate + merge
+}
+
+class CubeMinimizeRandom : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CubeMinimizeRandom, PreservesTheCoveredSetExactly) {
+  util::Rng rng(GetParam());
+  const std::vector<int> domains{3, 4, 2, 3};
+  std::vector<std::vector<int>> points;
+  const std::size_t n = 1 + rng.below(30);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::vector<int> p;
+    for (int d : domains) p.push_back(static_cast<int>(rng.below(d)));
+    points.push_back(std::move(p));
+  }
+  Cover cover = coverFromPoints(points);
+  const std::size_t before = cover.countPoints(domains);
+  minimize(cover);
+  EXPECT_EQ(cover.countPoints(domains), before);
+  // Every original point still covered.
+  for (const auto& p : points) EXPECT_TRUE(cover.contains(p));
+  // Never more cubes than points.
+  EXPECT_LE(cover.cubes.size(), points.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CubeMinimizeRandom,
+                         ::testing::Range<std::uint64_t>(0, 25));
+
+TEST(Extraction, RecoveryActionsOfSynthesizedTokenRing) {
+  // Pass 2 adds exactly the paper's recovery action to each P_j (j >= 1):
+  // x_j = x_{j-1} + 1 -> x_j := x_{j-1}, and nothing to P0.
+  const protocol::Protocol p = casestudies::tokenRing(4, 3);
+  const symbolic::Encoding enc(p);
+  const symbolic::SymbolicProtocol sp(enc);
+  core::StrongOptions opt;
+  opt.schedule = core::rotatedSchedule(4, 1);
+  const core::StrongResult r = core::addStrongConvergence(sp, opt);
+  ASSERT_TRUE(r.success);
+
+  const auto all = extraction::extractAllActions(sp, r.addedPerProcess);
+  EXPECT_TRUE(all[0].actions.empty()) << "P0 must gain no recovery";
+  for (std::size_t j = 1; j < 4; ++j) {
+    // P_j reads {x_{j-1}, x_j}; the added relation maps, for each value v
+    // of x_{j-1}, the single guard x_j = v + 1 to the write x_j := v.
+    const auto& pa = all[j];
+    ASSERT_EQ(pa.actions.size(), 3u) << "P" << j;
+    for (const auto& action : pa.actions) {
+      ASSERT_EQ(action.writeValues.size(), 1u);
+      const int target = action.writeValues[0];
+      // guard: x_{j-1} == target && x_j == target + 1 (mod 3)
+      ASSERT_EQ(action.guard.cubes.size(), 1u);
+      const auto& cube = action.guard.cubes[0];
+      EXPECT_EQ(cube.sets[0], 1u << target);             // x_{j-1}
+      EXPECT_EQ(cube.sets[1], 1u << ((target + 1) % 3));  // x_j
+    }
+  }
+}
+
+TEST(Extraction, ProjectionLosesNoTransitions) {
+  // Re-executing the extracted actions regenerates exactly the relation
+  // they were extracted from.
+  const protocol::Protocol p = casestudies::tokenRing(4, 3);
+  const symbolic::Encoding enc(p);
+  const symbolic::SymbolicProtocol sp(enc);
+  core::StrongOptions opt;
+  opt.schedule = core::rotatedSchedule(4, 1);
+  const core::StrongResult r = core::addStrongConvergence(sp, opt);
+  ASSERT_TRUE(r.success);
+
+  for (std::size_t j = 0; j < 4; ++j) {
+    const auto pa = extraction::extractProcessActions(sp, j,
+                                                      r.addedPerProcess[j]);
+    bdd::Bdd rebuilt = enc.manager().falseBdd();
+    const auto& proc = p.processes[j];
+    for (const auto& action : pa.actions) {
+      bdd::Bdd guard = enc.manager().falseBdd();
+      for (const auto& cube : action.guard.cubes) {
+        bdd::Bdd conj = enc.manager().trueBdd();
+        for (std::size_t rIdx = 0; rIdx < proc.reads.size(); ++rIdx) {
+          bdd::Bdd anyVal = enc.manager().falseBdd();
+          for (int v = 0; v < p.vars[proc.reads[rIdx]].domain; ++v) {
+            if (cube.sets[rIdx] >> v & 1u) {
+              anyVal |= enc.curValue(proc.reads[rIdx], v);
+            }
+          }
+          conj &= anyVal;
+        }
+        guard |= conj;
+      }
+      bdd::Bdd write = enc.manager().trueBdd();
+      for (std::size_t w = 0; w < proc.writes.size(); ++w) {
+        write &= enc.nextValue(proc.writes[w], action.writeValues[w]);
+      }
+      bdd::Bdd frame = enc.manager().trueBdd();
+      for (protocol::VarId v = 0; v < p.vars.size(); ++v) {
+        if (!proc.canWrite(v)) frame &= enc.unchanged(v);
+      }
+      rebuilt |= guard & write & frame & enc.validCur();
+    }
+    // Extraction projects away nothing for frame-respecting relations.
+    EXPECT_TRUE(rebuilt == r.addedPerProcess[j]) << "process " << j;
+  }
+}
+
+TEST(Extraction, FormatActionsRendersGuardsAndWrites) {
+  const protocol::Protocol p = casestudies::tokenRing(4, 3);
+  const symbolic::Encoding enc(p);
+  const symbolic::SymbolicProtocol sp(enc);
+  core::StrongOptions opt;
+  opt.schedule = core::rotatedSchedule(4, 1);
+  const core::StrongResult r = core::addStrongConvergence(sp, opt);
+  ASSERT_TRUE(r.success);
+  const auto pa = extraction::extractProcessActions(sp, 1,
+                                                    r.addedPerProcess[1]);
+  const std::string text = extraction::formatActions(p, pa);
+  EXPECT_NE(text.find("P1:"), std::string::npos);
+  EXPECT_NE(text.find("x1 :="), std::string::npos);
+  EXPECT_NE(text.find("-->"), std::string::npos);
+
+  const auto none = extraction::extractProcessActions(sp, 0,
+                                                      r.addedPerProcess[0]);
+  EXPECT_NE(extraction::formatActions(p, none).find("(no actions)"),
+            std::string::npos);
+}
+
+}  // namespace

@@ -1,0 +1,155 @@
+// End-to-end integration tests: text protocol in, synthesized and verified
+// stabilizing protocol out — the full STSyn pipeline the CLI tool drives.
+#include <gtest/gtest.h>
+
+#include "casestudies/coloring.hpp"
+#include "casestudies/token_ring.hpp"
+#include "core/heuristic.hpp"
+#include "core/weak.hpp"
+#include "explicitstate/simulate.hpp"
+#include "extraction/actions.hpp"
+#include "lang/parser.hpp"
+#include "lang/printer.hpp"
+#include "symbolic/decode.hpp"
+#include "verify/verify.hpp"
+
+namespace {
+
+using namespace stsyn;
+
+/// A hand-written .stsyn source for the 4-process token ring with the
+/// paper's parameters — checks the whole text front-end feeding synthesis.
+constexpr const char* kTokenRingSource = R"(
+protocol token_ring_4;
+
+var x0 : 0..2;
+var x1 : 0..2;
+var x2 : 0..2;
+var x3 : 0..2;
+
+process P0 {
+  reads x3, x0;
+  writes x0;
+  action A0 : x0 == x3 -> x0 := (x3 + 1) mod 3;
+}
+process P1 {
+  reads x0, x1;
+  writes x1;
+  action A1 : (x1 + 1) mod 3 == x0 -> x1 := x0;
+}
+process P2 {
+  reads x1, x2;
+  writes x2;
+  action A2 : (x2 + 1) mod 3 == x1 -> x2 := x1;
+}
+process P3 {
+  reads x2, x3;
+  writes x3;
+  action A3 : (x3 + 1) mod 3 == x2 -> x3 := x2;
+}
+
+invariant :
+     (x1 == x0 && x2 == x0 && x3 == x0)
+  || ((x1 + 1) mod 3 == x0 && x2 == x1 && x3 == x1)
+  || (x1 == x0 && (x2 + 1) mod 3 == x0 && x3 == x2)
+  || (x1 == x0 && x2 == x1 && (x3 + 1) mod 3 == x0);
+)";
+
+TEST(Integration, TextToSynthesizedDijkstra) {
+  const protocol::Protocol parsed = lang::parseProtocol(kTokenRingSource);
+  const protocol::Protocol builtin = casestudies::tokenRing(4, 3);
+
+  // The textual protocol is semantically identical to the builder one.
+  const symbolic::Encoding encA(parsed);
+  const symbolic::SymbolicProtocol spA(encA);
+  const symbolic::Encoding encB(builtin);
+  const symbolic::SymbolicProtocol spB(encB);
+  EXPECT_EQ(symbolic::decodeRelation(encA, spA.protocolRelation()),
+            symbolic::decodeRelation(encB, spB.protocolRelation()));
+  EXPECT_EQ(symbolic::decodeStates(encA, spA.invariant()),
+            symbolic::decodeStates(encB, spB.invariant()));
+
+  // Full pipeline on the parsed protocol.
+  core::StrongOptions opt;
+  opt.schedule = core::rotatedSchedule(4, 1);
+  const core::StrongResult r = core::addStrongConvergence(spA, opt);
+  ASSERT_TRUE(r.success);
+  EXPECT_TRUE(verify::check(spA, r.relation).stronglyStabilizing());
+
+  const protocol::Protocol dijkstra = casestudies::dijkstraTokenRing(4, 3);
+  const symbolic::Encoding encD(dijkstra);
+  const symbolic::SymbolicProtocol spD(encD);
+  EXPECT_EQ(symbolic::decodeRelation(encA, r.relation),
+            symbolic::decodeRelation(encD, spD.protocolRelation()));
+}
+
+TEST(Integration, PrinterOutputFeedsBackIntoThePipeline) {
+  const protocol::Protocol original = casestudies::coloring(4);
+  const protocol::Protocol reparsed =
+      lang::parseProtocol(lang::printProtocol(original));
+
+  const symbolic::Encoding enc(reparsed);
+  const symbolic::SymbolicProtocol sp(enc);
+  const core::StrongResult r = core::addStrongConvergence(sp);
+  ASSERT_TRUE(r.success);
+  EXPECT_TRUE(verify::check(sp, r.relation).stronglyStabilizing());
+}
+
+TEST(Integration, WeakThenStrongAgreeOnRealizability) {
+  for (const protocol::Protocol& p :
+       {casestudies::tokenRing(4, 3), casestudies::coloring(4)}) {
+    const symbolic::Encoding enc(p);
+    const symbolic::SymbolicProtocol sp(enc);
+    const core::WeakResult w = core::addWeakConvergence(sp);
+    const core::StrongResult s = core::addStrongConvergence(sp);
+    ASSERT_TRUE(w.success);
+    ASSERT_TRUE(s.success);
+    // Strong implies weak: the strong result is also weakly stabilizing.
+    const verify::Report rep = verify::check(sp, s.relation);
+    EXPECT_TRUE(rep.weaklyStabilizing());
+    EXPECT_TRUE(rep.stronglyStabilizing());
+    // And the strong relation only uses transitions pim allows, plus p.
+    EXPECT_TRUE(s.relation.implies(w.relation | sp.protocolRelation()));
+  }
+}
+
+TEST(Integration, SynthesisThenSimulationThenExtraction) {
+  const protocol::Protocol p = casestudies::tokenRing(4, 3);
+  const symbolic::Encoding enc(p);
+  const symbolic::SymbolicProtocol sp(enc);
+  core::StrongOptions opt;
+  opt.schedule = core::rotatedSchedule(4, 1);
+  const core::StrongResult r = core::addStrongConvergence(sp, opt);
+  ASSERT_TRUE(r.success);
+
+  // Simulation under random schedules from every single state.
+  const explicitstate::StateSpace space(p);
+  std::vector<std::pair<explicitstate::StateId, explicitstate::StateId>>
+      edges;
+  for (const auto& [from, to] : symbolic::decodeRelation(enc, r.relation)) {
+    edges.emplace_back(from, to);
+  }
+  const auto ts = explicitstate::fromEdges(space, edges);
+  util::Rng rng(2026);
+  for (explicitstate::StateId s = 0; s < space.size(); ++s) {
+    EXPECT_TRUE(explicitstate::simulate(space, ts, s, rng, 5000).converged)
+        << "state " << s;
+  }
+
+  // Extraction produces actions for exactly the processes that gained
+  // recovery.
+  const auto actions = extraction::extractAllActions(sp, r.addedPerProcess);
+  EXPECT_TRUE(actions[0].actions.empty());
+  for (std::size_t j = 1; j < 4; ++j) {
+    EXPECT_FALSE(actions[j].actions.empty()) << "P" << j;
+  }
+}
+
+TEST(Integration, ParseErrorsDoNotLeakPartialState) {
+  EXPECT_THROW((void)lang::parseProtocol("protocol broken; var x 0..1;"),
+               lang::ParseError);
+  EXPECT_THROW((void)lang::parseProtocolFile("/nonexistent/path.stsyn"),
+               std::runtime_error);
+}
+
+}  // namespace

@@ -1,0 +1,115 @@
+// Tests for the local-correctability analysis backing the paper's Figure 5
+// ("Table 1: Local Correctability of Case Studies"):
+//   3-Coloring: Yes, Matching: No, Token Ring: No, Two-Ring TR: No.
+#include <gtest/gtest.h>
+
+#include "protocol/builder.hpp"
+#include "casestudies/coloring.hpp"
+#include "casestudies/matching.hpp"
+#include "casestudies/token_ring.hpp"
+#include "casestudies/two_ring.hpp"
+#include "explicitstate/local_correct.hpp"
+
+namespace {
+
+using namespace stsyn;
+using explicitstate::analyzeLocalCorrectability;
+using explicitstate::LocalCorrectability;
+
+TEST(LocalCorrectability, ColoringIsYes) {
+  for (int k : {3, 4, 5, 6}) {
+    const auto r = analyzeLocalCorrectability(casestudies::coloring(k));
+    EXPECT_EQ(r.verdict, LocalCorrectability::Yes) << "K=" << k;
+    EXPECT_TRUE(r.isLocallyCorrectable());
+  }
+}
+
+TEST(LocalCorrectability, MatchingIsNoWithWitness) {
+  for (int k : {4, 5, 6}) {
+    const auto r = analyzeLocalCorrectability(casestudies::matching(k));
+    EXPECT_EQ(r.verdict, LocalCorrectability::NoCorrectionBlocked)
+        << "K=" << k;
+    EXPECT_FALSE(r.isLocallyCorrectable());
+  }
+}
+
+TEST(LocalCorrectability, MatchingWitnessIsGenuine) {
+  // Re-check the reported witness by hand: the process's local predicate is
+  // violated, and every value it can write either leaves it violated or
+  // breaks a neighbour's satisfied predicate.
+  const protocol::Protocol p = casestudies::matching(5);
+  const auto r = analyzeLocalCorrectability(p);
+  ASSERT_EQ(r.verdict, LocalCorrectability::NoCorrectionBlocked);
+  const explicitstate::StateSpace space(p);
+  std::vector<int> state = space.unpack(r.witnessState);
+  const std::size_t j = r.witnessProcess;
+  ASSERT_FALSE(protocol::evalBool(*p.localPredicates[j], state));
+
+  const int original = state[j];
+  for (int value = 0; value < 3; ++value) {
+    state[j] = value;
+    bool fixesSelf = protocol::evalBool(*p.localPredicates[j], state);
+    bool breaksNeighbour = false;
+    for (std::size_t i = 0; i < p.processes.size(); ++i) {
+      std::vector<int> before = state;
+      before[j] = original;
+      if (protocol::evalBool(*p.localPredicates[i], before) &&
+          !protocol::evalBool(*p.localPredicates[i], state)) {
+        breaksNeighbour = true;
+      }
+    }
+    EXPECT_TRUE(!fixesSelf || breaksNeighbour) << "write " << value;
+    state[j] = original;
+  }
+}
+
+TEST(LocalCorrectability, TokenRingsHaveNoLocalDecomposition) {
+  // TR and TR² have a global (disjunctive) invariant — no per-process
+  // conjunctive decomposition exists, so they are classified "No".
+  const auto tr = analyzeLocalCorrectability(casestudies::tokenRing(4, 3));
+  EXPECT_EQ(tr.verdict, LocalCorrectability::NoGlobalInvariant);
+  const auto tr2 = analyzeLocalCorrectability(casestudies::twoRing(2));
+  EXPECT_EQ(tr2.verdict, LocalCorrectability::NoGlobalInvariant);
+}
+
+TEST(LocalCorrectability, UnfaithfulDecompositionDetected) {
+  // localPredicates whose conjunction differs from I must be rejected as
+  // NoGlobalInvariant, not silently analyzed.
+  protocol::ProtocolBuilder b("bogus");
+  const protocol::VarId x = b.variable("x", 2);
+  const protocol::VarId y = b.variable("y", 2);
+  const std::size_t p0 = b.process("P0", {x, y}, {x});
+  const std::size_t p1 = b.process("P1", {x, y}, {y});
+  b.localPredicate(p0, protocol::ref(x) == protocol::lit(0));
+  b.localPredicate(p1, protocol::blit(true));
+  b.invariant(protocol::ref(x) == protocol::lit(0) &&
+              protocol::ref(y) == protocol::lit(0));  // stricter than AND LC
+  const auto r = analyzeLocalCorrectability(b.build());
+  EXPECT_EQ(r.verdict, LocalCorrectability::NoGlobalInvariant);
+}
+
+TEST(LocalCorrectability, MultiWriterFixesAreSearchedExhaustively) {
+  // A process that writes two variables: the fix requires changing both.
+  protocol::ProtocolBuilder b("pairfix");
+  const protocol::VarId x = b.variable("x", 2);
+  const protocol::VarId y = b.variable("y", 2);
+  const std::size_t p0 = b.process("P0", {x, y}, {x, y});
+  b.localPredicate(p0, protocol::ref(x) == protocol::ref(y) &&
+                           protocol::ref(x) == protocol::lit(1));
+  b.invariant(protocol::ref(x) == protocol::ref(y) &&
+              protocol::ref(x) == protocol::lit(1));
+  const auto r = analyzeLocalCorrectability(b.build());
+  EXPECT_EQ(r.verdict, LocalCorrectability::Yes);
+}
+
+TEST(LocalCorrectability, ToStringCoversAllVerdicts) {
+  EXPECT_STREQ(toString(LocalCorrectability::Yes), "Yes");
+  EXPECT_NE(std::string(toString(LocalCorrectability::NoCorrectionBlocked))
+                .find("No"),
+            std::string::npos);
+  EXPECT_NE(std::string(toString(LocalCorrectability::NoGlobalInvariant))
+                .find("No"),
+            std::string::npos);
+}
+
+}  // namespace

@@ -1,0 +1,153 @@
+// Case-study tests for maximal matching on a bidirectional ring
+// (paper Section VI-A): synthesis from the empty protocol, silence in IMM,
+// and the flaw analysis of the manually designed baseline.
+#include <gtest/gtest.h>
+
+#include "casestudies/matching.hpp"
+#include "core/heuristic.hpp"
+#include "explicitstate/verify.hpp"
+#include "symbolic/decode.hpp"
+#include "verify/verify.hpp"
+
+namespace {
+
+using namespace stsyn;
+using bdd::Bdd;
+using casestudies::kLeft;
+using casestudies::kRight;
+using casestudies::kSelf;
+using symbolic::Encoding;
+using symbolic::SymbolicProtocol;
+
+TEST(Matching, InvariantCharacterizesMaximalMatchings) {
+  const protocol::Protocol p = casestudies::matching(5);
+  // <L,R,L,R,?>: pairs (0 with 4? no...) — check concrete paper-ish states.
+  // m = <right,left,right,left,self>: P0-P1 matched, P2-P3 matched, P4 alone
+  // with left neighbour P3 pointing left... P3=left points to P2: OK; P4=self
+  // needs m3=left and m0=right: holds.
+  const std::vector<int> good{kRight, kLeft, kRight, kLeft, kSelf};
+  EXPECT_TRUE(protocol::evalBool(*p.invariant, good));
+  // All-self is NOT legitimate (self requires neighbours pointing away).
+  const std::vector<int> allSelf(5, kSelf);
+  EXPECT_FALSE(protocol::evalBool(*p.invariant, allSelf));
+  // A dangling pointer is not legitimate.
+  const std::vector<int> dangling{kLeft, kLeft, kRight, kLeft, kSelf};
+  EXPECT_FALSE(protocol::evalBool(*p.invariant, dangling));
+}
+
+TEST(Matching, NonStabilizingProtocolIsEmpty) {
+  const protocol::Protocol p = casestudies::matching(5);
+  for (const auto& proc : p.processes) EXPECT_TRUE(proc.actions.empty());
+  const Encoding enc(p);
+  const SymbolicProtocol sp(enc);
+  EXPECT_TRUE(sp.protocolRelation().isFalse());
+}
+
+class MatchingSynthesis : public ::testing::TestWithParam<int> {};
+
+TEST_P(MatchingSynthesis, SynthesizesVerifiedStabilizingProtocol) {
+  const int k = GetParam();
+  const protocol::Protocol p = casestudies::matching(k);
+  const Encoding enc(p);
+  const SymbolicProtocol sp(enc);
+  const core::StrongResult r = core::addStrongConvergence(sp);
+  ASSERT_TRUE(r.success) << "K=" << k << ": " << core::toString(r.failure);
+
+  const verify::Report rep = verify::check(sp, r.relation);
+  EXPECT_TRUE(rep.stronglyStabilizing()) << "K=" << k;
+
+  // The synthesized protocol is silent in IMM (the paper requires it): no
+  // transition leaves from a legitimate state. This is forced by C1 plus
+  // the empty input protocol.
+  EXPECT_TRUE((r.relation & sp.invariant()).isFalse());
+}
+
+INSTANTIATE_TEST_SUITE_P(RingSizes, MatchingSynthesis,
+                         ::testing::Values(3, 4, 5, 6),
+                         [](const auto& info) {
+                           return "K" + std::to_string(info.param);
+                         });
+
+TEST(Matching, SynthesizedFiveProcessVersionExplicitOracle) {
+  const protocol::Protocol p = casestudies::matching(5);
+  const Encoding enc(p);
+  const SymbolicProtocol sp(enc);
+  const core::StrongResult r = core::addStrongConvergence(sp);
+  ASSERT_TRUE(r.success);
+
+  const explicitstate::StateSpace space(p);
+  std::vector<std::pair<explicitstate::StateId, explicitstate::StateId>>
+      edges;
+  for (const auto& [from, to] : symbolic::decodeRelation(enc, r.relation)) {
+    edges.emplace_back(from, to);
+  }
+  const auto ts = explicitstate::fromEdges(space, edges);
+  const auto report = explicitstate::check(space, ts);
+  EXPECT_TRUE(report.stronglyStabilizing());
+}
+
+TEST(Matching, SynthesisUsesCycleResolution) {
+  // The paper's point: matching is NOT locally correctable and recovery
+  // groups do form cycles — the SCC machinery must actually fire.
+  const protocol::Protocol p = casestudies::matching(5);
+  const Encoding enc(p);
+  const SymbolicProtocol sp(enc);
+  const core::StrongResult r = core::addStrongConvergence(sp);
+  ASSERT_TRUE(r.success);
+  EXPECT_GT(r.stats.sccDetectionCalls, 0u);
+  EXPECT_GT(r.stats.sccComponentsFound, 0u);
+  EXPECT_GT(r.stats.avgSccNodes(), 0.0);
+}
+
+TEST(Matching, GoudaAcharyaPrintedFailsVerification) {
+  // Reproduces the paper's flaw-detection result: the manually designed
+  // protocol (as printed) does not verify. See EXPERIMENTS.md for the
+  // detailed comparison with the paper's reported counterexample.
+  const protocol::Protocol p = casestudies::matchingGoudaAcharyaAsPrinted(5);
+  const Encoding enc(p);
+  const SymbolicProtocol sp(enc);
+  const verify::Report rep = verify::check(sp, sp.protocolRelation());
+  EXPECT_FALSE(rep.closed);
+  EXPECT_FALSE(rep.stronglyConverges());
+}
+
+TEST(Matching, GoudaAcharyaRepairedDeadlocksAtAllSelf) {
+  const protocol::Protocol p = casestudies::matchingGoudaAcharyaRepaired(5);
+  const Encoding enc(p);
+  const SymbolicProtocol sp(enc);
+  const verify::Report rep = verify::check(sp, sp.protocolRelation());
+  EXPECT_TRUE(rep.closed);
+  EXPECT_FALSE(rep.deadlockFree);
+  // The paper's claimed cycle start state <left,self,left,self,left> is at
+  // least a problem state here too: it cannot converge on every schedule.
+  const std::vector<int> paperState{kLeft, kSelf, kLeft, kSelf, kLeft};
+  EXPECT_FALSE(protocol::evalBool(*p.invariant, paperState));
+}
+
+TEST(Matching, SynthesizedProtocolFixesTheManualFlaw) {
+  // From the all-self deadlock of the manual protocol, the synthesized
+  // protocol converges (explicit check of every maximal execution prefix up
+  // to the state-space bound is covered by strong convergence; here we just
+  // confirm the state is not deadlocked and not cyclic).
+  const protocol::Protocol p = casestudies::matching(5);
+  const Encoding enc(p);
+  const SymbolicProtocol sp(enc);
+  const core::StrongResult r = core::addStrongConvergence(sp);
+  ASSERT_TRUE(r.success);
+  const Bdd allSelf = enc.stateBdd(std::vector<int>(5, kSelf));
+  EXPECT_FALSE((sp.sources(r.relation) & allSelf).isFalse())
+      << "all-self must have an outgoing recovery transition";
+}
+
+TEST(Matching, PointerNames) {
+  EXPECT_STREQ(casestudies::pointerName(kLeft), "left");
+  EXPECT_STREQ(casestudies::pointerName(kRight), "right");
+  EXPECT_STREQ(casestudies::pointerName(kSelf), "self");
+  EXPECT_STREQ(casestudies::pointerName(42), "?");
+}
+
+TEST(Matching, RejectsTooFewProcesses) {
+  EXPECT_THROW((void)casestudies::matching(2), std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,204 @@
+// Unit tests for the protocol model: expression AST, evaluation, static
+// analyses, structural validation, and the builder.
+#include <gtest/gtest.h>
+
+#include "protocol/builder.hpp"
+
+namespace {
+
+using namespace stsyn::protocol;
+
+TEST(Expr, IntEvaluation) {
+  // (x0 + 3) mod 4, x1 * 2 - 1
+  const E e1 = (ref(0) + lit(3)).mod(4);
+  const E e2 = ref(1) * lit(2) - lit(1);
+  const std::vector<int> s{2, 3};
+  EXPECT_EQ(evalInt(*e1.ptr(), s), 1);
+  EXPECT_EQ(evalInt(*e2.ptr(), s), 5);
+}
+
+TEST(Expr, EuclideanModIsNonNegative) {
+  const E e = (ref(0) - lit(3)).mod(4);
+  const std::vector<int> s{1};
+  EXPECT_EQ(evalInt(*e.ptr(), s), 2);  // (1-3) mod 4 = 2, not -2
+}
+
+TEST(Expr, BoolEvaluation) {
+  const E e = (ref(0) == ref(1)).implies(ref(0) < lit(2)) &&
+              !(ref(1) >= lit(5));
+  const std::vector<int> sTrue{1, 1};
+  const std::vector<int> sAlsoTrue{4, 2};  // antecedent false
+  const std::vector<int> sFalse{4, 4};
+  EXPECT_TRUE(evalBool(*e.ptr(), sTrue));
+  EXPECT_TRUE(evalBool(*e.ptr(), sAlsoTrue));
+  EXPECT_FALSE(evalBool(*e.ptr(), sFalse));
+}
+
+TEST(Expr, IffAndIte) {
+  const E iff = (ref(0) == lit(1)).iff(ref(1) == lit(1));
+  const std::vector<int> same{1, 1};
+  const std::vector<int> diff{1, 0};
+  EXPECT_TRUE(evalBool(*iff.ptr(), same));
+  EXPECT_FALSE(evalBool(*iff.ptr(), diff));
+
+  const E sel = ite(ref(0) == lit(0), lit(7), ref(1));
+  const std::vector<int> zero{0, 3};
+  const std::vector<int> nonzero{2, 3};
+  EXPECT_EQ(evalInt(*sel.ptr(), zero), 7);
+  EXPECT_EQ(evalInt(*sel.ptr(), nonzero), 3);
+}
+
+TEST(Expr, TypeErrorsThrow) {
+  const std::vector<int> s{0};
+  EXPECT_THROW((void)evalInt(*(ref(0) == lit(1)).ptr(), s), std::logic_error);
+  EXPECT_THROW((void)evalBool(*(ref(0) + lit(1)).ptr(), s), std::logic_error);
+}
+
+TEST(Expr, AllOfAnyOfEmptyAndNonEmpty) {
+  const std::vector<int> s{1};
+  const std::vector<E> none;
+  EXPECT_TRUE(evalBool(*allOf(none).ptr(), s));
+  EXPECT_FALSE(evalBool(*anyOf(none).ptr(), s));
+  const std::vector<E> two{ref(0) == lit(1), ref(0) == lit(2)};
+  EXPECT_FALSE(evalBool(*allOf(two).ptr(), s));
+  EXPECT_TRUE(evalBool(*anyOf(two).ptr(), s));
+}
+
+TEST(Expr, CollectSupport) {
+  const E e = (ref(2) + ref(0)).mod(3) == ref(2);
+  std::set<VarId> sup;
+  collectSupport(*e.ptr(), sup);
+  EXPECT_EQ(sup, (std::set<VarId>{0, 2}));
+}
+
+TEST(Expr, PossibleValuesExact) {
+  const std::vector<int> domains{3, 2};  // x0 in 0..2, x1 in 0..1
+  const E sum = ref(0) + ref(1);
+  EXPECT_EQ(possibleValues(*sum.ptr(), domains),
+            (std::set<long>{0, 1, 2, 3}));
+  const E modded = (ref(0) + lit(2)).mod(3);
+  EXPECT_EQ(possibleValues(*modded.ptr(), domains),
+            (std::set<long>{0, 1, 2}));
+  const E diff = ref(0) - ref(1);
+  EXPECT_EQ(possibleValues(*diff.ptr(), domains),
+            (std::set<long>{-1, 0, 1, 2}));
+}
+
+TEST(Expr, ToStringRendersReadably) {
+  const std::vector<std::string> names{"x", "y"};
+  const E e = (ref(0) + lit(1)).mod(3) == ref(1);
+  EXPECT_EQ(toString(*e.ptr(), names), "(((x + 1) mod 3) == y)");
+}
+
+// ---------------------------------------------------------------------------
+// Builder and validation.
+// ---------------------------------------------------------------------------
+
+TEST(Builder, BuildsAWellFormedProtocol) {
+  ProtocolBuilder b("demo");
+  const VarId x = b.variable("x", 3);
+  const VarId y = b.variable("y", 3);
+  const std::size_t p0 = b.process("P0", {x, y}, {x});
+  b.action(p0, "inc", ref(x) == ref(y), {{x, (ref(y) + lit(1)).mod(3)}});
+  b.invariant(ref(x) != ref(y));
+  const Protocol proto = b.build();
+  EXPECT_EQ(proto.varCount(), 2u);
+  EXPECT_EQ(proto.processCount(), 1u);
+  EXPECT_DOUBLE_EQ(proto.stateCount(), 9.0);
+  EXPECT_TRUE(proto.processes[0].canRead(y));
+  EXPECT_FALSE(proto.processes[0].canWrite(y));
+  EXPECT_EQ(proto.unreadableOf(0), std::vector<VarId>{});
+}
+
+TEST(Builder, NormalizesReadWriteSets) {
+  ProtocolBuilder b("demo");
+  const VarId x = b.variable("x", 2);
+  const VarId y = b.variable("y", 2);
+  const std::size_t p = b.process("P", {y, x, y}, {y, y});
+  b.invariant(blit(true));
+  const Protocol proto = b.build();
+  EXPECT_EQ(proto.processes[p].reads, (std::vector<VarId>{x, y}));
+  EXPECT_EQ(proto.processes[p].writes, (std::vector<VarId>{y}));
+}
+
+TEST(Validate, RejectsWriteOutsideReads) {
+  Protocol proto;
+  proto.name = "bad";
+  proto.vars = {{"x", 2}, {"y", 2}};
+  proto.invariant = blit(true).ptr();
+  proto.processes = {{"P", {0}, {0, 1}, {}}};  // writes y without reading it
+  EXPECT_THROW(validate(proto), std::invalid_argument);
+}
+
+TEST(Validate, RejectsGuardReadingUnreadableVariable) {
+  ProtocolBuilder b("bad");
+  const VarId x = b.variable("x", 2);
+  const VarId y = b.variable("y", 2);
+  const std::size_t p = b.process("P", {x}, {x});
+  b.action(p, "peek", ref(y) == lit(0), {{x, lit(1)}});
+  b.invariant(blit(true));
+  EXPECT_THROW((void)b.build(), std::invalid_argument);
+}
+
+TEST(Validate, RejectsAssignmentToUnwritableVariable) {
+  ProtocolBuilder b("bad");
+  const VarId x = b.variable("x", 2);
+  const VarId y = b.variable("y", 2);
+  const std::size_t p = b.process("P", {x, y}, {x});
+  b.action(p, "sneak", blit(true), {{y, lit(1)}});
+  b.invariant(blit(true));
+  EXPECT_THROW((void)b.build(), std::invalid_argument);
+}
+
+TEST(Validate, RejectsDuplicateAssignmentTargets) {
+  ProtocolBuilder b("bad");
+  const VarId x = b.variable("x", 2);
+  const std::size_t p = b.process("P", {x}, {x});
+  b.action(p, "twice", blit(true), {{x, lit(0)}, {x, lit(1)}});
+  b.invariant(blit(true));
+  EXPECT_THROW((void)b.build(), std::invalid_argument);
+}
+
+TEST(Validate, RejectsNonBooleanInvariantAndGuards) {
+  {
+    ProtocolBuilder b("bad");
+    b.variable("x", 2);
+    b.invariant(E(ref(0).ptr()));  // int-valued invariant
+    EXPECT_THROW((void)b.build(), std::invalid_argument);
+  }
+  {
+    ProtocolBuilder b("bad");
+    const VarId x = b.variable("x", 2);
+    const std::size_t p = b.process("P", {x}, {x});
+    b.action(p, "g", E(ref(0).ptr()), {{x, lit(0)}});
+    b.invariant(blit(true));
+    EXPECT_THROW((void)b.build(), std::invalid_argument);
+  }
+}
+
+TEST(Validate, RejectsPartialLocalPredicates) {
+  ProtocolBuilder b("bad");
+  const VarId x = b.variable("x", 2);
+  b.process("P0", {x}, {x});
+  b.process("P1", {x}, {});
+  b.localPredicate(0, ref(x) == lit(0));  // P1 left without one
+  b.invariant(blit(true));
+  EXPECT_THROW((void)b.build(), std::invalid_argument);
+}
+
+TEST(Validate, RejectsLocalPredicateOverUnreadableVariables) {
+  ProtocolBuilder b("bad");
+  const VarId x = b.variable("x", 2);
+  const VarId y = b.variable("y", 2);
+  const std::size_t p = b.process("P", {x}, {x});
+  b.localPredicate(p, ref(y) == lit(0));
+  b.invariant(blit(true));
+  EXPECT_THROW((void)b.build(), std::invalid_argument);
+}
+
+TEST(Validate, RejectsEmptyDomain) {
+  EXPECT_THROW(ProtocolBuilder("bad").variable("x", 0),
+               std::invalid_argument);
+}
+
+}  // namespace

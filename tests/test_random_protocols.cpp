@@ -1,0 +1,151 @@
+// Randomized differential testing: generate random small protocols
+// (random topology, random invariant; empty action sets so closure holds
+// trivially), run BOTH synthesis engines, and assert they agree exactly —
+// plus, on success, that the result verifies against the explicit checker.
+//
+// This is the widest net in the suite: it explores protocol shapes none of
+// the case studies have (asymmetric localities, multi-writer processes,
+// disconnected reads).
+#include <gtest/gtest.h>
+
+#include "protocol/builder.hpp"
+#include "core/heuristic.hpp"
+#include "explicitstate/synthesis.hpp"
+#include "explicitstate/verify.hpp"
+#include "symbolic/decode.hpp"
+#include "util/rng.hpp"
+#include "verify/verify.hpp"
+
+namespace {
+
+using namespace stsyn;
+
+/// A random protocol: 3-4 variables with domains 2-3, 2-4 processes with
+/// random read sets (always containing their writes), a random non-empty,
+/// non-full invariant built from equalities/inequalities.
+protocol::Protocol randomProtocol(util::Rng& rng) {
+  protocol::ProtocolBuilder b("random");
+  const std::size_t nVars = 3 + rng.below(2);
+  std::vector<protocol::VarId> vars;
+  std::vector<int> domains;
+  for (std::size_t v = 0; v < nVars; ++v) {
+    const int d = 2 + static_cast<int>(rng.below(2));
+    domains.push_back(d);
+    vars.push_back(b.variable("v" + std::to_string(v), d));
+  }
+
+  const std::size_t nProcs = 2 + rng.below(3);
+  for (std::size_t j = 0; j < nProcs; ++j) {
+    // Writes: one or two random variables. Reads: the writes plus a random
+    // subset of the rest.
+    std::vector<protocol::VarId> writes{vars[rng.below(nVars)]};
+    if (rng.below(4) == 0) writes.push_back(vars[rng.below(nVars)]);
+    std::vector<protocol::VarId> reads = writes;
+    for (const protocol::VarId v : vars) {
+      if (rng.below(2) == 0) reads.push_back(v);
+    }
+    b.process("P" + std::to_string(j), reads, writes);
+  }
+
+  // Invariant: conjunction/disjunction of 2-3 random literals. Reject
+  // empty/full instances by retrying at the caller.
+  protocol::E inv;
+  const std::size_t terms = 2 + rng.below(2);
+  for (std::size_t t = 0; t < terms; ++t) {
+    const protocol::VarId v = vars[rng.below(nVars)];
+    const int val = static_cast<int>(rng.below(domains[v]));
+    protocol::E lit = rng.flip()
+                          ? (protocol::ref(v) == protocol::lit(val))
+                          : (protocol::ref(v) != protocol::lit(val));
+    if (t == 0) {
+      inv = lit;
+    } else {
+      inv = rng.flip() ? (inv && lit) : (inv || lit);
+    }
+  }
+  b.invariant(inv);
+  return b.build();
+}
+
+class RandomProtocolDifferential
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RandomProtocolDifferential, EnginesAgreeAndResultsVerify) {
+  util::Rng rng(GetParam() * 7919 + 13);
+  for (int instance = 0; instance < 6; ++instance) {
+    const protocol::Protocol p = randomProtocol(rng);
+    const explicitstate::StateSpace space(p);
+    if (space.invariantSize() == 0 || space.invariantSize() == space.size()) {
+      continue;  // degenerate invariant: nothing to synthesize
+    }
+
+    symbolic::Encoding enc(p);
+    symbolic::SymbolicProtocol sp(enc);
+    const core::StrongResult sym = core::addStrongConvergence(sp);
+    const explicitstate::SynthResult ex =
+        explicitstate::addStrongConvergenceExplicit(space);
+
+    // Engine agreement, transition for transition.
+    ASSERT_EQ(sym.success, ex.success) << "seed " << GetParam()
+                                       << " instance " << instance;
+    EXPECT_EQ(static_cast<int>(sym.failure), static_cast<int>(ex.failure));
+    EXPECT_EQ(sym.stats.passCompleted, ex.passCompleted);
+    std::vector<std::pair<explicitstate::StateId, explicitstate::StateId>>
+        symEdges;
+    for (const auto& [from, to] :
+         symbolic::decodeRelation(enc, sym.relation)) {
+      symEdges.emplace_back(from, to);
+    }
+    ASSERT_EQ(symEdges, ex.relation)
+        << "seed " << GetParam() << " instance " << instance;
+
+    if (sym.success) {
+      // Soundness: the synthesized protocol verifies in both engines.
+      EXPECT_TRUE(verify::check(sp, sym.relation).stronglyStabilizing());
+      const auto ts = explicitstate::fromEdges(space, ex.relation);
+      const auto report = explicitstate::check(space, ts);
+      EXPECT_TRUE(report.stronglyStabilizing());
+      // And the interference constraint of Problem III.1 holds.
+      EXPECT_TRUE(verify::agreesInsideInvariant(sp, sp.protocolRelation(),
+                                                sym.relation));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomProtocolDifferential,
+                         ::testing::Range<std::uint64_t>(0, 15));
+
+class RandomProtocolWeak : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RandomProtocolWeak, RanksAgreeWithExplicitBfs) {
+  util::Rng rng(GetParam() * 104729 + 7);
+  for (int instance = 0; instance < 4; ++instance) {
+    const protocol::Protocol p = randomProtocol(rng);
+    const explicitstate::StateSpace space(p);
+    if (space.invariantSize() == 0) continue;
+
+    symbolic::Encoding enc(p);
+    symbolic::SymbolicProtocol sp(enc);
+    const core::Ranking ranking = core::computeRanks(sp);
+    const explicitstate::SynthResult ex =
+        explicitstate::addStrongConvergenceExplicit(space);
+
+    // Rank-by-rank agreement between the two ComputeRanks implementations.
+    for (std::size_t i = 0; i < ranking.ranks.size(); ++i) {
+      for (const std::uint64_t s :
+           symbolic::decodeStates(enc, ranking.ranks[i])) {
+        EXPECT_EQ(ex.ranks[s], static_cast<std::int64_t>(i))
+            << "seed " << GetParam() << " state " << s;
+      }
+    }
+    for (const std::uint64_t s :
+         symbolic::decodeStates(enc, ranking.unreachable)) {
+      EXPECT_EQ(ex.ranks[s], explicitstate::kRankInfinity);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomProtocolWeak,
+                         ::testing::Range<std::uint64_t>(100, 110));
+
+}  // namespace

@@ -1,0 +1,184 @@
+// Tests for ComputeRanks (paper Figure 2), Theorem IV.1 (weak-convergence
+// decision), Lemma IV.2 (no rank-skipping transition), and the weak
+// synthesis entry point — all cross-checked against explicit BFS.
+#include <gtest/gtest.h>
+
+#include "protocol/builder.hpp"
+#include "casestudies/coloring.hpp"
+#include "casestudies/matching.hpp"
+#include "casestudies/token_ring.hpp"
+#include "core/ranks.hpp"
+#include "core/weak.hpp"
+#include "explicitstate/graph.hpp"
+#include "explicitstate/verify.hpp"
+#include "symbolic/decode.hpp"
+
+namespace {
+
+using namespace stsyn;
+using bdd::Bdd;
+using core::computeRanks;
+using core::Ranking;
+using symbolic::Encoding;
+using symbolic::SymbolicProtocol;
+
+TEST(ComputeRanks, TokenRingHasTwoRanksCoveringNotI) {
+  // Section V: "ComputeRanks calculates two ranks (M = 2) that cover the
+  // entire predicate ¬I" for the 4-process, domain-3 token ring.
+  const protocol::Protocol p = casestudies::tokenRing(4, 3);
+  const Encoding enc(p);
+  const SymbolicProtocol sp(enc);
+  const Ranking r = computeRanks(sp);
+  EXPECT_EQ(r.maxRank(), 2u);
+  EXPECT_TRUE(r.complete());
+  // ranks partition valid states.
+  Bdd all = enc.manager().falseBdd();
+  for (const Bdd& rank : r.ranks) {
+    EXPECT_TRUE((all & rank).isFalse());  // disjoint
+    all |= rank;
+  }
+  EXPECT_TRUE(all == enc.validCur());
+}
+
+TEST(ComputeRanks, RanksMatchExplicitBfsOnPim) {
+  const protocol::Protocol p = casestudies::tokenRing(4, 3);
+  const Encoding enc(p);
+  const SymbolicProtocol sp(enc);
+  const Ranking r = computeRanks(sp);
+
+  // Decode p_im and re-rank explicitly.
+  const explicitstate::StateSpace space(p);
+  std::vector<std::pair<explicitstate::StateId, explicitstate::StateId>>
+      edges;
+  for (const auto& [from, to] : symbolic::decodeRelation(enc, r.pim)) {
+    edges.emplace_back(from, to);
+  }
+  const auto ts = explicitstate::fromEdges(space, edges);
+  std::vector<bool> target(space.size());
+  for (explicitstate::StateId s = 0; s < space.size(); ++s) {
+    target[s] = space.inInvariant(s);
+  }
+  const auto explicitRank = explicitstate::backwardRanks(ts, target);
+
+  for (std::size_t i = 0; i < r.ranks.size(); ++i) {
+    for (const std::uint64_t s : symbolic::decodeStates(enc, r.ranks[i])) {
+      EXPECT_EQ(explicitRank[s], static_cast<std::int64_t>(i))
+          << "state " << s;
+    }
+  }
+}
+
+TEST(ComputeRanks, PimContainsProtocolAndOnlyAddsFromOutsideI) {
+  const protocol::Protocol p = casestudies::tokenRing(4, 3);
+  const Encoding enc(p);
+  const SymbolicProtocol sp(enc);
+  const Ranking r = computeRanks(sp);
+  EXPECT_TRUE(sp.protocolRelation().implies(r.pim));
+  // Every added transition starts outside I (C1 by construction).
+  const Bdd added = r.pim.minus(sp.protocolRelation());
+  EXPECT_TRUE((added & sp.invariant()).isFalse());
+  // And closure is preserved: pim|I == p|I (Step 1's guarantee).
+  EXPECT_TRUE(sp.restrictRel(r.pim, sp.invariant()) ==
+              sp.restrictRel(sp.protocolRelation(), sp.invariant()));
+}
+
+TEST(ComputeRanks, PimAddedGroupsNeverHaveMembersStartingInI) {
+  const protocol::Protocol p = casestudies::matching(4);
+  const Encoding enc(p);
+  const SymbolicProtocol sp(enc);
+  const Ranking r = computeRanks(sp);
+  for (std::size_t j = 0; j < sp.processCount(); ++j) {
+    const Bdd addedJ = (r.pim.minus(sp.protocolRelation())) & sp.frame(j) &
+                       sp.candidates(j);
+    // Group expansion of what was added must still avoid I entirely.
+    EXPECT_TRUE((sp.groupExpand(j, addedJ) & sp.invariant()).isFalse());
+  }
+}
+
+TEST(ComputeRanks, LemmaIV2NoTransitionSkipsARank) {
+  // Lemma IV.2: no protocol transition (and in particular no p_im
+  // transition) may jump from Rank[i] to Rank[j] with j + 1 < i.
+  const protocol::Protocol p = casestudies::tokenRing(4, 3);
+  const Encoding enc(p);
+  const SymbolicProtocol sp(enc);
+  const Ranking r = computeRanks(sp);
+  for (std::size_t i = 2; i <= r.maxRank(); ++i) {
+    for (std::size_t j = 0; j + 1 < i; ++j) {
+      const Bdd skipping = r.pim & r.ranks[i] & sp.onNext(r.ranks[j]);
+      EXPECT_TRUE(skipping.isFalse()) << "jump " << i << " -> " << j;
+    }
+  }
+}
+
+TEST(ComputeRanks, EmptyProtocolRanksEqualHammingLikeDistance) {
+  // For the empty coloring protocol, p_im is the full candidate relation;
+  // rank i states need exactly i single-process writes to reach a proper
+  // coloring.
+  const protocol::Protocol p = casestudies::coloring(4);
+  const Encoding enc(p);
+  const SymbolicProtocol sp(enc);
+  const Ranking r = computeRanks(sp);
+  EXPECT_TRUE(r.complete());
+  // <0,0,1,2>: fixable by one write of P1 (c1 := anything != 0, 2... c1=1?
+  // c0=0,c1=0 conflict; set c1 := 1 conflicts c2... c1 can be nothing? With
+  // colors {0,1,2}: c1 must differ from c0=0 and c2=1 -> c1=2 works. Rank 1.
+  const Bdd s = enc.stateBdd(std::vector<int>{0, 0, 1, 2});
+  EXPECT_FALSE((r.ranks[1] & s).isFalse());
+  // All-equal <0,0,0,0> needs at least two writes. Verify it is rank 2.
+  const Bdd allEq = enc.stateBdd(std::vector<int>{0, 0, 0, 0});
+  EXPECT_FALSE((r.ranks[2] & allEq).isFalse());
+}
+
+TEST(WeakSynthesis, TokenRingPimIsWeaklyStabilizing) {
+  const protocol::Protocol p = casestudies::tokenRing(4, 3);
+  const Encoding enc(p);
+  const SymbolicProtocol sp(enc);
+  const core::WeakResult w = core::addWeakConvergence(sp);
+  ASSERT_TRUE(w.success);
+  EXPECT_TRUE(w.rankInfinityStates.isFalse());
+
+  // Explicit check of Theorem IV.1's conclusion: every state has a path to
+  // I under the returned relation, and I is closed in it.
+  const explicitstate::StateSpace space(p);
+  std::vector<std::pair<explicitstate::StateId, explicitstate::StateId>>
+      edges;
+  for (const auto& [from, to] : symbolic::decodeRelation(enc, w.relation)) {
+    edges.emplace_back(from, to);
+  }
+  const auto ts = explicitstate::fromEdges(space, edges);
+  const auto report = explicitstate::check(space, ts);
+  EXPECT_TRUE(report.closed);
+  EXPECT_TRUE(report.weaklyConverges);
+}
+
+TEST(WeakSynthesis, ImpossibleWhenAVariableIsUnwritable) {
+  // A protocol where no process can write x1: states with x1 = 1 can never
+  // recover to I = (x1 == 0), so rank infinity is non-empty and Theorem
+  // IV.1 declares the instance unrealizable.
+  protocol::ProtocolBuilder b("stuck");
+  const protocol::VarId x0 = b.variable("x0", 2);
+  const protocol::VarId x1 = b.variable("x1", 2);
+  b.process("P0", {x0, x1}, {x0});
+  b.invariant(protocol::ref(x1) == protocol::lit(0));
+  const protocol::Protocol p = b.build();
+
+  const Encoding enc(p);
+  const SymbolicProtocol sp(enc);
+  const core::WeakResult w = core::addWeakConvergence(sp);
+  EXPECT_FALSE(w.success);
+  // Exactly the x1 = 1 half of the state space is stuck.
+  EXPECT_DOUBLE_EQ(enc.countStates(w.rankInfinityStates), 2.0);
+}
+
+TEST(Stats, RankingTimeAndMAreRecorded) {
+  const protocol::Protocol p = casestudies::matching(5);
+  const Encoding enc(p);
+  const SymbolicProtocol sp(enc);
+  core::SynthesisStats stats;
+  const Ranking r = computeRanks(sp, &stats);
+  EXPECT_EQ(stats.rankCount, r.maxRank());
+  EXPECT_GE(stats.rankingSeconds, 0.0);
+  EXPECT_GT(r.maxRank(), 0u);
+}
+
+}  // namespace

@@ -1,0 +1,196 @@
+// Tests for the message-passing refinement (single-writer regular
+// registers + heartbeats), including the classic result the paper's model
+// choice leans on: Dijkstra's token ring stabilizes under read/write
+// atomicity, so its refined version recovers from arbitrarily corrupted
+// configurations.
+#include <gtest/gtest.h>
+
+#include "protocol/builder.hpp"
+#include "casestudies/coloring.hpp"
+#include "casestudies/token_ring.hpp"
+#include "casestudies/two_ring.hpp"
+#include "core/heuristic.hpp"
+#include "refinement/message_passing.hpp"
+#include "extraction/actions.hpp"
+#include "symbolic/decode.hpp"
+
+namespace {
+
+using namespace stsyn;
+using refinement::Configuration;
+using refinement::Event;
+using refinement::MessagePassingSystem;
+
+TEST(Refinement, OwnershipAndCacheLayout) {
+  const protocol::Protocol p = casestudies::tokenRing(4, 3);
+  const MessagePassingSystem sys(p);
+  for (protocol::VarId v = 0; v < 4; ++v) {
+    EXPECT_EQ(sys.ownerOf(v), v);  // P_j writes x_j
+  }
+  const Configuration c = sys.embed(std::vector<int>{1, 0, 0, 0});
+  // P_j caches exactly its predecessor's variable.
+  for (std::size_t j = 0; j < 4; ++j) {
+    ASSERT_EQ(c.cache[j].size(), 1u) << "P" << j;
+    EXPECT_EQ(c.cache[j].begin()->first, (j + 3) % 4);
+  }
+  EXPECT_TRUE(sys.coherent(c));
+  EXPECT_TRUE(sys.legitimate(c));
+}
+
+TEST(Refinement, RejectsSharedWritersAndOrphanVariables) {
+  // TR² has two writers of `turn`.
+  EXPECT_THROW((void)MessagePassingSystem(casestudies::twoRing(2)),
+               std::invalid_argument);
+  // A variable nobody writes cannot be owned.
+  protocol::ProtocolBuilder b("orphan");
+  const protocol::VarId x = b.variable("x", 2);
+  const protocol::VarId y = b.variable("y", 2);
+  b.process("P", {x, y}, {x});
+  b.invariant(protocol::blit(true));
+  EXPECT_THROW((void)MessagePassingSystem(b.build()), std::invalid_argument);
+}
+
+TEST(Refinement, ExecutionUsesTheCachedViewNotTheTruth) {
+  // P1's guard reads x0 through its cache: with a stale cache the action
+  // fires even though the true values would disable it.
+  const protocol::Protocol p = casestudies::dijkstraTokenRing(3, 3);
+  const MessagePassingSystem sys(p);
+  Configuration c = sys.embed(std::vector<int>{0, 0, 0});
+  c.cache[1][0] = 2;  // corrupt P1's copy of x0
+
+  const auto events = sys.enabledEvents(c);
+  bool p1CanFire = false;
+  for (const Event& e : events) {
+    if (e.kind == Event::Kind::Execute && e.process == 1) p1CanFire = true;
+  }
+  ASSERT_TRUE(p1CanFire);  // guard x1 != x0 holds on the corrupted view
+  for (const Event& e : events) {
+    if (e.kind == Event::Kind::Execute && e.process == 1) {
+      sys.apply(c, e);
+      break;
+    }
+  }
+  EXPECT_EQ(c.owned[1], 2);  // copied the STALE value
+  EXPECT_FALSE(sys.coherent(c) && sys.legitimate(c));
+}
+
+TEST(Refinement, HeartbeatRepairsACorruptedCache) {
+  const protocol::Protocol p = casestudies::dijkstraTokenRing(3, 3);
+  const MessagePassingSystem sys(p);
+  Configuration c = sys.embed(std::vector<int>{1, 1, 1});
+  c.cache[1][0] = 2;
+  sys.apply(c, Event{Event::Kind::Heartbeat, 0, 0, 0});
+  // The fresh value is in flight; delivering it repairs the cache.
+  sys.apply(c, Event{Event::Kind::Deliver, 1, 0, 0});
+  EXPECT_EQ(c.cache[1].at(0), 1);
+  EXPECT_TRUE(sys.coherent(c));
+}
+
+TEST(Refinement, DijkstraRingStabilizesUnderReadWriteAtomicity) {
+  // The classic claim behind the paper's model choice, tested end to end:
+  // from random corrupted configurations (owned values, caches and
+  // channels all scrambled), the refined Dijkstra ring converges.
+  const protocol::Protocol p = casestudies::dijkstraTokenRing(4, 4);
+  const MessagePassingSystem sys(p);
+  util::Rng rng(2026);
+  for (int trial = 0; trial < 200; ++trial) {
+    const auto run =
+        refinement::simulateRefined(sys, sys.randomConfiguration(rng), rng,
+                                    200000);
+    EXPECT_TRUE(run.converged) << "trial " << trial;
+  }
+}
+
+TEST(Refinement, SynthesizedColoringStabilizesWhenRefined) {
+  // The synthesized coloring protocol is locally correctable; its refined
+  // version also recovers in practice. (This is an empirical check — the
+  // refinement gives read/write atomicity, which is weaker than the model
+  // the synthesis guarantees convergence under.)
+  const protocol::Protocol p = casestudies::coloring(4);
+  symbolic::Encoding enc(p);
+  symbolic::SymbolicProtocol sp(enc);
+  const core::StrongResult r = core::addStrongConvergence(sp);
+  ASSERT_TRUE(r.success);
+
+  // Materialize the synthesized protocol as guarded commands via
+  // extraction, rebuild a Protocol, and refine it.
+  protocol::ProtocolBuilder b("coloring-ss");
+  std::vector<protocol::VarId> c;
+  for (int i = 0; i < 4; ++i) {
+    c.push_back(b.variable("c" + std::to_string(i), 3));
+  }
+  protocol::E inv;
+  for (int i = 0; i < 4; ++i) {
+    const protocol::E edge =
+        protocol::ref(c[(i + 3) % 4]) != protocol::ref(c[i]);
+    inv = i == 0 ? edge : (inv && edge);
+  }
+  b.invariant(inv);
+  for (int i = 0; i < 4; ++i) {
+    b.process("P" + std::to_string(i),
+              {c[(i + 3) % 4], c[static_cast<std::size_t>(i)], c[(i + 1) % 4]},
+              {c[static_cast<std::size_t>(i)]});
+  }
+  const auto actions = extraction::extractAllActions(sp, r.addedPerProcess);
+  for (std::size_t j = 0; j < 4; ++j) {
+    const protocol::Process& proc = p.processes[j];
+    std::size_t label = 0;
+    for (const auto& action : actions[j].actions) {
+      // guard: disjunction over cubes of conjunctions over read values
+      protocol::E guard = protocol::blit(false);
+      for (const auto& cube : action.guard.cubes) {
+        protocol::E conj = protocol::blit(true);
+        for (std::size_t rIdx = 0; rIdx < proc.reads.size(); ++rIdx) {
+          protocol::E anyVal = protocol::blit(false);
+          for (int v = 0; v < 3; ++v) {
+            if (cube.sets[rIdx] >> v & 1u) {
+              anyVal = anyVal || (protocol::ref(proc.reads[rIdx]) ==
+                                  protocol::lit(v));
+            }
+          }
+          conj = conj && anyVal;
+        }
+        guard = guard || conj;
+      }
+      std::vector<std::pair<protocol::VarId, protocol::E>> assigns;
+      assigns.emplace_back(proc.writes[0],
+                           protocol::lit(action.writeValues[0]));
+      b.action(j, "r" + std::to_string(label++), guard, std::move(assigns));
+    }
+  }
+  const protocol::Protocol refinedInput = b.build();
+
+  const MessagePassingSystem sys(refinedInput);
+  util::Rng rng(99);
+  std::size_t converged = 0;
+  for (int trial = 0; trial < 100; ++trial) {
+    const auto run = refinement::simulateRefined(
+        sys, sys.randomConfiguration(rng), rng, 200000);
+    converged += run.converged ? 1 : 0;
+  }
+  EXPECT_EQ(converged, 100u);
+}
+
+TEST(Refinement, LegitimateProjectionIsClosedUnderRefinedRuns) {
+  // Starting coherent and legitimate, the OWNED projection never leaves I
+  // under any interleaving (full coherence is transient by design — an
+  // update is incoherent until delivered — but the shared-memory
+  // projection of the refined Dijkstra ring stays legitimate).
+  const protocol::Protocol p = casestudies::dijkstraTokenRing(4, 4);
+  const MessagePassingSystem sys(p);
+  util::Rng rng(7);
+  std::vector<int> legit{2, 2, 2, 2};
+  Configuration c = sys.embed(legit);
+  std::size_t coherentInstants = 0;
+  for (int step = 0; step < 5000; ++step) {
+    ASSERT_TRUE(protocol::evalBool(*p.invariant, c.owned))
+        << "step " << step;
+    coherentInstants += sys.legitimate(c) ? 1 : 0;
+    const auto events = sys.enabledEvents(c);
+    ASSERT_FALSE(events.empty());
+    sys.apply(c, events[rng.below(events.size())]);
+  }
+  EXPECT_GT(coherentInstants, 0u);  // coherence keeps being re-established
+}
+
+}  // namespace

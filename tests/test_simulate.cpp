@@ -1,0 +1,110 @@
+// Tests for the random-scheduler simulator (fault injection + recovery).
+#include <gtest/gtest.h>
+
+#include "casestudies/token_ring.hpp"
+#include "core/heuristic.hpp"
+#include "explicitstate/simulate.hpp"
+#include "symbolic/decode.hpp"
+
+namespace {
+
+using namespace stsyn;
+using explicitstate::StateSpace;
+
+TEST(Simulate, StabilizingProtocolConvergesFromEveryStartState) {
+  const protocol::Protocol p = casestudies::dijkstraTokenRing(4, 4);
+  const StateSpace space(p);
+  const auto ts = explicitstate::buildTransitions(space);
+  util::Rng rng(7);
+  for (explicitstate::StateId s = 0; s < space.size(); ++s) {
+    const auto run = explicitstate::simulate(space, ts, s, rng, 10000);
+    EXPECT_TRUE(run.converged) << "start " << s;
+  }
+}
+
+TEST(Simulate, StartInInvariantTakesZeroSteps) {
+  const protocol::Protocol p = casestudies::dijkstraTokenRing(3, 3);
+  const StateSpace space(p);
+  const auto ts = explicitstate::buildTransitions(space);
+  util::Rng rng(1);
+  for (explicitstate::StateId s = 0; s < space.size(); ++s) {
+    if (!space.inInvariant(s)) continue;
+    const auto run = explicitstate::simulate(space, ts, s, rng, 100);
+    EXPECT_TRUE(run.converged);
+    EXPECT_EQ(run.steps, 0u);
+  }
+}
+
+TEST(Simulate, DeadlockedStartNeverConverges) {
+  const protocol::Protocol p = casestudies::tokenRing(4, 3);
+  const StateSpace space(p);
+  const auto ts = explicitstate::buildTransitions(space);
+  const explicitstate::StateId dead =
+      space.pack(std::vector<int>{0, 0, 1, 2});
+  util::Rng rng(3);
+  const auto run = explicitstate::simulate(space, ts, dead, rng, 1000);
+  EXPECT_FALSE(run.converged);
+}
+
+TEST(Simulate, TraceRecordsTheWalk) {
+  const protocol::Protocol p = casestudies::dijkstraTokenRing(3, 3);
+  const StateSpace space(p);
+  const auto ts = explicitstate::buildTransitions(space);
+  util::Rng rng(5);
+  // Find some illegitimate state.
+  explicitstate::StateId start = 0;
+  while (space.inInvariant(start)) ++start;
+  const auto run = explicitstate::simulate(space, ts, start, rng, 1000,
+                                           /*keepTrace=*/true);
+  ASSERT_TRUE(run.converged);
+  ASSERT_FALSE(run.trace.empty());
+  EXPECT_EQ(run.trace.front(), start);
+  // Each consecutive pair is an actual transition.
+  for (std::size_t i = 0; i + 1 < run.trace.size(); ++i) {
+    EXPECT_TRUE(ts.has(run.trace[i], run.trace[i + 1]));
+  }
+  EXPECT_TRUE(space.inInvariant(run.trace.back()));
+}
+
+TEST(Simulate, ConvergenceExperimentOnSynthesizedProtocol) {
+  const protocol::Protocol p = casestudies::tokenRing(4, 3);
+  const symbolic::Encoding enc(p);
+  const symbolic::SymbolicProtocol sp(enc);
+  core::StrongOptions opt;
+  opt.schedule = core::rotatedSchedule(4, 1);
+  const core::StrongResult r = core::addStrongConvergence(sp, opt);
+  ASSERT_TRUE(r.success);
+
+  const StateSpace space(p);
+  std::vector<std::pair<explicitstate::StateId, explicitstate::StateId>>
+      edges;
+  for (const auto& [from, to] : symbolic::decodeRelation(enc, r.relation)) {
+    edges.emplace_back(from, to);
+  }
+  const auto ts = explicitstate::fromEdges(space, edges);
+  util::Rng rng(11);
+  const auto stats =
+      explicitstate::convergenceExperiment(space, ts, rng, 500, 10000);
+  EXPECT_EQ(stats.trials, 500u);
+  EXPECT_EQ(stats.converged, 500u);  // strong convergence: every run lands
+  EXPECT_GE(stats.maxSteps, 1u);
+  EXPECT_GT(stats.meanSteps, 0.0);
+}
+
+TEST(Rng, DeterministicAndUnbiasedEnough) {
+  util::Rng a(42);
+  util::Rng b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+  // below() stays in range and hits every residue eventually.
+  util::Rng r(1);
+  std::vector<bool> seen(7, false);
+  for (int i = 0; i < 1000; ++i) seen[r.below(7)] = true;
+  for (bool s : seen) EXPECT_TRUE(s);
+  // permutation() is a permutation.
+  const auto perm = r.permutation(20);
+  std::vector<bool> hit(20, false);
+  for (std::size_t v : perm) hit[v] = true;
+  for (bool h : hit) EXPECT_TRUE(h);
+}
+
+}  // namespace

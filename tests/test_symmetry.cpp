@@ -1,0 +1,111 @@
+// Tests for the rotational-symmetry analysis (paper Section VIII): the
+// paper's qualitative observations about which synthesized protocols are
+// symmetric become mechanical assertions.
+#include <gtest/gtest.h>
+
+#include "casestudies/coloring.hpp"
+#include "casestudies/matching.hpp"
+#include "casestudies/token_ring.hpp"
+#include "casestudies/two_ring.hpp"
+#include "core/heuristic.hpp"
+#include "extraction/symmetry.hpp"
+
+namespace {
+
+using namespace stsyn;
+using extraction::analyzeRotationalSymmetry;
+
+TEST(Symmetry, SynthesizedTokenRingHasDijkstraShape) {
+  // Dijkstra's protocol: P1..P_{k-1} identical up to rotation, P0 special
+  // (no recovery at all). Expect exactly two classes: {P0} and the rest.
+  const protocol::Protocol p = casestudies::tokenRing(4, 3);
+  symbolic::Encoding enc(p);
+  symbolic::SymbolicProtocol sp(enc);
+  core::StrongOptions opt;
+  opt.schedule = core::rotatedSchedule(4, 1);
+  const core::StrongResult r = core::addStrongConvergence(sp, opt);
+  ASSERT_TRUE(r.success);
+
+  const auto report = analyzeRotationalSymmetry(sp, r.addedPerProcess);
+  ASSERT_TRUE(report.applicable);
+  EXPECT_EQ(report.classCount, 2u);
+  EXPECT_EQ(report.classOf[0], 0u);
+  for (std::size_t j = 1; j < 4; ++j) {
+    EXPECT_EQ(report.classOf[j], report.classOf[1]) << "P" << j;
+  }
+  EXPECT_FALSE(report.symmetric());  // P0 differs — two classes
+}
+
+TEST(Symmetry, OriginalProtocolActionsOfTokenRingSplitTheSameWay) {
+  // Sanity on the analysis itself: the INPUT protocol's own actions
+  // already have the {P0} vs {P1..} structure.
+  const protocol::Protocol p = casestudies::tokenRing(5, 4);
+  symbolic::Encoding enc(p);
+  symbolic::SymbolicProtocol sp(enc);
+  std::vector<bdd::Bdd> perProcess;
+  for (std::size_t j = 0; j < 5; ++j) {
+    perProcess.push_back(sp.processRelation(j) & !enc.diagonal());
+  }
+  const auto report = analyzeRotationalSymmetry(sp, perProcess);
+  ASSERT_TRUE(report.applicable);
+  EXPECT_EQ(report.classCount, 2u);
+}
+
+TEST(Symmetry, SynthesizedMatchingIsAsymmetric) {
+  // Paper Section VI-A: "the actions of processes in Gouda and Acharya's
+  // protocol are symmetric, whereas in our synthesized protocol they are
+  // not". Expect more than one class among the five processes.
+  const protocol::Protocol p = casestudies::matching(5);
+  symbolic::Encoding enc(p);
+  symbolic::SymbolicProtocol sp(enc);
+  const core::StrongResult r = core::addStrongConvergence(sp);
+  ASSERT_TRUE(r.success);
+  const auto report = analyzeRotationalSymmetry(sp, r.addedPerProcess);
+  ASSERT_TRUE(report.applicable);
+  EXPECT_GT(report.classCount, 1u);
+  EXPECT_FALSE(report.symmetric());
+}
+
+TEST(Symmetry, GoudaAcharyaManualProtocolIsSymmetric) {
+  // ...while the manual baseline IS symmetric — all five processes carry
+  // the same rotated actions.
+  const protocol::Protocol p = casestudies::matchingGoudaAcharyaRepaired(5);
+  symbolic::Encoding enc(p);
+  symbolic::SymbolicProtocol sp(enc);
+  std::vector<bdd::Bdd> perProcess;
+  for (std::size_t j = 0; j < 5; ++j) {
+    perProcess.push_back(sp.processRelation(j) & !enc.diagonal());
+  }
+  const auto report = analyzeRotationalSymmetry(sp, perProcess);
+  ASSERT_TRUE(report.applicable);
+  EXPECT_TRUE(report.symmetric()) << report.classCount << " classes";
+}
+
+TEST(Symmetry, ColoringReportsItsClassStructure) {
+  const protocol::Protocol p = casestudies::coloring(6);
+  symbolic::Encoding enc(p);
+  symbolic::SymbolicProtocol sp(enc);
+  const core::StrongResult r = core::addStrongConvergence(sp);
+  ASSERT_TRUE(r.success);
+  const auto report = analyzeRotationalSymmetry(sp, r.addedPerProcess);
+  ASSERT_TRUE(report.applicable);
+  EXPECT_GE(report.classCount, 1u);
+  EXPECT_LE(report.classCount, 6u);
+  // Deterministic synthesis => deterministic class structure.
+  const core::StrongResult r2 = core::addStrongConvergence(sp);
+  const auto report2 = analyzeRotationalSymmetry(sp, r2.addedPerProcess);
+  EXPECT_EQ(report.classOf, report2.classOf);
+}
+
+TEST(Symmetry, NotApplicableToNonRingShapes) {
+  // TR² has nine variables for eight processes (the shared `turn`).
+  const protocol::Protocol p = casestudies::twoRing(2);
+  symbolic::Encoding enc(p);
+  symbolic::SymbolicProtocol sp(enc);
+  std::vector<bdd::Bdd> perProcess(8, enc.manager().falseBdd());
+  const auto report = analyzeRotationalSymmetry(sp, perProcess);
+  EXPECT_FALSE(report.applicable);
+  EXPECT_FALSE(report.symmetric());
+}
+
+}  // namespace
