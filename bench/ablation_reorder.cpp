@@ -1,0 +1,164 @@
+// Ablation: dynamic variable reordering (grouped sifting) vs. a fixed
+// order, on the four case studies.
+//
+// Three modes per study:
+//   declared   — the encoding's declaration order, no reordering (the
+//                behavior before sifting existed);
+//   bad-fixed  — a deliberately bad order installed up front (pair blocks
+//                dealt round-robin so neighbouring processes' bits end up
+//                far apart, destroying the ring locality), no reordering;
+//   bad-auto   — the same bad order with automatic sifting enabled.
+//
+// The headline metric is the peak live-node count: auto-reordering must
+// claw back a large fraction of what the bad order costs (the acceptance
+// bar is a >= 20% peak reduction on at least one study). The bad order
+// keeps every interleaved (current, next) pair intact, so the rename
+// invariant holds in all modes.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "casestudies/coloring.hpp"
+#include "casestudies/matching.hpp"
+#include "casestudies/token_ring.hpp"
+#include "casestudies/two_ring.hpp"
+#include "core/heuristic.hpp"
+#include "symbolic/relations.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace stsyn;
+
+struct ModeOutcome {
+  bool success = false;
+  std::size_t peakNodes = 0;
+  double seconds = 0;
+  std::size_t reorders = 0;
+};
+
+/// Deals the interleaved (cur, next) pair blocks round-robin from the two
+/// halves of the layout: pair order 0, P/2, 1, P/2+1, ... Neighbouring
+/// protocol variables land maximally far apart while every pair stays
+/// adjacent (groups intact).
+std::vector<bdd::Var> dealtPairOrder(const symbolic::Encoding& enc) {
+  const auto& pairs = enc.bitPairs();
+  const std::size_t half = (pairs.size() + 1) / 2;
+  std::vector<bdd::Var> order;
+  order.reserve(2 * pairs.size());
+  for (std::size_t i = 0; i < half; ++i) {
+    for (const std::size_t p : {i, half + i}) {
+      if (p >= pairs.size()) continue;
+      order.push_back(pairs[p].first);
+      order.push_back(pairs[p].second);
+    }
+  }
+  return order;
+}
+
+ModeOutcome runOne(const protocol::Protocol& p, bool badOrder,
+                   bool autoReorder) {
+  symbolic::Encoding enc(p);
+  if (badOrder) enc.manager().setLevelOrder(dealtPairOrder(enc));
+  enc.manager().enableAutoReorder(autoReorder);
+  if (autoReorder) enc.manager().setReorderThreshold(std::size_t{1} << 11);
+  symbolic::SymbolicProtocol sp(enc);
+  const core::StrongResult r = core::addStrongConvergence(sp, {});
+  ModeOutcome o;
+  o.success = r.success;
+  o.peakNodes = r.stats.peakLiveNodes;
+  o.seconds = r.stats.totalSeconds;
+  o.reorders = r.stats.reorderRuns;
+  return o;
+}
+
+struct StudyRow {
+  std::string study;
+  ModeOutcome declared;
+  ModeOutcome badFixed;
+  ModeOutcome badAuto;
+};
+
+std::vector<StudyRow>& rows() {
+  static std::vector<StudyRow> all;
+  return all;
+}
+
+double reductionPct(const ModeOutcome& from, const ModeOutcome& to) {
+  if (from.peakNodes == 0) return 0;
+  return 100.0 *
+         (static_cast<double>(from.peakNodes) -
+          static_cast<double>(to.peakNodes)) /
+         static_cast<double>(from.peakNodes);
+}
+
+void runStudy(benchmark::State& state, const char* name,
+              const protocol::Protocol& proto) {
+  for (auto _ : state) {
+    StudyRow row;
+    row.study = name;
+    row.declared = runOne(proto, /*badOrder=*/false, /*autoReorder=*/false);
+    row.badFixed = runOne(proto, /*badOrder=*/true, /*autoReorder=*/false);
+    row.badAuto = runOne(proto, /*badOrder=*/true, /*autoReorder=*/true);
+    state.counters["peak_declared"] =
+        static_cast<double>(row.declared.peakNodes);
+    state.counters["peak_bad_fixed"] =
+        static_cast<double>(row.badFixed.peakNodes);
+    state.counters["peak_bad_auto"] = static_cast<double>(row.badAuto.peakNodes);
+    state.counters["reduction_pct"] = reductionPct(row.badFixed, row.badAuto);
+    state.counters["reorder_runs"] = static_cast<double>(row.badAuto.reorders);
+    rows().push_back(std::move(row));
+  }
+}
+
+void BM_TokenRing(benchmark::State& state) {
+  runStudy(state, "token_ring(5,4)", casestudies::tokenRing(5, 4));
+}
+void BM_Matching(benchmark::State& state) {
+  runStudy(state, "matching(5)", casestudies::matching(5));
+}
+void BM_Coloring(benchmark::State& state) {
+  runStudy(state, "coloring(5)", casestudies::coloring(5));
+}
+void BM_TwoRing(benchmark::State& state) {
+  runStudy(state, "two_ring(4)", casestudies::twoRing(4));
+}
+
+BENCHMARK(BM_TokenRing)->Unit(benchmark::kMillisecond)->Iterations(1);
+BENCHMARK(BM_Matching)->Unit(benchmark::kMillisecond)->Iterations(1);
+BENCHMARK(BM_Coloring)->Unit(benchmark::kMillisecond)->Iterations(1);
+BENCHMARK(BM_TwoRing)->Unit(benchmark::kMillisecond)->Iterations(1);
+
+void printSummary() {
+  util::Table t({"case_study", "peak_declared", "peak_bad_fixed",
+                 "peak_bad_auto", "auto_vs_bad_reduction_%", "reorders",
+                 "outcome"});
+  for (const StudyRow& r : rows()) {
+    t.addRow({r.study, util::Table::cell(r.declared.peakNodes),
+              util::Table::cell(r.badFixed.peakNodes),
+              util::Table::cell(r.badAuto.peakNodes),
+              util::Table::cell(reductionPct(r.badFixed, r.badAuto)),
+              util::Table::cell(r.badAuto.reorders),
+              r.declared.success && r.badFixed.success && r.badAuto.success
+                  ? "ok"
+                  : "FAILED"});
+  }
+  std::printf("\n=== Ablation: dynamic reordering (peak live BDD nodes) ===\n");
+  t.printAligned(std::cout);
+  std::printf("CSV:\n");
+  t.printCsv(std::cout);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ::benchmark::Initialize(&argc, argv);
+  if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  printSummary();
+  return 0;
+}

@@ -3,6 +3,9 @@
 // are real google-benchmark loops (unlike the one-shot synthesis benches).
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <vector>
+
 #include "bdd/bdd.hpp"
 #include "casestudies/matching.hpp"
 #include "casestudies/token_ring.hpp"
@@ -104,6 +107,74 @@ void BM_GarbageCollection(benchmark::State& state) {
   state.counters["live_nodes"] = static_cast<double>(m.stats().liveNodes);
 }
 
+void BM_HashTripleDistribution(benchmark::State& state) {
+  // Regression guard: the previous hash packed `low` into bits 20..39, so
+  // once the pool passed 2^20 nodes the low and high lanes overlapped and
+  // bucket quality collapsed at exactly the scale the paper targets. Hash
+  // triples shaped like a large pool's (dense sequential indices past
+  // 2^20, plus random pairs) and fail the bench if the bucket distribution
+  // degrades.
+  constexpr std::size_t kBuckets = std::size_t{1} << 16;
+  constexpr std::size_t kTriples = std::size_t{1} << 20;
+  std::vector<std::uint32_t> load(kBuckets, 0);
+  for (auto _ : state) {
+    std::fill(load.begin(), load.end(), 0);
+    util::Rng rng(5);
+    for (std::size_t i = 0; i < kTriples / 2; ++i) {
+      // Dense sequential children, as a freshly grown pool produces.
+      const auto low = static_cast<bdd::NodeIndex>((1u << 20) + i);
+      const auto high = static_cast<bdd::NodeIndex>((1u << 20) + i + 1);
+      ++load[Manager::hashTriple(static_cast<Var>(i % 160), low, high) &
+             (kBuckets - 1)];
+    }
+    for (std::size_t i = 0; i < kTriples / 2; ++i) {
+      const auto low = static_cast<bdd::NodeIndex>(rng.below(1u << 22));
+      const auto high = static_cast<bdd::NodeIndex>(rng.below(1u << 22));
+      ++load[Manager::hashTriple(static_cast<Var>(rng.below(160)), low,
+                                 high) &
+             (kBuckets - 1)];
+    }
+  }
+
+  const double expect =
+      static_cast<double>(kTriples) / static_cast<double>(kBuckets);
+  double chi2 = 0;
+  std::uint32_t maxLoad = 0;
+  for (const std::uint32_t l : load) {
+    const double d = static_cast<double>(l) - expect;
+    chi2 += d * d / expect;
+    maxLoad = std::max(maxLoad, l);
+  }
+  const double chi2PerDof = chi2 / static_cast<double>(kBuckets - 1);
+  state.counters["chi2_per_dof"] = chi2PerDof;
+  state.counters["max_load"] = static_cast<double>(maxLoad);
+  // A uniform hash scores chi2/dof ~= 1 and max load within a few times
+  // the mean; the old overlapping hash scores orders of magnitude worse.
+  if (chi2PerDof > 1.5 ||
+      static_cast<double>(maxLoad) > 8 * expect) {
+    state.SkipWithError("hashTriple bucket distribution degraded");
+  }
+}
+
+void BM_Sift(benchmark::State& state) {
+  // Cost of one full sifting pass over the classic adversarial function
+  // (x0 & xn) | (x1 & x{n+1}) | ... declared with partners far apart.
+  const Var n = static_cast<Var>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    Manager m(2 * n);
+    Bdd f = m.falseBdd();
+    for (Var i = 0; i < n; ++i) f |= m.var(i) & m.var(n + i);
+    const std::size_t before = f.nodeCount();
+    state.ResumeTiming();
+    m.reorderNow();
+    state.PauseTiming();
+    state.counters["nodes_before"] = static_cast<double>(before);
+    state.counters["nodes_after"] = static_cast<double>(f.nodeCount());
+    state.ResumeTiming();
+  }
+}
+
 void BM_SatCount(benchmark::State& state) {
   const Var vars = static_cast<Var>(state.range(0));
   Manager m(vars);
@@ -121,6 +192,8 @@ BENCHMARK(BM_Quantify)->Arg(16)->Arg(32)->Arg(64);
 BENCHMARK(BM_ImagePreimage)->Arg(3)->Arg(4)->Arg(5);
 BENCHMARK(BM_GroupExpand)->Arg(5)->Arg(7)->Arg(9);
 BENCHMARK(BM_GarbageCollection);
+BENCHMARK(BM_HashTripleDistribution);
+BENCHMARK(BM_Sift)->Arg(8)->Arg(10)->Arg(12);
 BENCHMARK(BM_SatCount)->Arg(16)->Arg(32);
 
 }  // namespace

@@ -3,8 +3,10 @@
 //
 // These traversals allocate no new nodes, so they are safe to run at any
 // time and do not interact with garbage collection.
+#include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <numeric>
 #include <stdexcept>
 #include <unordered_map>
 #include <unordered_set>
@@ -41,18 +43,29 @@ std::size_t Bdd::nodeCount() const {
 // ---------------------------------------------------------------------------
 
 double Manager::satCountOf(NodeIndex f, std::span<const Var> levels) const {
-  // countFrom(n, i): number of assignments to levels[i..] satisfying n,
-  // where var(n) >= levels[i].
-  std::unordered_map<std::uint64_t, double> memo;
-  // Map level -> position in `levels` for O(1) lookup.
-  std::unordered_map<Var, std::size_t> pos;
-  for (std::size_t i = 0; i < levels.size(); ++i) {
-    if (i > 0 && levels[i] <= levels[i - 1]) {
+  // The calling convention is strictly ascending variable INDICES; the
+  // recursion below must follow the diagram's CURRENT LEVEL order, so the
+  // variables are re-ranked by level first (a no-op for the identity
+  // order). The count itself is order-independent.
+  for (std::size_t i = 1; i < levels.size(); ++i) {
+    if (levels[i] <= levels[i - 1]) {
       throw std::invalid_argument("satCount levels must be ascending");
     }
-    pos.emplace(levels[i], i);
+  }
+  std::vector<std::size_t> byLevel(levels.size());
+  std::iota(byLevel.begin(), byLevel.end(), std::size_t{0});
+  std::sort(byLevel.begin(), byLevel.end(), [&](std::size_t a, std::size_t b) {
+    return indexToLevel_[levels[a]] < indexToLevel_[levels[b]];
+  });
+  // Map variable index -> level rank for O(1) lookup.
+  std::unordered_map<Var, std::size_t> pos;
+  for (std::size_t r = 0; r < byLevel.size(); ++r) {
+    pos.emplace(levels[byLevel[r]], r);
   }
 
+  // countFrom(n, i): number of assignments to the i-th-by-level and later
+  // variables satisfying n, where n's level rank >= i.
+  std::unordered_map<std::uint64_t, double> memo;
   auto rec = [&](auto&& self, NodeIndex n, std::size_t i) -> double {
     if (n == kFalse) return 0.0;
     if (n == kTrue) return std::ldexp(1.0, static_cast<int>(levels.size() - i));
@@ -103,6 +116,11 @@ std::vector<Var> Bdd::support() const {
   for (Var v = 0; v < seen.size(); ++v) {
     if (seen[v]) out.push_back(v);
   }
+  // Topmost first: sorted by current level (identical to ascending index
+  // until the first reorder).
+  std::sort(out.begin(), out.end(), [this](Var a, Var b) {
+    return mgr_->levelOf(a) < mgr_->levelOf(b);
+  });
   return out;
 }
 
@@ -132,17 +150,54 @@ std::vector<signed char> Bdd::onePath() const {
     throw std::invalid_argument("onePath of an unsatisfiable BDD");
   }
   std::vector<signed char> out(mgr_->varCount(), -1);
-  NodeIndex n = index_;
-  while (n != Manager::kTrue) {
-    const auto& node = mgr_->nodes_[n];
-    // Deterministically prefer the low branch when it is satisfiable.
-    if (node.low != Manager::kFalse) {
-      out[node.var] = 0;
-      n = node.low;
-    } else {
-      out[node.var] = 1;
-      n = node.high;
+  if (mgr_->orderIsIdentity()) {
+    // With the identity order the greedy low-first walk IS the
+    // lexicographically minimal choice by variable index, and it leaves
+    // untested variables unconstrained (-1) exactly as callers expect.
+    NodeIndex n = index_;
+    while (n != Manager::kTrue) {
+      const auto& node = mgr_->nodes_[n];
+      // Deterministically prefer the low branch when it is satisfiable.
+      if (node.low != Manager::kFalse) {
+        out[node.var] = 0;
+        n = node.low;
+      } else {
+        out[node.var] = 1;
+        n = node.high;
+      }
     }
+    return out;
+  }
+  // After a reorder the top-down walk would pick a path that depends on
+  // the current variable order, breaking cross-engine determinism
+  // (transition selection completes -1 entries with the minimum value, so
+  // the COMPLETED assignment must not depend on the order). Instead:
+  // assign each support variable, in ascending INDEX order, the smallest
+  // value that keeps the function satisfiable under the choices so far.
+  // The completion of this cube is the unique lexmin satisfying
+  // assignment — the same one the identity-order walk completes to.
+  std::vector<bool> inSupport(mgr_->varCount(), false);
+  mgr_->supportOf(index_, inSupport);
+  std::unordered_map<NodeIndex, bool> memo;
+  auto sat = [&](auto&& self, NodeIndex n) -> bool {
+    if (n == Manager::kTrue) return true;
+    if (n == Manager::kFalse) return false;
+    if (const auto it = memo.find(n); it != memo.end()) return it->second;
+    const auto& node = mgr_->nodes_[n];
+    const signed char c = out[node.var];
+    const bool ok = c == 0   ? self(self, node.low)
+                    : c == 1 ? self(self, node.high)
+                             : self(self, node.low) || self(self, node.high);
+    memo.emplace(n, ok);
+    return ok;
+  };
+  for (Var v = 0; v < mgr_->varCount(); ++v) {
+    if (!inSupport[v]) continue;
+    out[v] = 0;
+    memo.clear();
+    // The function is satisfiable under the previous choices (inductively,
+    // starting from !isFalse()), so if 0 fails then 1 must succeed.
+    if (!sat(sat, index_)) out[v] = 1;
   }
   return out;
 }
@@ -156,29 +211,42 @@ void Bdd::forEachSat(
       throw std::invalid_argument("forEachSat levels must be ascending");
     }
   }
+  // The recursion walks the diagram in CURRENT LEVEL order, but the
+  // callback's span stays aligned with the caller's `levels` positions:
+  // byLevel[r] is the position (in `levels`) of the r-th variable by
+  // level. Identity permutation until the first reorder, so the
+  // enumeration order is unchanged for non-reordered managers.
+  std::vector<std::size_t> byLevel(levels.size());
+  std::iota(byLevel.begin(), byLevel.end(), std::size_t{0});
+  std::sort(byLevel.begin(), byLevel.end(), [&](std::size_t a, std::size_t b) {
+    return mgr_->levelOf(levels[a]) < mgr_->levelOf(levels[b]);
+  });
+
   std::vector<char> assign(levels.size(), 0);
-  // Recursive descent: position i in `levels`, node n with var(n) >=
-  // levels[i]. Don't-care levels fan out to both branches.
-  auto rec = [&](auto&& self, NodeIndex n, std::size_t i) -> void {
+  // Recursive descent: level rank r, node n at or below the rank-r
+  // variable's level. Don't-care variables fan out to both branches.
+  auto rec = [&](auto&& self, NodeIndex n, std::size_t r) -> void {
     if (n == Manager::kFalse) return;
-    if (i == levels.size()) {
+    if (r == byLevel.size()) {
       assert(n == Manager::kTrue && "support exceeds provided levels");
       fn(assign);
       return;
     }
+    const std::size_t p = byLevel[r];
     const auto& node = mgr_->nodes_[n];
-    if (n == Manager::kTrue || node.var != levels[i]) {
-      assert(n == Manager::kTrue || node.var > levels[i]);
-      assign[i] = 0;
-      self(self, n, i + 1);
-      assign[i] = 1;
-      self(self, n, i + 1);
+    if (n == Manager::kTrue || node.var != levels[p]) {
+      assert(n == Manager::kTrue ||
+             mgr_->levelOf(node.var) > mgr_->levelOf(levels[p]));
+      assign[p] = 0;
+      self(self, n, r + 1);
+      assign[p] = 1;
+      self(self, n, r + 1);
       return;
     }
-    assign[i] = 0;
-    self(self, node.low, i + 1);
-    assign[i] = 1;
-    self(self, node.high, i + 1);
+    assign[p] = 0;
+    self(self, node.low, r + 1);
+    assign[p] = 1;
+    self(self, node.high, r + 1);
   };
   rec(rec, index_, 0);
 }

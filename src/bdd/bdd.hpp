@@ -4,15 +4,23 @@
 // STSyn tool used. It provides exactly the algebra the synthesis heuristic
 // needs:
 //
-//   * canonical node storage (unique table) with a fixed static variable
-//     order chosen at encoding time,
+//   * canonical node storage (per-variable unique subtables),
 //   * the boolean connectives, ITE, and negation,
 //   * existential/universal quantification over variable cubes,
 //   * the AndExists relational product (the image/preimage workhorse),
 //   * order-preserving variable renaming (current-state <-> next-state),
 //   * model counting, support computation, cube extraction, and per-BDD
 //     node counts (the space metric the paper's Figures 7/9/11 report),
-//   * mark-and-sweep garbage collection driven by RAII external handles.
+//   * mark-and-sweep garbage collection driven by RAII external handles,
+//   * Rudell-style dynamic variable reordering (grouped sifting) with
+//     in-place adjacent-level swaps, so external handles survive a reorder.
+//
+// Variables vs. levels: a `Var` is a STABLE INDEX that names a variable
+// for the whole lifetime of the manager; the variable's LEVEL (its
+// position in the current order, 0 = topmost) starts out equal to the
+// index but diverges once dynamic reordering runs. All public functions
+// take and return variable indices; `levelOf()` / `varAtLevel()` expose
+// the indirection.
 //
 // Concurrency: a Manager is confined to one thread. Distinct Managers are
 // independent, so parallel synthesis instances (one per recovery schedule,
@@ -31,8 +39,9 @@ namespace stsyn::bdd {
 /// Index of a node inside a Manager's node pool. 0 and 1 are the terminals.
 using NodeIndex = std::uint32_t;
 
-/// Variables are identified by their level in the (static) order:
-/// level 0 is the topmost variable.
+/// Stable identifier of a boolean variable. Equal to the variable's level
+/// in the order at Manager construction; the level may change under
+/// dynamic reordering while the index never does.
 using Var = std::uint32_t;
 
 class Manager;
@@ -42,7 +51,9 @@ class Manager;
 /// Bdd values are cheap to copy; copying bumps an external reference count
 /// in the Manager so garbage collection never frees a function the caller
 /// still holds. A default-constructed Bdd is "null" and usable only as a
-/// placeholder.
+/// placeholder. Handles stay valid across dynamic reordering: a reorder
+/// rewrites nodes in place and never changes which function a node index
+/// denotes.
 class Bdd {
  public:
   Bdd() = default;
@@ -92,8 +103,9 @@ class Bdd {
   /// function (this[v := g]).
   [[nodiscard]] Bdd compose(Var v, const Bdd& g) const;
 
-  /// Renames variables: level v becomes perm[v]. The permutation must
-  /// preserve the relative order of this function's support (checked).
+  /// Renames variables: variable v becomes perm[v]. The permutation must
+  /// preserve the relative ORDER (current levels) of this function's
+  /// support (checked in debug builds).
   [[nodiscard]] Bdd rename(std::span<const Var> perm) const;
 
   /// Number of BDD nodes reachable from this function (terminals excluded),
@@ -101,23 +113,32 @@ class Bdd {
   [[nodiscard]] std::size_t nodeCount() const;
 
   /// Number of satisfying assignments over exactly the variables in
-  /// `levels` (sorted ascending). The support must be a subset of `levels`.
-  [[nodiscard]] double satCount(std::span<const Var> levels) const;
+  /// `vars` (strictly ascending indices). The support must be a subset of
+  /// `vars`. Independent of the current variable order.
+  [[nodiscard]] double satCount(std::span<const Var> vars) const;
 
-  /// Levels occurring in this function, ascending.
+  /// Variable indices occurring in this function, sorted by CURRENT LEVEL
+  /// (topmost variable first). With the identity order this is ascending
+  /// by index.
   [[nodiscard]] std::vector<Var> support() const;
 
-  /// Evaluates the function on a complete assignment indexed by level.
+  /// Evaluates the function on a complete assignment indexed by variable
+  /// index.
   [[nodiscard]] bool eval(std::span<const char> assignment) const;
 
-  /// One satisfying cube as a per-level vector: 0, 1, or -1 (don't-care).
+  /// One satisfying cube as a per-variable-index vector: 0, 1, or -1
+  /// (don't-care). The cube returned is the lexicographically smallest
+  /// satisfying assignment BY VARIABLE INDEX (don't-cares read as 0), so
+  /// the choice is independent of the current variable order — the
+  /// cross-engine parity of `pickTransition` depends on this.
   /// Precondition: not the constant false.
   [[nodiscard]] std::vector<signed char> onePath() const;
 
-  /// Enumerates all satisfying assignments over `levels` (sorted ascending;
-  /// must cover the support). The callback receives a per-position
-  /// 0/1 vector aligned with `levels`.
-  void forEachSat(std::span<const Var> levels,
+  /// Enumerates all satisfying assignments over `vars` (strictly ascending
+  /// indices; must cover the support). The callback receives a per-position
+  /// 0/1 vector aligned with `vars`. Enumeration order follows the current
+  /// variable order; callers needing a canonical order must sort.
+  void forEachSat(std::span<const Var> vars,
                   const std::function<void(std::span<const char>)>& fn) const;
 
   [[nodiscard]] Manager* manager() const { return mgr_; }
@@ -137,13 +158,21 @@ struct ManagerStats {
   std::size_t peakLiveNodes = 0;  ///< high-water mark since construction
   std::size_t gcRuns = 0;
   std::size_t nodesFreed = 0;  ///< cumulative nodes reclaimed by GC
+
+  std::size_t reorderRuns = 0;  ///< completed sifting passes
+  double reorderSeconds = 0.0;  ///< cumulative wall time spent sifting
+  /// Cumulative live-node counts entering / leaving sifting passes, so
+  /// (before - after) is the total reduction attributable to reordering.
+  std::size_t reorderNodesBefore = 0;
+  std::size_t reorderNodesAfter = 0;
 };
 
-/// Owner of the node pool, unique table, operation cache, and GC machinery.
+/// Owner of the node pool, unique subtables, operation cache, GC machinery,
+/// and the dynamic variable order.
 class Manager {
  public:
-  /// Creates a manager with a fixed number of boolean variables whose order
-  /// equals their numeric level.
+  /// Creates a manager with a fixed number of boolean variables whose
+  /// initial order equals their numeric index.
   explicit Manager(Var varCount);
   ~Manager();
 
@@ -159,7 +188,8 @@ class Manager {
   [[nodiscard]] Bdd var(Var v);
   [[nodiscard]] Bdd nvar(Var v);
 
-  /// Conjunction of the positive literals of `vars` (a quantification cube).
+  /// Conjunction of the positive literals of `vars` (a quantification
+  /// cube). Duplicates are tolerated and ignored.
   [[nodiscard]] Bdd cube(std::span<const Var> vars);
 
   /// Conjunction over pairs (a, b) of the biconditional a <-> b.
@@ -174,19 +204,62 @@ class Manager {
   /// Forces a mark-and-sweep collection now.
   void collectGarbage();
 
-  /// Writes `f` in Graphviz DOT syntax, labelling levels via `varName`
+  // --- dynamic variable reordering ------------------------------------
+
+  /// Current level (order position, 0 = topmost) of variable index `v`.
+  [[nodiscard]] Var levelOf(Var v) const { return indexToLevel_[v]; }
+  /// Variable index occupying order position `level`.
+  [[nodiscard]] Var varAtLevel(Var level) const { return levelToIndex_[level]; }
+  /// True while no reorder has moved any variable off its initial level.
+  [[nodiscard]] bool orderIsIdentity() const { return orderIsIdentity_; }
+  /// The full order, topmost first (levelToIndex).
+  [[nodiscard]] std::vector<Var> currentOrder() const { return levelToIndex_; }
+
+  /// Permutes the variable order to exactly `levelToIndex` (position 0 =
+  /// topmost) via in-place adjacent swaps; external handles survive, the
+  /// operation cache is invalidated. Intended for experiments and
+  /// ablations (e.g. installing a deliberately bad order); the caller is
+  /// responsible for keeping any registered groups contiguous if renames
+  /// will run afterwards.
+  void setLevelOrder(std::span<const Var> levelToIndex);
+
+  /// Declares atomic reorder groups: each group is a list of variable
+  /// indices that sifting keeps adjacent, in the given relative order.
+  /// Members must sit on consecutive levels when this is called.
+  /// Variables not mentioned sift individually. The protocol encoding
+  /// registers its interleaved (current, next) bit pairs here so that
+  /// current<->next renaming stays order-preserving under any reorder.
+  void setReorderGroups(std::vector<std::vector<Var>> groups);
+
+  /// Enables/disables automatic sifting, triggered at operation
+  /// boundaries when live nodes exceed the reorder threshold.
+  void enableAutoReorder(bool on = true) { autoReorder_ = on; }
+  void setReorderThreshold(std::size_t nodes) { reorderThreshold_ = nodes; }
+  [[nodiscard]] bool autoReorderEnabled() const { return autoReorder_; }
+
+  /// Runs one grouped sifting pass now (collects garbage first). External
+  /// handles remain valid; the operation cache is invalidated.
+  void reorderNow();
+
+  /// Writes `f` in Graphviz DOT syntax, labelling variables via `varName`
   /// (may be empty for numeric labels).
   void writeDot(std::ostream& os, const Bdd& f,
                 const std::function<std::string(Var)>& varName = {}) const;
+
+  /// Unique-table hash of an (var, low, high) triple. Public so benches
+  /// and tests can assert its distribution quality at pool sizes beyond
+  /// 2^20 nodes.
+  [[nodiscard]] static std::uint64_t hashTriple(Var var, NodeIndex low,
+                                                NodeIndex high);
 
  private:
   friend class Bdd;
 
   struct Node {
-    Var var;         // level; kTerminalVar for the two terminals
+    Var var;         // variable INDEX; kTerminalVar for the two terminals
     NodeIndex low;   // cofactor at var=0
     NodeIndex high;  // cofactor at var=1
-    NodeIndex next;  // unique-table chain / free-list link
+    NodeIndex next;  // unique-subtable chain / free-list link
   };
 
   struct CacheEntry {
@@ -196,6 +269,14 @@ class Manager {
     NodeIndex c = 0;
     std::uint8_t op = 0xff;
     NodeIndex result = 0;
+  };
+
+  /// Unique table of the nodes of one variable. Keeping a subtable per
+  /// variable makes "all nodes of variable v" — the unit a reorder swap
+  /// rewrites — enumerable without scanning the pool.
+  struct Subtable {
+    std::vector<NodeIndex> buckets;  // heads; size a power of two
+    std::size_t count = 0;           // live nodes of this variable
   };
 
   static constexpr Var kTerminalVar = ~Var{0};
@@ -219,9 +300,14 @@ class Manager {
   // --- node pool -----------------------------------------------------
   [[nodiscard]] NodeIndex mk(Var var, NodeIndex low, NodeIndex high);
   [[nodiscard]] NodeIndex allocNode(Var var, NodeIndex low, NodeIndex high);
-  void rehashIfNeeded();
-  [[nodiscard]] static std::uint64_t hashTriple(Var var, NodeIndex low,
-                                                NodeIndex high);
+  void rehashSubtable(Subtable& st);
+
+  /// Level of the node's variable; terminals get the out-of-band maximal
+  /// pseudo-level so every internal level compares smaller.
+  [[nodiscard]] Var nodeLevel(NodeIndex n) const {
+    const Var v = nodes_[n].var;
+    return v == kTerminalVar ? kTerminalVar : indexToLevel_[v];
+  }
 
   // --- external references & GC --------------------------------------
   void ref(NodeIndex n);
@@ -247,11 +333,22 @@ class Manager {
                                     std::uint64_t permTag);
   [[nodiscard]] NodeIndex composeRec(NodeIndex f, Var v, NodeIndex g);
 
+  // --- reordering (reorder.cpp) ---------------------------------------
+  void buildReorderRefs();
+  [[nodiscard]] NodeIndex reorderMk(Var var, NodeIndex low, NodeIndex high);
+  void reorderUnlink(NodeIndex n);
+  void reorderDeref(NodeIndex n);
+  void swapAdjacentLevels(Var level);
+  void swapAdjacentGroups(std::size_t pos);
+  void siftGroup(std::size_t orderPos);
+  [[nodiscard]] std::size_t groupNodeCount(std::size_t gid) const;
+  [[nodiscard]] Var groupStartLevel(std::size_t pos) const;
+
   // --- analysis helpers (non-allocating) --------------------------------
   [[nodiscard]] std::size_t nodeCountOf(NodeIndex f) const;
   [[nodiscard]] double satCountOf(NodeIndex f,
-                                  std::span<const Var> levels) const;
-  void supportOf(NodeIndex f, std::vector<bool>& seenLevel) const;
+                                  std::span<const Var> vars) const;
+  void supportOf(NodeIndex f, std::vector<bool>& seenVar) const;
   [[nodiscard]] bool evalOf(NodeIndex f, std::span<const char> assign) const;
 
   // Public-facing wrappers used by Bdd.
@@ -259,7 +356,7 @@ class Manager {
 
   Var varCount_;
   std::vector<Node> nodes_;
-  std::vector<NodeIndex> buckets_;  // unique table heads; size power of two
+  std::vector<Subtable> subtables_;  // one per variable index
   NodeIndex freeList_ = kNil;
   std::size_t liveNodes_ = 0;
 
@@ -268,6 +365,18 @@ class Manager {
 
   std::size_t gcThreshold_;
   ManagerStats stats_;
+
+  // Dynamic order: index <-> level, both identity at construction.
+  std::vector<Var> indexToLevel_;
+  std::vector<Var> levelToIndex_;
+  bool orderIsIdentity_ = true;
+
+  // Reordering configuration and scratch state.
+  bool autoReorder_ = false;
+  std::size_t reorderThreshold_;
+  std::vector<std::vector<Var>> reorderGroups_;  // partition of all vars
+  std::vector<std::size_t> groupOrder_;  // group ids by position, sift scratch
+  std::vector<std::uint32_t> reorderRefs_;  // total (ext+parent) refs, scratch
 
   // Rename permutations are cached per distinct permutation identity.
   std::vector<std::vector<Var>> internedPerms_;
@@ -282,8 +391,9 @@ class Manager {
 void saveBdd(std::ostream& os, const Bdd& f);
 
 /// Reads a function previously written by saveBdd. Throws
-/// std::runtime_error on malformed input (bad references, order
-/// violations, variable count exceeding the manager's).
+/// std::runtime_error on malformed input (bad references, rows not
+/// depending on their declared variable, variable count exceeding the
+/// manager's).
 [[nodiscard]] Bdd loadBdd(std::istream& is, Manager& manager);
 
 }  // namespace stsyn::bdd

@@ -1,17 +1,20 @@
-// Node pool, unique table, operation cache, external references, and
-// mark-and-sweep garbage collection.
+// Node pool, per-variable unique subtables, operation cache, external
+// references, and mark-and-sweep garbage collection.
 //
 // Invariants:
 //   * nodes_[0] / nodes_[1] are the FALSE / TRUE terminals and never move.
-//   * Every internal node n satisfies var(low) > var(n) and
-//     var(high) > var(n) (terminals have the largest pseudo-level).
+//   * Every internal node n satisfies level(low) > level(n) and
+//     level(high) > level(n) (terminals have the largest pseudo-level).
+//     Levels come from the dynamic order; node `var` fields are stable
+//     variable indices.
 //   * low != high for every internal node (reduction rule).
-//   * The unique table holds exactly the live internal nodes, so structural
-//     equality of indices is semantic equality of functions.
+//   * subtables_[v] holds exactly the live internal nodes of variable v,
+//     so structural equality of indices is semantic equality of functions.
 //
 // GC safety: collection only runs at public operation boundaries
 // (maybeGc()), never inside a recursive kernel, so intermediate results in
-// a running operation cannot be reclaimed.
+// a running operation cannot be reclaimed. The same boundary triggers
+// automatic variable reordering (reorder.cpp).
 #include "bdd/bdd.hpp"
 
 #include <algorithm>
@@ -22,9 +25,10 @@
 namespace stsyn::bdd {
 
 namespace {
-constexpr std::size_t kInitialBuckets = 1u << 14;
+constexpr std::size_t kInitialBucketsPerVar = 1u << 6;
 constexpr std::size_t kCacheEntries = 1u << 20;
 constexpr std::size_t kInitialGcThreshold = std::size_t{1} << 23;
+constexpr std::size_t kInitialReorderThreshold = std::size_t{1} << 17;
 
 std::uint64_t mix64(std::uint64_t x) {
   x ^= x >> 33;
@@ -85,44 +89,65 @@ bool Bdd::isTrue() const { return mgr_ != nullptr && index_ == Manager::kTrue; }
 
 Manager::Manager(Var varCount)
     : varCount_(varCount),
-      buckets_(kInitialBuckets, kNil),
       cache_(kCacheEntries),
-      gcThreshold_(kInitialGcThreshold) {
+      gcThreshold_(kInitialGcThreshold),
+      reorderThreshold_(kInitialReorderThreshold) {
   nodes_.reserve(1u << 16);
-  // Terminals. Their var field is the out-of-band terminal level so that
+  // Terminals. Their var field is the out-of-band terminal marker so that
   // every internal level compares smaller.
   nodes_.push_back(Node{kTerminalVar, kFalse, kFalse, kNil});
   nodes_.push_back(Node{kTerminalVar, kTrue, kTrue, kNil});
   extRefs_.resize(2, 0);
+
+  subtables_.resize(varCount_);
+  for (Subtable& st : subtables_) st.buckets.assign(kInitialBucketsPerVar, kNil);
+
+  indexToLevel_.resize(varCount_);
+  levelToIndex_.resize(varCount_);
+  reorderGroups_.reserve(varCount_);
+  for (Var v = 0; v < varCount_; ++v) {
+    indexToLevel_[v] = v;
+    levelToIndex_[v] = v;
+    reorderGroups_.push_back({v});  // default: every variable sifts alone
+  }
 }
 
 Manager::~Manager() = default;
 
 // ---------------------------------------------------------------------------
-// Unique table.
+// Unique subtables.
 // ---------------------------------------------------------------------------
 
 std::uint64_t Manager::hashTriple(Var var, NodeIndex low, NodeIndex high) {
-  return mix64((std::uint64_t{var} << 40) ^ (std::uint64_t{low} << 20) ^
-               std::uint64_t{high} ^ (std::uint64_t{high} << 44));
+  // Two full mix64 rounds. The first round sees (low, high) in disjoint
+  // 32-bit lanes, so — unlike a shifted-XOR fold — bucket distribution
+  // does not degrade once the pool exceeds 2^20 nodes and child indices
+  // start overlapping each other's lanes.
+  const std::uint64_t children =
+      (std::uint64_t{low} << 32) | std::uint64_t{high};
+  return mix64(mix64(children) ^ std::uint64_t{var});
 }
 
 NodeIndex Manager::mk(Var var, NodeIndex low, NodeIndex high) {
   assert(var < varCount_);
   if (low == high) return low;
-  assert(nodes_[low].var > var && nodes_[high].var > var);
+  assert(nodeLevel(low) > indexToLevel_[var] &&
+         nodeLevel(high) > indexToLevel_[var]);
 
+  Subtable& st = subtables_[var];
   const std::uint64_t h = hashTriple(var, low, high);
-  const std::size_t bucket = h & (buckets_.size() - 1);
-  for (NodeIndex n = buckets_[bucket]; n != kNil; n = nodes_[n].next) {
+  for (NodeIndex n = st.buckets[h & (st.buckets.size() - 1)]; n != kNil;
+       n = nodes_[n].next) {
     const Node& node = nodes_[n];
-    if (node.var == var && node.low == low && node.high == high) return n;
+    assert(node.var == var);
+    if (node.low == low && node.high == high) return n;
   }
+  if (st.count + 1 > st.buckets.size()) rehashSubtable(st);
   const NodeIndex n = allocNode(var, low, high);
-  // allocNode may rehash; recompute the bucket before chaining.
-  const std::size_t b = h & (buckets_.size() - 1);
-  nodes_[n].next = buckets_[b];
-  buckets_[b] = n;
+  const std::size_t b = h & (st.buckets.size() - 1);
+  nodes_[n].next = st.buckets[b];
+  st.buckets[b] = n;
+  ++st.count;
   return n;
 }
 
@@ -141,15 +166,13 @@ NodeIndex Manager::allocNode(Var var, NodeIndex low, NodeIndex high) {
   ++liveNodes_;
   stats_.liveNodes = liveNodes_;
   if (liveNodes_ > stats_.peakLiveNodes) stats_.peakLiveNodes = liveNodes_;
-  rehashIfNeeded();
   return n;
 }
 
-void Manager::rehashIfNeeded() {
-  if (liveNodes_ + 2 <= buckets_.size()) return;
-  std::vector<NodeIndex> fresh(buckets_.size() * 2, kNil);
-  for (std::size_t b = 0; b < buckets_.size(); ++b) {
-    NodeIndex n = buckets_[b];
+void Manager::rehashSubtable(Subtable& st) {
+  std::vector<NodeIndex> fresh(st.buckets.size() * 2, kNil);
+  for (const NodeIndex head : st.buckets) {
+    NodeIndex n = head;
     while (n != kNil) {
       const NodeIndex next = nodes_[n].next;
       const Node& node = nodes_[n];
@@ -160,7 +183,7 @@ void Manager::rehashIfNeeded() {
       n = next;
     }
   }
-  buckets_ = std::move(fresh);
+  st.buckets = std::move(fresh);
 }
 
 // ---------------------------------------------------------------------------
@@ -183,6 +206,15 @@ void Manager::maybeGc() {
     // If the heap is mostly live, collecting again soon is wasted work:
     // back off geometrically.
     if (liveNodes_ * 2 > before) gcThreshold_ *= 2;
+  }
+  if (autoReorder_ && liveNodes_ >= reorderThreshold_) {
+    reorderNow();
+    // Geometric backoff: re-trigger only after the live set has grown well
+    // past the sifted size AND well past the last trigger point, bounding
+    // the number of passes logarithmically in the peak (a workload whose
+    // working set hovers just above a fixed threshold would sift on every
+    // operation boundary otherwise).
+    reorderThreshold_ = std::max(liveNodes_ * 2, reorderThreshold_ * 2);
   }
 }
 
@@ -210,18 +242,23 @@ void Manager::collectGarbage() {
     if (extRefs_[n] > 0) markRecursive(n);
   }
 
-  // Sweep: rebuild the unique table from live nodes; dead nodes join the
+  // Sweep: rebuild the subtables from live nodes; dead nodes join the
   // free list. Indices are stable, so external handles stay valid.
-  std::fill(buckets_.begin(), buckets_.end(), kNil);
+  for (Subtable& st : subtables_) {
+    std::fill(st.buckets.begin(), st.buckets.end(), kNil);
+    st.count = 0;
+  }
   freeList_ = kNil;
   std::size_t live = 0;
   for (NodeIndex n = 2; n < nodes_.size(); ++n) {
     if (marks_[n]) {
       const Node& node = nodes_[n];
+      Subtable& st = subtables_[node.var];
       const std::size_t b =
-          hashTriple(node.var, node.low, node.high) & (buckets_.size() - 1);
-      nodes_[n].next = buckets_[b];
-      buckets_[b] = n;
+          hashTriple(node.var, node.low, node.high) & (st.buckets.size() - 1);
+      nodes_[n].next = st.buckets[b];
+      st.buckets[b] = n;
+      ++st.count;
       ++live;
     } else if (nodes_[n].var != kTerminalVar) {
       stats_.nodesFreed += 1;
@@ -309,9 +346,15 @@ Bdd Manager::nvar(Var v) {
 }
 
 Bdd Manager::cube(std::span<const Var> vars) {
-  // Build bottom-up (largest level first) so each mk() is O(1).
+  // Build bottom-up (deepest level first) so each mk() is O(1). Sorting by
+  // the current order keeps this correct after reordering; deduplication
+  // keeps mk()'s strict level invariant when callers pass a variable twice
+  // (a duplicate used to chain two nodes of the same variable, producing a
+  // structurally invalid BDD).
   std::vector<Var> sorted(vars.begin(), vars.end());
-  std::sort(sorted.begin(), sorted.end());
+  std::sort(sorted.begin(), sorted.end(),
+            [&](Var a, Var b) { return indexToLevel_[a] < indexToLevel_[b]; });
+  sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
   NodeIndex acc = kTrue;
   for (auto it = sorted.rbegin(); it != sorted.rend(); ++it) {
     acc = mk(*it, kFalse, acc);

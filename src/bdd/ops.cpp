@@ -64,7 +64,10 @@ NodeIndex Manager::applyRec(Op op, NodeIndex f, NodeIndex g) {
   // invalidate references into nodes_.
   const Node nf = nodes_[f];
   const Node ng = nodes_[g];
-  const Var top = nf.var < ng.var ? nf.var : ng.var;
+  // Both operands are internal here (terminal cases handled above), so
+  // their vars have levels; the topmost (smallest level) splits first.
+  const Var top =
+      indexToLevel_[nf.var] < indexToLevel_[ng.var] ? nf.var : ng.var;
   const NodeIndex f0 = nf.var == top ? nf.low : f;
   const NodeIndex f1 = nf.var == top ? nf.high : f;
   const NodeIndex g0 = ng.var == top ? ng.low : g;
@@ -100,12 +103,15 @@ NodeIndex Manager::iteRec(NodeIndex f, NodeIndex g, NodeIndex h) {
   NodeIndex cached;
   if (cacheLookup(Op::Ite, f, g, h, cached)) return cached;
 
-  const Var vf = nodes_[f].var;
-  const Var vg = nodes_[g].var;
-  const Var vh = nodes_[h].var;
-  Var top = vf;
-  if (vg < top) top = vg;
-  if (vh < top) top = vh;
+  // g and h may be terminals; nodeLevel() maps those past every internal
+  // level. f is internal (terminal f handled above), so topLevel is real.
+  const Var lf = nodeLevel(f);
+  const Var lg = nodeLevel(g);
+  const Var lh = nodeLevel(h);
+  Var topLevel = lf;
+  if (lg < topLevel) topLevel = lg;
+  if (lh < topLevel) topLevel = lh;
+  const Var top = levelToIndex_[topLevel];
 
   auto cof = [&](NodeIndex n, bool hi) {
     const Node& node = nodes_[n];
@@ -126,8 +132,8 @@ NodeIndex Manager::iteRec(NodeIndex f, NodeIndex g, NodeIndex h) {
 NodeIndex Manager::quantRec(Op op, NodeIndex f, NodeIndex cube) {
   assert(op == Op::Exists || op == Op::Forall);
   if (f == kFalse || f == kTrue) return f;
-  // Skip cube variables above the top variable of f.
-  while (cube != kTrue && nodes_[cube].var < nodes_[f].var) {
+  // Skip cube variables above the top variable of f (by current level).
+  while (cube != kTrue && nodeLevel(cube) < nodeLevel(f)) {
     cube = nodes_[cube].high;
   }
   if (cube == kTrue) return f;
@@ -162,8 +168,11 @@ NodeIndex Manager::andExistsRec(NodeIndex f, NodeIndex g, NodeIndex cube) {
 
   const Node nf = nodes_[f];  // copies: recursion may reallocate nodes_
   const Node ng = nodes_[g];
-  const Var top = nf.var < ng.var ? nf.var : ng.var;
-  while (cube != kTrue && nodes_[cube].var < top) cube = nodes_[cube].high;
+  const Var top =
+      indexToLevel_[nf.var] < indexToLevel_[ng.var] ? nf.var : ng.var;
+  while (cube != kTrue && nodeLevel(cube) < indexToLevel_[top]) {
+    cube = nodes_[cube].high;
+  }
   if (cube == kTrue) return applyRec(Op::And, f, g);
 
   NodeIndex cached;
@@ -197,7 +206,9 @@ NodeIndex Manager::andExistsRec(NodeIndex f, NodeIndex g, NodeIndex cube) {
 NodeIndex Manager::composeRec(NodeIndex f, Var v, NodeIndex g) {
   if (f == kFalse || f == kTrue) return f;
   const Node nf = nodes_[f];  // copy: recursion may reallocate nodes_
-  if (nf.var > v) return f;   // v cannot appear below its own level
+  if (indexToLevel_[nf.var] > indexToLevel_[v]) {
+    return f;  // v cannot appear below its own level
+  }
   NodeIndex cached;
   if (cacheLookup(Op::Compose, f, static_cast<NodeIndex>(v), g, cached)) {
     return cached;
@@ -321,12 +332,13 @@ Bdd Bdd::rename(std::span<const Var> perm) const {
   }
 #ifndef NDEBUG
   {
-    // Precondition: the permutation preserves the relative order of this
-    // function's support. (Our current<->next renamings always do, because
-    // the quantified side has been projected away first.)
+    // Precondition: the permutation preserves the relative LEVEL order of
+    // this function's support. (Our current<->next renamings always do:
+    // the quantified side has been projected away first, and sifting moves
+    // each (current, next) pair as one block.) support() is level-sorted.
     const std::vector<Var> sup = support();
     for (std::size_t i = 1; i < sup.size(); ++i) {
-      assert(perm[sup[i - 1]] < perm[sup[i]] &&
+      assert(mgr_->levelOf(perm[sup[i - 1]]) < mgr_->levelOf(perm[sup[i]]) &&
              "rename permutation must be monotone on the support");
     }
   }

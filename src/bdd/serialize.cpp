@@ -10,6 +10,7 @@
 // The writer likewise uses only the public interface (top-of-support +
 // cofactoring via compose), so serialization stays decoupled from the
 // manager's internals.
+#include <algorithm>
 #include <functional>
 #include <istream>
 #include <ostream>
@@ -92,11 +93,13 @@ Bdd loadBdd(std::istream& is, Manager& manager) {
     const Bdd high = resolve(highRef);
     // Re-canonicalize through the public algebra: ite on the projection.
     const Bdd node = manager.var(var).ite(high, low);
-    // Ordering sanity: the rebuilt node's top variable must be `var`
-    // unless the row was redundant (low == high).
+    // Sanity: a non-redundant row must actually depend on `var`. (The
+    // stricter "top of support == var" does not hold when the loading
+    // manager's dynamic variable order differs from the saving one's;
+    // ite() re-canonicalizes to the current order either way.)
     if (!(low == high)) {
       const auto sup = node.support();
-      if (sup.empty() || sup.front() != var) {
+      if (std::find(sup.begin(), sup.end(), var) == sup.end()) {
         throw std::runtime_error("loadBdd: variable order violation");
       }
     }

@@ -16,19 +16,29 @@ PortfolioResult synthesizePortfolio(const protocol::Protocol& proto,
   if (threads == 0) threads = 1;
   threads = std::min<unsigned>(threads, schedules.size());
 
+  // First-success early exit: once any instance succeeds, workers stop
+  // claiming new schedules. Claims are handed out in input order, so every
+  // schedule below the winning index has already been claimed and will run
+  // to completion — the lowest-index-success winner stays deterministic.
   std::atomic<std::size_t> next{0};
+  std::atomic<bool> succeeded{false};
   auto worker = [&]() {
     for (;;) {
+      if (succeeded.load(std::memory_order_acquire)) return;
       const std::size_t i = next.fetch_add(1);
       if (i >= schedules.size()) return;
       PortfolioInstance& inst = out.instances[i];
       inst.schedule = schedules[i];
+      inst.ran = true;
       inst.encoding = std::make_unique<symbolic::Encoding>(proto);
       inst.symbolic =
           std::make_unique<symbolic::SymbolicProtocol>(*inst.encoding);
       StrongOptions opt;
       opt.schedule = schedules[i];
       inst.result = addStrongConvergence(*inst.symbolic, opt);
+      if (inst.result.success) {
+        succeeded.store(true, std::memory_order_release);
+      }
     }
   };
 

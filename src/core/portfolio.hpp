@@ -20,6 +20,9 @@ struct PortfolioInstance {
   std::unique_ptr<symbolic::Encoding> encoding;
   std::unique_ptr<symbolic::SymbolicProtocol> symbolic;
   StrongResult result;
+  /// False when the instance was never claimed because an earlier schedule
+  /// had already succeeded (early exit); `result` is default-constructed.
+  bool ran = false;
 };
 
 struct PortfolioResult {
@@ -32,9 +35,12 @@ struct PortfolioResult {
 };
 
 /// Runs the heuristic once per schedule, using up to `threads` worker
-/// threads (0 = hardware concurrency). Deterministic: the outcome of each
-/// instance is independent of the thread interleaving, and the winner is
-/// the first successful schedule in input order.
+/// threads (0 = hardware concurrency). Workers stop claiming new schedules
+/// once any instance succeeds; schedules claimed before that point still
+/// run to completion. Deterministic: the outcome of each instance is
+/// independent of the thread interleaving, and the winner is the first
+/// successful schedule in input order (claims are handed out in input
+/// order, so every schedule up to the winning index always runs).
 [[nodiscard]] PortfolioResult synthesizePortfolio(
     const protocol::Protocol& proto, const std::vector<Schedule>& schedules,
     unsigned threads = 0);

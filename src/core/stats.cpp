@@ -13,7 +13,13 @@ std::string SynthesisStats::summary() const {
                 rankingSeconds, sccSeconds, sccDetectionCalls,
                 sccComponentsFound, totalSeconds, rankCount, programNodes,
                 avgSccNodes(), peakLiveNodes, passCompleted);
-  return buf;
+  std::string out = buf;
+  if (reorderRuns > 0) {
+    std::snprintf(buf, sizeof buf, ", reorder %zux %.3fs (-%zu nodes)",
+                  reorderRuns, reorderSeconds, reorderNodesSaved);
+    out += buf;
+  }
+  return out;
 }
 
 }  // namespace stsyn::core

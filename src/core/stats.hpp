@@ -27,6 +27,10 @@ struct SynthesisStats {
   std::size_t programNodes = 0;   ///< BDD nodes of the synthesized relation
   std::size_t peakLiveNodes = 0;  ///< manager high-water mark
 
+  std::size_t reorderRuns = 0;       ///< dynamic-reordering passes
+  double reorderSeconds = 0.0;       ///< time spent sifting
+  std::size_t reorderNodesSaved = 0; ///< cumulative live nodes freed by sifting
+
   /// Pass that resolved the last deadlock: 1..3 are the paper's passes,
   /// 4 is the implementation's greedy cycle-resolution pass, 0 means the
   /// input needed no recovery.

@@ -13,7 +13,11 @@ WeakResult addWeakConvergence(const symbolic::SymbolicProtocol& sp) {
   out.success = out.ranking.complete();
   out.stats.totalSeconds = total.seconds();
   out.stats.programNodes = out.relation.nodeCount();
-  out.stats.peakLiveNodes = sp.manager().stats().peakLiveNodes;
+  const bdd::ManagerStats& ms = sp.manager().stats();
+  out.stats.peakLiveNodes = ms.peakLiveNodes;
+  out.stats.reorderRuns = ms.reorderRuns;
+  out.stats.reorderSeconds = ms.reorderSeconds;
+  out.stats.reorderNodesSaved = ms.reorderNodesBefore - ms.reorderNodesAfter;
   return out;
 }
 

@@ -81,6 +81,10 @@ ProcessActions extractProcessActions(const symbolic::SymbolicProtocol& sp,
   for (auto& [writeVals, guardPoints] : rows) {
     ExtractedAction action;
     action.writeValues = writeVals;
+    // forEachSat enumerates in the manager's CURRENT variable order, which
+    // dynamic reordering may have changed; sort the points so the produced
+    // cover is identical with reordering on and off.
+    std::sort(guardPoints.begin(), guardPoints.end());
     action.guard = coverFromPoints(guardPoints);
     minimize(action.guard);
     out.actions.push_back(std::move(action));

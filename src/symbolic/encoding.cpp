@@ -1,6 +1,8 @@
 #include "symbolic/encoding.hpp"
 
 #include <cassert>
+#include <cstdlib>
+#include <cstring>
 #include <utility>
 #include <stdexcept>
 
@@ -32,9 +34,27 @@ Encoding::Encoding(protocol::Protocol proto) : proto_(std::move(proto)) {
     for (int k = 0; k < bits_[v]; ++k) {
       curLevels_[v].push_back(level++);
       nextLevels_[v].push_back(level++);
+      bitPairs_.emplace_back(curLevels_[v][k], nextLevels_[v][k]);
     }
   }
   mgr_ = std::make_unique<bdd::Manager>(level);
+
+  // Each interleaved (cur, next) pair sifts as one atomic block: the pair
+  // stays adjacent with cur on top, so the cur<->next renamings (which
+  // only ever move support within pairs) remain monotone on levels no
+  // matter how the manager reorders.
+  {
+    std::vector<std::vector<Var>> groups;
+    groups.reserve(bitPairs_.size());
+    for (const auto& [cur, next] : bitPairs_) groups.push_back({cur, next});
+    mgr_->setReorderGroups(std::move(groups));
+  }
+  // Opt-in dynamic reordering for the whole pipeline: STSYN_REORDER=1 (or
+  // any value other than "0") turns on sifting under GC pressure.
+  if (const char* env = std::getenv("STSYN_REORDER");
+      env != nullptr && *env != '\0' && std::strcmp(env, "0") != 0) {
+    mgr_->enableAutoReorder();
+  }
 
   for (VarId v = 0; v < n; ++v) {
     for (int k = 0; k < bits_[v]; ++k) {

@@ -41,6 +41,15 @@ class Encoding {
     return nextLevels_[v];
   }
 
+  /// The interleaved (current, next) bit pairs, one per encoded bit, in
+  /// layout order. Registered with the manager as atomic reorder groups:
+  /// dynamic reordering moves a pair as one block, so the cur<->next
+  /// renaming permutations stay order-preserving under any reorder.
+  [[nodiscard]] const std::vector<std::pair<bdd::Var, bdd::Var>>& bitPairs()
+      const {
+    return bitPairs_;
+  }
+
   /// All current / next levels of the whole state, ascending.
   [[nodiscard]] const std::vector<bdd::Var>& allCurLevels() const {
     return allCur_;
@@ -115,6 +124,7 @@ class Encoding {
   std::vector<int> bits_;
   std::vector<std::vector<bdd::Var>> curLevels_;
   std::vector<std::vector<bdd::Var>> nextLevels_;
+  std::vector<std::pair<bdd::Var, bdd::Var>> bitPairs_;
   std::vector<bdd::Var> allCur_;
   std::vector<bdd::Var> allNext_;
   std::vector<bdd::Var> allLevels_;

@@ -250,6 +250,20 @@ TEST(BddCube, CubeOfUnsortedVarsIsSortedConjunction) {
   EXPECT_TRUE(c == (m.var(1) & m.var(3) & m.var(4)));
 }
 
+TEST(BddCube, DuplicateVarsAreDeduplicated) {
+  // Regression: a duplicate used to chain two nodes of the same variable,
+  // producing a structurally invalid diagram (debug builds asserted).
+  Manager m(6);
+  const std::vector<Var> dup{3, 1, 3, 3, 1};
+  const Bdd c = m.cube(dup);
+  EXPECT_TRUE(c == (m.var(1) & m.var(3)));
+  EXPECT_EQ(c.nodeCount(), 2u);
+  // Quantifying over a duplicated-variable cube behaves like the deduped one.
+  const Bdd f = (m.var(1) & m.var(2)) | m.var(3);
+  const std::vector<Var> q{1, 1};
+  EXPECT_TRUE(f.exists(m.cube(q)) == (m.var(2) | m.var(3)));
+}
+
 TEST(BddCube, EqualVarsBuildsBiconditionals) {
   Manager m(4);
   const std::vector<std::pair<Var, Var>> pairs{{0, 1}, {2, 3}};

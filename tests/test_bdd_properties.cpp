@@ -31,14 +31,18 @@ Table tableOfVar(Var v) {
 }
 
 /// Builds a random pair over the shared manager using `ops` random
-/// operations (binary connectives, negation, quantification).
-Pair randomPair(Manager& m, Rng& rng, int ops) {
+/// operations (binary connectives, negation, quantification). When
+/// `reorderEvery` is positive, runs a full sifting pass every that many
+/// operations, with the whole pool held live — reordering must preserve
+/// every handle.
+Pair randomPair(Manager& m, Rng& rng, int ops, int reorderEvery = 0) {
   std::vector<Pair> pool;
   for (Var v = 0; v < kVars; ++v) pool.push_back({m.var(v), tableOfVar(v)});
   pool.push_back({m.trueBdd(), Table{}.set()});
   pool.push_back({m.falseBdd(), Table{}});
 
   for (int i = 0; i < ops; ++i) {
+    if (reorderEvery > 0 && i > 0 && i % reorderEvery == 0) m.reorderNow();
     const Pair& a = pool[rng.below(pool.size())];
     const Pair& b = pool[rng.below(pool.size())];
     Pair r;
@@ -116,6 +120,109 @@ INSTANTIATE_TEST_SUITE_P(
       return "seed" + std::to_string(std::get<0>(info.param)) +
              (std::get<1>(info.param) ? "_gc" : "_nogc");
     });
+
+/// Same oracle battery, but with sifting passes injected mid-workload
+/// (every 25 operations) while the whole pool is referenced, under GC
+/// pressure. Every function must survive the in-place pool mutations.
+class BddReorderWorkload
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t, std::size_t>> {
+};
+
+TEST_P(BddReorderWorkload, MatchesTruthTableOracleAcrossSifting) {
+  const auto [seed, gcThreshold] = GetParam();
+  Manager m(kVars);
+  if (gcThreshold != 0) m.setGcThreshold(gcThreshold);
+  Rng rng(seed);
+  const Pair p = randomPair(m, rng, 120, /*reorderEvery=*/25);
+  m.reorderNow();  // and once more with only the final function held
+
+  std::vector<char> assign(kVars);
+  double models = 0;
+  for (unsigned a = 0; a < (1u << kVars); ++a) {
+    for (Var v = 0; v < kVars; ++v) assign[v] = (a >> v) & 1;
+    ASSERT_EQ(p.bdd.eval(assign), p.table[a]) << "assignment " << a;
+    models += p.table[a] ? 1 : 0;
+  }
+  std::vector<Var> lv(kVars);
+  for (Var v = 0; v < kVars; ++v) lv[v] = v;
+  EXPECT_DOUBLE_EQ(p.bdd.satCount(lv), models);
+
+  // Canonicity within the (reordered) manager: rebuilding from the truth
+  // table must reach the identical node.
+  Bdd rebuilt = m.falseBdd();
+  for (unsigned a = 0; a < (1u << kVars); ++a) {
+    if (!p.table[a]) continue;
+    Bdd minterm = m.trueBdd();
+    for (Var v = 0; v < kVars; ++v) {
+      minterm &= ((a >> v) & 1) ? m.var(v) : m.nvar(v);
+    }
+    rebuilt |= minterm;
+  }
+  EXPECT_TRUE(rebuilt == p.bdd);
+
+  // The completed one-path is the lexmin (by variable index) satisfying
+  // assignment — computable exactly from the oracle table.
+  if (!p.bdd.isFalse()) {
+    const auto path = p.bdd.onePath();
+    std::vector<char> completed(kVars, 0);
+    for (Var v = 0; v < kVars; ++v) completed[v] = path[v] == 1 ? 1 : 0;
+    unsigned best = 0;
+    bool found = false;
+    for (unsigned a = 0; a < (1u << kVars); ++a) {
+      if (!p.table[a]) continue;
+      // Lex order on (x0, x1, ...) is numeric order on the bit-reversal.
+      auto lexKey = [](unsigned x) {
+        unsigned k = 0;
+        for (Var v = 0; v < kVars; ++v) k = (k << 1) | ((x >> v) & 1);
+        return k;
+      };
+      if (!found || lexKey(a) < lexKey(best)) {
+        best = a;
+        found = true;
+      }
+    }
+    ASSERT_TRUE(found);
+    for (Var v = 0; v < kVars; ++v) {
+      ASSERT_EQ(static_cast<int>(completed[v]),
+                static_cast<int>((best >> v) & 1))
+          << "lexmin mismatch at var " << v;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsAndGcPressure, BddReorderWorkload,
+    ::testing::Combine(::testing::Values(11u, 12u, 13u, 14u, 15u, 16u),
+                       ::testing::Values(std::size_t{0} /* default */,
+                                         std::size_t{128} /* aggressive */)),
+    [](const auto& info) {
+      return "seed" + std::to_string(std::get<0>(info.param)) +
+             (std::get<1>(info.param) ? "_gc" : "_nogc");
+    });
+
+/// Auto-reordering wired through maybeGc(): same oracle, reorder decisions
+/// taken by the manager itself.
+class BddAutoReorderWorkload : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(BddAutoReorderWorkload, MatchesTruthTableOracle) {
+  Manager m(kVars);
+  m.setGcThreshold(256);
+  m.setReorderThreshold(32);
+  m.enableAutoReorder();
+  Rng rng(GetParam());
+  const Pair p = randomPair(m, rng, 150);
+
+  std::vector<char> assign(kVars);
+  for (unsigned a = 0; a < (1u << kVars); ++a) {
+    for (Var v = 0; v < kVars; ++v) assign[v] = (a >> v) & 1;
+    ASSERT_EQ(p.bdd.eval(assign), p.table[a]) << "assignment " << a;
+  }
+  EXPECT_GE(m.stats().reorderRuns, 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BddAutoReorderWorkload,
+                         ::testing::Range<std::uint64_t>(300, 308));
 
 class BddAlgebraicLaws : public ::testing::TestWithParam<std::uint64_t> {};
 

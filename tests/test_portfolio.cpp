@@ -74,6 +74,59 @@ TEST(Portfolio, WinnerIsFirstSuccessInScheduleOrderDeterministically) {
             symbolic::decodeRelation(*ib.encoding, ib.result.relation));
 }
 
+TEST(Portfolio, StopsClaimingSchedulesAfterFirstSuccess) {
+  // One succeeding block of schedules followed by many redundant copies:
+  // with a single worker, claims are strictly sequential, so everything
+  // after the winner must be skipped (`ran == false`), not run to
+  // completion as it used to be.
+  const protocol::Protocol p = casestudies::tokenRing(4, 3);
+  std::vector<Schedule> schedules;
+  for (int copy = 0; copy < 6; ++copy) {
+    for (std::size_t rot = 0; rot < 4; ++rot) {
+      schedules.push_back(core::rotatedSchedule(4, rot));
+    }
+  }
+  const core::PortfolioResult r =
+      core::synthesizePortfolio(p, schedules, /*threads=*/1);
+  ASSERT_TRUE(r.success());
+  ASSERT_LT(r.winner, 4u);  // some rotation in the first block succeeds
+  for (std::size_t i = 0; i <= r.winner; ++i) {
+    EXPECT_TRUE(r.instances[i].ran) << i;
+  }
+  for (std::size_t i = r.winner + 1; i < r.instances.size(); ++i) {
+    EXPECT_FALSE(r.instances[i].ran) << i;
+    EXPECT_FALSE(r.instances[i].result.success) << i;
+  }
+}
+
+TEST(Portfolio, EarlyExitKeepsWinnerDeterministicAcrossThreadCounts) {
+  // A fast-succeeding schedule up front and a long tail of slower work:
+  // early exit must not change the winner or its synthesized relation.
+  const protocol::Protocol p = casestudies::tokenRing(4, 3);
+  std::vector<Schedule> schedules;
+  for (int copy = 0; copy < 3; ++copy) {
+    for (std::size_t rot = 0; rot < 4; ++rot) {
+      schedules.push_back(core::rotatedSchedule(4, rot));
+    }
+  }
+  const core::PortfolioResult a =
+      core::synthesizePortfolio(p, schedules, /*threads=*/1);
+  const core::PortfolioResult b =
+      core::synthesizePortfolio(p, schedules, /*threads=*/4);
+  ASSERT_TRUE(a.success());
+  ASSERT_TRUE(b.success());
+  EXPECT_EQ(a.winner, b.winner);
+  // Every schedule before the winner always runs (claims go out in input
+  // order), so the lowest-index success is invariant.
+  for (std::size_t i = 0; i <= b.winner; ++i) {
+    EXPECT_TRUE(b.instances[i].ran) << i;
+  }
+  const auto& ia = a.instances[a.winner];
+  const auto& ib = b.instances[b.winner];
+  EXPECT_EQ(symbolic::decodeRelation(*ia.encoding, ia.result.relation),
+            symbolic::decodeRelation(*ib.encoding, ib.result.relation));
+}
+
 TEST(Portfolio, EmptyScheduleListYieldsNoWinner) {
   const protocol::Protocol p = casestudies::tokenRing(3, 3);
   const core::PortfolioResult r = core::synthesizePortfolio(p, {});
