@@ -2,7 +2,14 @@
 // descriptions.
 //
 //   stsyn <protocol.stsyn> [options]
+//   stsyn lint <protocol.stsyn> [--werror] [--no-symbolic] [--format=sarif]
 //
+//   lint / --lint        run the protocol linter (docs/lint_rules.md) and
+//                        exit without synthesizing; exit 0 when clean,
+//                        1 when diagnostics fail the run, 2 on usage errors
+//   --werror             lint: treat warnings as errors
+//   --no-symbolic        lint: skip the BDD-backed semantic rules
+//   --format=sarif       lint: emit SARIF 2.1.0 JSON instead of text
 //   --weak               add weak convergence (Theorem IV.1) instead of
 //                        strong
 //   --verify             verify the input as-is (closure, deadlocks,
@@ -22,8 +29,9 @@
 // Exit status: 0 synthesis succeeded (verified), 1 synthesis failed,
 // 2 usage/parse error.
 #include <cstdio>
-#include <fstream>
 #include <cstring>
+#include <fstream>
+#include <sstream>
 #include <string>
 
 #include "stsyn.hpp"
@@ -33,8 +41,33 @@ namespace {
 int usage() {
   std::fprintf(stderr,
                "usage: stsyn <protocol.stsyn> [--weak] [--schedule P1,P0,...]"
-               " [--max-pass N] [--no-greedy] [--print] [--quiet]\n");
+               " [--max-pass N] [--no-greedy] [--print] [--quiet]\n"
+               "       stsyn lint <protocol.stsyn> [--werror] [--no-symbolic]"
+               " [--format=sarif|text]\n");
   return 2;
+}
+
+/// The `stsyn lint` subcommand: parse leniently, run both lint tiers, and
+/// render diagnostics. Exit 0 clean, 1 when the run fails, 2 on I/O errors.
+int runLint(const char* path, bool werror, const std::string& format,
+            const stsyn::analysis::LintOptions& options) {
+  using namespace stsyn;
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "stsyn: cannot open protocol file %s\n", path);
+    return 2;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+
+  analysis::Diagnostics diags;
+  analysis::lintSource(buf.str(), diags, options);
+  if (format == "sarif") {
+    std::printf("%s", analysis::formatSarif(diags, path).c_str());
+  } else {
+    std::printf("%s", analysis::formatText(diags, path).c_str());
+  }
+  return diags.failed(werror) ? 1 : 0;
 }
 
 /// Parses "P2,P0,P1" against the protocol's process names.
@@ -74,20 +107,38 @@ int main(int argc, char** argv) {
   const char* path = nullptr;
   bool weak = false;
   bool verifyOnly = false;
+  bool lint = false;
+  bool werror = false;
   unsigned portfolio = 0;
   bool print = false;
   bool quiet = false;
   bool explain = false;
   std::string scheduleArg;
   std::string outputPath;
+  std::string lintFormat = "text";
   core::StrongOptions options;
+  analysis::LintOptions lintOptions;
 
-  for (int i = 1; i < argc; ++i) {
+  int argStart = 1;
+  if (!std::strcmp(argv[1], "lint")) {
+    lint = true;
+    argStart = 2;
+  }
+  for (int i = argStart; i < argc; ++i) {
     const char* a = argv[i];
     if (!std::strcmp(a, "--weak")) {
       weak = true;
     } else if (!std::strcmp(a, "--verify")) {
       verifyOnly = true;
+    } else if (!std::strcmp(a, "--lint")) {
+      lint = true;
+    } else if (!std::strcmp(a, "--werror")) {
+      werror = true;
+    } else if (!std::strcmp(a, "--no-symbolic")) {
+      lintOptions.symbolic = false;
+    } else if (!std::strncmp(a, "--format=", 9)) {
+      lintFormat = a + 9;
+      if (lintFormat != "text" && lintFormat != "sarif") return usage();
     } else if (!std::strcmp(a, "--portfolio") && i + 1 < argc) {
       portfolio = static_cast<unsigned>(std::atoi(argv[++i]));
     } else if (!std::strcmp(a, "--print")) {
@@ -113,6 +164,7 @@ int main(int argc, char** argv) {
     }
   }
   if (path == nullptr) return usage();
+  if (lint) return runLint(path, werror, lintFormat, lintOptions);
 
   protocol::Protocol p;
   try {

@@ -1,0 +1,159 @@
+#include "analysis/diagnostics.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace stsyn::analysis {
+
+const char* toString(Severity s) {
+  switch (s) {
+    case Severity::Note: return "note";
+    case Severity::Warning: return "warning";
+    case Severity::Error: return "error";
+  }
+  return "?";
+}
+
+std::size_t Diagnostics::count(Severity s) const {
+  return static_cast<std::size_t>(
+      std::count_if(items_.begin(), items_.end(),
+                    [s](const Diagnostic& d) { return d.severity == s; }));
+}
+
+bool Diagnostics::failed(bool werror) const {
+  return count(Severity::Error) > 0 ||
+         (werror && count(Severity::Warning) > 0);
+}
+
+void Diagnostics::sortByLocation() {
+  std::stable_sort(items_.begin(), items_.end(),
+                   [](const Diagnostic& a, const Diagnostic& b) {
+                     if (a.loc.known() != b.loc.known()) return a.loc.known();
+                     if (a.loc.line != b.loc.line) return a.loc.line < b.loc.line;
+                     return a.loc.column < b.loc.column;
+                   });
+}
+
+std::string formatText(const Diagnostics& diags, const std::string& file) {
+  std::ostringstream out;
+  for (const Diagnostic& d : diags.items()) {
+    out << file << ':';
+    if (d.loc.known()) out << d.loc.line << ':' << d.loc.column << ':';
+    out << ' ' << toString(d.severity) << ": " << d.message << " ["
+        << d.ruleId << "]\n";
+  }
+  const std::size_t errors = diags.count(Severity::Error);
+  const std::size_t warnings = diags.count(Severity::Warning);
+  const std::size_t notes = diags.count(Severity::Note);
+  if (diags.empty()) {
+    out << file << ": no lint issues\n";
+  } else {
+    out << file << ": " << errors << " error(s), " << warnings
+        << " warning(s), " << notes << " note(s)\n";
+  }
+  return out.str();
+}
+
+namespace {
+
+/// Escapes a string for embedding in a JSON string literal.
+std::string jsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// SARIF "level" property; SARIF has no dedicated severity for notes.
+const char* sarifLevel(Severity s) {
+  switch (s) {
+    case Severity::Note: return "note";
+    case Severity::Warning: return "warning";
+    case Severity::Error: return "error";
+  }
+  return "none";
+}
+
+}  // namespace
+
+std::string formatSarif(const Diagnostics& diags, const std::string& file) {
+  // Rule metadata: one reportingDescriptor per distinct rule id, in first-
+  // appearance order.
+  std::vector<std::string> ruleIds;
+  for (const Diagnostic& d : diags.items()) {
+    if (std::find(ruleIds.begin(), ruleIds.end(), d.ruleId) == ruleIds.end()) {
+      ruleIds.push_back(d.ruleId);
+    }
+  }
+
+  std::ostringstream out;
+  out << "{\n"
+      << "  \"version\": \"2.1.0\",\n"
+      << "  \"$schema\": "
+         "\"https://json.schemastore.org/sarif-2.1.0.json\",\n"
+      << "  \"runs\": [\n"
+      << "    {\n"
+      << "      \"tool\": {\n"
+      << "        \"driver\": {\n"
+      << "          \"name\": \"stsyn-lint\",\n"
+      << "          \"informationUri\": "
+         "\"https://github.com/stsyn/stsyn\",\n"
+      << "          \"rules\": [";
+  for (std::size_t i = 0; i < ruleIds.size(); ++i) {
+    if (i > 0) out << ',';
+    out << "\n            {\"id\": \"" << jsonEscape(ruleIds[i]) << "\"}";
+  }
+  if (!ruleIds.empty()) out << "\n          ";
+  out << "]\n"
+      << "        }\n"
+      << "      },\n"
+      << "      \"results\": [";
+  const auto& items = diags.items();
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    const Diagnostic& d = items[i];
+    if (i > 0) out << ',';
+    out << "\n        {\n"
+        << "          \"ruleId\": \"" << jsonEscape(d.ruleId) << "\",\n"
+        << "          \"level\": \"" << sarifLevel(d.severity) << "\",\n"
+        << "          \"message\": {\"text\": \"" << jsonEscape(d.message)
+        << "\"},\n"
+        << "          \"locations\": [\n"
+        << "            {\n"
+        << "              \"physicalLocation\": {\n"
+        << "                \"artifactLocation\": {\"uri\": \""
+        << jsonEscape(file) << "\"}";
+    if (d.loc.known()) {
+      out << ",\n                \"region\": {\"startLine\": " << d.loc.line
+          << ", \"startColumn\": " << d.loc.column << "}";
+    }
+    out << "\n              }\n"
+        << "            }\n"
+        << "          ]\n"
+        << "        }";
+  }
+  if (!items.empty()) out << "\n      ";
+  out << "]\n"
+      << "    }\n"
+      << "  ]\n"
+      << "}\n";
+  return out.str();
+}
+
+}  // namespace stsyn::analysis

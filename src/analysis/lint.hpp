@@ -1,0 +1,47 @@
+// The protocol linter: a static-analysis pass over parsed .stsyn protocols.
+//
+// Rules come in two tiers (see docs/lint_rules.md for the catalogue):
+//
+//  - Syntactic/AST rules inspect the Protocol structure directly: the
+//    builder's well-formedness violations (read/write restrictions, type
+//    errors), invariants over variables no process reads, constants and
+//    assignments outside a variable's declared domain, duplicate action
+//    labels, and dead variables.
+//
+//  - Symbolic rules compile the protocol with the BDD layer and decide
+//    semantic questions exactly: guards that can never fire, actions that
+//    are the identity wherever enabled, overlapping nondeterministic
+//    actions, and empty or trivially-true invariants.
+//
+// The symbolic tier only runs when the AST tier found no errors (an
+// ill-formed protocol cannot be compiled) and is skippable for speed.
+#pragma once
+
+#include <string_view>
+
+#include "analysis/diagnostics.hpp"
+#include "protocol/protocol.hpp"
+
+namespace stsyn::analysis {
+
+struct LintOptions {
+  /// Run the BDD-backed semantic rules (guard-unsat, action-identity,
+  /// action-overlap, invariant-empty, invariant-trivial).
+  bool symbolic = true;
+};
+
+/// Runs the AST lint tier over a protocol that may still contain
+/// well-formedness violations; `issues` are the builder's validation
+/// findings (from ProtocolBuilder::buildLenient / parseProtocolLenient),
+/// reported first as errors.
+void lintProtocol(const protocol::Protocol& proto,
+                  const std::vector<protocol::ValidationIssue>& issues,
+                  Diagnostics& diags, const LintOptions& options = {});
+
+/// Convenience entry point for .stsyn text: parses leniently, then lints.
+/// Lexical/syntax errors are reported as a single "parse-error" diagnostic
+/// instead of being thrown. Returns true when the source parsed.
+bool lintSource(std::string_view source, Diagnostics& diags,
+                const LintOptions& options = {});
+
+}  // namespace stsyn::analysis

@@ -20,7 +20,7 @@ class Parser {
  public:
   explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
 
-  protocol::Protocol parse() {
+  protocol::Protocol parse(std::vector<protocol::ValidationIssue>* issues) {
     expect(TokenKind::KwProtocol);
     const std::string name = expect(TokenKind::Identifier).text;
     expect(TokenKind::Semicolon);
@@ -40,7 +40,7 @@ class Parser {
       }
     }
     if (!sawInvariant) fail("protocol has no invariant");
-    return builder_->build();
+    return issues ? builder_->buildLenient(*issues) : builder_->build();
   }
 
  private:
@@ -73,11 +73,22 @@ class Parser {
     expect(TokenKind::DotDot);
     const Token hi = expect(TokenKind::Integer);
     expect(TokenKind::Semicolon);
-    if (lo.value != 0) fail("variable domains must start at 0");
-    if (hi.value < lo.value) fail("empty variable domain");
-    if (vars_.contains(name.text)) fail("duplicate variable " + name.text);
-    vars_[name.text] =
-        builder_->variable(name.text, static_cast<int>(hi.value) + 1);
+    if (lo.value != 0) {
+      throw ParseError("variable domains must start at 0", lo.line, lo.column);
+    }
+    if (hi.value < lo.value) {
+      throw ParseError("empty variable domain", hi.line, hi.column);
+    }
+    if (vars_.contains(name.text)) {
+      throw ParseError("duplicate variable " + name.text, name.line,
+                       name.column);
+    }
+    vars_[name.text] = builder_->variable(
+        name.text, static_cast<int>(hi.value) + 1, locOf(name));
+  }
+
+  static protocol::SourceLoc locOf(const Token& t) {
+    return protocol::SourceLoc{t.line, t.column};
   }
 
   void parseProcess() {
@@ -91,11 +102,13 @@ class Parser {
       std::string label;
       E guard;
       std::vector<std::pair<VarId, E>> assigns;
+      protocol::SourceLoc loc;
     };
     std::vector<PendingAction> actions;
     E local;
 
     while (!accept(TokenKind::RBrace)) {
+      const Token item = peek();  // position of the proc-item keyword
       if (accept(TokenKind::KwReads)) {
         parseIdentList(reads);
         expect(TokenKind::Semicolon);
@@ -104,6 +117,7 @@ class Parser {
         expect(TokenKind::Semicolon);
       } else if (accept(TokenKind::KwAction)) {
         PendingAction a;
+        a.loc = locOf(item);
         a.label = at(TokenKind::Identifier)
                       ? advance().text
                       : "a" + std::to_string(actions.size());
@@ -126,10 +140,11 @@ class Parser {
       }
     }
 
-    const std::size_t proc = builder_->process(name.text, reads, writes);
+    const std::size_t proc =
+        builder_->process(name.text, reads, writes, locOf(name));
     for (PendingAction& a : actions) {
-      builder_->action(proc, std::move(a.label), a.guard,
-                       std::move(a.assigns));
+      builder_->action(proc, std::move(a.label), a.guard, std::move(a.assigns),
+                       a.loc);
     }
     if (!local.empty()) builder_->localPredicate(proc, local);
   }
@@ -141,9 +156,9 @@ class Parser {
   }
 
   void parseInvariant() {
-    expect(TokenKind::KwInvariant);
+    const Token kw = expect(TokenKind::KwInvariant);
     expect(TokenKind::Colon);
-    builder_->invariant(parseExpr());
+    builder_->invariant(parseExpr(), locOf(kw));
     expect(TokenKind::Semicolon);
   }
 
@@ -254,15 +269,34 @@ class Parser {
 
 protocol::Protocol parseProtocol(std::string_view source) {
   Parser parser(tokenize(source));
-  return parser.parse();
+  return parser.parse(nullptr);
 }
 
-protocol::Protocol parseProtocolFile(const std::string& path) {
+namespace {
+
+std::string readFile(const std::string& path) {
   std::ifstream in(path);
   if (!in) throw std::runtime_error("cannot open protocol file " + path);
   std::ostringstream buf;
   buf << in.rdbuf();
-  return parseProtocol(buf.str());
+  return buf.str();
+}
+
+}  // namespace
+
+protocol::Protocol parseProtocolFile(const std::string& path) {
+  return parseProtocol(readFile(path));
+}
+
+protocol::Protocol parseProtocolLenient(
+    std::string_view source, std::vector<protocol::ValidationIssue>& issues) {
+  Parser parser(tokenize(source));
+  return parser.parse(&issues);
+}
+
+protocol::Protocol parseProtocolFileLenient(
+    const std::string& path, std::vector<protocol::ValidationIssue>& issues) {
+  return parseProtocolLenient(readFile(path), issues);
 }
 
 }  // namespace stsyn::lang

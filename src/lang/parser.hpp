@@ -41,4 +41,15 @@ namespace stsyn::lang {
 /// Convenience: reads the file and parses it.
 [[nodiscard]] protocol::Protocol parseProtocolFile(const std::string& path);
 
+/// Like parseProtocol, but semantic well-formedness violations are appended
+/// to `issues` (with source positions) instead of thrown, and the protocol
+/// is returned as written. Lexical/syntax errors still throw ParseError.
+/// Used by the linter to report every problem in one run.
+[[nodiscard]] protocol::Protocol parseProtocolLenient(
+    std::string_view source, std::vector<protocol::ValidationIssue>& issues);
+
+/// Convenience: reads the file and parses it leniently.
+[[nodiscard]] protocol::Protocol parseProtocolFileLenient(
+    const std::string& path, std::vector<protocol::ValidationIssue>& issues);
+
 }  // namespace stsyn::lang

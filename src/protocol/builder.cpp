@@ -9,16 +9,18 @@ ProtocolBuilder::ProtocolBuilder(std::string name) {
   proto_.name = std::move(name);
 }
 
-VarId ProtocolBuilder::variable(std::string name, int domain) {
+VarId ProtocolBuilder::variable(std::string name, int domain, SourceLoc loc) {
   if (domain < 1) {
-    throw std::invalid_argument("variable " + name + ": domain must be >= 1");
+    throw std::invalid_argument("variable " + name + ": domain must be >= 1" +
+                                loc.suffix());
   }
-  proto_.vars.push_back(Variable{std::move(name), domain});
+  proto_.vars.push_back(Variable{std::move(name), domain, loc});
   return proto_.vars.size() - 1;
 }
 
 std::size_t ProtocolBuilder::process(std::string name, std::vector<VarId> reads,
-                                     std::vector<VarId> writes) {
+                                     std::vector<VarId> writes,
+                                     SourceLoc loc) {
   auto normalize = [](std::vector<VarId>& xs) {
     std::sort(xs.begin(), xs.end());
     xs.erase(std::unique(xs.begin(), xs.end()), xs.end());
@@ -26,7 +28,7 @@ std::size_t ProtocolBuilder::process(std::string name, std::vector<VarId> reads,
   normalize(reads);
   normalize(writes);
   proto_.processes.push_back(
-      Process{std::move(name), std::move(reads), std::move(writes), {}});
+      Process{std::move(name), std::move(reads), std::move(writes), {}, loc});
   if (!proto_.localPredicates.empty()) {
     proto_.localPredicates.push_back(nullptr);
   }
@@ -35,19 +37,21 @@ std::size_t ProtocolBuilder::process(std::string name, std::vector<VarId> reads,
 
 ProtocolBuilder& ProtocolBuilder::action(
     std::size_t proc, std::string label, E guard,
-    std::vector<std::pair<VarId, E>> assigns) {
+    std::vector<std::pair<VarId, E>> assigns, SourceLoc loc) {
   Action a;
   a.label = std::move(label);
   a.guard = guard.ptr();
   for (auto& [var, value] : assigns) {
     a.assigns.push_back(Assignment{var, value.ptr()});
   }
+  a.loc = loc;
   proto_.processes.at(proc).actions.push_back(std::move(a));
   return *this;
 }
 
-ProtocolBuilder& ProtocolBuilder::invariant(E inv) {
+ProtocolBuilder& ProtocolBuilder::invariant(E inv, SourceLoc loc) {
   proto_.invariant = inv.ptr();
+  proto_.invariantLoc = loc;
   return *this;
 }
 
@@ -70,6 +74,30 @@ Protocol ProtocolBuilder::build() const {
     }
   }
   validate(p);
+  return p;
+}
+
+Protocol ProtocolBuilder::buildLenient(
+    std::vector<ValidationIssue>& issues) const {
+  Protocol p = proto_;
+  if (!p.localPredicates.empty()) {
+    bool partial = false;
+    for (std::size_t j = 0; j < p.localPredicates.size(); ++j) {
+      if (!p.localPredicates[j]) {
+        partial = true;
+        const SourceLoc loc =
+            j < p.processes.size() ? p.processes[j].loc : SourceLoc{};
+        issues.push_back({"local-predicate-arity",
+                          "localPredicate set for some but not all processes",
+                          loc});
+      }
+    }
+    // Drop the partial decomposition so downstream analyses see a protocol
+    // without one rather than null entries.
+    if (partial) p.localPredicates.clear();
+  }
+  std::vector<ValidationIssue> structural = collectIssues(p);
+  issues.insert(issues.end(), structural.begin(), structural.end());
   return p;
 }
 

@@ -16,20 +16,22 @@ class ProtocolBuilder {
  public:
   explicit ProtocolBuilder(std::string name);
 
-  /// Declares a variable with values 0 .. domain-1; returns its id.
-  VarId variable(std::string name, int domain);
+  /// Declares a variable with values 0 .. domain-1; returns its id. The
+  /// optional source position flows into validation and lint diagnostics.
+  VarId variable(std::string name, int domain, SourceLoc loc = {});
 
   /// Declares a process with the given locality. Ids may be given in any
   /// order; they are normalized. Returns the process index.
   std::size_t process(std::string name, std::vector<VarId> reads,
-                      std::vector<VarId> writes);
+                      std::vector<VarId> writes, SourceLoc loc = {});
 
   /// Adds a guarded command to a previously declared process.
   ProtocolBuilder& action(std::size_t proc, std::string label, E guard,
-                          std::vector<std::pair<VarId, E>> assigns);
+                          std::vector<std::pair<VarId, E>> assigns,
+                          SourceLoc loc = {});
 
   /// Sets the legitimate-state predicate I.
-  ProtocolBuilder& invariant(E inv);
+  ProtocolBuilder& invariant(E inv, SourceLoc loc = {});
 
   /// Supplies the per-process conjunctive decomposition of I, when one
   /// exists (enables the local-correctability analysis).
@@ -37,6 +39,12 @@ class ProtocolBuilder {
 
   /// Validates and returns the protocol; the builder is left reusable.
   [[nodiscard]] Protocol build() const;
+
+  /// Returns the protocol without throwing on well-formedness violations,
+  /// appending them to `issues` instead. The linter uses this to diagnose
+  /// every problem in one run rather than stopping at the first.
+  [[nodiscard]] Protocol buildLenient(
+      std::vector<ValidationIssue>& issues) const;
 
  private:
   Protocol proto_;

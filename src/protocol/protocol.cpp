@@ -11,20 +11,31 @@ bool sortedMember(const std::vector<VarId>& xs, VarId v) {
   return std::binary_search(xs.begin(), xs.end(), v);
 }
 
-void requireSortedUnique(const std::vector<VarId>& xs, const std::string& who,
-                         std::size_t varCount) {
+/// Appends issues for an unsorted/duplicated/out-of-range read or write set.
+void checkSortedUnique(const std::vector<VarId>& xs, const std::string& who,
+                       const SourceLoc& loc, std::size_t varCount,
+                       std::vector<ValidationIssue>& out) {
   for (std::size_t i = 0; i < xs.size(); ++i) {
     if (xs[i] >= varCount) {
-      throw std::invalid_argument(who + ": variable id out of range");
+      out.push_back({"var-id-range", who + ": variable id out of range", loc});
+      return;
     }
     if (i > 0 && xs[i] <= xs[i - 1]) {
-      throw std::invalid_argument(who + ": read/write set must be sorted and "
-                                        "duplicate-free");
+      out.push_back({"unsorted-locality",
+                     who + ": read/write set must be sorted and "
+                           "duplicate-free",
+                     loc});
+      return;
     }
   }
 }
 
 }  // namespace
+
+std::string SourceLoc::suffix() const {
+  if (!known()) return "";
+  return " (line " + std::to_string(line) + ":" + std::to_string(column) + ")";
+}
 
 bool Process::canRead(VarId v) const { return sortedMember(reads, v); }
 bool Process::canWrite(VarId v) const { return sortedMember(writes, v); }
@@ -56,94 +67,129 @@ std::vector<std::string> Protocol::varNames() const {
   return names;
 }
 
-void validate(const Protocol& p) {
-  if (p.vars.empty()) throw std::invalid_argument("protocol has no variables");
+std::vector<ValidationIssue> collectIssues(const Protocol& p) {
+  std::vector<ValidationIssue> out;
+  if (p.vars.empty()) {
+    out.push_back({"no-variables", "protocol has no variables", {}});
+  }
   for (const Variable& v : p.vars) {
     if (v.domain < 1) {
-      throw std::invalid_argument("variable " + v.name +
-                                  " has an empty domain");
+      out.push_back({"empty-domain",
+                     "variable " + v.name + " has an empty domain", v.loc});
     }
   }
   if (!p.invariant || !p.invariant->isBool()) {
-    throw std::invalid_argument("protocol invariant must be a boolean "
-                                "expression");
-  }
-  {
+    out.push_back({"invariant-not-boolean",
+                   "protocol invariant must be a boolean expression",
+                   p.invariantLoc});
+  } else {
     std::set<VarId> sup;
     collectSupport(*p.invariant, sup);
     for (VarId v : sup) {
       if (v >= p.vars.size()) {
-        throw std::invalid_argument("invariant references unknown variable");
+        out.push_back({"var-id-range", "invariant references unknown variable",
+                       p.invariantLoc});
+        break;
       }
     }
   }
   if (!p.localPredicates.empty() &&
       p.localPredicates.size() != p.processes.size()) {
-    throw std::invalid_argument(
-        "localPredicates must be empty or have one entry per process");
+    out.push_back({"local-predicate-arity",
+                   "localPredicates must be empty or have one entry per "
+                   "process",
+                   {}});
+    return out;  // per-process local-predicate checks would misindex
   }
 
   for (std::size_t j = 0; j < p.processes.size(); ++j) {
     const Process& proc = p.processes[j];
     const std::string who = "process " + proc.name;
-    requireSortedUnique(proc.reads, who, p.vars.size());
-    requireSortedUnique(proc.writes, who, p.vars.size());
+    checkSortedUnique(proc.reads, who, proc.loc, p.vars.size(), out);
+    checkSortedUnique(proc.writes, who, proc.loc, p.vars.size(), out);
     for (VarId w : proc.writes) {
-      if (!proc.canRead(w)) {
-        throw std::invalid_argument(who + ": writes must be a subset of "
-                                          "reads (w_j subseteq r_j)");
+      if (w < p.vars.size() && !proc.canRead(w)) {
+        out.push_back({"writes-not-readable",
+                       who + ": writes must be a subset of reads "
+                             "(w_j subseteq r_j)",
+                       proc.loc});
       }
     }
     for (const Action& a : proc.actions) {
+      const std::string act = who + "/" + a.label;
       if (!a.guard || !a.guard->isBool()) {
-        throw std::invalid_argument(who + "/" + a.label +
-                                    ": guard must be boolean");
+        out.push_back({"guard-not-boolean", act + ": guard must be boolean",
+                       a.loc});
+        continue;  // the guard is unusable; skip expression checks
       }
       std::set<VarId> sup;
       collectSupport(*a.guard, sup);
       for (const Assignment& asg : a.assigns) {
+        if (asg.var >= p.vars.size()) {
+          out.push_back({"var-id-range",
+                         act + ": assignment target id out of range", a.loc});
+          continue;
+        }
         if (!proc.canWrite(asg.var)) {
-          throw std::invalid_argument(
-              who + "/" + a.label + ": assignment writes an unwritable "
-                                    "variable (write restriction)");
+          out.push_back({"write-restriction",
+                         act + ": assignment writes an unwritable variable "
+                               "(write restriction)",
+                         a.loc});
         }
         if (!asg.value || asg.value->isBool()) {
-          throw std::invalid_argument(who + "/" + a.label +
-                                      ": assignment value must be integer");
+          out.push_back({"assign-not-integer",
+                         act + ": assignment value must be integer", a.loc});
+          continue;
         }
         collectSupport(*asg.value, sup);
       }
       // Read restriction: guard and right-hand sides see only r_j. This is
       // what makes each action's transition set a union of whole groups.
       for (VarId v : sup) {
-        if (!proc.canRead(v)) {
-          throw std::invalid_argument(
-              who + "/" + a.label + ": reads an unreadable variable (read "
-                                    "restriction)");
+        if (v < p.vars.size() && !proc.canRead(v)) {
+          out.push_back({"read-restriction",
+                         act + ": reads an unreadable variable (read "
+                               "restriction)",
+                         a.loc});
+          break;
         }
       }
       // No variable may be assigned twice in one action.
       std::set<VarId> assigned;
       for (const Assignment& asg : a.assigns) {
         if (!assigned.insert(asg.var).second) {
-          throw std::invalid_argument(who + "/" + a.label +
-                                      ": duplicate assignment target");
+          out.push_back({"duplicate-assignment",
+                         act + ": duplicate assignment target", a.loc});
         }
       }
     }
     if (!p.localPredicates.empty()) {
       if (!p.localPredicates[j] || !p.localPredicates[j]->isBool()) {
-        throw std::invalid_argument(who + ": local predicate must be boolean");
-      }
-      std::set<VarId> sup;
-      collectSupport(*p.localPredicates[j], sup);
-      for (VarId v : sup) {
-        if (!proc.canRead(v)) {
-          throw std::invalid_argument(
-              who + ": local predicate must be over readable variables");
+        out.push_back({"local-predicate-not-boolean",
+                       who + ": local predicate must be boolean", proc.loc});
+      } else {
+        std::set<VarId> sup;
+        collectSupport(*p.localPredicates[j], sup);
+        for (VarId v : sup) {
+          if (v >= p.vars.size() || !proc.canRead(v)) {
+            out.push_back({"local-predicate-unreadable",
+                           who + ": local predicate must be over readable "
+                                 "variables",
+                           proc.loc});
+            break;
+          }
         }
       }
     }
+  }
+  return out;
+}
+
+void validate(const Protocol& p) {
+  const std::vector<ValidationIssue> issues = collectIssues(p);
+  if (!issues.empty()) {
+    throw std::invalid_argument(issues.front().message +
+                                issues.front().loc.suffix());
   }
 }
 

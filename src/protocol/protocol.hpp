@@ -12,10 +12,23 @@
 
 namespace stsyn::protocol {
 
+/// A position in the .stsyn source a protocol was parsed from. Line and
+/// column are 1-based; (0, 0) means "no source position" (protocols built
+/// programmatically via ProtocolBuilder without positions).
+struct SourceLoc {
+  int line = 0;
+  int column = 0;
+
+  [[nodiscard]] bool known() const { return line > 0; }
+  /// " (line L:C)" when known, "" otherwise — for appending to messages.
+  [[nodiscard]] std::string suffix() const;
+};
+
 /// A finite-domain variable; values range over 0 .. domain-1.
 struct Variable {
   std::string name;
   int domain = 0;
+  SourceLoc loc;
 };
 
 /// One parallel assignment inside a guarded command.
@@ -31,6 +44,7 @@ struct Action {
   std::string label;
   ExprPtr guard;
   std::vector<Assignment> assigns;
+  SourceLoc loc;
 };
 
 /// A process: its locality (readable variables), write permission, and
@@ -42,6 +56,7 @@ struct Process {
   std::vector<VarId> reads;   // sorted, unique
   std::vector<VarId> writes;  // sorted, unique, subset of reads
   std::vector<Action> actions;
+  SourceLoc loc;
 
   [[nodiscard]] bool canRead(VarId v) const;
   [[nodiscard]] bool canWrite(VarId v) const;
@@ -54,6 +69,7 @@ struct Protocol {
   std::vector<Variable> vars;
   std::vector<Process> processes;
   ExprPtr invariant;  // the state predicate I
+  SourceLoc invariantLoc;
 
   /// Optional conjunctive decomposition I = AND_i localPredicates[i], one
   /// per process over that process's readable variables. Used by the
@@ -77,8 +93,23 @@ struct Protocol {
   [[nodiscard]] std::vector<std::string> varNames() const;
 };
 
+/// One structural well-formedness violation, with a stable rule slug (used
+/// by the linter as a diagnostic rule id) and the source position of the
+/// offending entity when the protocol came from .stsyn text.
+struct ValidationIssue {
+  std::string rule;     // e.g. "read-restriction", "guard-not-boolean"
+  std::string message;  // human-readable, names the entity
+  SourceLoc loc;
+};
+
+/// Collects every structural well-formedness violation without throwing.
+/// An empty result means the protocol is valid. Issues are ordered by
+/// discovery (variables, invariant, then per-process).
+[[nodiscard]] std::vector<ValidationIssue> collectIssues(const Protocol& p);
+
 /// Validates the structural well-formedness rules described above; throws
-/// std::invalid_argument with a diagnostic on violation.
+/// std::invalid_argument with a diagnostic (including the source position
+/// when known) on the first violation.
 void validate(const Protocol& p);
 
 }  // namespace stsyn::protocol

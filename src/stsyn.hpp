@@ -19,6 +19,7 @@
 //   auto actions = extraction::extractAllActions(sp, r.addedPerProcess);
 #pragma once
 
+#include "analysis/lint.hpp"             // IWYU pragma: export
 #include "casestudies/coloring.hpp"      // IWYU pragma: export
 #include "casestudies/matching.hpp"      // IWYU pragma: export
 #include "casestudies/token_ring.hpp"    // IWYU pragma: export

@@ -1,0 +1,529 @@
+// Tests for the protocol linter (src/analysis): every rule has a positive
+// fixture (a seeded defect that triggers exactly that rule at the expected
+// source span) and the clean fixtures trigger nothing; plus diagnostics
+// plumbing and the SARIF rendering shape.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "analysis/lint.hpp"
+#include "lang/parser.hpp"
+
+namespace {
+
+using namespace stsyn;
+using analysis::Diagnostic;
+using analysis::Diagnostics;
+using analysis::LintOptions;
+using analysis::Severity;
+
+/// Lints a source string and returns the diagnostics.
+Diagnostics lint(std::string_view source, LintOptions options = {}) {
+  Diagnostics diags;
+  analysis::lintSource(source, diags, options);
+  return diags;
+}
+
+/// The diagnostics whose ruleId matches.
+std::vector<Diagnostic> ofRule(const Diagnostics& diags,
+                               std::string_view rule) {
+  std::vector<Diagnostic> out;
+  for (const Diagnostic& d : diags.items()) {
+    if (d.ruleId == rule) out.push_back(d);
+  }
+  return out;
+}
+
+/// Asserts exactly one diagnostic of `rule` exists, at line:column.
+void expectOne(const Diagnostics& diags, std::string_view rule, int line,
+               int column, Severity severity) {
+  const std::vector<Diagnostic> hits = ofRule(diags, rule);
+  ASSERT_EQ(hits.size(), 1u) << "rule " << rule << " in:\n"
+                             << analysis::formatText(diags, "<test>");
+  EXPECT_EQ(hits[0].loc.line, line) << rule;
+  EXPECT_EQ(hits[0].loc.column, column) << rule;
+  EXPECT_EQ(hits[0].severity, severity) << rule;
+}
+
+// ---------------------------------------------------------------------------
+// Negative: clean protocols produce no diagnostics.
+// ---------------------------------------------------------------------------
+
+TEST(Lint, CleanProtocolHasNoDiagnostics) {
+  const Diagnostics diags = lint(R"(protocol clean;
+var x0 : 0..2;
+var x1 : 0..2;
+process P0 {
+  reads x0, x1;
+  writes x0;
+  action bump : x0 == x1 -> x0 := (x1 + 1) mod 3;
+}
+process P1 {
+  reads x0, x1;
+  writes x1;
+  action chase : x1 != x0 -> x1 := x0;
+}
+invariant : x0 == x1 || (x1 + 1) mod 3 == x0;
+)");
+  EXPECT_TRUE(diags.empty()) << analysis::formatText(diags, "<test>");
+  EXPECT_FALSE(diags.failed(true));
+}
+
+// ---------------------------------------------------------------------------
+// AST tier, validation-derived rules.
+// ---------------------------------------------------------------------------
+
+TEST(Lint, ReadRestrictionViolationAtActionSpan) {
+  const Diagnostics diags = lint(R"(protocol p;
+var x : 0..1;
+var y : 0..1;
+process P {
+  reads x;
+  writes x;
+  action peek : y == 0 -> x := 1;
+}
+invariant : x == 0;
+)");
+  expectOne(diags, "read-restriction", 7, 3, Severity::Error);
+  EXPECT_TRUE(diags.failed(false));
+}
+
+TEST(Lint, WriteRestrictionViolationAtActionSpan) {
+  const Diagnostics diags = lint(R"(protocol p;
+var x : 0..1;
+var y : 0..1;
+process P {
+  reads x, y;
+  writes x;
+  action sneak : x == 0 -> y := 1;
+}
+invariant : x == 0;
+)");
+  expectOne(diags, "write-restriction", 7, 3, Severity::Error);
+}
+
+TEST(Lint, DuplicateAssignmentTarget) {
+  const Diagnostics diags = lint(R"(protocol p;
+var x : 0..1;
+process P {
+  reads x;
+  writes x;
+  action twice : x == 0 -> x := 1, x := 0;
+}
+invariant : x == 0;
+)");
+  expectOne(diags, "duplicate-assignment", 6, 3, Severity::Error);
+}
+
+TEST(Lint, NonBooleanGuard) {
+  const Diagnostics diags = lint(R"(protocol p;
+var x : 0..1;
+process P {
+  reads x;
+  writes x;
+  action g : x + 1 -> x := 0;
+}
+invariant : x == 0;
+)");
+  expectOne(diags, "guard-not-boolean", 6, 3, Severity::Error);
+}
+
+TEST(Lint, LenientParsingReportsAllIssuesAtOnce) {
+  // One run surfaces both defects; the strict parser would stop at the
+  // first.
+  const Diagnostics diags = lint(R"(protocol p;
+var x : 0..1;
+var y : 0..1;
+process P {
+  reads x;
+  writes x;
+  action peek : y == 0 -> x := 1;
+}
+process Q {
+  reads y;
+  writes y;
+  action sneak : y == 0 -> x := 1;
+}
+invariant : x == 0;
+)");
+  EXPECT_EQ(ofRule(diags, "read-restriction").size(), 1u);
+  EXPECT_EQ(ofRule(diags, "write-restriction").size(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// AST tier, lint-only rules.
+// ---------------------------------------------------------------------------
+
+TEST(Lint, InvariantOverUnreadableVariable) {
+  const Diagnostics diags = lint(R"(protocol p;
+var x : 0..1;
+var g : 0..1;
+process P {
+  reads x;
+  writes x;
+  action a : x == 0 -> x := 1;
+}
+invariant : x == 0 && g == 0;
+)");
+  expectOne(diags, "invariant-unreadable", 9, 1, Severity::Warning);
+}
+
+TEST(Lint, CompareOutOfDomain) {
+  const Diagnostics diags = lint(R"(protocol p;
+var x : 0..2;
+process P {
+  reads x;
+  writes x;
+  action a : x == 7 -> x := 0;
+}
+invariant : x == 0;
+)");
+  expectOne(diags, "compare-out-of-domain", 6, 3, Severity::Warning);
+  // The unsatisfiable guard is also caught by the symbolic tier.
+  EXPECT_EQ(ofRule(diags, "guard-unsat").size(), 1u);
+}
+
+TEST(Lint, AssignOutOfDomainIsAnError) {
+  const Diagnostics diags = lint(R"(protocol p;
+var x : 0..2;
+process P {
+  reads x;
+  writes x;
+  action inc : x < 2 -> x := x + 1;
+}
+invariant : x == 0;
+)");
+  // x + 1 ranges over 1..3; the symbolic compiler would reject value 3.
+  expectOne(diags, "assign-out-of-domain", 6, 3, Severity::Error);
+}
+
+TEST(Lint, DuplicateActionLabel) {
+  const Diagnostics diags = lint(R"(protocol p;
+var x : 0..1;
+process P {
+  reads x;
+  writes x;
+  action go : x == 0 -> x := 1;
+  action go : x == 1 -> x := 0;
+}
+invariant : x == 0;
+)");
+  expectOne(diags, "duplicate-label", 7, 3, Severity::Warning);
+}
+
+TEST(Lint, DuplicateProcessName) {
+  const Diagnostics diags = lint(R"(protocol p;
+var x : 0..1;
+var y : 0..1;
+process P {
+  reads x;
+  writes x;
+}
+process P {
+  reads y;
+  writes y;
+}
+invariant : x == 0 && y == 0;
+)");
+  expectOne(diags, "duplicate-process", 8, 9, Severity::Warning);
+}
+
+TEST(Lint, DeadVariable) {
+  const Diagnostics diags = lint(R"(protocol p;
+var x : 0..1;
+var unused : 0..3;
+process P {
+  reads x;
+  writes x;
+  action a : x == 0 -> x := 1;
+}
+invariant : x == 0;
+)");
+  expectOne(diags, "dead-variable", 3, 5, Severity::Warning);
+}
+
+// ---------------------------------------------------------------------------
+// Symbolic tier.
+// ---------------------------------------------------------------------------
+
+TEST(Lint, UnsatisfiableGuard) {
+  const Diagnostics diags = lint(R"(protocol p;
+var x : 0..2;
+process P {
+  reads x;
+  writes x;
+  action never : x == 0 && x == 1 -> x := 2;
+  action fine : x == 0 -> x := 1;
+}
+invariant : x == 0 || x == 1;
+)");
+  expectOne(diags, "guard-unsat", 6, 3, Severity::Warning);
+}
+
+TEST(Lint, IdentityAction) {
+  const Diagnostics diags = lint(R"(protocol p;
+var x : 0..1;
+process P {
+  reads x;
+  writes x;
+  action idle : x == 1 -> x := 1;
+}
+invariant : x == 0;
+)");
+  expectOne(diags, "action-identity", 6, 3, Severity::Warning);
+}
+
+TEST(Lint, OverlappingActionsWithDifferentEffectsAreANote) {
+  const Diagnostics diags = lint(R"(protocol p;
+var x : 0..2;
+process P {
+  reads x;
+  writes x;
+  action up : x == 0 -> x := 1;
+  action down : x == 0 -> x := 2;
+}
+invariant : x == 1 || x == 2;
+)");
+  expectOne(diags, "action-overlap", 7, 3, Severity::Note);
+  // Nondeterminism is legal in the guarded-command model: a note never
+  // fails the run, even under --werror.
+  EXPECT_FALSE(diags.failed(true));
+}
+
+TEST(Lint, DisjointOrIdenticalActionsDoNotOverlapReport) {
+  const Diagnostics diags = lint(R"(protocol p;
+var x : 0..2;
+process P {
+  reads x;
+  writes x;
+  action a : x == 0 -> x := 1;
+  action b : x == 1 -> x := 2;
+}
+invariant : x == 2;
+)");
+  EXPECT_TRUE(ofRule(diags, "action-overlap").empty());
+}
+
+TEST(Lint, EmptyInvariant) {
+  const Diagnostics diags = lint(R"(protocol p;
+var x : 0..1;
+process P {
+  reads x;
+  writes x;
+}
+invariant : x == 0 && x == 1;
+)");
+  expectOne(diags, "invariant-empty", 7, 1, Severity::Error);
+}
+
+TEST(Lint, TrivialInvariant) {
+  const Diagnostics diags = lint(R"(protocol p;
+var x : 0..1;
+process P {
+  reads x;
+  writes x;
+}
+invariant : true;
+)");
+  expectOne(diags, "invariant-trivial", 7, 1, Severity::Warning);
+}
+
+TEST(Lint, SymbolicTierCanBeDisabled) {
+  Diagnostics diags;
+  LintOptions options;
+  options.symbolic = false;
+  analysis::lintSource(R"(protocol p;
+var x : 0..1;
+process P {
+  reads x;
+  writes x;
+  action idle : x == 1 -> x := 1;
+}
+invariant : x == 0;
+)",
+                       diags, options);
+  EXPECT_TRUE(ofRule(diags, "action-identity").empty());
+}
+
+TEST(Lint, SymbolicTierSkippedWhenAstTierErrors) {
+  // The broken guard makes the protocol uncompilable; the symbolic tier
+  // must not crash, it must simply not run.
+  const Diagnostics diags = lint(R"(protocol p;
+var x : 0..1;
+process P {
+  reads x;
+  writes x;
+  action g : x + 1 -> x := 0;
+  action idle : x == 1 -> x := 1;
+}
+invariant : x == 0;
+)");
+  EXPECT_EQ(ofRule(diags, "guard-not-boolean").size(), 1u);
+  EXPECT_TRUE(ofRule(diags, "action-identity").empty());
+}
+
+// ---------------------------------------------------------------------------
+// Parse errors flow into diagnostics.
+// ---------------------------------------------------------------------------
+
+TEST(Lint, ParseErrorBecomesDiagnostic) {
+  Diagnostics diags;
+  const bool parsed = analysis::lintSource("protocol p;\nvar x 0..1;\n", diags);
+  EXPECT_FALSE(parsed);
+  expectOne(diags, "parse-error", 2, 7, Severity::Error);
+  EXPECT_TRUE(diags.failed(false));
+}
+
+// ---------------------------------------------------------------------------
+// Diagnostics plumbing.
+// ---------------------------------------------------------------------------
+
+TEST(Diagnostics, SeverityCountsAndFailure) {
+  Diagnostics d;
+  d.add("r1", Severity::Note, "n");
+  d.add("r2", Severity::Warning, "w");
+  EXPECT_EQ(d.count(Severity::Note), 1u);
+  EXPECT_EQ(d.count(Severity::Warning), 1u);
+  EXPECT_EQ(d.count(Severity::Error), 0u);
+  EXPECT_FALSE(d.failed(false));
+  EXPECT_TRUE(d.failed(true));
+  d.add("r3", Severity::Error, "e");
+  EXPECT_TRUE(d.failed(false));
+}
+
+TEST(Diagnostics, SortByLocationKeepsUnknownLast) {
+  Diagnostics d;
+  d.add("a", Severity::Warning, "unpositioned");
+  d.add("b", Severity::Warning, "late", {9, 1});
+  d.add("c", Severity::Warning, "early", {2, 5});
+  d.add("d", Severity::Warning, "same line later column", {2, 9});
+  d.sortByLocation();
+  ASSERT_EQ(d.items().size(), 4u);
+  EXPECT_EQ(d.items()[0].ruleId, "c");
+  EXPECT_EQ(d.items()[1].ruleId, "d");
+  EXPECT_EQ(d.items()[2].ruleId, "b");
+  EXPECT_EQ(d.items()[3].ruleId, "a");
+}
+
+TEST(Diagnostics, TextFormatIsCompilerStyle) {
+  Diagnostics d;
+  d.add("dead-variable", Severity::Warning, "variable z is dead", {3, 5});
+  const std::string text = analysis::formatText(d, "proto.stsyn");
+  EXPECT_NE(text.find("proto.stsyn:3:5: warning: variable z is dead "
+                      "[dead-variable]"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("1 warning(s)"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// SARIF shape.
+// ---------------------------------------------------------------------------
+
+TEST(Sarif, OutputHasExpectedShape) {
+  Diagnostics d;
+  d.add("guard-unsat", Severity::Warning, "guard is \"unsatisfiable\"",
+        {6, 3});
+  d.add("invariant-empty", Severity::Error, "no legitimate states", {9, 1});
+  const std::string sarif = analysis::formatSarif(d, "proto.stsyn");
+
+  EXPECT_NE(sarif.find("\"version\": \"2.1.0\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"name\": \"stsyn-lint\""), std::string::npos);
+  // Rule metadata lists each distinct rule once.
+  EXPECT_NE(sarif.find("{\"id\": \"guard-unsat\"}"), std::string::npos);
+  EXPECT_NE(sarif.find("{\"id\": \"invariant-empty\"}"), std::string::npos);
+  // Results carry level, message, and a physical location with a region.
+  EXPECT_NE(sarif.find("\"ruleId\": \"guard-unsat\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"level\": \"warning\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"level\": \"error\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"startLine\": 6, \"startColumn\": 3"),
+            std::string::npos);
+  // Quotes inside messages are escaped.
+  EXPECT_NE(sarif.find("guard is \\\"unsatisfiable\\\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"uri\": \"proto.stsyn\""), std::string::npos);
+  // Balanced braces/brackets — cheap structural sanity check.
+  EXPECT_EQ(std::count(sarif.begin(), sarif.end(), '{'),
+            std::count(sarif.begin(), sarif.end(), '}'));
+  EXPECT_EQ(std::count(sarif.begin(), sarif.end(), '['),
+            std::count(sarif.begin(), sarif.end(), ']'));
+}
+
+TEST(Sarif, EmptyRunIsStillWellFormed) {
+  const Diagnostics d;
+  const std::string sarif = analysis::formatSarif(d, "clean.stsyn");
+  EXPECT_NE(sarif.find("\"results\": []"), std::string::npos);
+  EXPECT_EQ(std::count(sarif.begin(), sarif.end(), '{'),
+            std::count(sarif.begin(), sarif.end(), '}'));
+}
+
+// ---------------------------------------------------------------------------
+// Builder positions flow into strict validation errors (satellite: the
+// builder's validate() now reports source positions, not just names).
+// ---------------------------------------------------------------------------
+
+TEST(Positions, StrictParseErrorsCarrySourcePositions) {
+  try {
+    (void)lang::parseProtocol(R"(protocol p;
+var x : 0..1;
+var y : 0..1;
+process P {
+  reads x;
+  writes x;
+  action peek : y == 0 -> x := 1;
+}
+invariant : x == 0;
+)");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("(line 7:3)"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(Positions, ParserRecordsEntityLocations) {
+  const protocol::Protocol p = lang::parseProtocol(R"(protocol p;
+var x : 0..1;
+process P {
+  reads x;
+  writes x;
+  action a : x == 0 -> x := 1;
+}
+invariant : x == 0;
+)");
+  EXPECT_EQ(p.vars[0].loc.line, 2);
+  EXPECT_EQ(p.vars[0].loc.column, 5);
+  EXPECT_EQ(p.processes[0].loc.line, 3);
+  EXPECT_EQ(p.processes[0].loc.column, 9);
+  EXPECT_EQ(p.processes[0].actions[0].loc.line, 6);
+  EXPECT_EQ(p.processes[0].actions[0].loc.column, 3);
+  EXPECT_EQ(p.invariantLoc.line, 8);
+  EXPECT_EQ(p.invariantLoc.column, 1);
+}
+
+// ---------------------------------------------------------------------------
+// The shipped example protocols stay lint-clean (no errors, no warnings;
+// notes are allowed — matching5_gouda_acharya's nondeterministic take
+// actions are part of the published protocol).
+// ---------------------------------------------------------------------------
+
+class ExampleProtocols : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(ExampleProtocols, LintsClean) {
+  const std::string path =
+      std::string(STSYN_PROTOCOL_DIR) + "/" + GetParam();
+  std::vector<protocol::ValidationIssue> issues;
+  Diagnostics diags;
+  const protocol::Protocol p = lang::parseProtocolFileLenient(path, issues);
+  analysis::lintProtocol(p, issues, diags);
+  EXPECT_FALSE(diags.failed(/*werror=*/true))
+      << analysis::formatText(diags, path);
+}
+
+INSTANTIATE_TEST_SUITE_P(All, ExampleProtocols,
+                         ::testing::Values("coloring5.stsyn",
+                                           "matching5.stsyn",
+                                           "matching5_gouda_acharya.stsyn",
+                                           "token_ring4.stsyn",
+                                           "two_ring.stsyn"));
+
+}  // namespace

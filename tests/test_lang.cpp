@@ -57,6 +57,79 @@ TEST(Lexer, RejectsStrayCharacters) {
   EXPECT_THROW((void)tokenize("a | b"), ParseError);  // single pipe
 }
 
+/// Catches a ParseError and returns its (line, column).
+template <typename Fn>
+std::pair<int, int> errorPosition(Fn&& fn) {
+  try {
+    fn();
+  } catch (const ParseError& e) {
+    return {e.line, e.column};
+  }
+  ADD_FAILURE() << "expected ParseError";
+  return {-1, -1};
+}
+
+TEST(Lexer, StrayCharacterPositionIsExact) {
+  EXPECT_EQ(errorPosition([] { (void)tokenize("a @ b"); }),
+            (std::pair<int, int>{1, 3}));
+  // Tabs count as one column; the lexer reports character positions.
+  EXPECT_EQ(errorPosition([] { (void)tokenize("ab\ncd $"); }),
+            (std::pair<int, int>{2, 4}));
+}
+
+TEST(Lexer, PositionsSurviveCommentsAndBlankLines) {
+  // '#' and '//' comments and blank lines advance the line counter
+  // without emitting tokens; the error lands after them at the exact spot.
+  EXPECT_EQ(errorPosition([] {
+              (void)tokenize("# leading comment\n\n// another\n  x ? y");
+            }),
+            (std::pair<int, int>{4, 5}));
+  // A comment on the same line as code: error column is pre-comment.
+  EXPECT_EQ(errorPosition([] { (void)tokenize("x ?  # trailing\n"); }),
+            (std::pair<int, int>{1, 3}));
+}
+
+TEST(Parser, MissingSemicolonPositionIsTheNextToken) {
+  // The missing ';' after the var declaration is discovered at 'process'.
+  EXPECT_EQ(errorPosition([] {
+              (void)parseProtocol("protocol p;\nvar x : 0..1\nprocess");
+            }),
+            (std::pair<int, int>{3, 1}));
+}
+
+TEST(Parser, UnterminatedProcessBlockPointsAtEndOfInput) {
+  EXPECT_EQ(errorPosition([] {
+              (void)parseProtocol(
+                  "protocol p;\nvar x : 0..1;\nprocess P {\n  reads x;\n");
+            }),
+            (std::pair<int, int>{5, 1}));
+}
+
+TEST(Parser, UndeclaredVariablePointsAtTheUse) {
+  EXPECT_EQ(errorPosition([] {
+              (void)parseProtocol(
+                  "protocol p;\nvar x : 0..1;\ninvariant : x == ghost;\n");
+            }),
+            (std::pair<int, int>{3, 18}));
+}
+
+TEST(Parser, BadDomainBoundsPointAfterComments) {
+  // '#' comment lines before the offending declaration shift the line; the
+  // error points at the offending bound, not at the following token.
+  EXPECT_EQ(errorPosition([] {
+              (void)parseProtocol(
+                  "protocol p;\n# domains must start at 0\nvar x : 1..2;\n");
+            }),
+            (std::pair<int, int>{3, 9}));
+}
+
+TEST(Parser, MissingExpressionPositionIsExact) {
+  EXPECT_EQ(errorPosition([] {
+              (void)parseProtocol("protocol p;\nvar x : 0..1;\ninvariant : ;");
+            }),
+            (std::pair<int, int>{3, 13}));
+}
+
 // ---------------------------------------------------------------------------
 // Parser.
 // ---------------------------------------------------------------------------

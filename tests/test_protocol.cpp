@@ -124,9 +124,10 @@ TEST(Builder, NormalizesReadWriteSets) {
 TEST(Validate, RejectsWriteOutsideReads) {
   Protocol proto;
   proto.name = "bad";
-  proto.vars = {{"x", 2}, {"y", 2}};
+  proto.vars = {{"x", 2, {}}, {"y", 2, {}}};
   proto.invariant = blit(true).ptr();
-  proto.processes = {{"P", {0}, {0, 1}, {}}};  // writes y without reading it
+  // Writes y without reading it.
+  proto.processes = {{"P", {0}, {0, 1}, {}, {}}};
   EXPECT_THROW(validate(proto), std::invalid_argument);
 }
 
