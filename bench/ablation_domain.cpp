@@ -29,9 +29,8 @@ void BM_TokenRingDomainSweep(benchmark::State& state) {
     bench::attachCounters(state, r.stats, ok);
     state.counters["scc_components"] =
         static_cast<double>(r.stats.sccComponentsFound);
-    bench::records().push_back({"token-ring-domain", static_cast<double>(d),
-                                ok, r.stats,
-                                ok ? "" : core::toString(r.failure)});
+    bench::recordPoint({"token-ring-domain", static_cast<double>(d), ok,
+                        r.stats, ok ? "" : core::toString(r.failure)});
   }
 }
 
@@ -51,5 +50,5 @@ int main(int argc, char** argv) {
       "domain_size",
       "Ablation: token ring (4 processes) times vs |D| (seconds)",
       "Ablation: token ring (4 processes) BDD nodes vs |D|");
-  return 0;
+  return stsyn::bench::writeBenchJson("ablation_domain") ? 0 : 1;
 }

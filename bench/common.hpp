@@ -3,19 +3,27 @@
 // Every bench binary runs one synthesis per parameter point under
 // google-benchmark (a single timed iteration — synthesis is deterministic
 // and far beyond microbenchmark noise), attaches the paper's metrics as
-// counters, and finally prints the figure-shaped table: the time split
-// (ranking / SCC detection / total, Figures 6/8/10) and the space metrics
-// in BDD nodes (average SCC size / total program size, Figures 7/9/11).
+// counters, prints the figure-shaped table — the time split (ranking /
+// SCC detection / total, Figures 6/8/10) and the space metrics in BDD
+// nodes (average SCC size / total program size, Figures 7/9/11) — and
+// writes the same rows as a machine-readable BENCH_<name>.json record so
+// future changes have a perf trajectory to regress against (see
+// docs/observability.md).
 #pragma once
 
 #include <benchmark/benchmark.h>
 
+#include <cstdint>
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/stats.hpp"
+#include "obs/json.hpp"
 #include "util/table.hpp"
 
 namespace stsyn::bench {
@@ -31,6 +39,20 @@ struct RunRecord {
 inline std::vector<RunRecord>& records() {
   static std::vector<RunRecord> all;
   return all;
+}
+
+/// Upserts the record of one (label, x) parameter point; the last run
+/// wins. google-benchmark may execute the timed loop more than once
+/// (iteration-count estimation, --benchmark_repetitions); a plain
+/// push_back from inside the loop used to duplicate every figure row.
+inline void recordPoint(RunRecord r) {
+  for (RunRecord& existing : records()) {
+    if (existing.label == r.label && existing.x == r.x) {
+      existing = std::move(r);
+      return;
+    }
+  }
+  records().push_back(std::move(r));
 }
 
 inline void attachCounters(benchmark::State& state,
@@ -75,6 +97,58 @@ inline void printFigurePair(const char* sweepName, const char* timeTitle,
   time.printCsv(std::cout);
   std::printf("CSV (space):\n");
   space.printCsv(std::cout);
+}
+
+/// Path of the bench's JSON trajectory file: BENCH_<name>.json in the
+/// current directory, or under $STSYN_BENCH_DIR when set.
+inline std::string benchJsonPath(const char* name) {
+  const char* dir = std::getenv("STSYN_BENCH_DIR");
+  std::string path = dir != nullptr ? std::string(dir) + "/" : std::string();
+  return path + "BENCH_" + name + ".json";
+}
+
+/// Writes every recorded parameter point as one machine-readable JSON
+/// document (per-point ranking/scc/total seconds, program/peak nodes, M,
+/// pass, success) — the regression baseline consumed by CI's bench-smoke
+/// job and by future perf comparisons. Returns false when the file could
+/// not be written.
+inline bool writeBenchJson(const char* name) {
+  const std::string path = benchJsonPath(name);
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "bench: cannot write %s\n", path.c_str());
+    return false;
+  }
+  obs::JsonWriter w(out);
+  w.beginObject();
+  w.field("schema_version", core::kStatsJsonSchemaVersion);
+  w.field("bench", name);
+  w.key("records");
+  w.beginArray();
+  for (const RunRecord& r : records()) {
+    w.beginObject();
+    w.field("label", r.label);
+    w.field("x", r.x);
+    w.field("success", r.success);
+    w.field("ranking_seconds", r.stats.rankingSeconds);
+    w.field("scc_seconds", r.stats.sccSeconds);
+    w.field("total_seconds", r.stats.totalSeconds);
+    w.field("rank_count", static_cast<std::uint64_t>(r.stats.rankCount));
+    w.field("program_nodes",
+            static_cast<std::uint64_t>(r.stats.programNodes));
+    w.field("avg_scc_nodes", r.stats.avgSccNodes());
+    w.field("peak_live_nodes",
+            static_cast<std::uint64_t>(r.stats.peakLiveNodes));
+    w.field("pass", r.stats.passCompleted);
+    w.field("note", r.note);
+    w.endObject();
+  }
+  w.endArray();
+  w.endObject();
+  out << '\n';
+  const bool ok = out.good();
+  std::printf("\nwrote %s (%zu records)\n", path.c_str(), records().size());
+  return ok;
 }
 
 }  // namespace stsyn::bench

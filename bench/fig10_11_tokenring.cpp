@@ -26,7 +26,7 @@ void BM_TokenRingSynthesis(benchmark::State& state) {
     const bool ok =
         r.success && verify::check(sp, r.relation).stronglyStabilizing();
     bench::attachCounters(state, r.stats, ok);
-    bench::records().push_back(
+    bench::recordPoint(
         {"token-ring", static_cast<double>(k), ok, r.stats, ""});
   }
 }
@@ -47,5 +47,5 @@ int main(int argc, char** argv) {
       "processes",
       "Figure 10: execution times of token ring |D|=4 (seconds)",
       "Figure 11: memory usage of token ring |D|=4 (BDD nodes)");
-  return 0;
+  return stsyn::bench::writeBenchJson("fig10_11_tokenring") ? 0 : 1;
 }

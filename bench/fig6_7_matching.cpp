@@ -34,7 +34,7 @@ void BM_MatchingSynthesis(benchmark::State& state) {
                     (k > 8 ||
                      verify::check(sp, r.relation).stronglyStabilizing());
     bench::attachCounters(state, r.stats, ok);
-    bench::records().push_back(
+    bench::recordPoint(
         {"matching", static_cast<double>(k), ok, r.stats, ""});
   }
 }
@@ -61,5 +61,5 @@ int main(int argc, char** argv) {
       "processes",
       "Figure 6: execution times for matching (seconds)",
       "Figure 7: memory usage for matching (BDD nodes)");
-  return 0;
+  return stsyn::bench::writeBenchJson("fig6_7_matching") ? 0 : 1;
 }

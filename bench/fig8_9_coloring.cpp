@@ -32,7 +32,7 @@ void BM_ColoringSynthesis(benchmark::State& state) {
     bench::attachCounters(state, r.stats, ok);
     state.counters["fast_path_hits"] =
         static_cast<double>(r.stats.sccFastPathHits);
-    bench::records().push_back(
+    bench::recordPoint(
         {"coloring", static_cast<double>(k), ok, r.stats, ""});
   }
 }
@@ -53,5 +53,5 @@ int main(int argc, char** argv) {
       "processes",
       "Figure 8: execution times for 3-coloring (seconds)",
       "Figure 9: memory usage for 3-coloring (BDD nodes)");
-  return 0;
+  return stsyn::bench::writeBenchJson("fig8_9_coloring") ? 0 : 1;
 }

@@ -12,9 +12,12 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <fstream>
 #include <iostream>
 #include <functional>
+#include <string>
 
+#include "bench/common.hpp"
 #include "casestudies/coloring.hpp"
 #include "casestudies/matching.hpp"
 #include "casestudies/token_ring.hpp"
@@ -67,16 +70,39 @@ int main(int argc, char** argv) {
               "studies ===\n");
   stsyn::util::Table table(
       {"case_study", "computed_verdict", "paper", "match"});
+  const std::string jsonPath =
+      stsyn::bench::benchJsonPath("table1_local_correctability");
+  std::ofstream json(jsonPath);
+  stsyn::obs::JsonWriter w(json);
+  w.beginObject();
+  w.field("schema_version", stsyn::core::kStatsJsonSchemaVersion);
+  w.field("bench", "table1_local_correctability");
+  w.key("records");
+  w.beginArray();
   for (const Case& c : kCases) {
     const auto report =
         explicitstate::analyzeLocalCorrectability(c.make());
+    const bool match = report.isLocallyCorrectable() == c.paperSaysYes;
     table.addRow({c.name, explicitstate::toString(report.verdict),
-                  c.paperSaysYes ? "Yes" : "No",
-                  report.isLocallyCorrectable() == c.paperSaysYes ? "yes"
-                                                                  : "NO"});
+                  c.paperSaysYes ? "Yes" : "No", match ? "yes" : "NO"});
+    w.beginObject();
+    w.field("case_study", c.name);
+    w.field("computed_verdict", explicitstate::toString(report.verdict));
+    w.field("locally_correctable", report.isLocallyCorrectable());
+    w.field("paper_says_yes", c.paperSaysYes);
+    w.field("matches_paper", match);
+    w.endObject();
   }
+  w.endArray();
+  w.endObject();
+  json << '\n';
   table.printAligned(std::cout);
   std::printf("\nCSV:\n");
   table.printCsv(std::cout);
+  if (!json.good()) {
+    std::fprintf(stderr, "bench: cannot write %s\n", jsonPath.c_str());
+    return 1;
+  }
+  std::printf("\nwrote %s (4 records)\n", jsonPath.c_str());
   return 0;
 }

@@ -23,17 +23,26 @@
 //   --explain            on failure, print a per-deadlock diagnosis
 //   --output <file>      write the synthesized stabilizing protocol as
 //                        .stsyn text (original actions + recovery actions)
+//   --stats-json <file>  write a machine-readable JSON document with the
+//                        run outcome and SynthesisStats (schema in
+//                        docs/observability.md)
+//   --trace <file>       record trace spans and write Chrome trace_event
+//                        JSON (load in Perfetto / chrome://tracing)
 //   --print              echo the parsed protocol back as .stsyn text
 //   --quiet              suppress the extracted actions
 //
 // Exit status: 0 synthesis succeeded (verified), 1 synthesis failed,
 // 2 usage/parse error.
+#include <cstdint>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <vector>
 
+#include "obs/json.hpp"
+#include "obs/trace.hpp"
 #include "stsyn.hpp"
 
 namespace {
@@ -41,11 +50,125 @@ namespace {
 int usage() {
   std::fprintf(stderr,
                "usage: stsyn <protocol.stsyn> [--weak] [--schedule P1,P0,...]"
-               " [--max-pass N] [--no-greedy] [--print] [--quiet]\n"
+               " [--max-pass N] [--no-greedy] [--print] [--quiet]"
+               " [--stats-json FILE] [--trace FILE]\n"
                "       stsyn lint <protocol.stsyn> [--werror] [--no-symbolic]"
                " [--format=sarif|text]\n");
   return 2;
 }
+
+/// One portfolio instance's outcome, copied out for the stats document.
+struct PortfolioRow {
+  std::string schedule;
+  bool ran = false;
+  bool success = false;
+  int pass = 0;
+  double wallSeconds = 0.0;
+};
+
+/// Collects the run's outcome and writes the --stats-json / --trace files
+/// on destruction, so every exit path of main emits them.
+struct RunReport {
+  std::string statsPath;
+  std::string tracePath;
+
+  std::string protoName;
+  bool haveProtocol = false;
+  double processes = 0, states = 0, legitimate = 0;
+
+  const char* mode = "strong";
+  bool success = false;
+  bool verified = false;
+  std::string failure;
+  stsyn::core::SynthesisStats stats;
+  bool haveStats = false;
+
+  bool havePortfolio = false;
+  std::size_t portfolioWinner = SIZE_MAX;
+  double portfolioWallSeconds = 0.0;
+  std::vector<PortfolioRow> portfolioRows;
+
+  ~RunReport() {
+    if (!statsPath.empty()) writeStats();
+    if (!tracePath.empty()) writeTrace();
+  }
+
+  void writeStats() const {
+    namespace obs = stsyn::obs;
+    std::ofstream out(statsPath);
+    if (!out) {
+      std::fprintf(stderr, "stsyn: cannot write %s\n", statsPath.c_str());
+      return;
+    }
+    obs::JsonWriter w(out);
+    w.beginObject();
+    w.field("schema_version", stsyn::core::kStatsJsonSchemaVersion);
+    w.field("tool", "stsyn");
+    if (haveProtocol) {
+      w.key("protocol");
+      w.beginObject();
+      w.field("name", protoName);
+      w.field("processes", processes);
+      w.field("states", states);
+      w.field("legitimate_states", legitimate);
+      w.endObject();
+    }
+    w.field("mode", mode);
+    w.field("success", success);
+    w.field("verified", verified);
+    if (!failure.empty()) w.field("failure", failure);
+    if (haveStats) {
+      w.key("stats");
+      stats.writeJson(w);
+    }
+    if (havePortfolio) {
+      w.key("portfolio");
+      w.beginObject();
+      w.field("winner", portfolioWinner == SIZE_MAX
+                            ? static_cast<std::int64_t>(-1)
+                            : static_cast<std::int64_t>(portfolioWinner));
+      w.field("wall_seconds", portfolioWallSeconds);
+      std::uint64_t ran = 0;
+      for (const PortfolioRow& row : portfolioRows) ran += row.ran ? 1 : 0;
+      w.field("instances_run", ran);
+      w.key("instances");
+      w.beginArray();
+      for (const PortfolioRow& row : portfolioRows) {
+        w.beginObject();
+        w.field("schedule", row.schedule);
+        w.field("ran", row.ran);
+        w.field("success", row.success);
+        w.field("pass", row.pass);
+        w.field("wall_seconds", row.wallSeconds);
+        w.endObject();
+      }
+      w.endArray();
+      w.endObject();
+    }
+    w.endObject();
+    out << '\n';
+    if (out.good()) {
+      std::printf("wrote stats to %s\n", statsPath.c_str());
+    } else {
+      std::fprintf(stderr, "stsyn: error writing %s\n", statsPath.c_str());
+    }
+  }
+
+  void writeTrace() const {
+    std::ofstream out(tracePath);
+    if (!out) {
+      std::fprintf(stderr, "stsyn: cannot write %s\n", tracePath.c_str());
+      return;
+    }
+    stsyn::obs::Tracer::global().writeChromeTrace(out);
+    if (out.good()) {
+      std::printf("wrote trace to %s (%zu events)\n", tracePath.c_str(),
+                  stsyn::obs::Tracer::global().eventCount());
+    } else {
+      std::fprintf(stderr, "stsyn: error writing %s\n", tracePath.c_str());
+    }
+  }
+};
 
 /// The `stsyn lint` subcommand: parse leniently, run both lint tiers, and
 /// render diagnostics. Exit 0 clean, 1 when the run fails, 2 on I/O errors.
@@ -116,6 +239,7 @@ int main(int argc, char** argv) {
   std::string scheduleArg;
   std::string outputPath;
   std::string lintFormat = "text";
+  RunReport report;
   core::StrongOptions options;
   analysis::LintOptions lintOptions;
 
@@ -153,6 +277,10 @@ int main(int argc, char** argv) {
       scheduleArg = argv[++i];
     } else if (!std::strcmp(a, "--output") && i + 1 < argc) {
       outputPath = argv[++i];
+    } else if (!std::strcmp(a, "--stats-json") && i + 1 < argc) {
+      report.statsPath = argv[++i];
+    } else if (!std::strcmp(a, "--trace") && i + 1 < argc) {
+      report.tracePath = argv[++i];
     } else if (!std::strcmp(a, "--max-pass") && i + 1 < argc) {
       options.maxPass = std::atoi(argv[++i]);
     } else if (a[0] == '-') {
@@ -165,6 +293,7 @@ int main(int argc, char** argv) {
   }
   if (path == nullptr) return usage();
   if (lint) return runLint(path, werror, lintFormat, lintOptions);
+  if (!report.tracePath.empty()) obs::Tracer::global().enable();
 
   protocol::Protocol p;
   try {
@@ -180,8 +309,14 @@ int main(int argc, char** argv) {
   std::printf("protocol %s: %zu processes, %.0f states, %.0f legitimate\n",
               p.name.c_str(), p.processCount(), p.stateCount(),
               enc.countStates(sp.invariant()));
+  report.protoName = p.name;
+  report.haveProtocol = true;
+  report.processes = static_cast<double>(p.processCount());
+  report.states = p.stateCount();
+  report.legitimate = enc.countStates(sp.invariant());
 
   if (verifyOnly) {
+    report.mode = "verify";
     const verify::Report rep = verify::check(sp, sp.protocolRelation());
     std::printf("closure of I:        %s\n", rep.closed ? "yes" : "NO");
     std::printf("deadlock-free in ~I: %s (%.0f deadlocks)\n",
@@ -220,6 +355,7 @@ int main(int argc, char** argv) {
                   verify::cycleSchedule(p, cycle).c_str(),
                   verify::formatCycle(p, cycle).c_str());
     }
+    report.success = report.verified = rep.stronglyStabilizing();
     return rep.stronglyStabilizing() ? 0 : 1;
   }
 
@@ -231,8 +367,13 @@ int main(int argc, char** argv) {
   }
 
   if (weak) {
+    report.mode = "weak";
     const core::WeakResult w = core::addWeakConvergence(sp);
+    report.stats = w.stats;
+    report.haveStats = true;
+    report.success = report.verified = w.success;
     if (!w.success) {
+      report.failure = "rank-infinity states exist";
       std::printf("weak convergence: IMPOSSIBLE — %.0f states can never "
                   "reach the invariant\n",
                   enc.countStates(w.rankInfinityStates));
@@ -254,13 +395,28 @@ int main(int argc, char** argv) {
   }
 
   if (portfolio > 0) {
+    report.mode = "portfolio";
     std::vector<core::Schedule> schedules;
     for (std::size_t rot = 0; rot < p.processCount(); ++rot) {
       schedules.push_back(core::rotatedSchedule(p.processCount(), rot));
     }
     const core::PortfolioResult pr =
         core::synthesizePortfolio(p, schedules, portfolio);
+    report.havePortfolio = true;
+    report.portfolioWinner = pr.winner;
+    report.portfolioWallSeconds = pr.wallSeconds;
+    for (const core::PortfolioInstance& inst : pr.instances) {
+      report.portfolioRows.push_back({core::toString(inst.schedule),
+                                      inst.ran, inst.result.success,
+                                      inst.result.stats.passCompleted,
+                                      inst.wallSeconds});
+    }
+    if (const core::SynthesisStats* ws = pr.winnerStats()) {
+      report.stats = *ws;
+      report.haveStats = true;
+    }
     if (!pr.success()) {
+      report.failure = "all schedules failed";
       std::printf("portfolio synthesis FAILED for all %zu schedules\n",
                   schedules.size());
       return 1;
@@ -268,10 +424,14 @@ int main(int argc, char** argv) {
     const auto& win = pr.instances[pr.winner];
     const verify::Report rep =
         verify::check(*win.symbolic, win.result.relation);
-    std::printf("portfolio: schedule %s won (pass %d), verified=%s\n",
+    std::printf("portfolio: schedule %s won (pass %d), verified=%s\n"
+                "  %zu of %zu instances ran, wall %.3fs\n  %s\n",
                 core::toString(win.schedule).c_str(),
                 win.result.stats.passCompleted,
-                rep.stronglyStabilizing() ? "yes" : "NO");
+                rep.stronglyStabilizing() ? "yes" : "NO",
+                pr.instancesRun(), pr.instances.size(), pr.wallSeconds,
+                win.result.stats.summary().c_str());
+    report.success = report.verified = rep.stronglyStabilizing();
     if (!quiet) {
       for (const auto& pa : extraction::extractAllActions(
                *win.symbolic, win.result.addedPerProcess)) {
@@ -282,7 +442,11 @@ int main(int argc, char** argv) {
   }
 
   const core::StrongResult r = core::addStrongConvergence(sp, options);
+  report.stats = r.stats;
+  report.haveStats = true;
+  report.success = r.success;
   if (!r.success) {
+    report.failure = core::toString(r.failure);
     std::printf("synthesis FAILED: %s (remaining deadlocks: %.0f)\n",
                 core::toString(r.failure),
                 enc.countStates(r.remainingDeadlocks));
@@ -293,6 +457,7 @@ int main(int argc, char** argv) {
     return 1;
   }
   const verify::Report rep = verify::check(sp, r.relation);
+  report.verified = rep.stronglyStabilizing();
   std::printf("synthesis succeeded: pass %d, verified strongly "
               "stabilizing=%s\n  %s\n  worst-case recovery: %zu steps\n",
               r.stats.passCompleted, rep.stronglyStabilizing() ? "yes" : "NO",

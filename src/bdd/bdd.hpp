@@ -159,6 +159,9 @@ struct ManagerStats {
   std::size_t gcRuns = 0;
   std::size_t nodesFreed = 0;  ///< cumulative nodes reclaimed by GC
 
+  std::size_t cacheLookups = 0;  ///< operation-cache probes
+  std::size_t cacheHits = 0;     ///< probes answered from the cache
+
   std::size_t reorderRuns = 0;  ///< completed sifting passes
   double reorderSeconds = 0.0;  ///< cumulative wall time spent sifting
   /// Cumulative live-node counts entering / leaving sifting passes, so
@@ -364,7 +367,9 @@ class Manager {
   std::vector<std::uint32_t> extRefs_;  // per-node external reference count
 
   std::size_t gcThreshold_;
-  ManagerStats stats_;
+  // Mutable: cacheLookup is const (a probe does not change the function
+  // algebra) but still counts itself.
+  mutable ManagerStats stats_;
 
   // Dynamic order: index <-> level, both identity at construction.
   std::vector<Var> indexToLevel_;

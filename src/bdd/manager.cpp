@@ -22,6 +22,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "obs/trace.hpp"
+
 namespace stsyn::bdd {
 
 namespace {
@@ -236,6 +238,8 @@ void Manager::markRecursive(NodeIndex root) {
 }
 
 void Manager::collectGarbage() {
+  obs::Span span("bdd_gc", "bdd");
+  const std::size_t beforeGc = liveNodes_;
   marks_.assign(nodes_.size(), false);
   marks_[kFalse] = marks_[kTrue] = true;
   for (NodeIndex n = 0; n < extRefs_.size(); ++n) {
@@ -274,6 +278,8 @@ void Manager::collectGarbage() {
   liveNodes_ = live;
   stats_.liveNodes = live;
   stats_.gcRuns += 1;
+  span.arg("live_before", beforeGc);
+  span.arg("live_after", live);
   // Sweep the operation cache instead of clearing it: an entry survives
   // only if everything it references is still live. (For entries whose
   // operand slots carry non-node payloads — the rename permutation tag —
@@ -308,8 +314,10 @@ std::uint64_t cacheHash(std::uint8_t op, NodeIndex a, NodeIndex b,
 bool Manager::cacheLookup(Op op, NodeIndex a, NodeIndex b, NodeIndex c,
                           NodeIndex& out) const {
   const auto o = static_cast<std::uint8_t>(op);
+  ++stats_.cacheLookups;
   const CacheEntry& e = cache_[cacheHash(o, a, b, c) & (cache_.size() - 1)];
   if (e.op != o || e.a != a || e.b != b || e.c != c) return false;
+  ++stats_.cacheHits;
   out = e.result;
   return true;
 }

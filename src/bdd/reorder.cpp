@@ -24,6 +24,7 @@
 #include <stdexcept>
 
 #include "bdd/bdd.hpp"
+#include "obs/trace.hpp"
 #include "util/timer.hpp"
 
 namespace stsyn::bdd {
@@ -327,6 +328,7 @@ void Manager::siftGroup(std::size_t startPos) {
 void Manager::reorderNow() {
   if (varCount_ < 2 || reorderGroups_.size() < 2) return;
   const util::Stopwatch watch;
+  obs::Span span("bdd_reorder", "bdd");
 
   buildReorderRefs();
   const std::size_t before = liveNodes_;
@@ -369,6 +371,8 @@ void Manager::reorderNow() {
   stats_.reorderSeconds += watch.seconds();
   stats_.reorderNodesBefore += before;
   stats_.reorderNodesAfter += liveNodes_;
+  span.arg("live_before", before);
+  span.arg("live_after", liveNodes_);
 }
 
 }  // namespace stsyn::bdd

@@ -4,6 +4,7 @@
 #include <cstdlib>
 #include <stdexcept>
 
+#include "obs/trace.hpp"
 #include "symbolic/scc.hpp"
 #include "util/timer.hpp"
 
@@ -27,6 +28,14 @@ const char* toString(Failure f) {
 }
 
 namespace {
+
+/// STSYN_TRACE=1 echoes per-SCC-detection diagnostics to stderr (the
+/// structured copy always goes to the tracer). Cached: the synthesis loop
+/// used to call getenv on every detection.
+bool traceEnvEnabled() {
+  static const bool on = std::getenv("STSYN_TRACE") != nullptr;
+  return on;
+}
 
 /// Mutable synthesis state threaded through the passes.
 class Synthesizer {
@@ -98,7 +107,8 @@ class Synthesizer {
         pool = pool.minus(group);
         bool cyclic;
         {
-          util::ScopedAccumulator timeIt(stats_.sccSeconds);
+          obs::AccumSpan timeIt(stats_.sccSeconds, "greedy_cycle_check",
+                                "scc");
           cyclic = !symbolic::certainlyAcyclicIncrement(
                        sp_, pss_, group, notI_, &stats_.sccSymbolicSteps) &&
                    symbolic::hasCycle(
@@ -119,6 +129,8 @@ class Synthesizer {
   /// recovery from From to To for each process in turn. Returns true when
   /// no deadlock state remains.
   bool addConvergence(const Bdd& from, const Bdd& to, int passNo) {
+    obs::Span span("add_convergence", "synthesis");
+    span.arg("pass", passNo);
     Bdd ruledOutTargets = passNo == 1 ? deadlocks_ : sp_.manager().falseBdd();
     for (std::size_t idx = 0; idx < schedule_.size(); ++idx) {
       const std::size_t j = schedule_[idx];
@@ -153,7 +165,7 @@ class Synthesizer {
     // fast path skips detection when the batch provably closes no cycle
     // (pss|¬I is acyclic by construction throughout the passes).
     {
-      util::ScopedAccumulator timeIt(stats_.sccSeconds);
+      obs::AccumSpan timeIt(stats_.sccSeconds, "acyclic_increment", "scc");
       if (symbolic::certainlyAcyclicIncrement(sp_, pss_, groups, notI_,
                                               &stats_.sccSymbolicSteps)) {
         stats_.sccFastPathHits += 1;
@@ -181,10 +193,12 @@ class Synthesizer {
   }
 
   [[nodiscard]] symbolic::SccResult detectSccs(const Bdd& rel) {
-    util::ScopedAccumulator timeIt(stats_.sccSeconds);
+    obs::AccumSpan timeIt(stats_.sccSeconds, "scc_detect", "scc");
     util::Stopwatch trace;
     symbolic::SccResult r = symbolic::nontrivialSccs(sp_, rel, notI_);
-    if (std::getenv("STSYN_TRACE") != nullptr) {
+    timeIt.span().arg("components", r.components.size());
+    timeIt.span().arg("symbolic_steps", r.symbolicSteps);
+    if (traceEnvEnabled()) {
       std::fprintf(stderr, "detectSccs: %zu comps, %zu steps, %.2fs\n",
                    r.components.size(), r.symbolicSteps, trace.seconds());
     }
@@ -217,6 +231,7 @@ StrongResult addStrongConvergence(const SymbolicProtocol& sp,
                                   const StrongOptions& options) {
   StrongResult out;
   util::Stopwatch total;
+  obs::Span synthSpan("add_strong_convergence", "synthesis");
 
   Schedule schedule = options.schedule.empty()
                           ? identitySchedule(sp.processCount())
@@ -248,6 +263,12 @@ StrongResult addStrongConvergence(const SymbolicProtocol& sp,
     out.stats.reorderRuns = ms.reorderRuns;
     out.stats.reorderSeconds = ms.reorderSeconds;
     out.stats.reorderNodesSaved = ms.reorderNodesBefore - ms.reorderNodesAfter;
+    out.stats.gcRuns = ms.gcRuns;
+    out.stats.cacheLookups = ms.cacheLookups;
+    out.stats.cacheHits = ms.cacheHits;
+    synthSpan.arg("success", success);
+    synthSpan.arg("pass", out.stats.passCompleted);
+    synthSpan.arg("program_nodes", out.stats.programNodes);
     return out;
   };
 
@@ -268,7 +289,9 @@ StrongResult addStrongConvergence(const SymbolicProtocol& sp,
   }
 
   const std::size_t M = out.ranking.maxRank();
+  static constexpr const char* kPassNames[] = {"pass1", "pass2", "pass3"};
   for (int pass = 1; pass <= options.maxPass; ++pass) {
+    obs::Span passSpan(kPassNames[pass - 1], "synthesis");
     out.stats.passCompleted = pass;
     if (pass <= 2) {
       for (std::size_t i = 1; i <= M; ++i) {
@@ -289,6 +312,7 @@ StrongResult addStrongConvergence(const SymbolicProtocol& sp,
     if (syn.deadlocks().isFalse()) return finish(true, Failure::None);
   }
   if (options.greedyCycleResolution && options.maxPass == 3) {
+    obs::Span passSpan("pass4_greedy", "synthesis");
     out.stats.passCompleted = 4;
     if (syn.greedyResolve()) return finish(true, Failure::None);
   }

@@ -1,7 +1,11 @@
 #include "core/portfolio.hpp"
 
 #include <atomic>
+#include <string>
 #include <thread>
+
+#include "obs/trace.hpp"
+#include "util/timer.hpp"
 
 namespace stsyn::core {
 
@@ -16,13 +20,20 @@ PortfolioResult synthesizePortfolio(const protocol::Protocol& proto,
   if (threads == 0) threads = 1;
   threads = std::min<unsigned>(threads, schedules.size());
 
+  const util::Stopwatch portfolioWatch;
+  obs::Span portfolioSpan("portfolio", "portfolio");
+  portfolioSpan.arg("schedules", schedules.size());
+  portfolioSpan.arg("threads", static_cast<std::size_t>(threads));
+
   // First-success early exit: once any instance succeeds, workers stop
   // claiming new schedules. Claims are handed out in input order, so every
   // schedule below the winning index has already been claimed and will run
   // to completion — the lowest-index-success winner stays deterministic.
   std::atomic<std::size_t> next{0};
   std::atomic<bool> succeeded{false};
-  auto worker = [&]() {
+  auto worker = [&](unsigned workerIdx) {
+    obs::Tracer::global().setThreadName("portfolio-worker-" +
+                                        std::to_string(workerIdx));
     for (;;) {
       if (succeeded.load(std::memory_order_acquire)) return;
       const std::size_t i = next.fetch_add(1);
@@ -30,12 +41,17 @@ PortfolioResult synthesizePortfolio(const protocol::Protocol& proto,
       PortfolioInstance& inst = out.instances[i];
       inst.schedule = schedules[i];
       inst.ran = true;
+      obs::Span span("portfolio_instance", "portfolio");
+      span.arg("schedule", toString(schedules[i]));
+      const util::Stopwatch watch;
       inst.encoding = std::make_unique<symbolic::Encoding>(proto);
       inst.symbolic =
           std::make_unique<symbolic::SymbolicProtocol>(*inst.encoding);
       StrongOptions opt;
       opt.schedule = schedules[i];
       inst.result = addStrongConvergence(*inst.symbolic, opt);
+      inst.wallSeconds = watch.seconds();
+      span.arg("success", inst.result.success);
       if (inst.result.success) {
         succeeded.store(true, std::memory_order_release);
       }
@@ -43,11 +59,11 @@ PortfolioResult synthesizePortfolio(const protocol::Protocol& proto,
   };
 
   if (threads == 1) {
-    worker();
+    worker(0);
   } else {
     std::vector<std::thread> pool;
     pool.reserve(threads);
-    for (unsigned t = 0; t < threads; ++t) pool.emplace_back(worker);
+    for (unsigned t = 0; t < threads; ++t) pool.emplace_back(worker, t);
     for (std::thread& t : pool) t.join();
   }
 
@@ -57,6 +73,11 @@ PortfolioResult synthesizePortfolio(const protocol::Protocol& proto,
       break;
     }
   }
+  out.wallSeconds = portfolioWatch.seconds();
+  portfolioSpan.arg("winner",
+                    out.winner == SIZE_MAX ? std::string("none")
+                                           : toString(schedules[out.winner]));
+  portfolioSpan.arg("instances_run", out.instancesRun());
   return out;
 }
 

@@ -23,6 +23,10 @@ struct PortfolioInstance {
   /// False when the instance was never claimed because an earlier schedule
   /// had already succeeded (early exit); `result` is default-constructed.
   bool ran = false;
+  /// Wall-clock seconds this instance's synthesis took; 0 when skipped.
+  /// Summed over ran instances vs. `PortfolioResult::wallSeconds` this
+  /// measures the portfolio's parallel speedup and early-exit savings.
+  double wallSeconds = 0.0;
 };
 
 struct PortfolioResult {
@@ -30,8 +34,24 @@ struct PortfolioResult {
   /// instance, or SIZE_MAX when every schedule failed.
   std::size_t winner = SIZE_MAX;
   std::vector<PortfolioInstance> instances;
+  /// Wall-clock seconds of the whole portfolio run (claim + join).
+  double wallSeconds = 0.0;
 
   [[nodiscard]] bool success() const { return winner != SIZE_MAX; }
+
+  /// The winning instance's synthesis stats, or nullptr when every
+  /// schedule failed.
+  [[nodiscard]] const SynthesisStats* winnerStats() const {
+    return winner == SIZE_MAX ? nullptr : &instances[winner].result.stats;
+  }
+
+  /// Number of instances actually claimed and run (the rest were skipped
+  /// by the first-success early exit).
+  [[nodiscard]] std::size_t instancesRun() const {
+    std::size_t n = 0;
+    for (const PortfolioInstance& inst : instances) n += inst.ran ? 1 : 0;
+    return n;
+  }
 };
 
 /// Runs the heuristic once per schedule, using up to `threads` worker

@@ -1,6 +1,6 @@
 #include "core/ranks.hpp"
 
-#include "util/timer.hpp"
+#include "obs/trace.hpp"
 
 namespace stsyn::core {
 
@@ -11,7 +11,7 @@ Ranking computeRanks(const symbolic::SymbolicProtocol& sp,
   double elapsed = 0.0;
   Ranking out;
   {
-    util::ScopedAccumulator timeIt(elapsed);
+    obs::AccumSpan timeIt(elapsed, "ranking", "synthesis");
 
     const Bdd inv = sp.invariant();
 
@@ -38,6 +38,8 @@ Ranking computeRanks(const symbolic::SymbolicProtocol& sp,
       explored |= frontier;
     }
     out.unreachable = sp.enc().validCur() & !explored;
+    timeIt.span().arg("ranks", out.maxRank());
+    timeIt.span().arg("complete", out.complete());
   }
   if (stats != nullptr) {
     stats->rankingSeconds += elapsed;

@@ -1,6 +1,9 @@
 #include "core/stats.hpp"
 
+#include <cstdint>
 #include <cstdio>
+
+#include "obs/json.hpp"
 
 namespace stsyn::core {
 
@@ -20,6 +23,34 @@ std::string SynthesisStats::summary() const {
     out += buf;
   }
   return out;
+}
+
+void SynthesisStats::writeJson(obs::JsonWriter& w) const {
+  w.beginObject();
+  w.field("ranking_seconds", rankingSeconds);
+  w.field("scc_seconds", sccSeconds);
+  w.field("total_seconds", totalSeconds);
+  w.field("rank_count", static_cast<std::uint64_t>(rankCount));
+  w.field("scc_detection_calls",
+          static_cast<std::uint64_t>(sccDetectionCalls));
+  w.field("scc_fast_path_hits", static_cast<std::uint64_t>(sccFastPathHits));
+  w.field("scc_components_found",
+          static_cast<std::uint64_t>(sccComponentsFound));
+  w.field("scc_nodes_total", static_cast<std::uint64_t>(sccNodesTotal));
+  w.field("scc_symbolic_steps", static_cast<std::uint64_t>(sccSymbolicSteps));
+  w.field("avg_scc_nodes", avgSccNodes());
+  w.field("program_nodes", static_cast<std::uint64_t>(programNodes));
+  w.field("peak_live_nodes", static_cast<std::uint64_t>(peakLiveNodes));
+  w.field("reorder_runs", static_cast<std::uint64_t>(reorderRuns));
+  w.field("reorder_seconds", reorderSeconds);
+  w.field("reorder_nodes_saved",
+          static_cast<std::uint64_t>(reorderNodesSaved));
+  w.field("gc_runs", static_cast<std::uint64_t>(gcRuns));
+  w.field("cache_lookups", static_cast<std::uint64_t>(cacheLookups));
+  w.field("cache_hits", static_cast<std::uint64_t>(cacheHits));
+  w.field("cache_hit_rate", cacheHitRate());
+  w.field("pass_completed", passCompleted);
+  w.endObject();
 }
 
 }  // namespace stsyn::core

@@ -7,7 +7,16 @@
 #include <cstddef>
 #include <string>
 
+namespace stsyn::obs {
+class JsonWriter;
+}  // namespace stsyn::obs
+
 namespace stsyn::core {
+
+/// Version of the machine-readable stats/bench documents. Bump on any
+/// removal or semantic change of a key; pure additions keep the version
+/// (see docs/observability.md for the policy).
+inline constexpr int kStatsJsonSchemaVersion = 1;
 
 struct SynthesisStats {
   double rankingSeconds = 0.0;
@@ -31,6 +40,10 @@ struct SynthesisStats {
   double reorderSeconds = 0.0;       ///< time spent sifting
   std::size_t reorderNodesSaved = 0; ///< cumulative live nodes freed by sifting
 
+  std::size_t gcRuns = 0;        ///< manager garbage collections
+  std::size_t cacheLookups = 0;  ///< operation-cache probes
+  std::size_t cacheHits = 0;     ///< probes answered from the cache
+
   /// Pass that resolved the last deadlock: 1..3 are the paper's passes,
   /// 4 is the implementation's greedy cycle-resolution pass, 0 means the
   /// input needed no recovery.
@@ -45,7 +58,19 @@ struct SynthesisStats {
                      static_cast<double>(sccComponentsFound);
   }
 
+  /// Fraction of cache probes that hit (0 when no probe ever ran).
+  [[nodiscard]] double cacheHitRate() const {
+    return cacheLookups == 0
+               ? 0.0
+               : static_cast<double>(cacheHits) /
+                     static_cast<double>(cacheLookups);
+  }
+
   [[nodiscard]] std::string summary() const;
+
+  /// Writes this struct as one JSON object (every field, snake_case keys).
+  /// The enclosing document carries the schema version.
+  void writeJson(obs::JsonWriter& w) const;
 };
 
 }  // namespace stsyn::core

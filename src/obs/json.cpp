@@ -1,0 +1,383 @@
+#include "obs/json.hpp"
+
+#include <cassert>
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+
+namespace stsyn::obs {
+
+std::string jsonQuote(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;  // UTF-8 passes through byte-for-byte
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
+
+std::string jsonNumber(double v) {
+  if (!std::isfinite(v)) return "0";
+  // Round-trippable and integer-friendly: integral values within the
+  // exactly-representable range print without an exponent or fraction.
+  if (v == std::floor(v) && std::fabs(v) < 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.0f", v);
+    return buf;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+void JsonWriter::separate() {
+  if (pendingKey_) {
+    pendingKey_ = false;
+    return;  // the key already wrote its comma and the ':'
+  }
+  if (!firstItem_.empty()) {
+    if (!firstItem_.back()) os_ << ',';
+    firstItem_.back() = false;
+  }
+}
+
+void JsonWriter::beginObject() {
+  separate();
+  os_ << '{';
+  firstItem_.push_back(true);
+}
+
+void JsonWriter::endObject() {
+  assert(!firstItem_.empty());
+  firstItem_.pop_back();
+  os_ << '}';
+}
+
+void JsonWriter::beginArray() {
+  separate();
+  os_ << '[';
+  firstItem_.push_back(true);
+}
+
+void JsonWriter::endArray() {
+  assert(!firstItem_.empty());
+  firstItem_.pop_back();
+  os_ << ']';
+}
+
+void JsonWriter::key(std::string_view k) {
+  assert(!pendingKey_);
+  separate();
+  os_ << jsonQuote(k) << ':';
+  pendingKey_ = true;
+}
+
+void JsonWriter::value(std::string_view v) {
+  separate();
+  os_ << jsonQuote(v);
+}
+
+void JsonWriter::value(double v) {
+  separate();
+  os_ << jsonNumber(v);
+}
+
+void JsonWriter::value(bool v) {
+  separate();
+  os_ << (v ? "true" : "false");
+}
+
+void JsonWriter::value(std::int64_t v) {
+  separate();
+  os_ << v;
+}
+
+void JsonWriter::value(std::uint64_t v) {
+  separate();
+  os_ << v;
+}
+
+void JsonWriter::raw(std::string_view fragment) {
+  separate();
+  os_ << fragment;
+}
+
+// ---------------------------------------------------------------------------
+// Parser.
+// ---------------------------------------------------------------------------
+
+const JsonValue* JsonValue::find(std::string_view k) const {
+  if (kind != Kind::Object) return nullptr;
+  for (const auto& [name, v] : members) {
+    if (name == k) return &v;
+  }
+  return nullptr;
+}
+
+namespace {
+
+class Parser {
+ public:
+  Parser(std::string_view text, std::string* error)
+      : text_(text), error_(error) {}
+
+  std::optional<JsonValue> run() {
+    skipWs();
+    JsonValue v;
+    if (!parseValue(v)) return std::nullopt;
+    skipWs();
+    if (pos_ != text_.size()) {
+      fail("trailing characters after document");
+      return std::nullopt;
+    }
+    return v;
+  }
+
+ private:
+  void fail(const char* what) {
+    if (error_ != nullptr && error_->empty()) {
+      *error_ = std::string(what) + " at offset " + std::to_string(pos_);
+    }
+  }
+
+  void skipWs() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  [[nodiscard]] bool eat(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  [[nodiscard]] bool literal(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word) return false;
+    pos_ += word.size();
+    return true;
+  }
+
+  bool parseValue(JsonValue& out) {  // NOLINT(misc-no-recursion)
+    if (++depth_ > kMaxDepth) {
+      fail("nesting too deep");
+      return false;
+    }
+    skipWs();
+    if (pos_ >= text_.size()) {
+      fail("unexpected end of input");
+      return false;
+    }
+    bool ok = false;
+    switch (text_[pos_]) {
+      case '{': ok = parseObject(out); break;
+      case '[': ok = parseArray(out); break;
+      case '"':
+        out.kind = JsonValue::Kind::String;
+        ok = parseString(out.str);
+        break;
+      case 't':
+        out.kind = JsonValue::Kind::Bool;
+        out.boolean = true;
+        ok = literal("true");
+        if (!ok) fail("bad literal");
+        break;
+      case 'f':
+        out.kind = JsonValue::Kind::Bool;
+        out.boolean = false;
+        ok = literal("false");
+        if (!ok) fail("bad literal");
+        break;
+      case 'n':
+        out.kind = JsonValue::Kind::Null;
+        ok = literal("null");
+        if (!ok) fail("bad literal");
+        break;
+      default: ok = parseNumber(out); break;
+    }
+    --depth_;
+    return ok;
+  }
+
+  bool parseObject(JsonValue& out) {  // NOLINT(misc-no-recursion)
+    out.kind = JsonValue::Kind::Object;
+    (void)eat('{');
+    skipWs();
+    if (eat('}')) return true;
+    for (;;) {
+      skipWs();
+      std::string name;
+      if (!parseString(name)) return false;
+      skipWs();
+      if (!eat(':')) {
+        fail("expected ':'");
+        return false;
+      }
+      JsonValue v;
+      if (!parseValue(v)) return false;
+      out.members.emplace_back(std::move(name), std::move(v));
+      skipWs();
+      if (eat(',')) continue;
+      if (eat('}')) return true;
+      fail("expected ',' or '}'");
+      return false;
+    }
+  }
+
+  bool parseArray(JsonValue& out) {  // NOLINT(misc-no-recursion)
+    out.kind = JsonValue::Kind::Array;
+    (void)eat('[');
+    skipWs();
+    if (eat(']')) return true;
+    for (;;) {
+      JsonValue v;
+      if (!parseValue(v)) return false;
+      out.items.push_back(std::move(v));
+      skipWs();
+      if (eat(',')) continue;
+      if (eat(']')) return true;
+      fail("expected ',' or ']'");
+      return false;
+    }
+  }
+
+  bool parseString(std::string& out) {
+    if (!eat('"')) {
+      fail("expected string");
+      return false;
+    }
+    out.clear();
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return true;
+      if (static_cast<unsigned char>(c) < 0x20) {
+        fail("raw control character in string");
+        return false;
+      }
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) break;
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) {
+            fail("truncated \\u escape");
+            return false;
+          }
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+            else {
+              fail("bad \\u escape");
+              return false;
+            }
+          }
+          // UTF-8 encode (surrogate pairs are stored as-is per half; the
+          // observability emitters never produce them).
+          if (code < 0x80) {
+            out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            out += static_cast<char>(0xC0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          } else {
+            out += static_cast<char>(0xE0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          }
+          break;
+        }
+        default:
+          fail("bad escape");
+          return false;
+      }
+    }
+    fail("unterminated string");
+    return false;
+  }
+
+  bool parseNumber(JsonValue& out) {
+    const std::size_t start = pos_;
+    if (eat('-')) {}
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) {
+      fail("expected value");
+      return false;
+    }
+    const std::string lexeme(text_.substr(start, pos_ - start));
+    // JSON forbids leading zeros ("01") and a bare leading '+'; strtod
+    // accepts both, so check the grammar's prefix rule explicitly.
+    const std::size_t digit0 = lexeme[0] == '-' ? 1 : 0;
+    if (lexeme.size() > digit0 + 1 && lexeme[digit0] == '0' &&
+        std::isdigit(static_cast<unsigned char>(lexeme[digit0 + 1])) != 0) {
+      fail("leading zero in number");
+      return false;
+    }
+    char* end = nullptr;
+    const double v = std::strtod(lexeme.c_str(), &end);
+    if (end == nullptr || *end != '\0') {
+      fail("malformed number");
+      return false;
+    }
+    out.kind = JsonValue::Kind::Number;
+    out.number = v;
+    return true;
+  }
+
+  static constexpr int kMaxDepth = 256;
+
+  std::string_view text_;
+  std::string* error_;
+  std::size_t pos_ = 0;
+  int depth_ = 0;
+};
+
+}  // namespace
+
+std::optional<JsonValue> parseJson(std::string_view text, std::string* error) {
+  if (error != nullptr) error->clear();
+  return Parser(text, error).run();
+}
+
+}  // namespace stsyn::obs

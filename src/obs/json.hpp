@@ -1,0 +1,104 @@
+// Minimal JSON support for the observability subsystem: the versioned
+// stats document (`stsyn synth --stats-json`), Chrome trace_event files
+// (`--trace`), and the BENCH_*.json bench-trajectory records.
+//
+// Two halves, no external dependency:
+//   * JsonWriter — a streaming emitter with automatic comma placement and
+//     correct string escaping; cannot produce structurally invalid JSON
+//     as long as begin/end calls are balanced.
+//   * parseJson — a strict recursive-descent parser into a JsonValue
+//     tree, used by the round-trip tests and by tooling that needs to
+//     inspect emitted documents.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace stsyn::obs {
+
+/// Escapes and quotes `s` as a JSON string literal (quotes included).
+[[nodiscard]] std::string jsonQuote(std::string_view s);
+
+/// Renders a double as a JSON number. JSON has no inf/nan; both are
+/// rendered as 0 (observability output must never poison a parser).
+[[nodiscard]] std::string jsonNumber(double v);
+
+/// A streaming JSON writer. Usage:
+///
+///   JsonWriter w(os);
+///   w.beginObject();
+///   w.field("x", 1.5);
+///   w.key("list"); w.beginArray(); w.value("a"); w.endArray();
+///   w.endObject();
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::ostream& os) : os_(os) {}
+
+  void beginObject();
+  void endObject();
+  void beginArray();
+  void endArray();
+
+  /// Member key inside an object; must be followed by exactly one value
+  /// (or beginObject/beginArray).
+  void key(std::string_view k);
+
+  void value(std::string_view v);
+  void value(const char* v) { value(std::string_view(v)); }
+  void value(const std::string& v) { value(std::string_view(v)); }
+  void value(double v);
+  void value(bool v);
+  void value(std::int64_t v);
+  void value(std::uint64_t v);
+  void value(int v) { value(static_cast<std::int64_t>(v)); }
+  void value(unsigned v) { value(static_cast<std::uint64_t>(v)); }
+  /// Emits a pre-rendered JSON fragment verbatim (caller guarantees
+  /// validity); used for args the tracer stored already encoded.
+  void raw(std::string_view fragment);
+
+  /// key + value in one call.
+  template <typename T>
+  void field(std::string_view k, T&& v) {
+    key(k);
+    value(std::forward<T>(v));
+  }
+
+ private:
+  void separate();  ///< writes the comma/none preceding the next item
+
+  std::ostream& os_;
+  // One entry per open container: true until the first item is written.
+  std::vector<bool> firstItem_;
+  bool pendingKey_ = false;
+};
+
+/// A parsed JSON document. Object member order is preserved.
+struct JsonValue {
+  enum class Kind : std::uint8_t { Null, Bool, Number, String, Array, Object };
+
+  Kind kind = Kind::Null;
+  bool boolean = false;
+  double number = 0.0;
+  std::string str;
+  std::vector<JsonValue> items;                             // Array
+  std::vector<std::pair<std::string, JsonValue>> members;   // Object
+
+  [[nodiscard]] bool isObject() const { return kind == Kind::Object; }
+  [[nodiscard]] bool isArray() const { return kind == Kind::Array; }
+
+  /// Object member lookup; nullptr when absent or not an object.
+  [[nodiscard]] const JsonValue* find(std::string_view k) const;
+};
+
+/// Strictly parses one complete JSON document (trailing non-whitespace is
+/// an error). On failure returns nullopt and, when `error` is non-null,
+/// stores a one-line description with the byte offset.
+[[nodiscard]] std::optional<JsonValue> parseJson(std::string_view text,
+                                                 std::string* error = nullptr);
+
+}  // namespace stsyn::obs

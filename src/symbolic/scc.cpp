@@ -3,6 +3,8 @@
 #include <cassert>
 #include <utility>
 
+#include "obs/trace.hpp"
+
 namespace stsyn::symbolic {
 
 using bdd::Bdd;
@@ -112,28 +114,31 @@ Bdd trimToCore(const SymbolicProtocol& sp, std::span<const Bdd> parts,
 
 SccResult nontrivialSccs(const SymbolicProtocol& sp,
                          std::span<const Bdd> parts, const Bdd& domain) {
+  obs::Span span("nontrivial_sccs", "scc");
   SccResult result;
   const Bdd core = trimToCore(sp, parts, domain, result.symbolicSteps);
-  if (core.isFalse()) return result;
+  if (!core.isFalse()) {
+    std::vector<Bdd> work{core};
+    while (!work.empty()) {
+      Bdd v = std::move(work.back());
+      work.pop_back();
+      if (v.isFalse()) continue;
+      assert(v.implies(sp.enc().validCur()) &&
+             "SCC work set escaped the valid state codes");
 
-  std::vector<Bdd> work{core};
-  while (!work.empty()) {
-    Bdd v = std::move(work.back());
-    work.pop_back();
-    if (v.isFalse()) continue;
-    assert(v.implies(sp.enc().validCur()) &&
-           "SCC work set escaped the valid state codes");
+      const Bdd pivot = sp.enc().stateBdd(sp.pickState(v));
+      const Lockstep ls = lockstep(sp, parts, v, pivot, result.symbolicSteps);
 
-    const Bdd pivot = sp.enc().stateBdd(sp.pickState(v));
-    const Lockstep ls = lockstep(sp, parts, v, pivot, result.symbolicSteps);
-
-    if (hasInternalEdge(sp, parts, ls.scc)) {
-      result.components.push_back(ls.scc);
+      if (hasInternalEdge(sp, parts, ls.scc)) {
+        result.components.push_back(ls.scc);
+      }
+      // SCCs never straddle the converged set: recurse on both sides.
+      work.push_back(ls.converged & !ls.scc);
+      work.push_back(v & !ls.converged);
     }
-    // SCCs never straddle the converged set: recurse on both sides.
-    work.push_back(ls.converged & !ls.scc);
-    work.push_back(v & !ls.converged);
   }
+  span.arg("components", result.components.size());
+  span.arg("symbolic_steps", result.symbolicSteps);
   return result;
 }
 
@@ -145,14 +150,21 @@ SccResult nontrivialSccs(const SymbolicProtocol& sp, const Bdd& rel,
 
 bool hasCycle(const SymbolicProtocol& sp, std::span<const Bdd> parts,
               const Bdd& domain) {
+  obs::Span span("has_cycle", "scc");
   // Self-loops are cycles.
   const Bdd diag = domain & sp.enc().diagonal();
   for (const Bdd& part : parts) {
-    if (!(part & diag).isFalse()) return true;
+    if (!(part & diag).isFalse()) {
+      span.arg("cyclic", true);
+      return true;
+    }
   }
   // Otherwise a cycle exists iff the trimmed core is non-empty.
   std::size_t steps = 0;
-  return !trimToCore(sp, parts, domain, steps).isFalse();
+  const bool cyclic = !trimToCore(sp, parts, domain, steps).isFalse();
+  span.arg("cyclic", cyclic);
+  span.arg("symbolic_steps", steps);
+  return cyclic;
 }
 
 bool hasCycle(const SymbolicProtocol& sp, const Bdd& rel, const Bdd& domain) {

@@ -52,6 +52,19 @@ TEST(Portfolio, FindsAWinnerAmongSchedules) {
   EXPECT_TRUE(win.result.success);
   EXPECT_TRUE(verify::check(*win.symbolic, win.result.relation)
                   .stronglyStabilizing());
+  // The result surfaces the winner's stats and wall-clock attribution.
+  ASSERT_NE(r.winnerStats(), nullptr);
+  EXPECT_EQ(r.winnerStats(), &win.result.stats);
+  EXPECT_GT(r.winnerStats()->totalSeconds, 0.0);
+  EXPECT_GT(r.wallSeconds, 0.0);
+  EXPECT_GE(r.instancesRun(), 1u);
+  for (const auto& inst : r.instances) {
+    if (inst.ran) {
+      EXPECT_GT(inst.wallSeconds, 0.0);
+    } else {
+      EXPECT_EQ(inst.wallSeconds, 0.0);
+    }
+  }
 }
 
 TEST(Portfolio, WinnerIsFirstSuccessInScheduleOrderDeterministically) {
@@ -96,7 +109,9 @@ TEST(Portfolio, StopsClaimingSchedulesAfterFirstSuccess) {
   for (std::size_t i = r.winner + 1; i < r.instances.size(); ++i) {
     EXPECT_FALSE(r.instances[i].ran) << i;
     EXPECT_FALSE(r.instances[i].result.success) << i;
+    EXPECT_EQ(r.instances[i].wallSeconds, 0.0) << i;
   }
+  EXPECT_EQ(r.instancesRun(), r.winner + 1);
 }
 
 TEST(Portfolio, EarlyExitKeepsWinnerDeterministicAcrossThreadCounts) {
@@ -150,6 +165,8 @@ TEST(Portfolio, AllInstancesReportedEvenWhenAllFail) {
   const core::PortfolioResult r =
       core::synthesizePortfolio(p, schedules, /*threads=*/2);
   EXPECT_FALSE(r.success());
+  EXPECT_EQ(r.winnerStats(), nullptr);
+  EXPECT_EQ(r.instancesRun(), r.instances.size());
   for (const auto& inst : r.instances) {
     EXPECT_FALSE(inst.result.success);
     EXPECT_EQ(inst.result.failure,
