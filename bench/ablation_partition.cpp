@@ -1,0 +1,109 @@
+// Ablation: monolithic vs. disjunctively partitioned image computation
+// (symbolic/frontier.hpp) across the four case studies. Each parameter
+// point synthesizes once per ImagePolicy — monolithic, perprocess, and
+// auto — so BENCH_ablation_partition.json records how the per-process
+// small-cube products compare against the single big relation, and where
+// the auto threshold lands. The synthesized protocol is bit-identical
+// under every policy (asserted by the differential test suite); only the
+// time/space trajectory differs.
+#include "bench/common.hpp"
+#include "casestudies/coloring.hpp"
+#include "casestudies/matching.hpp"
+#include "casestudies/token_ring.hpp"
+#include "casestudies/two_ring.hpp"
+#include "core/heuristic.hpp"
+#include "verify/verify.hpp"
+
+namespace {
+
+using namespace stsyn;
+
+constexpr symbolic::ImagePolicy kPolicies[] = {
+    symbolic::ImagePolicy::Monolithic,
+    symbolic::ImagePolicy::PerProcess,
+    symbolic::ImagePolicy::Auto,
+};
+
+/// One synthesis under the policy selected by the benchmark's second
+/// range argument; verification is skipped above `verifyLimit` processes
+/// (the re-check costs far more than the synthesis on the big points).
+void runPoint(benchmark::State& state, const protocol::Protocol& p,
+              const char* study, double x, const core::Schedule& schedule,
+              bool verifyResult) {
+  const symbolic::ImagePolicy policy = kPolicies[state.range(1)];
+  for (auto _ : state) {
+    symbolic::Encoding enc(p);
+    symbolic::SymbolicProtocol sp(enc);
+    core::StrongOptions opt;
+    opt.schedule = schedule;
+    opt.imagePolicy = policy;
+    const core::StrongResult r = core::addStrongConvergence(sp, opt);
+    const bool ok =
+        r.success &&
+        (!verifyResult || verify::check(sp, r.relation).stronglyStabilizing());
+    bench::attachCounters(state, r.stats, ok);
+    state.counters["image_ops"] = static_cast<double>(r.stats.imageOps);
+    state.counters["preimage_ops"] =
+        static_cast<double>(r.stats.preimageOps);
+    state.counters["part_products"] =
+        static_cast<double>(r.stats.imagePartProducts);
+    bench::recordPoint({std::string(study) + "/" +
+                            symbolic::toString(policy),
+                        x, ok, r.stats,
+                        ok ? "" : core::toString(r.failure)});
+  }
+}
+
+void BM_TokenRing(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  const protocol::Protocol p = casestudies::tokenRing(k, 4);
+  runPoint(state, p, "token-ring", k,
+           core::rotatedSchedule(static_cast<std::size_t>(k), 1),
+           /*verifyResult=*/true);
+}
+
+void BM_Coloring(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  const protocol::Protocol p = casestudies::coloring(k);
+  runPoint(state, p, "coloring", k, {}, /*verifyResult=*/k <= 15);
+}
+
+void BM_Matching(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  const protocol::Protocol p = casestudies::matching(k);
+  runPoint(state, p, "matching", k, {}, /*verifyResult=*/true);
+}
+
+void BM_TwoRing(benchmark::State& state) {
+  const int d = static_cast<int>(state.range(0));
+  const protocol::Protocol p = casestudies::twoRing(d);
+  runPoint(state, p, "two-ring", d, {}, /*verifyResult=*/true);
+}
+
+void registerSweep(const char* name, void (*fn)(benchmark::State&),
+                   std::initializer_list<int> xs) {
+  auto* bm = benchmark::RegisterBenchmark(name, fn);
+  for (const int x : xs) {
+    for (int pol = 0; pol < 3; ++pol) bm->Args({x, pol});
+  }
+  bm->Iterations(1)->Unit(benchmark::kMillisecond);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  registerSweep("partition/token_ring_d4", BM_TokenRing, {3, 4, 5});
+  registerSweep("partition/coloring", BM_Coloring, {10, 20, 40});
+  registerSweep("partition/matching", BM_Matching, {5, 6, 7});
+  registerSweep("partition/two_ring", BM_TwoRing, {3, 4});
+
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  stsyn::bench::printFigurePair(
+      "parameter",
+      "Ablation: image policy, times per case study point (seconds)",
+      "Ablation: image policy, BDD nodes per case study point");
+  return stsyn::bench::writeBenchJson("ablation_partition") ? 0 : 1;
+}

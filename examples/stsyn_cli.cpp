@@ -17,6 +17,11 @@
 //                        no synthesis
 //   --portfolio N        run N rotated schedules in parallel (paper Fig. 1)
 //                        and keep the first success
+//   --image-policy P     image computation policy: monolithic, perprocess,
+//                        auto (default; may also come from
+//                        $STSYN_IMAGE_POLICY), or both — `both` needs
+//                        --portfolio and races the two policies as a
+//                        second portfolio axis
 //   --schedule P2,P0,P1  recovery schedule (default: identity)
 //   --max-pass N         stop after pass N (1..3)
 //   --no-greedy          disable the greedy cycle-resolution pass
@@ -50,7 +55,8 @@ namespace {
 int usage() {
   std::fprintf(stderr,
                "usage: stsyn <protocol.stsyn> [--weak] [--schedule P1,P0,...]"
-               " [--max-pass N] [--no-greedy] [--print] [--quiet]"
+               " [--max-pass N] [--no-greedy] [--image-policy"
+               " monolithic|perprocess|auto|both] [--print] [--quiet]"
                " [--stats-json FILE] [--trace FILE]\n"
                "       stsyn lint <protocol.stsyn> [--werror] [--no-symbolic]"
                " [--format=sarif|text]\n");
@@ -60,6 +66,7 @@ int usage() {
 /// One portfolio instance's outcome, copied out for the stats document.
 struct PortfolioRow {
   std::string schedule;
+  std::string imagePolicy;
   bool ran = false;
   bool success = false;
   int pass = 0;
@@ -136,6 +143,7 @@ struct RunReport {
       for (const PortfolioRow& row : portfolioRows) {
         w.beginObject();
         w.field("schedule", row.schedule);
+        w.field("image_policy", row.imagePolicy);
         w.field("ran", row.ran);
         w.field("success", row.success);
         w.field("pass", row.pass);
@@ -237,6 +245,7 @@ int main(int argc, char** argv) {
   bool quiet = false;
   bool explain = false;
   std::string scheduleArg;
+  std::string imagePolicyArg;
   std::string outputPath;
   std::string lintFormat = "text";
   RunReport report;
@@ -275,6 +284,8 @@ int main(int argc, char** argv) {
       explain = true;
     } else if (!std::strcmp(a, "--schedule") && i + 1 < argc) {
       scheduleArg = argv[++i];
+    } else if (!std::strcmp(a, "--image-policy") && i + 1 < argc) {
+      imagePolicyArg = argv[++i];
     } else if (!std::strcmp(a, "--output") && i + 1 < argc) {
       outputPath = argv[++i];
     } else if (!std::strcmp(a, "--stats-json") && i + 1 < argc) {
@@ -293,6 +304,29 @@ int main(int argc, char** argv) {
   }
   if (path == nullptr) return usage();
   if (lint) return runLint(path, werror, lintFormat, lintOptions);
+
+  // Policies raced when --portfolio is active; a single entry otherwise.
+  std::vector<symbolic::ImagePolicy> policies;
+  if (imagePolicyArg == "both") {
+    if (portfolio == 0) {
+      std::fprintf(stderr,
+                   "stsyn: --image-policy both requires --portfolio\n");
+      return 2;
+    }
+    policies = {symbolic::ImagePolicy::Monolithic,
+                symbolic::ImagePolicy::PerProcess};
+  } else if (!imagePolicyArg.empty()) {
+    const auto parsed = symbolic::parseImagePolicy(imagePolicyArg);
+    if (!parsed.has_value()) {
+      std::fprintf(stderr,
+                   "stsyn: unknown --image-policy '%s' (expected "
+                   "monolithic|perprocess|auto|both)\n",
+                   imagePolicyArg.c_str());
+      return 2;
+    }
+    options.imagePolicy = *parsed;
+    policies = {*parsed};
+  }
   if (!report.tracePath.empty()) obs::Tracer::global().enable();
 
   protocol::Protocol p;
@@ -368,7 +402,7 @@ int main(int argc, char** argv) {
 
   if (weak) {
     report.mode = "weak";
-    const core::WeakResult w = core::addWeakConvergence(sp);
+    const core::WeakResult w = core::addWeakConvergence(sp, options.imagePolicy);
     report.stats = w.stats;
     report.haveStats = true;
     report.success = report.verified = w.success;
@@ -401,12 +435,13 @@ int main(int argc, char** argv) {
       schedules.push_back(core::rotatedSchedule(p.processCount(), rot));
     }
     const core::PortfolioResult pr =
-        core::synthesizePortfolio(p, schedules, portfolio);
+        core::synthesizePortfolio(p, schedules, portfolio, policies);
     report.havePortfolio = true;
     report.portfolioWinner = pr.winner;
     report.portfolioWallSeconds = pr.wallSeconds;
     for (const core::PortfolioInstance& inst : pr.instances) {
       report.portfolioRows.push_back({core::toString(inst.schedule),
+                                      symbolic::toString(inst.imagePolicy),
                                       inst.ran, inst.result.success,
                                       inst.result.stats.passCompleted,
                                       inst.wallSeconds});
@@ -424,9 +459,11 @@ int main(int argc, char** argv) {
     const auto& win = pr.instances[pr.winner];
     const verify::Report rep =
         verify::check(*win.symbolic, win.result.relation);
-    std::printf("portfolio: schedule %s won (pass %d), verified=%s\n"
+    std::printf("portfolio: schedule %s won (policy %s, pass %d),"
+                " verified=%s\n"
                 "  %zu of %zu instances ran, wall %.3fs\n  %s\n",
                 core::toString(win.schedule).c_str(),
+                symbolic::toString(win.imagePolicy),
                 win.result.stats.passCompleted,
                 rep.stronglyStabilizing() ? "yes" : "NO",
                 pr.instancesRun(), pr.instances.size(), pr.wallSeconds,

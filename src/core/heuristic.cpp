@@ -2,6 +2,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <optional>
 #include <stdexcept>
 
 #include "obs/trace.hpp"
@@ -11,6 +12,7 @@
 namespace stsyn::core {
 
 using bdd::Bdd;
+using symbolic::ImageEngine;
 using symbolic::SymbolicProtocol;
 
 const char* toString(Failure f) {
@@ -37,14 +39,17 @@ bool traceEnvEnabled() {
   return on;
 }
 
-/// Mutable synthesis state threaded through the passes.
+/// Mutable synthesis state threaded through the passes. All fixpoints run
+/// through ImageEngines over the per-process parts of pss, so the policy
+/// decides between monolithic and partitioned products uniformly.
 class Synthesizer {
  public:
   Synthesizer(const SymbolicProtocol& sp, const Schedule& schedule,
-              SynthesisStats& stats)
+              SynthesisStats& stats, symbolic::ImagePolicy policy)
       : sp_(sp),
         schedule_(schedule),
         stats_(stats),
+        policy_(policy),
         inv_(sp.invariant()),
         notI_(sp.enc().validCur() & !inv_),
         pssProc_(sp.processCount()),
@@ -54,7 +59,8 @@ class Synthesizer {
       added_[j] = sp.manager().falseBdd();
     }
     rebuildUnion();
-    deadlocks_ = sp_.deadlocks(pss_);
+    engine_.emplace(sp_, pssProc_, policy_);
+    deadlocks_ = computeDeadlocks();
   }
 
   [[nodiscard]] const Bdd& pss() const { return pss_; }
@@ -67,7 +73,7 @@ class Synthesizer {
   /// removed; Problem III.1 only freezes delta_pss|I, and the resulting
   /// deadlocks are the passes' job to resolve.
   [[nodiscard]] bool removePreexistingCycles() {
-    const symbolic::SccResult sccs = detectSccs(restrictedPss());
+    const symbolic::SccResult sccs = detectSccs(*engine_);
     for (const Bdd& c : sccs.components) {
       const Bdd inC = c & sp_.onNext(c);
       for (std::size_t j = 0; j < sp_.processCount(); ++j) {
@@ -80,9 +86,18 @@ class Synthesizer {
     }
     if (!sccs.components.empty()) {
       rebuildUnion();
-      deadlocks_ = sp_.deadlocks(pss_);
+      engine_.emplace(sp_, pssProc_, policy_);
+      deadlocks_ = computeDeadlocks();
     }
     return true;
+  }
+
+  /// Does pss restricted to ¬I still contain a cycle? (The already-stable
+  /// early exit of addStrongConvergence.)
+  [[nodiscard]] bool hasCycleOutsideInvariant() {
+    const bool cyclic = symbolic::hasCycle(*engine_, notI_);
+    stats_.addEngine(engine_->drainStats());
+    return cyclic;
   }
 
   /// Greedy cycle resolution (the implementation's "pass 4", see
@@ -109,16 +124,15 @@ class Synthesizer {
         {
           obs::AccumSpan timeIt(stats_.sccSeconds, "greedy_cycle_check",
                                 "scc");
+          const ImageEngine candidate = withGroups(j, group);
           cyclic = !symbolic::certainlyAcyclicIncrement(
-                       sp_, pss_, group, notI_, &stats_.sccSymbolicSteps) &&
-                   symbolic::hasCycle(
-                       sp_, sp_.restrictRel(pss_ | group, notI_), notI_);
+                       candidate, group, notI_, &stats_.sccSymbolicSteps) &&
+                   symbolic::hasCycle(candidate, notI_);
+          stats_.addEngine(candidate.drainStats());
         }
         if (cyclic) continue;
-        added_[j] |= group;
-        pssProc_[j] |= group;
-        pss_ |= group;
-        deadlocks_ = sp_.deadlocks(pss_);
+        commit(j, group);
+        deadlocks_ = computeDeadlocks();
         if (deadlocks_.isFalse()) return true;
       }
     }
@@ -135,7 +149,7 @@ class Synthesizer {
     for (std::size_t idx = 0; idx < schedule_.size(); ++idx) {
       const std::size_t j = schedule_[idx];
       addRecovery(j, from, to, ruledOutTargets);
-      deadlocks_ = sp_.deadlocks(pss_);
+      deadlocks_ = computeDeadlocks();
       if (deadlocks_.isFalse()) return true;
       if (passNo == 1) ruledOutTargets = deadlocks_;  // Fig. 3 line 4
     }
@@ -164,38 +178,56 @@ class Synthesizer {
     // a transition inside a component is discarded. The incremental
     // fast path skips detection when the batch provably closes no cycle
     // (pss|¬I is acyclic by construction throughout the passes).
+    const ImageEngine candidate = withGroups(j, groups);
     {
       obs::AccumSpan timeIt(stats_.sccSeconds, "acyclic_increment", "scc");
-      if (symbolic::certainlyAcyclicIncrement(sp_, pss_, groups, notI_,
-                                              &stats_.sccSymbolicSteps)) {
+      const bool acyclic = symbolic::certainlyAcyclicIncrement(
+          candidate, groups, notI_, &stats_.sccSymbolicSteps);
+      stats_.addEngine(candidate.drainStats());
+      if (acyclic) {
         stats_.sccFastPathHits += 1;
-        added_[j] |= groups;
-        pssProc_[j] |= groups;
-        pss_ |= groups;
+        commit(j, groups);
         return;
       }
     }
-    const symbolic::SccResult sccs =
-        detectSccs(sp_.restrictRel(pss_ | groups, notI_));
+    const symbolic::SccResult sccs = detectSccs(candidate);
     for (const Bdd& c : sccs.components) {
       const Bdd bad = groups & c & sp_.onNext(c);
       if (!bad.isFalse()) groups = groups.minus(sp_.groupExpand(j, bad));
     }
     if (groups.isFalse()) return;
 
+    commit(j, groups);
+  }
+
+  /// A candidate engine: pss with `groups` merged into process j's part.
+  [[nodiscard]] ImageEngine withGroups(std::size_t j, const Bdd& groups) {
+    ImageEngine candidate = *engine_;
+    candidate.growPart(j, groups);
+    return candidate;
+  }
+
+  /// Adds an accepted batch to process j and the union/engine views.
+  void commit(std::size_t j, const Bdd& groups) {
     added_[j] |= groups;
     pssProc_[j] |= groups;
     pss_ |= groups;
+    engine_->growPart(j, groups);
   }
 
-  [[nodiscard]] Bdd restrictedPss() const {
-    return sp_.restrictRel(pss_, notI_);
+  /// Deadlocks of the current pss — valid ¬I states with no successor,
+  /// computed per part so the source scans stay local.
+  [[nodiscard]] Bdd computeDeadlocks() {
+    const Bdd d = sp_.enc().validCur() & !inv_ & !engine_->sources();
+    stats_.addEngine(engine_->drainStats());
+    return d;
   }
 
-  [[nodiscard]] symbolic::SccResult detectSccs(const Bdd& rel) {
+  [[nodiscard]] symbolic::SccResult detectSccs(const ImageEngine& engine) {
     obs::AccumSpan timeIt(stats_.sccSeconds, "scc_detect", "scc");
     util::Stopwatch trace;
-    symbolic::SccResult r = symbolic::nontrivialSccs(sp_, rel, notI_);
+    symbolic::SccResult r = symbolic::nontrivialSccs(engine, notI_);
+    stats_.addEngine(engine.drainStats());
     timeIt.span().arg("components", r.components.size());
     timeIt.span().arg("symbolic_steps", r.symbolicSteps);
     if (traceEnvEnabled()) {
@@ -217,12 +249,14 @@ class Synthesizer {
   const SymbolicProtocol& sp_;
   const Schedule& schedule_;
   SynthesisStats& stats_;
+  symbolic::ImagePolicy policy_;
   Bdd inv_;
   Bdd notI_;
   std::vector<Bdd> pssProc_;
   std::vector<Bdd> added_;
   Bdd pss_;
   Bdd deadlocks_;
+  std::optional<ImageEngine> engine_;  ///< engine over pssProc_
 };
 
 }  // namespace
@@ -232,6 +266,7 @@ StrongResult addStrongConvergence(const SymbolicProtocol& sp,
   StrongResult out;
   util::Stopwatch total;
   obs::Span synthSpan("add_strong_convergence", "synthesis");
+  synthSpan.arg("image_policy", symbolic::toString(options.imagePolicy));
 
   Schedule schedule = options.schedule.empty()
                           ? identitySchedule(sp.processCount())
@@ -244,11 +279,13 @@ StrongResult addStrongConvergence(const SymbolicProtocol& sp,
     throw std::invalid_argument("addStrongConvergence: maxPass must be 1..3");
   }
 
+  out.stats.imagePolicy = symbolic::toString(options.imagePolicy);
+
   // Preprocessing: ranking approximation (Section IV). Rank-infinity states
   // refute the existence of any stabilizing version (Theorem IV.1).
-  out.ranking = computeRanks(sp, &out.stats);
+  out.ranking = computeRanks(sp, &out.stats, options.imagePolicy);
 
-  Synthesizer syn(sp, schedule, out.stats);
+  Synthesizer syn(sp, schedule, out.stats, options.imagePolicy);
 
   auto finish = [&](bool success, Failure failure) {
     out.success = success;
@@ -278,11 +315,7 @@ StrongResult addStrongConvergence(const SymbolicProtocol& sp,
   if (!syn.removePreexistingCycles()) {
     return finish(false, Failure::PreexistingCycleUnremovable);
   }
-  if (syn.deadlocks().isFalse() &&
-      !symbolic::hasCycle(sp, sp.restrictRel(syn.pss(),
-                                             sp.enc().validCur() &
-                                                 !sp.invariant()),
-                          sp.enc().validCur() & !sp.invariant())) {
+  if (syn.deadlocks().isFalse() && !syn.hasCycleOutsideInvariant()) {
     // Already strongly converging (e.g. re-running on a stabilizing input).
     out.stats.passCompleted = 0;
     return finish(true, Failure::None);

@@ -11,23 +11,30 @@ namespace stsyn::core {
 
 PortfolioResult synthesizePortfolio(const protocol::Protocol& proto,
                                     const std::vector<Schedule>& schedules,
-                                    unsigned threads) {
+                                    unsigned threads,
+                                    std::span<const symbolic::ImagePolicy>
+                                        policies) {
+  std::vector<symbolic::ImagePolicy> pols(policies.begin(), policies.end());
+  if (pols.empty()) pols.push_back(symbolic::defaultImagePolicy());
+
   PortfolioResult out;
-  out.instances.resize(schedules.size());
-  if (schedules.empty()) return out;
+  const std::size_t total = schedules.size() * pols.size();
+  out.instances.resize(total);
+  if (total == 0) return out;
 
   if (threads == 0) threads = std::thread::hardware_concurrency();
   if (threads == 0) threads = 1;
-  threads = std::min<unsigned>(threads, schedules.size());
+  threads = std::min<unsigned>(threads, total);
 
   const util::Stopwatch portfolioWatch;
   obs::Span portfolioSpan("portfolio", "portfolio");
   portfolioSpan.arg("schedules", schedules.size());
+  portfolioSpan.arg("policies", pols.size());
   portfolioSpan.arg("threads", static_cast<std::size_t>(threads));
 
   // First-success early exit: once any instance succeeds, workers stop
-  // claiming new schedules. Claims are handed out in input order, so every
-  // schedule below the winning index has already been claimed and will run
+  // claiming new instances. Claims are handed out in input order, so every
+  // instance below the winning index has already been claimed and will run
   // to completion — the lowest-index-success winner stays deterministic.
   std::atomic<std::size_t> next{0};
   std::atomic<bool> succeeded{false};
@@ -37,18 +44,21 @@ PortfolioResult synthesizePortfolio(const protocol::Protocol& proto,
     for (;;) {
       if (succeeded.load(std::memory_order_acquire)) return;
       const std::size_t i = next.fetch_add(1);
-      if (i >= schedules.size()) return;
+      if (i >= total) return;
       PortfolioInstance& inst = out.instances[i];
-      inst.schedule = schedules[i];
+      inst.schedule = schedules[i / pols.size()];
+      inst.imagePolicy = pols[i % pols.size()];
       inst.ran = true;
       obs::Span span("portfolio_instance", "portfolio");
-      span.arg("schedule", toString(schedules[i]));
+      span.arg("schedule", toString(inst.schedule));
+      span.arg("image_policy", symbolic::toString(inst.imagePolicy));
       const util::Stopwatch watch;
       inst.encoding = std::make_unique<symbolic::Encoding>(proto);
       inst.symbolic =
           std::make_unique<symbolic::SymbolicProtocol>(*inst.encoding);
       StrongOptions opt;
-      opt.schedule = schedules[i];
+      opt.schedule = inst.schedule;
+      opt.imagePolicy = inst.imagePolicy;
       inst.result = addStrongConvergence(*inst.symbolic, opt);
       inst.wallSeconds = watch.seconds();
       span.arg("success", inst.result.success);
@@ -74,9 +84,10 @@ PortfolioResult synthesizePortfolio(const protocol::Protocol& proto,
     }
   }
   out.wallSeconds = portfolioWatch.seconds();
-  portfolioSpan.arg("winner",
-                    out.winner == SIZE_MAX ? std::string("none")
-                                           : toString(schedules[out.winner]));
+  portfolioSpan.arg(
+      "winner", out.winner == SIZE_MAX
+                    ? std::string("none")
+                    : toString(out.instances[out.winner].schedule));
   portfolioSpan.arg("instances_run", out.instancesRun());
   return out;
 }

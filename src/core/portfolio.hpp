@@ -8,6 +8,7 @@
 #pragma once
 
 #include <memory>
+#include <span>
 
 #include "core/heuristic.hpp"
 
@@ -17,6 +18,8 @@ namespace stsyn::core {
 /// live in; the input protocol must outlive this object.
 struct PortfolioInstance {
   Schedule schedule;
+  /// The image policy this instance synthesized under.
+  symbolic::ImagePolicy imagePolicy = symbolic::ImagePolicy::Auto;
   std::unique_ptr<symbolic::Encoding> encoding;
   std::unique_ptr<symbolic::SymbolicProtocol> symbolic;
   StrongResult result;
@@ -54,15 +57,20 @@ struct PortfolioResult {
   }
 };
 
-/// Runs the heuristic once per schedule, using up to `threads` worker
-/// threads (0 = hardware concurrency). Workers stop claiming new schedules
-/// once any instance succeeds; schedules claimed before that point still
-/// run to completion. Deterministic: the outcome of each instance is
-/// independent of the thread interleaving, and the winner is the first
-/// successful schedule in input order (claims are handed out in input
-/// order, so every schedule up to the winning index always runs).
+/// Runs the heuristic once per (schedule, image policy) pair, using up to
+/// `threads` worker threads (0 = hardware concurrency). `policies` is a
+/// second portfolio axis; empty means the process-wide default policy
+/// only, so existing call sites get exactly one instance per schedule.
+/// Instances are ordered schedule-major, policy-minor. Workers stop
+/// claiming new instances once any instance succeeds; instances claimed
+/// before that point still run to completion. Deterministic: the outcome
+/// of each instance is independent of the thread interleaving, and the
+/// winner is the first successful instance in input order (claims are
+/// handed out in input order, so every instance up to the winning index
+/// always runs).
 [[nodiscard]] PortfolioResult synthesizePortfolio(
     const protocol::Protocol& proto, const std::vector<Schedule>& schedules,
-    unsigned threads = 0);
+    unsigned threads = 0,
+    std::span<const symbolic::ImagePolicy> policies = {});
 
 }  // namespace stsyn::core

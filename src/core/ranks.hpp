@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "core/stats.hpp"
+#include "symbolic/frontier.hpp"
 #include "symbolic/relations.hpp"
 
 namespace stsyn::core {
@@ -40,9 +41,12 @@ struct Ranking {
   [[nodiscard]] bool complete() const { return unreachable.isFalse(); }
 };
 
-/// Runs both steps. If `stats` is non-null, ranking time and M are
-/// accumulated into it.
-[[nodiscard]] Ranking computeRanks(const symbolic::SymbolicProtocol& sp,
-                                   SynthesisStats* stats = nullptr);
+/// Runs both steps. If `stats` is non-null, ranking time, M, and the
+/// image-engine counters are accumulated into it. The backward BFS is
+/// frontier-based (each round quantifies only the newest rank) and runs
+/// over p_im kept as per-process parts, combined per `policy`.
+[[nodiscard]] Ranking computeRanks(
+    const symbolic::SymbolicProtocol& sp, SynthesisStats* stats = nullptr,
+    symbolic::ImagePolicy policy = symbolic::defaultImagePolicy());
 
 }  // namespace stsyn::core

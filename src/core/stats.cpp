@@ -4,8 +4,15 @@
 #include <cstdio>
 
 #include "obs/json.hpp"
+#include "symbolic/frontier.hpp"
 
 namespace stsyn::core {
+
+void SynthesisStats::addEngine(const symbolic::ImageEngineStats& e) {
+  imageOps += e.imageCalls;
+  preimageOps += e.preimageCalls;
+  imagePartProducts += e.partProducts;
+}
 
 std::string SynthesisStats::summary() const {
   char buf[512];
@@ -50,6 +57,12 @@ void SynthesisStats::writeJson(obs::JsonWriter& w) const {
   w.field("cache_hits", static_cast<std::uint64_t>(cacheHits));
   w.field("cache_hit_rate", cacheHitRate());
   w.field("pass_completed", passCompleted);
+  w.field("image_policy", imagePolicy);
+  w.field("image_ops", static_cast<std::uint64_t>(imageOps));
+  w.field("preimage_ops", static_cast<std::uint64_t>(preimageOps));
+  w.field("image_part_products",
+          static_cast<std::uint64_t>(imagePartProducts));
+  w.field("frontier_steps", static_cast<std::uint64_t>(frontierSteps));
   w.endObject();
 }
 

@@ -11,6 +11,10 @@ namespace stsyn::obs {
 class JsonWriter;
 }  // namespace stsyn::obs
 
+namespace stsyn::symbolic {
+struct ImageEngineStats;
+}  // namespace stsyn::symbolic
+
 namespace stsyn::core {
 
 /// Version of the machine-readable stats/bench documents. Bump on any
@@ -48,6 +52,23 @@ struct SynthesisStats {
   /// 4 is the implementation's greedy cycle-resolution pass, 0 means the
   /// input needed no recovery.
   int passCompleted = 0;
+
+  /// Image-computation policy the run was configured with ("monolithic",
+  /// "perprocess" or "auto"; empty when the run predates the setting).
+  std::string imagePolicy;
+
+  std::size_t imageOps = 0;     ///< ImageEngine image() fixpoint steps
+  std::size_t preimageOps = 0;  ///< ImageEngine preimage() fixpoint steps
+  /// Per-part relational products across all engines of the run; equals
+  /// imageOps + preimageOps (plus source/target scans) when every engine
+  /// ran monolithic, larger under partitioning.
+  std::size_t imagePartProducts = 0;
+  /// Backward-BFS rounds of the ranking fixpoint (frontier-based, so each
+  /// round quantifies only the newest rank).
+  std::size_t frontierSteps = 0;
+
+  /// Folds one engine's drained counters into this run's totals.
+  void addEngine(const symbolic::ImageEngineStats& e);
 
   /// Average SCC size in BDD nodes (0 when no SCC was ever formed), the
   /// metric plotted in the paper's Figures 7 and 11.

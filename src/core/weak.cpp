@@ -4,10 +4,12 @@
 
 namespace stsyn::core {
 
-WeakResult addWeakConvergence(const symbolic::SymbolicProtocol& sp) {
+WeakResult addWeakConvergence(const symbolic::SymbolicProtocol& sp,
+                              symbolic::ImagePolicy policy) {
   WeakResult out;
   util::Stopwatch total;
-  out.ranking = computeRanks(sp, &out.stats);
+  out.stats.imagePolicy = symbolic::toString(policy);
+  out.ranking = computeRanks(sp, &out.stats, policy);
   out.relation = out.ranking.pim;
   out.rankInfinityStates = out.ranking.unreachable;
   out.success = out.ranking.complete();

@@ -25,6 +25,7 @@ struct WeakResult {
 };
 
 [[nodiscard]] WeakResult addWeakConvergence(
-    const symbolic::SymbolicProtocol& sp);
+    const symbolic::SymbolicProtocol& sp,
+    symbolic::ImagePolicy policy = symbolic::defaultImagePolicy());
 
 }  // namespace stsyn::core

@@ -105,7 +105,12 @@ Bdd SymbolicProtocol::preimage(const Bdd& t, const Bdd& s) const {
 }
 
 Bdd SymbolicProtocol::restrictRel(const Bdd& t, const Bdd& x) const {
-  return t & x & enc_.curToNext(x);
+  // Fence X to the valid codes first. Over non-power-of-two domains an
+  // unfenced X (anything built with a negation, e.g. ¬I) contains invalid
+  // codes, and without the fence transitions touching them would survive
+  // the restriction.
+  const Bdd inside = x & enc_.validCur();
+  return t & inside & enc_.curToNext(inside);
 }
 
 Bdd SymbolicProtocol::sources(const Bdd& t) const {

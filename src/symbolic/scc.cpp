@@ -11,22 +11,6 @@ using bdd::Bdd;
 
 namespace {
 
-/// Successors of S under the partitioned relation, all within `within`.
-Bdd imageParts(const SymbolicProtocol& sp, std::span<const Bdd> parts,
-               const Bdd& s, const Bdd& within) {
-  Bdd out = sp.manager().falseBdd();
-  for (const Bdd& part : parts) out |= sp.image(part, s) & within;
-  return out;
-}
-
-/// Predecessors of S under the partitioned relation, within `within`.
-Bdd preimageParts(const SymbolicProtocol& sp, std::span<const Bdd> parts,
-                  const Bdd& s, const Bdd& within) {
-  Bdd out = sp.manager().falseBdd();
-  for (const Bdd& part : parts) out |= sp.preimage(part, s) & within;
-  return out;
-}
-
 /// One lockstep refinement step: returns the SCC of a pivot state inside V
 /// together with the converged search set, growing the forward and backward
 /// reachable sets in lockstep so the work is proportional to the smaller of
@@ -37,17 +21,17 @@ struct Lockstep {
   Bdd converged;  // the search set that converged first (closed within V)
 };
 
-Lockstep lockstep(const SymbolicProtocol& sp, std::span<const Bdd> parts,
-                  const Bdd& v, const Bdd& pivot, std::size_t& steps) {
+Lockstep lockstep(const ImageEngine& engine, const Bdd& v, const Bdd& pivot,
+                  std::size_t& steps) {
   Bdd fwd = pivot;
   Bdd bwd = pivot;
   Bdd fFront = pivot;
   Bdd bFront = pivot;
 
   while (!fFront.isFalse() && !bFront.isFalse()) {
-    fFront = imageParts(sp, parts, fFront, v) & !fwd;
+    fFront = engine.image(fFront, v) & !fwd;
     fwd |= fFront;
-    bFront = preimageParts(sp, parts, bFront, v) & !bwd;
+    bFront = engine.preimage(bFront, v) & !bwd;
     bwd |= bFront;
     steps += 2;
   }
@@ -57,7 +41,7 @@ Lockstep lockstep(const SymbolicProtocol& sp, std::span<const Bdd> parts,
     bwd &= fwd;
     bFront &= fwd;
     while (!bFront.isFalse()) {
-      bFront = preimageParts(sp, parts, bFront, fwd) & !bwd;
+      bFront = engine.preimage(bFront, fwd) & !bwd;
       bwd |= bFront;
       ++steps;
     }
@@ -66,7 +50,7 @@ Lockstep lockstep(const SymbolicProtocol& sp, std::span<const Bdd> parts,
   fwd &= bwd;
   fFront &= bwd;
   while (!fFront.isFalse()) {
-    fFront = imageParts(sp, parts, fFront, bwd) & !fwd;
+    fFront = engine.image(fFront, bwd) & !fwd;
     fwd |= fFront;
     ++steps;
   }
@@ -75,11 +59,10 @@ Lockstep lockstep(const SymbolicProtocol& sp, std::span<const Bdd> parts,
 
 /// Does `scc` contain an internal transition of some part? (Distinguishes
 /// a genuine cycle from a trivial single-state component.)
-bool hasInternalEdge(const SymbolicProtocol& sp, std::span<const Bdd> parts,
-                     const Bdd& scc) {
-  const Bdd next = sp.onNext(scc);
-  for (const Bdd& part : parts) {
-    if (!(part & scc & next).isFalse()) return true;
+bool hasInternalEdge(const ImageEngine& engine, const Bdd& scc) {
+  const Bdd next = engine.sp().onNext(scc);
+  for (std::size_t i = 0; i < engine.partCount(); ++i) {
+    if (!(engine.part(i) & scc & next).isFalse()) return true;
   }
   return false;
 }
@@ -87,36 +70,30 @@ bool hasInternalEdge(const SymbolicProtocol& sp, std::span<const Bdd> parts,
 /// Trims `domain` to its cycle core: repeatedly drop states with no
 /// successor or no predecessor inside the remaining set. Every non-trivial
 /// SCC survives, and on cycle-free graphs the core empties out in
-/// O(longest chain) rounds. The per-part relations are re-restricted to
-/// the shrinking core so each round's operands keep getting smaller.
-Bdd trimToCore(const SymbolicProtocol& sp, std::span<const Bdd> parts,
-               const Bdd& domain, std::size_t& steps) {
-  std::vector<Bdd> r(parts.begin(), parts.end());
-  for (Bdd& part : r) part = sp.restrictRel(part, domain);
+/// O(longest chain) rounds. The engine is re-restricted to the shrinking
+/// core so each round's operands keep getting smaller.
+Bdd trimToCore(const ImageEngine& engine, const Bdd& domain,
+               std::size_t& steps) {
+  ImageEngine r = engine.restricted(domain);
   Bdd core = domain;
   for (;;) {
-    Bdd hasSucc = sp.manager().falseBdd();
-    Bdd hasPred = sp.manager().falseBdd();
-    for (const Bdd& part : r) {
-      hasSucc |= sp.sources(part);
-      hasPred |= sp.enc().nextToCur(part.exists(sp.enc().curCube()));
-    }
+    const Bdd keep = core & r.sources() & r.targets();
     steps += 2;
-    const Bdd keep = core & hasSucc & hasPred;
     if (keep == core) return core;
     core = keep;
     if (core.isFalse()) return core;
-    for (Bdd& part : r) part = sp.restrictRel(part, core);
+    r = r.restricted(core);
   }
 }
 
 }  // namespace
 
-SccResult nontrivialSccs(const SymbolicProtocol& sp,
-                         std::span<const Bdd> parts, const Bdd& domain) {
+SccResult nontrivialSccs(const ImageEngine& engine, const Bdd& domain) {
+  const SymbolicProtocol& sp = engine.sp();
   obs::Span span("nontrivial_sccs", "scc");
+  span.arg("partitioned", engine.partitioned());
   SccResult result;
-  const Bdd core = trimToCore(sp, parts, domain, result.symbolicSteps);
+  const Bdd core = trimToCore(engine, domain, result.symbolicSteps);
   if (!core.isFalse()) {
     std::vector<Bdd> work{core};
     while (!work.empty()) {
@@ -127,9 +104,9 @@ SccResult nontrivialSccs(const SymbolicProtocol& sp,
              "SCC work set escaped the valid state codes");
 
       const Bdd pivot = sp.enc().stateBdd(sp.pickState(v));
-      const Lockstep ls = lockstep(sp, parts, v, pivot, result.symbolicSteps);
+      const Lockstep ls = lockstep(engine, v, pivot, result.symbolicSteps);
 
-      if (hasInternalEdge(sp, parts, ls.scc)) {
+      if (hasInternalEdge(engine, ls.scc)) {
         result.components.push_back(ls.scc);
       }
       // SCCs never straddle the converged set: recurse on both sides.
@@ -142,39 +119,48 @@ SccResult nontrivialSccs(const SymbolicProtocol& sp,
   return result;
 }
 
-SccResult nontrivialSccs(const SymbolicProtocol& sp, const Bdd& rel,
-                         const Bdd& domain) {
-  const std::vector<Bdd> parts{rel};
-  return nontrivialSccs(sp, parts, domain);
+SccResult nontrivialSccs(const SymbolicProtocol& sp,
+                         std::span<const Bdd> parts, const Bdd& domain) {
+  return nontrivialSccs(
+      ImageEngine::generic(sp, {parts.begin(), parts.end()}), domain);
 }
 
-bool hasCycle(const SymbolicProtocol& sp, std::span<const Bdd> parts,
-              const Bdd& domain) {
+SccResult nontrivialSccs(const SymbolicProtocol& sp, const Bdd& rel,
+                         const Bdd& domain) {
+  return nontrivialSccs(ImageEngine(sp, rel), domain);
+}
+
+bool hasCycle(const ImageEngine& engine, const Bdd& domain) {
   obs::Span span("has_cycle", "scc");
   // Self-loops are cycles.
-  const Bdd diag = domain & sp.enc().diagonal();
-  for (const Bdd& part : parts) {
-    if (!(part & diag).isFalse()) {
+  const Bdd diag = domain & engine.sp().enc().diagonal();
+  for (std::size_t i = 0; i < engine.partCount(); ++i) {
+    if (!(engine.part(i) & diag).isFalse()) {
       span.arg("cyclic", true);
       return true;
     }
   }
   // Otherwise a cycle exists iff the trimmed core is non-empty.
   std::size_t steps = 0;
-  const bool cyclic = !trimToCore(sp, parts, domain, steps).isFalse();
+  const bool cyclic = !trimToCore(engine, domain, steps).isFalse();
   span.arg("cyclic", cyclic);
   span.arg("symbolic_steps", steps);
   return cyclic;
 }
 
-bool hasCycle(const SymbolicProtocol& sp, const Bdd& rel, const Bdd& domain) {
-  const std::vector<Bdd> parts{rel};
-  return hasCycle(sp, parts, domain);
+bool hasCycle(const SymbolicProtocol& sp, std::span<const Bdd> parts,
+              const Bdd& domain) {
+  return hasCycle(ImageEngine::generic(sp, {parts.begin(), parts.end()}),
+                  domain);
 }
 
-bool certainlyAcyclicIncrement(const SymbolicProtocol& sp, const Bdd& base,
-                               const Bdd& delta, const Bdd& domain,
-                               std::size_t* steps) {
+bool hasCycle(const SymbolicProtocol& sp, const Bdd& rel, const Bdd& domain) {
+  return hasCycle(ImageEngine(sp, rel), domain);
+}
+
+bool certainlyAcyclicIncrement(const ImageEngine& combined, const Bdd& delta,
+                               const Bdd& domain, std::size_t* steps) {
+  const SymbolicProtocol& sp = combined.sp();
   // Delta self-loops inside the domain are cycles outright.
   if (!(delta & domain & sp.enc().diagonal()).isFalse()) return false;
 
@@ -185,16 +171,22 @@ bool certainlyAcyclicIncrement(const SymbolicProtocol& sp, const Bdd& base,
 
   // BFS of the targets' forward cone under base ∪ delta, bailing out the
   // moment it can touch a delta source (then a closing edge may exist).
-  const Bdd combined = base | delta;
   Bdd reach = targets;
   Bdd frontier = targets;
   for (;;) {
     if (!(frontier & sources).isFalse()) return false;  // inconclusive
-    frontier = sp.image(combined, frontier) & domain & !reach;
+    frontier = combined.image(frontier, domain) & !reach;
     if (steps != nullptr) ++*steps;
     if (frontier.isFalse()) return true;  // cone closed without meeting them
     reach |= frontier;
   }
+}
+
+bool certainlyAcyclicIncrement(const SymbolicProtocol& sp, const Bdd& base,
+                               const Bdd& delta, const Bdd& domain,
+                               std::size_t* steps) {
+  return certainlyAcyclicIncrement(ImageEngine(sp, base | delta), delta,
+                                   domain, steps);
 }
 
 }  // namespace stsyn::symbolic

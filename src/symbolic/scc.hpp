@@ -2,8 +2,8 @@
 //
 // The paper's Identify_Resolve_Cycles routine uses the symbolic SCC
 // algorithm of Gentilini et al. We implement the lockstep divide-and-conquer
-// scheme (Bloem/Gabow/Somenzi) on top of a DISJUNCTIVELY PARTITIONED
-// transition relation — one BDD per process, never their monolithic union —
+// scheme (Bloem/Gabow/Somenzi) on top of an ImageEngine — a disjunctively
+// partitioned transition relation whose monolithic union is never needed —
 // with a cycle-core trimming prepass. Partitioning keeps every image and
 // preimage operand small and local (the per-process relations of ring
 // protocols touch only neighbouring variables), which is what lets the
@@ -13,6 +13,7 @@
 
 #include <vector>
 
+#include "symbolic/frontier.hpp"
 #include "symbolic/relations.hpp"
 
 namespace stsyn::symbolic {
@@ -28,8 +29,13 @@ struct SccResult {
   std::size_t symbolicSteps = 0;
 };
 
-/// Computes the non-trivial SCCs of the union of `parts` restricted to the
-/// state set `domain` (both endpoints inside `domain`).
+/// Computes the non-trivial SCCs of the engine's relation restricted to the
+/// state set `domain` (both endpoints inside `domain`). Per-part products
+/// are accounted into the engine's (shared) counters.
+[[nodiscard]] SccResult nontrivialSccs(const ImageEngine& engine,
+                                       const bdd::Bdd& domain);
+
+/// Span-of-parts convenience overload (generic partitioned engine).
 [[nodiscard]] SccResult nontrivialSccs(const SymbolicProtocol& sp,
                                        std::span<const bdd::Bdd> parts,
                                        const bdd::Bdd& domain);
@@ -45,6 +51,10 @@ struct SccResult {
 /// for the recursive calls. Functionally identical to nontrivialSccs
 /// (tested); kept as an alternative backend and for the
 /// bench/ablation_scc_algorithms comparison.
+[[nodiscard]] SccResult nontrivialSccsSkeleton(const ImageEngine& engine,
+                                               const bdd::Bdd& domain);
+
+/// Span-of-parts convenience overload (generic partitioned engine).
 [[nodiscard]] SccResult nontrivialSccsSkeleton(const SymbolicProtocol& sp,
                                                std::span<const bdd::Bdd> parts,
                                                const bdd::Bdd& domain);
@@ -54,9 +64,12 @@ struct SccResult {
                                                const bdd::Bdd& rel,
                                                const bdd::Bdd& domain);
 
-/// True iff the union of `parts` restricted to `domain` contains a cycle —
+/// True iff the engine's relation restricted to `domain` contains a cycle —
 /// equivalent to nontrivialSccs(...).components being non-empty but cheaper
 /// when the caller only needs a yes/no answer.
+[[nodiscard]] bool hasCycle(const ImageEngine& engine, const bdd::Bdd& domain);
+
+/// Span-of-parts convenience overload (generic partitioned engine).
 [[nodiscard]] bool hasCycle(const SymbolicProtocol& sp,
                             std::span<const bdd::Bdd> parts,
                             const bdd::Bdd& domain);
@@ -65,14 +78,21 @@ struct SccResult {
 [[nodiscard]] bool hasCycle(const SymbolicProtocol& sp, const bdd::Bdd& rel,
                             const bdd::Bdd& domain);
 
-/// Incremental one-sided acyclicity test. Precondition: base restricted to
-/// `domain` is acyclic. Any cycle of (base ∪ delta)|domain must then pass
-/// through a delta edge, so it is ruled out whenever the forward cone of
-/// delta's targets never meets delta's sources. Returns true when the
-/// combination is CERTAINLY acyclic; false means "possibly cyclic — run
-/// full SCC detection". This is the fast path that lets the synthesis of
+/// Incremental one-sided acyclicity test over an engine holding base ∪
+/// delta. Precondition: (combined \ delta) restricted to `domain` is
+/// acyclic. Any cycle of combined|domain must then pass through a delta
+/// edge, so it is ruled out whenever the forward cone of delta's targets
+/// never meets delta's sources. Returns true when the combination is
+/// CERTAINLY acyclic; false means "possibly cyclic — run full SCC
+/// detection". This is the fast path that lets the synthesis of
 /// locally-correctable protocols (coloring) skip SCC detection entirely,
 /// mirroring the paper's observation that coloring never forms SCCs.
+[[nodiscard]] bool certainlyAcyclicIncrement(const ImageEngine& combined,
+                                             const bdd::Bdd& delta,
+                                             const bdd::Bdd& domain,
+                                             std::size_t* steps = nullptr);
+
+/// Monolithic convenience overload over base ∪ delta.
 [[nodiscard]] bool certainlyAcyclicIncrement(const SymbolicProtocol& sp,
                                              const bdd::Bdd& base,
                                              const bdd::Bdd& delta,

@@ -5,9 +5,9 @@
 // from the pivot to the last ring seeds the recursion so each symbolic
 // step is charged to at most a constant number of output states.
 //
-// Shares the trimming prepass and the partitioned image operators with the
-// lockstep implementation via small local copies (the two backends are
-// deliberately independent above the SymbolicProtocol primitives).
+// Shares the trimming prepass shape with the lockstep implementation but
+// stays independent above the ImageEngine primitives (the two backends are
+// deliberately separate for the bench/ablation_scc_algorithms comparison).
 #include <cassert>
 #include <utility>
 #include <vector>
@@ -20,46 +20,24 @@ using bdd::Bdd;
 
 namespace {
 
-Bdd imageParts(const SymbolicProtocol& sp, std::span<const Bdd> parts,
-               const Bdd& s, const Bdd& within) {
-  Bdd out = sp.manager().falseBdd();
-  for (const Bdd& part : parts) out |= sp.image(part, s) & within;
-  return out;
-}
-
-Bdd preimageParts(const SymbolicProtocol& sp, std::span<const Bdd> parts,
-                  const Bdd& s, const Bdd& within) {
-  Bdd out = sp.manager().falseBdd();
-  for (const Bdd& part : parts) out |= sp.preimage(part, s) & within;
-  return out;
-}
-
-Bdd trimToCoreLocal(const SymbolicProtocol& sp, std::span<const Bdd> parts,
-                    const Bdd& domain, std::size_t& steps) {
-  std::vector<Bdd> r(parts.begin(), parts.end());
-  for (Bdd& part : r) part = sp.restrictRel(part, domain);
+Bdd trimToCoreLocal(const ImageEngine& engine, const Bdd& domain,
+                    std::size_t& steps) {
+  ImageEngine r = engine.restricted(domain);
   Bdd core = domain;
   for (;;) {
-    Bdd hasSucc = sp.manager().falseBdd();
-    Bdd hasPred = sp.manager().falseBdd();
-    for (const Bdd& part : r) {
-      hasSucc |= sp.sources(part);
-      hasPred |= sp.enc().nextToCur(part.exists(sp.enc().curCube()));
-    }
+    const Bdd keep = core & r.sources() & r.targets();
     steps += 2;
-    const Bdd keep = core & hasSucc & hasPred;
     if (keep == core) return core;
     core = keep;
     if (core.isFalse()) return core;
-    for (Bdd& part : r) part = sp.restrictRel(part, core);
+    r = r.restricted(core);
   }
 }
 
-bool hasInternalEdge(const SymbolicProtocol& sp, std::span<const Bdd> parts,
-                     const Bdd& scc) {
-  const Bdd next = sp.onNext(scc);
-  for (const Bdd& part : parts) {
-    if (!(part & scc & next).isFalse()) return true;
+bool hasInternalEdge(const ImageEngine& engine, const Bdd& scc) {
+  const Bdd next = engine.sp().onNext(scc);
+  for (std::size_t i = 0; i < engine.partCount(); ++i) {
+    if (!(engine.part(i) & scc & next).isFalse()) return true;
   }
   return false;
 }
@@ -76,16 +54,16 @@ struct SkelFwdResult {
 
 /// Forward search with onion rings + skeleton construction (SKEL_FORWARD
 /// in the Gentilini et al. paper).
-SkelFwdResult skelForward(const SymbolicProtocol& sp,
-                          std::span<const Bdd> parts, const Bdd& v,
+SkelFwdResult skelForward(const ImageEngine& engine, const Bdd& v,
                           const Bdd& pivot, std::size_t& steps) {
+  const SymbolicProtocol& sp = engine.sp();
   std::vector<Bdd> rings;
   Bdd fw = sp.manager().falseBdd();
   Bdd level = pivot;
   while (!level.isFalse()) {
     rings.push_back(level);
     fw |= level;
-    level = imageParts(sp, parts, level, v) & !fw;
+    level = engine.image(level, v) & !fw;
     ++steps;
   }
   // Build the skeleton: one state per ring, consecutive states connected.
@@ -95,7 +73,7 @@ SkelFwdResult skelForward(const SymbolicProtocol& sp,
   Bdd cur = out.head;
   Bdd skel = cur;
   for (std::size_t i = rings.size() - 1; i-- > 0;) {
-    const Bdd preds = preimageParts(sp, parts, cur, rings[i]);
+    const Bdd preds = engine.preimage(cur, rings[i]);
     ++steps;
     cur = singleton(sp, preds);
     skel |= cur;
@@ -106,11 +84,11 @@ SkelFwdResult skelForward(const SymbolicProtocol& sp,
 
 }  // namespace
 
-SccResult nontrivialSccsSkeleton(const SymbolicProtocol& sp,
-                                 std::span<const Bdd> parts,
+SccResult nontrivialSccsSkeleton(const ImageEngine& engine,
                                  const Bdd& domain) {
+  const SymbolicProtocol& sp = engine.sp();
   SccResult result;
-  const Bdd core = trimToCoreLocal(sp, parts, domain, result.symbolicSteps);
+  const Bdd core = trimToCoreLocal(engine, domain, result.symbolicSteps);
   if (core.isFalse()) return result;
 
   struct Task {
@@ -130,25 +108,23 @@ SccResult nontrivialSccsSkeleton(const SymbolicProtocol& sp,
     const Bdd pivot = task.head.isFalse() ? singleton(sp, task.v)
                                           : singleton(sp, task.head);
     const SkelFwdResult fwd =
-        skelForward(sp, parts, task.v, pivot, result.symbolicSteps);
+        skelForward(engine, task.v, pivot, result.symbolicSteps);
 
     // The pivot's SCC: backward closure of {pivot} inside FW.
     Bdd scc = pivot;
     for (;;) {
-      const Bdd grow =
-          preimageParts(sp, parts, scc, fwd.fw) & !scc;
+      const Bdd grow = engine.preimage(scc, fwd.fw) & !scc;
       ++result.symbolicSteps;
       if (grow.isFalse()) break;
       scc |= grow;
     }
-    if (hasInternalEdge(sp, parts, scc)) result.components.push_back(scc);
+    if (hasInternalEdge(engine, scc)) result.components.push_back(scc);
 
     // Recursion 1: V \ FW, with the old skeleton minus the SCC; its new
     // head is the fringe of the old skeleton just above the SCC.
     {
       const Bdd s1 = task.skeleton.minus(scc);
-      const Bdd n1 =
-          preimageParts(sp, parts, scc & task.skeleton, s1);
+      const Bdd n1 = engine.preimage(scc & task.skeleton, s1);
       ++result.symbolicSteps;
       work.push_back(Task{task.v.minus(fwd.fw), s1 & task.v.minus(fwd.fw),
                           n1 & task.v.minus(fwd.fw)});
@@ -163,10 +139,16 @@ SccResult nontrivialSccsSkeleton(const SymbolicProtocol& sp,
   return result;
 }
 
+SccResult nontrivialSccsSkeleton(const SymbolicProtocol& sp,
+                                 std::span<const Bdd> parts,
+                                 const Bdd& domain) {
+  return nontrivialSccsSkeleton(
+      ImageEngine::generic(sp, {parts.begin(), parts.end()}), domain);
+}
+
 SccResult nontrivialSccsSkeleton(const SymbolicProtocol& sp, const Bdd& rel,
                                  const Bdd& domain) {
-  const std::vector<Bdd> parts{rel};
-  return nontrivialSccsSkeleton(sp, parts, domain);
+  return nontrivialSccsSkeleton(ImageEngine(sp, rel), domain);
 }
 
 }  // namespace stsyn::symbolic

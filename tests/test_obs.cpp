@@ -259,6 +259,11 @@ core::SynthesisStats sampleStats() {
   s.cacheLookups = 100;
   s.cacheHits = 80;
   s.passCompleted = 2;
+  s.imagePolicy = "perprocess";
+  s.imageOps = 11;
+  s.preimageOps = 13;
+  s.imagePartProducts = 44;
+  s.frontierSteps = 6;
   return s;
 }
 
@@ -288,6 +293,12 @@ TEST(StatsJson, WriteJsonRoundTripsEveryField) {
   EXPECT_DOUBLE_EQ(doc->find("cache_hits")->number, 80.0);
   EXPECT_DOUBLE_EQ(doc->find("cache_hit_rate")->number, 0.8);
   EXPECT_DOUBLE_EQ(doc->find("pass_completed")->number, 2.0);
+  EXPECT_EQ(doc->find("image_policy")->str, "perprocess");
+  EXPECT_DOUBLE_EQ(doc->find("image_ops")->number, 11.0);
+  EXPECT_DOUBLE_EQ(doc->find("preimage_ops")->number, 13.0);
+  EXPECT_DOUBLE_EQ(doc->find("image_part_products")->number, 44.0);
+  EXPECT_DOUBLE_EQ(doc->find("frontier_steps")->number, 6.0);
+  // Pure additions: the schema version only moves on a breaking change.
   EXPECT_EQ(core::kStatsJsonSchemaVersion, 1);
 }
 

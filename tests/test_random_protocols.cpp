@@ -10,9 +10,11 @@
 
 #include "protocol/builder.hpp"
 #include "core/heuristic.hpp"
+#include "core/ranks.hpp"
 #include "explicitstate/synthesis.hpp"
 #include "explicitstate/verify.hpp"
 #include "symbolic/decode.hpp"
+#include "symbolic/frontier.hpp"
 #include "util/rng.hpp"
 #include "verify/verify.hpp"
 
@@ -147,5 +149,118 @@ TEST_P(RandomProtocolWeak, RanksAgreeWithExplicitBfs) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, RandomProtocolWeak,
                          ::testing::Range<std::uint64_t>(100, 110));
+
+// ---------------------------------------------------------------------------
+// Image-policy differential testing: the partitioned engine must agree with
+// the monolithic one BDD for BDD — not just up to verification, but on the
+// exact node of every product and every synthesized relation.
+// ---------------------------------------------------------------------------
+
+class ImagePolicyDifferential
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ImagePolicyDifferential, ProductsAgreeBddForBdd) {
+  util::Rng rng(GetParam() * 2654435761 + 17);
+  for (int instance = 0; instance < 3; ++instance) {
+    const protocol::Protocol p = randomProtocol(rng);
+    symbolic::Encoding enc(p);
+    symbolic::SymbolicProtocol sp(enc);
+    // Random protocols carry no actions of their own (recovery is what
+    // gets synthesized), so run the engines over the candidate relations —
+    // rich, frame-fenced per-process parts.
+    std::vector<bdd::Bdd> parts;
+    for (std::size_t j = 0; j < sp.processCount(); ++j) {
+      parts.push_back(sp.candidates(j));
+    }
+    const symbolic::ImageEngine mono(sp, parts,
+                                     symbolic::ImagePolicy::Monolithic);
+    const symbolic::ImageEngine part(sp, parts,
+                                     symbolic::ImagePolicy::PerProcess);
+    ASSERT_FALSE(mono.partitioned());
+    ASSERT_TRUE(part.partitioned());
+    EXPECT_EQ(mono.relation(), part.relation());
+    EXPECT_EQ(mono.sources(), part.sources());
+    EXPECT_EQ(mono.targets(), part.targets());
+
+    const bdd::Bdd inv = sp.invariant();
+    const bdd::Bdd valid = sp.enc().validCur();
+    const std::vector<bdd::Bdd> sets{
+        enc.manager().falseBdd(), valid, inv, valid & !inv,
+        mono.image(inv),          mono.preimage(valid & !inv)};
+    for (const bdd::Bdd& s : sets) {
+      EXPECT_EQ(mono.image(s), part.image(s))
+          << "seed " << GetParam() << " instance " << instance;
+      EXPECT_EQ(mono.preimage(s), part.preimage(s))
+          << "seed " << GetParam() << " instance " << instance;
+      EXPECT_EQ(mono.image(s, valid & !inv), part.image(s, valid & !inv));
+      EXPECT_EQ(mono.preimage(s, valid & !inv),
+                part.preimage(s, valid & !inv));
+      // Restricted engines (the SCC trim loop's shape) agree too.
+      EXPECT_EQ(mono.restricted(valid & !inv).image(s),
+                part.restricted(valid & !inv).image(s));
+    }
+  }
+}
+
+TEST_P(ImagePolicyDifferential, RanksAgreeBddForBdd) {
+  util::Rng rng(GetParam() * 6700417 + 29);
+  for (int instance = 0; instance < 2; ++instance) {
+    const protocol::Protocol p = randomProtocol(rng);
+    symbolic::Encoding enc(p);
+    symbolic::SymbolicProtocol sp(enc);
+    const core::Ranking monoR =
+        core::computeRanks(sp, nullptr, symbolic::ImagePolicy::Monolithic);
+    const core::Ranking partR =
+        core::computeRanks(sp, nullptr, symbolic::ImagePolicy::PerProcess);
+    EXPECT_EQ(monoR.pim, partR.pim);
+    EXPECT_EQ(monoR.unreachable, partR.unreachable);
+    ASSERT_EQ(monoR.ranks.size(), partR.ranks.size());
+    for (std::size_t i = 0; i < monoR.ranks.size(); ++i) {
+      EXPECT_EQ(monoR.ranks[i], partR.ranks[i]) << "rank " << i;
+    }
+  }
+}
+
+TEST_P(ImagePolicyDifferential, StrongSynthesisIdenticalUnderBothPolicies) {
+  util::Rng rng(GetParam() * 7919 + 13);  // same stream as the engine test
+  for (int instance = 0; instance < 3; ++instance) {
+    const protocol::Protocol p = randomProtocol(rng);
+    const explicitstate::StateSpace space(p);
+    if (space.invariantSize() == 0 || space.invariantSize() == space.size()) {
+      continue;
+    }
+    symbolic::Encoding enc(p);
+    symbolic::SymbolicProtocol sp(enc);
+    core::StrongOptions opt;
+    opt.imagePolicy = symbolic::ImagePolicy::Monolithic;
+    const core::StrongResult mono = core::addStrongConvergence(sp, opt);
+    opt.imagePolicy = symbolic::ImagePolicy::PerProcess;
+    const core::StrongResult part = core::addStrongConvergence(sp, opt);
+
+    ASSERT_EQ(mono.success, part.success)
+        << "seed " << GetParam() << " instance " << instance;
+    EXPECT_EQ(static_cast<int>(mono.failure), static_cast<int>(part.failure));
+    EXPECT_EQ(mono.stats.passCompleted, part.stats.passCompleted);
+    // Same manager, so Bdd equality is node identity.
+    EXPECT_EQ(mono.relation, part.relation);
+    EXPECT_EQ(mono.remainingDeadlocks, part.remainingDeadlocks);
+    ASSERT_EQ(mono.addedPerProcess.size(), part.addedPerProcess.size());
+    for (std::size_t j = 0; j < mono.addedPerProcess.size(); ++j) {
+      EXPECT_EQ(mono.addedPerProcess[j], part.addedPerProcess[j])
+          << "process " << j;
+    }
+    // The engines do different numbers of per-part products but must
+    // answer the same number of image/preimage queries.
+    EXPECT_EQ(mono.stats.imageOps, part.stats.imageOps);
+    EXPECT_EQ(mono.stats.preimageOps, part.stats.preimageOps);
+    if (mono.success) {
+      EXPECT_TRUE(verify::check(sp, mono.relation).stronglyStabilizing());
+      EXPECT_TRUE(verify::check(sp, part.relation).stronglyStabilizing());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ImagePolicyDifferential,
+                         ::testing::Range<std::uint64_t>(0, 24));
 
 }  // namespace

@@ -169,6 +169,48 @@ TEST(Relations, SourcesAndDeadlocks) {
   EXPECT_EQ(deadlocks.size(), 18u);
 }
 
+TEST(Relations, SourcesMatchExplicitOutDegree) {
+  const protocol::Protocol p = casestudies::tokenRing(4, 3);
+  const Encoding enc(p);
+  const SymbolicProtocol sp(enc);
+  const explicitstate::StateSpace space(p);
+  const auto ts = explicitstate::buildTransitions(space);
+  const auto sources =
+      symbolic::decodeStates(enc, sp.sources(sp.protocolRelation()));
+  std::vector<std::uint64_t> expected;
+  for (explicitstate::StateId s = 0; s < space.size(); ++s) {
+    if (!ts.succ[s].empty()) expected.push_back(s);
+  }
+  EXPECT_EQ(sources, expected);
+}
+
+TEST(Relations, SourcesAndDeadlocksOfTheEmptyRelation) {
+  const protocol::Protocol p = casestudies::tokenRing(4, 3);
+  const Encoding enc(p);
+  const SymbolicProtocol sp(enc);
+  const Bdd none = enc.manager().falseBdd();
+  EXPECT_TRUE(sp.sources(none).isFalse());
+  // With no transitions at all, every valid state outside the invariant
+  // deadlocks.
+  EXPECT_EQ(sp.deadlocks(none), enc.validCur() & !sp.invariant());
+}
+
+TEST(Relations, SourcesAndDeadlocksOfTheFullRelation) {
+  const protocol::Protocol p = casestudies::tokenRing(4, 3);
+  const Encoding enc(p);
+  const SymbolicProtocol sp(enc);
+  // The complete relation over valid codes: every valid state is a source
+  // (sources() existentially drops the next copy), so nothing deadlocks.
+  const Bdd full = enc.validCur() & enc.validNext();
+  EXPECT_EQ(sp.sources(full), enc.validCur());
+  EXPECT_TRUE(sp.deadlocks(full).isFalse());
+  // The unfenced constant-true relation also covers invalid codes; its
+  // sources are everything, but deadlocks stay fenced to valid states.
+  const Bdd unfenced = enc.manager().trueBdd();
+  EXPECT_EQ(sp.sources(unfenced), enc.manager().trueBdd());
+  EXPECT_TRUE(sp.deadlocks(unfenced).isFalse());
+}
+
 TEST(Relations, RestrictRelKeepsBothEndpointsInside) {
   const protocol::Protocol p = casestudies::tokenRing(4, 3);
   const Encoding enc(p);
@@ -181,6 +223,42 @@ TEST(Relations, RestrictRelKeepsBothEndpointsInside) {
     EXPECT_TRUE(protocol::evalBool(*p.invariant, s0));
     EXPECT_TRUE(protocol::evalBool(*p.invariant, s1));
   }
+}
+
+TEST(Relations, RestrictRelFencesInvalidCodesInX) {
+  // Regression: over non-power-of-two domains (here 3 values in 2 bits,
+  // code 3 invalid) any X built with a negation contains invalid codes.
+  // restrictRel must fence X to validCur() first, or transitions touching
+  // invalid codes survive the restriction.
+  const protocol::Protocol p = casestudies::tokenRing(3, 3);
+  const Encoding enc(p);
+  const SymbolicProtocol sp(enc);
+  const Bdd x = !sp.invariant();  // unfenced: includes code 3 everywhere
+  ASSERT_FALSE((x & !enc.validCur()).isFalse());
+  // The constant-true relation has transitions between invalid codes;
+  // after restriction both endpoints must be valid states of X.
+  const Bdd r = sp.restrictRel(enc.manager().trueBdd(), x);
+  EXPECT_TRUE(r.implies(enc.validCur()));
+  EXPECT_TRUE(r.implies(enc.curToNext(enc.validCur())));
+  EXPECT_EQ(r, sp.restrictRel(enc.manager().trueBdd(), x & enc.validCur()));
+}
+
+TEST(Relations, RestrictRelEdgeCases) {
+  const protocol::Protocol p = casestudies::tokenRing(3, 3);
+  const Encoding enc(p);
+  const SymbolicProtocol sp(enc);
+  bdd::Manager& m = enc.manager();
+  const Bdd rel = sp.protocolRelation();
+  // Empty relation or empty X: nothing survives.
+  EXPECT_TRUE(sp.restrictRel(m.falseBdd(), sp.invariant()).isFalse());
+  EXPECT_TRUE(sp.restrictRel(rel, m.falseBdd()).isFalse());
+  // X = true keeps a valid-fenced relation unchanged.
+  EXPECT_EQ(sp.restrictRel(rel, m.trueBdd()), rel);
+  // Restriction is idempotent and monotone in X.
+  const Bdd x = enc.validCur() & !sp.invariant();
+  const Bdd once = sp.restrictRel(rel, x);
+  EXPECT_EQ(sp.restrictRel(once, x), once);
+  EXPECT_TRUE(once.implies(sp.restrictRel(rel, m.trueBdd())));
 }
 
 // ---------------------------------------------------------------------------
