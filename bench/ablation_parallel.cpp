@@ -1,0 +1,109 @@
+// Ablation: parallel partitioned image products (symbolic/parallel.hpp)
+// across worker counts {1, 2, 4, 8} on the four case studies. Every point
+// forces ImagePolicy::PerProcess so the partitioned path — and with
+// workers > 1 the worker-local shadow managers, cross-manager transfers,
+// and balanced OR reduction — carries the whole synthesis; the synthesized
+// protocol is bit-identical at every width (asserted by the differential
+// and golden suites), only the time trajectory differs. BENCH_
+// ablation_parallel.json records wall time plus the parallel-path
+// counters (transfer_nodes, reduce_depth, part_products) per point.
+//
+// Scaling is only observable with real cores: on a single-core host every
+// width collapses to a time-sliced sequential run plus transfer overhead.
+#include "bench/common.hpp"
+#include "casestudies/coloring.hpp"
+#include "casestudies/matching.hpp"
+#include "casestudies/token_ring.hpp"
+#include "casestudies/two_ring.hpp"
+#include "core/heuristic.hpp"
+#include "verify/verify.hpp"
+
+namespace {
+
+using namespace stsyn;
+
+constexpr std::size_t kWorkerCounts[] = {1, 2, 4, 8};
+
+/// One synthesis at the worker count selected by the benchmark's second
+/// range argument, always under the per-process policy.
+void runPoint(benchmark::State& state, const protocol::Protocol& p,
+              const char* study, double x, const core::Schedule& schedule,
+              bool verifyResult) {
+  const std::size_t workers = kWorkerCounts[state.range(1)];
+  for (auto _ : state) {
+    symbolic::Encoding enc(p);
+    symbolic::SymbolicProtocol sp(enc);
+    core::StrongOptions opt;
+    opt.schedule = schedule;
+    opt.imagePolicy = symbolic::ImagePolicy::PerProcess;
+    opt.imageWorkers = workers;
+    const core::StrongResult r = core::addStrongConvergence(sp, opt);
+    const bool ok =
+        r.success &&
+        (!verifyResult || verify::check(sp, r.relation).stronglyStabilizing());
+    bench::attachCounters(state, r.stats, ok);
+    state.counters["image_workers"] = static_cast<double>(workers);
+    state.counters["part_products"] =
+        static_cast<double>(r.stats.imagePartProducts);
+    state.counters["transfer_nodes"] =
+        static_cast<double>(r.stats.transferNodes);
+    state.counters["reduce_depth"] = static_cast<double>(r.stats.reduceDepth);
+    bench::recordPoint({std::string(study) + "/w" + std::to_string(workers),
+                        x, ok, r.stats,
+                        ok ? "" : core::toString(r.failure)});
+  }
+}
+
+void BM_TokenRing(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  const protocol::Protocol p = casestudies::tokenRing(k, 4);
+  runPoint(state, p, "token-ring", k,
+           core::rotatedSchedule(static_cast<std::size_t>(k), 1),
+           /*verifyResult=*/k <= 7);
+}
+
+void BM_Coloring(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  const protocol::Protocol p = casestudies::coloring(k);
+  runPoint(state, p, "coloring", k, {}, /*verifyResult=*/k <= 15);
+}
+
+void BM_Matching(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  const protocol::Protocol p = casestudies::matching(k);
+  runPoint(state, p, "matching", k, {}, /*verifyResult=*/true);
+}
+
+void BM_TwoRing(benchmark::State& state) {
+  const int d = static_cast<int>(state.range(0));
+  const protocol::Protocol p = casestudies::twoRing(d);
+  runPoint(state, p, "two-ring", d, {}, /*verifyResult=*/true);
+}
+
+void registerSweep(const char* name, void (*fn)(benchmark::State&),
+                   std::initializer_list<int> xs) {
+  auto* bm = benchmark::RegisterBenchmark(name, fn);
+  for (const int x : xs) {
+    for (int w = 0; w < 4; ++w) bm->Args({x, w});
+  }
+  bm->Iterations(1)->Unit(benchmark::kMillisecond);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  registerSweep("parallel/token_ring_d4", BM_TokenRing, {5, 7, 9});
+  registerSweep("parallel/coloring", BM_Coloring, {20, 40});
+  registerSweep("parallel/matching", BM_Matching, {6, 7});
+  registerSweep("parallel/two_ring", BM_TwoRing, {3, 4});
+
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  stsyn::bench::printFigurePair(
+      "parameter",
+      "Ablation: image workers, times per case study point (seconds)",
+      "Ablation: image workers, BDD nodes per case study point");
+  return stsyn::bench::writeBenchJson("ablation_parallel") ? 0 : 1;
+}

@@ -22,6 +22,10 @@
 //                        $STSYN_IMAGE_POLICY), or both — `both` needs
 //                        --portfolio and races the two policies as a
 //                        second portfolio axis
+//   --image-workers N    worker threads for partitioned image products
+//                        (default 1, or $STSYN_IMAGE_WORKERS; 0 = hardware
+//                        concurrency; results are bit-identical for every
+//                        worker count)
 //   --schedule P2,P0,P1  recovery schedule (default: identity)
 //   --max-pass N         stop after pass N (1..3)
 //   --no-greedy          disable the greedy cycle-resolution pass
@@ -38,12 +42,14 @@
 //
 // Exit status: 0 synthesis succeeded (verified), 1 synthesis failed,
 // 2 usage/parse error.
+#include <algorithm>
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "obs/json.hpp"
@@ -56,7 +62,8 @@ int usage() {
   std::fprintf(stderr,
                "usage: stsyn <protocol.stsyn> [--weak] [--schedule P1,P0,...]"
                " [--max-pass N] [--no-greedy] [--image-policy"
-               " monolithic|perprocess|auto|both] [--print] [--quiet]"
+               " monolithic|perprocess|auto|both] [--image-workers N]"
+               " [--print] [--quiet]"
                " [--stats-json FILE] [--trace FILE]\n"
                "       stsyn lint <protocol.stsyn> [--werror] [--no-symbolic]"
                " [--format=sarif|text]\n");
@@ -286,6 +293,13 @@ int main(int argc, char** argv) {
       scheduleArg = argv[++i];
     } else if (!std::strcmp(a, "--image-policy") && i + 1 < argc) {
       imagePolicyArg = argv[++i];
+    } else if (!std::strcmp(a, "--image-workers") && i + 1 < argc) {
+      const int n = std::atoi(argv[++i]);
+      if (n < 0) return usage();
+      // 0 = hardware concurrency, mirroring $STSYN_IMAGE_WORKERS.
+      options.imageWorkers =
+          n == 0 ? std::max(1u, std::thread::hardware_concurrency())
+                 : static_cast<std::size_t>(n);
     } else if (!std::strcmp(a, "--output") && i + 1 < argc) {
       outputPath = argv[++i];
     } else if (!std::strcmp(a, "--stats-json") && i + 1 < argc) {
@@ -402,7 +416,8 @@ int main(int argc, char** argv) {
 
   if (weak) {
     report.mode = "weak";
-    const core::WeakResult w = core::addWeakConvergence(sp, options.imagePolicy);
+    const core::WeakResult w = core::addWeakConvergence(
+        sp, options.imagePolicy, options.imageWorkers);
     report.stats = w.stats;
     report.haveStats = true;
     report.success = report.verified = w.success;
@@ -434,8 +449,8 @@ int main(int argc, char** argv) {
     for (std::size_t rot = 0; rot < p.processCount(); ++rot) {
       schedules.push_back(core::rotatedSchedule(p.processCount(), rot));
     }
-    const core::PortfolioResult pr =
-        core::synthesizePortfolio(p, schedules, portfolio, policies);
+    const core::PortfolioResult pr = core::synthesizePortfolio(
+        p, schedules, portfolio, policies, options.imageWorkers);
     report.havePortfolio = true;
     report.portfolioWinner = pr.winner;
     report.portfolioWallSeconds = pr.wallSeconds;

@@ -22,16 +22,27 @@
 // take and return variable indices; `levelOf()` / `varAtLevel()` expose
 // the indirection.
 //
-// Concurrency: a Manager is confined to one thread. Distinct Managers are
-// independent, so parallel synthesis instances (one per recovery schedule,
-// as in the paper's Figure 1) each own a Manager.
+// Concurrency: a Manager is CONFINED to one thread — the thread that
+// constructed it (rebindable via bindToCurrentThread after a handoff).
+// Debug builds assert the confinement at every public operation boundary,
+// including the Bdd handle ref/deref path, so a cross-thread access
+// crashes instead of corrupting counters or the node pool silently.
+// Distinct Managers are independent, so parallel synthesis instances (one
+// per recovery schedule, as in the paper's Figure 1) each own a Manager,
+// and the parallel image pool (symbolic/parallel.hpp) gives each worker
+// thread a private Manager populated via transfer(). The one sanctioned
+// cross-thread access is transfer()'s read of a QUIESCENT source manager:
+// raw node reads only, while the owning thread is blocked with
+// happens-before established by the caller (see transfer below).
 #pragma once
 
+#include <cassert>
 #include <cstdint>
 #include <functional>
 #include <iosfwd>
 #include <span>
 #include <string>
+#include <thread>
 #include <vector>
 
 namespace stsyn::bdd {
@@ -200,6 +211,11 @@ class Manager {
 
   [[nodiscard]] const ManagerStats& stats() const { return stats_; }
 
+  /// Re-pins the manager to the calling thread after an ownership handoff
+  /// (e.g. a portfolio worker finished and the main thread takes over the
+  /// winning instance). The previous owner must have quiesced first.
+  void bindToCurrentThread() { owner_ = std::this_thread::get_id(); }
+
   /// Lower bound on live nodes before the next GC attempt; GC runs lazily
   /// at public operation boundaries.
   void setGcThreshold(std::size_t nodes) { gcThreshold_ = nodes; }
@@ -257,6 +273,11 @@ class Manager {
 
  private:
   friend class Bdd;
+  friend Bdd transfer(const Bdd& f, Manager& target,
+                      std::size_t* copiedNodes);
+  /// Test-only backdoor (defined by the test binaries) used to plant
+  /// adversarial cache entries for the GC sweep regression tests.
+  friend struct ManagerTestAccess;
 
   struct Node {
     Var var;         // variable INDEX; kTerminalVar for the two terminals
@@ -310,6 +331,17 @@ class Manager {
   [[nodiscard]] Var nodeLevel(NodeIndex n) const {
     const Var v = nodes_[n].var;
     return v == kTerminalVar ? kTerminalVar : indexToLevel_[v];
+  }
+
+  // --- thread confinement ---------------------------------------------
+  /// Debug-build check that the calling thread owns this manager; called
+  /// at every public operation boundary (compiled out under NDEBUG). The
+  /// stats_ counters are mutated through `mutable` on const paths
+  /// (cacheLookup), which is safe exactly because of this confinement.
+  void assertOwned() const {
+    assert(owner_ == std::this_thread::get_id() &&
+           "bdd::Manager is thread-confined: accessed off its owning "
+           "thread (bindToCurrentThread() re-pins after a handoff)");
   }
 
   // --- external references & GC --------------------------------------
@@ -368,8 +400,14 @@ class Manager {
 
   std::size_t gcThreshold_;
   // Mutable: cacheLookup is const (a probe does not change the function
-  // algebra) but still counts itself.
+  // algebra) but still counts itself. Safe by construction: the manager is
+  // confined to owner_'s thread (assertOwned at every public boundary), so
+  // the counters are never bumped concurrently.
   mutable ManagerStats stats_;
+
+  /// The confining thread; construction pins the manager to the
+  /// constructing thread.
+  std::thread::id owner_ = std::this_thread::get_id();
 
   // Dynamic order: index <-> level, both identity at construction.
   std::vector<Var> indexToLevel_;
@@ -400,5 +438,31 @@ void saveBdd(std::ostream& os, const Bdd& f);
 /// depending on their declared variable, variable count exceeding the
 /// manager's).
 [[nodiscard]] Bdd loadBdd(std::istream& is, Manager& manager);
+
+/// Copies `f` into `target` (which must have at least as many variables)
+/// and returns the equivalent function there. Memoized per call, so a
+/// shared subgraph is copied once; `copiedNodes`, when non-null, is
+/// incremented by the number of source nodes actually visited (== f's
+/// node count). Correct under DIVERGENT variable orders: each node is
+/// rebuilt as var.ite(high, low), which re-canonicalizes against the
+/// target's order (the loadBdd scheme).
+///
+/// Thread contract: the TARGET manager must be owned by the calling
+/// thread; the SOURCE manager is accessed through raw read-only node
+/// loads (no handle copies, no ref-count traffic), so a caller may
+/// transfer out of a manager owned by a different thread provided that
+/// thread is quiescent for the duration of the call and a happens-before
+/// edge orders its last write before this read (the parallel image pool's
+/// job handshake provides both).
+[[nodiscard]] Bdd transfer(const Bdd& f, Manager& target,
+                           std::size_t* copiedNodes = nullptr);
+
+/// Disjunction of `fs` combined as a balanced reduction tree (pairwise
+/// rounds) instead of a left fold, so the intermediate operands stay as
+/// small as the inputs allow. Returns m.falseBdd() for an empty span.
+/// `depth`, when non-null, receives the tree depth (ceil(log2 |fs|); 0
+/// for 0 or 1 inputs). All inputs must live in `m`.
+[[nodiscard]] Bdd orReduce(Manager& m, std::span<const Bdd> fs,
+                           std::size_t* depth = nullptr);
 
 }  // namespace stsyn::bdd

@@ -192,14 +192,23 @@ void Manager::rehashSubtable(Subtable& st) {
 // External references and garbage collection.
 // ---------------------------------------------------------------------------
 
-void Manager::ref(NodeIndex n) { ++extRefs_[n]; }
+void Manager::ref(NodeIndex n) {
+  // Handle copies are the widest cross-thread surface: a Bdd copied on
+  // the wrong thread races every other handle of this manager.
+  assertOwned();
+  ++extRefs_[n];
+}
 
 void Manager::deref(NodeIndex n) {
+  assertOwned();
   assert(extRefs_[n] > 0);
   --extRefs_[n];
 }
 
 void Manager::maybeGc() {
+  // Every public Bdd operation passes through here, so this single check
+  // covers the whole ops.cpp surface.
+  assertOwned();
   // Only called at public operation boundaries, never from inside a
   // recursive kernel, so intermediate results cannot be reclaimed.
   if (liveNodes_ >= gcThreshold_) {
@@ -238,6 +247,7 @@ void Manager::markRecursive(NodeIndex root) {
 }
 
 void Manager::collectGarbage() {
+  assertOwned();
   obs::Span span("bdd_gc", "bdd");
   const std::size_t beforeGc = liveNodes_;
   marks_.assign(nodes_.size(), false);
@@ -288,8 +298,8 @@ void Manager::collectGarbage() {
   for (CacheEntry& e : cache_) {
     if (e.op == 0xff) continue;
     if (e.a >= marks_.size() || e.b >= marks_.size() ||
-        e.c >= marks_.size() || !marks_[e.a] || !marks_[e.b] ||
-        !marks_[e.c] || !marks_[e.result]) {
+        e.c >= marks_.size() || e.result >= marks_.size() || !marks_[e.a] ||
+        !marks_[e.b] || !marks_[e.c] || !marks_[e.result]) {
       e.a = ~NodeIndex{0};
       e.op = 0xff;
     }
@@ -341,19 +351,25 @@ void Manager::clearCache() {
 // Leaf constructors.
 // ---------------------------------------------------------------------------
 
-Bdd Manager::constant(bool value) { return wrap(value ? kTrue : kFalse); }
+Bdd Manager::constant(bool value) {
+  assertOwned();
+  return wrap(value ? kTrue : kFalse);
+}
 
 Bdd Manager::var(Var v) {
+  assertOwned();
   if (v >= varCount_) throw std::out_of_range("BDD variable out of range");
   return wrap(mk(v, kFalse, kTrue));
 }
 
 Bdd Manager::nvar(Var v) {
+  assertOwned();
   if (v >= varCount_) throw std::out_of_range("BDD variable out of range");
   return wrap(mk(v, kTrue, kFalse));
 }
 
 Bdd Manager::cube(std::span<const Var> vars) {
+  assertOwned();
   // Build bottom-up (deepest level first) so each mk() is O(1). Sorting by
   // the current order keeps this correct after reordering; deduplication
   // keeps mk()'s strict level invariant when callers pass a variable twice

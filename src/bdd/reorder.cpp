@@ -39,6 +39,7 @@ constexpr std::size_t kGrowthDen = 5;
 // ---------------------------------------------------------------------------
 
 void Manager::setReorderGroups(std::vector<std::vector<Var>> groups) {
+  assertOwned();
   std::vector<bool> seen(varCount_, false);
   for (const std::vector<Var>& g : groups) {
     if (g.empty()) {
@@ -64,6 +65,7 @@ void Manager::setReorderGroups(std::vector<std::vector<Var>> groups) {
 }
 
 void Manager::setLevelOrder(std::span<const Var> levelToIndex) {
+  assertOwned();
   if (levelToIndex.size() != varCount_) {
     throw std::invalid_argument("setLevelOrder: wrong arity");
   }
@@ -326,6 +328,7 @@ void Manager::siftGroup(std::size_t startPos) {
 }
 
 void Manager::reorderNow() {
+  assertOwned();
   if (varCount_ < 2 || reorderGroups_.size() < 2) return;
   const util::Stopwatch watch;
   obs::Span span("bdd_reorder", "bdd");

@@ -1,0 +1,69 @@
+// Cross-manager BDD copy and the balanced OR reduction.
+//
+// transfer() is the CUDD Cudd_bddTransfer analogue and the substrate of
+// the parallel image pool (symbolic/parallel.hpp): each worker thread owns
+// a private Manager and functions move between managers by structural
+// copy. Like loadBdd, every node is rebuilt as var.ite(high, low), which
+// re-canonicalizes against the target's CURRENT variable order — the two
+// managers may have reordered independently.
+//
+// The source manager is read through raw node loads only: no Bdd handles
+// are constructed on it, so no ref-count traffic and no cache probes touch
+// it. That is what makes the pool's cross-thread reads of a quiescent
+// manager sound (see the thread contract in bdd.hpp).
+#include <stdexcept>
+#include <unordered_map>
+#include <vector>
+
+#include "bdd/bdd.hpp"
+
+namespace stsyn::bdd {
+
+Bdd transfer(const Bdd& f, Manager& target, std::size_t* copiedNodes) {
+  if (!f.valid()) return Bdd();
+  const Manager* src = f.manager();
+  if (src == &target) return f;
+  if (target.varCount() < src->varCount()) {
+    throw std::invalid_argument(
+        "bdd::transfer: target manager has fewer variables than the source");
+  }
+  // Memo keyed on SOURCE node index; values hold target refs so target-side
+  // GC (triggered by the ite calls) cannot reclaim partial results.
+  std::unordered_map<NodeIndex, Bdd> memo;
+  auto rec = [&](auto&& self, NodeIndex n) -> Bdd {
+    if (n == Manager::kFalse) return target.constant(false);
+    if (n == Manager::kTrue) return target.constant(true);
+    if (const auto it = memo.find(n); it != memo.end()) return it->second;
+    // Copy the node out before recursing: a raw read of the (quiescent)
+    // source.
+    const Manager::Node node = src->nodes_[n];
+    const Bdd low = self(self, node.low);
+    const Bdd high = self(self, node.high);
+    // ite against the projection re-canonicalizes under the target's
+    // order; recursion depth is bounded by the source's variable count,
+    // like every other kernel.
+    Bdd out = target.var(node.var).ite(high, low);
+    if (copiedNodes != nullptr) ++*copiedNodes;
+    return memo.emplace(n, std::move(out)).first->second;
+  };
+  return rec(rec, f.raw());
+}
+
+Bdd orReduce(Manager& m, std::span<const Bdd> fs, std::size_t* depth) {
+  if (depth != nullptr) *depth = 0;
+  if (fs.empty()) return m.falseBdd();
+  std::vector<Bdd> level(fs.begin(), fs.end());
+  while (level.size() > 1) {
+    std::vector<Bdd> next;
+    next.reserve((level.size() + 1) / 2);
+    for (std::size_t i = 0; i + 1 < level.size(); i += 2) {
+      next.push_back(level[i] | level[i + 1]);
+    }
+    if (level.size() % 2 == 1) next.push_back(std::move(level.back()));
+    level = std::move(next);
+    if (depth != nullptr) ++*depth;
+  }
+  return level.front();
+}
+
+}  // namespace stsyn::bdd

@@ -45,11 +45,13 @@ bool traceEnvEnabled() {
 class Synthesizer {
  public:
   Synthesizer(const SymbolicProtocol& sp, const Schedule& schedule,
-              SynthesisStats& stats, symbolic::ImagePolicy policy)
+              SynthesisStats& stats, symbolic::ImagePolicy policy,
+              std::size_t workers)
       : sp_(sp),
         schedule_(schedule),
         stats_(stats),
         policy_(policy),
+        workers_(workers == 0 ? 1 : workers),
         inv_(sp.invariant()),
         notI_(sp.enc().validCur() & !inv_),
         pssProc_(sp.processCount()),
@@ -59,7 +61,7 @@ class Synthesizer {
       added_[j] = sp.manager().falseBdd();
     }
     rebuildUnion();
-    engine_.emplace(sp_, pssProc_, policy_);
+    engine_.emplace(sp_, pssProc_, policy_, workers_);
     deadlocks_ = computeDeadlocks();
   }
 
@@ -86,7 +88,7 @@ class Synthesizer {
     }
     if (!sccs.components.empty()) {
       rebuildUnion();
-      engine_.emplace(sp_, pssProc_, policy_);
+      engine_.emplace(sp_, pssProc_, policy_, workers_);
       deadlocks_ = computeDeadlocks();
     }
     return true;
@@ -250,6 +252,7 @@ class Synthesizer {
   const Schedule& schedule_;
   SynthesisStats& stats_;
   symbolic::ImagePolicy policy_;
+  std::size_t workers_ = 1;
   Bdd inv_;
   Bdd notI_;
   std::vector<Bdd> pssProc_;
@@ -267,6 +270,9 @@ StrongResult addStrongConvergence(const SymbolicProtocol& sp,
   util::Stopwatch total;
   obs::Span synthSpan("add_strong_convergence", "synthesis");
   synthSpan.arg("image_policy", symbolic::toString(options.imagePolicy));
+  synthSpan.arg("image_workers",
+                options.imageWorkers == 0 ? std::size_t{1}
+                                          : options.imageWorkers);
 
   Schedule schedule = options.schedule.empty()
                           ? identitySchedule(sp.processCount())
@@ -280,12 +286,16 @@ StrongResult addStrongConvergence(const SymbolicProtocol& sp,
   }
 
   out.stats.imagePolicy = symbolic::toString(options.imagePolicy);
+  out.stats.imageWorkers =
+      options.imageWorkers == 0 ? 1 : options.imageWorkers;
 
   // Preprocessing: ranking approximation (Section IV). Rank-infinity states
   // refute the existence of any stabilizing version (Theorem IV.1).
-  out.ranking = computeRanks(sp, &out.stats, options.imagePolicy);
+  out.ranking =
+      computeRanks(sp, &out.stats, options.imagePolicy, options.imageWorkers);
 
-  Synthesizer syn(sp, schedule, out.stats, options.imagePolicy);
+  Synthesizer syn(sp, schedule, out.stats, options.imagePolicy,
+                  options.imageWorkers);
 
   auto finish = [&](bool success, Failure failure) {
     out.success = success;

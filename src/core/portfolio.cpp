@@ -13,7 +13,9 @@ PortfolioResult synthesizePortfolio(const protocol::Protocol& proto,
                                     const std::vector<Schedule>& schedules,
                                     unsigned threads,
                                     std::span<const symbolic::ImagePolicy>
-                                        policies) {
+                                        policies,
+                                    std::size_t imageWorkers) {
+  if (imageWorkers == 0) imageWorkers = symbolic::defaultImageWorkers();
   std::vector<symbolic::ImagePolicy> pols(policies.begin(), policies.end());
   if (pols.empty()) pols.push_back(symbolic::defaultImagePolicy());
 
@@ -33,9 +35,10 @@ PortfolioResult synthesizePortfolio(const protocol::Protocol& proto,
   portfolioSpan.arg("threads", static_cast<std::size_t>(threads));
 
   // First-success early exit: once any instance succeeds, workers stop
-  // claiming new instances. Claims are handed out in input order, so every
-  // instance below the winning index has already been claimed and will run
-  // to completion — the lowest-index-success winner stays deterministic.
+  // claiming new instances. Claims are handed out in increasing input
+  // order, so a released or skipped index always has a successful instance
+  // BELOW it — the lowest-index-success winner was claimed earlier, runs
+  // to completion, and stays deterministic.
   std::atomic<std::size_t> next{0};
   std::atomic<bool> succeeded{false};
   auto worker = [&](unsigned workerIdx) {
@@ -43,8 +46,22 @@ PortfolioResult synthesizePortfolio(const protocol::Protocol& proto,
                                         std::to_string(workerIdx));
     for (;;) {
       if (succeeded.load(std::memory_order_acquire)) return;
-      const std::size_t i = next.fetch_add(1);
-      if (i >= total) return;
+      // Claim with a CAS bounded by `total`: the previous unconditional
+      // fetch_add let racing workers push `next` arbitrarily far past the
+      // end, so late joiners claimed garbage indices before bailing.
+      std::size_t i = next.load(std::memory_order_relaxed);
+      do {
+        if (i >= total) return;
+      } while (!next.compare_exchange_weak(i, i + 1,
+                                           std::memory_order_acq_rel,
+                                           std::memory_order_relaxed));
+      // Re-check AFTER the claim: a success published between the check
+      // above and the CAS used to slip through, making instancesRun() (and
+      // the set of `ran` instances) depend on the interleaving. Releasing
+      // claim i here cannot hide a winner — the success that triggered the
+      // release has a smaller index than i (claims are ordered), so every
+      // candidate winner below i already runs.
+      if (succeeded.load(std::memory_order_acquire)) return;
       PortfolioInstance& inst = out.instances[i];
       inst.schedule = schedules[i / pols.size()];
       inst.imagePolicy = pols[i % pols.size()];
@@ -59,6 +76,7 @@ PortfolioResult synthesizePortfolio(const protocol::Protocol& proto,
       StrongOptions opt;
       opt.schedule = inst.schedule;
       opt.imagePolicy = inst.imagePolicy;
+      opt.imageWorkers = imageWorkers;
       inst.result = addStrongConvergence(*inst.symbolic, opt);
       inst.wallSeconds = watch.seconds();
       span.arg("success", inst.result.success);
@@ -75,6 +93,15 @@ PortfolioResult synthesizePortfolio(const protocol::Protocol& proto,
     pool.reserve(threads);
     for (unsigned t = 0; t < threads; ++t) pool.emplace_back(worker, t);
     for (std::thread& t : pool) t.join();
+  }
+
+  // Each instance's manager was constructed (and its result BDDs built) on
+  // a worker thread that is now joined. Re-pin every manager to this
+  // thread so the caller may read, copy, and destroy the results — the
+  // managers are thread-confined, and the join established the
+  // happens-before edge that makes the handoff sound.
+  for (PortfolioInstance& inst : out.instances) {
+    if (inst.encoding) inst.encoding->manager().bindToCurrentThread();
   }
 
   for (std::size_t i = 0; i < out.instances.size(); ++i) {

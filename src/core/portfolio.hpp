@@ -62,15 +62,20 @@ struct PortfolioResult {
 /// second portfolio axis; empty means the process-wide default policy
 /// only, so existing call sites get exactly one instance per schedule.
 /// Instances are ordered schedule-major, policy-minor. Workers stop
-/// claiming new instances once any instance succeeds; instances claimed
-/// before that point still run to completion. Deterministic: the outcome
-/// of each instance is independent of the thread interleaving, and the
-/// winner is the first successful instance in input order (claims are
-/// handed out in input order, so every instance up to the winning index
-/// always runs).
+/// claiming new instances once any instance succeeds; an instance already
+/// past that check runs to completion. Deterministic: the outcome of each
+/// instance is independent of the thread interleaving, and the winner is
+/// the first successful instance in input order (claims are handed out in
+/// increasing order, so a skipped index always has a successful — and
+/// fully run — instance below it). `imageWorkers` is forwarded to each
+/// instance's StrongOptions (0 = the process-wide default); the nested
+/// parallelism multiplies, so portfolio callers usually keep one axis at 1.
+/// On return every instance's BDD manager is re-pinned to the calling
+/// thread, so results are safe to read and destroy here.
 [[nodiscard]] PortfolioResult synthesizePortfolio(
     const protocol::Protocol& proto, const std::vector<Schedule>& schedules,
     unsigned threads = 0,
-    std::span<const symbolic::ImagePolicy> policies = {});
+    std::span<const symbolic::ImagePolicy> policies = {},
+    std::size_t imageWorkers = 0);
 
 }  // namespace stsyn::core

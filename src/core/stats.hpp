@@ -67,6 +67,16 @@ struct SynthesisStats {
   /// round quantifies only the newest rank).
   std::size_t frontierSteps = 0;
 
+  /// Worker threads the run's partitioned image products were configured
+  /// with (1 = sequential; 0 when the run predates the setting).
+  std::size_t imageWorkers = 0;
+  /// BDD nodes copied across worker-local managers (shard replication,
+  /// frontier broadcast, result collection); 0 for sequential runs.
+  std::size_t transferNodes = 0;
+  /// Deepest balanced OR-reduction tree observed when combining per-part
+  /// products (worker-local plus main-side levels); 0 for sequential runs.
+  std::size_t reduceDepth = 0;
+
   /// Folds one engine's drained counters into this run's totals.
   void addEngine(const symbolic::ImageEngineStats& e);
 

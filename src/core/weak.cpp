@@ -5,11 +5,13 @@
 namespace stsyn::core {
 
 WeakResult addWeakConvergence(const symbolic::SymbolicProtocol& sp,
-                              symbolic::ImagePolicy policy) {
+                              symbolic::ImagePolicy policy,
+                              std::size_t workers) {
   WeakResult out;
   util::Stopwatch total;
   out.stats.imagePolicy = symbolic::toString(policy);
-  out.ranking = computeRanks(sp, &out.stats, policy);
+  out.stats.imageWorkers = workers == 0 ? 1 : workers;
+  out.ranking = computeRanks(sp, &out.stats, policy, workers);
   out.relation = out.ranking.pim;
   out.rankInfinityStates = out.ranking.unreachable;
   out.success = out.ranking.complete();

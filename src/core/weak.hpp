@@ -26,6 +26,7 @@ struct WeakResult {
 
 [[nodiscard]] WeakResult addWeakConvergence(
     const symbolic::SymbolicProtocol& sp,
-    symbolic::ImagePolicy policy = symbolic::defaultImagePolicy());
+    symbolic::ImagePolicy policy = symbolic::defaultImagePolicy(),
+    std::size_t workers = symbolic::defaultImageWorkers());
 
 }  // namespace stsyn::core

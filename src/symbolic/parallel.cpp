@@ -1,0 +1,277 @@
+#include "symbolic/parallel.hpp"
+
+#include <algorithm>
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <utility>
+
+#include "obs/trace.hpp"
+
+namespace stsyn::symbolic {
+
+using bdd::Bdd;
+
+struct ParallelImagePool::Impl {
+  Impl(bdd::Manager& m, std::vector<ParallelPartSpec> s)
+      : main(m), specs(std::move(s)) {}
+
+  bdd::Manager& main;
+  std::vector<ParallelPartSpec> specs;
+  std::size_t nWorkers = 0;
+
+  std::mutex mtx;
+  std::condition_variable cvWork;  ///< main -> workers: new job / stop
+  std::condition_variable cvDone;  ///< workers -> main: ready / job done
+  std::uint64_t jobSeq = 0;
+  std::size_t readyCount = 0;
+  std::size_t doneCount = 0;
+  bool stop = false;
+  bool failed = false;
+  std::string failMsg;
+
+  // Current job (valid while jobSeq names it; operands owned by the main
+  // thread, which blocks for the whole job).
+  Kind kind = Kind::Image;
+  const Bdd* s = nullptr;
+  const Bdd* within = nullptr;
+
+  /// Cross-thread mailbox of one worker. pendingDeltas and startup
+  /// counters are written by main / read by workers; result and the job
+  /// counters are written by the worker / read by main. Every access
+  /// happens either under mtx or while the other side is provably parked
+  /// on its condition variable, so there is no concurrent access.
+  struct Slot {
+    /// (spec index, frame-stripped delta in the MAIN manager); consumed by
+    /// the worker at its next job, destroyed by the main thread after.
+    std::vector<std::pair<std::size_t, Bdd>> pendingDeltas;
+    Bdd result;  ///< worker-manager handle; cleared by the worker on exit
+    std::size_t products = 0;
+    std::size_t transferNodes = 0;  ///< per job; at startup: replication
+    std::size_t reduceDepth = 0;
+  };
+  std::vector<Slot> slots;
+  std::vector<std::thread> threads;
+  std::size_t replicationNodes = 0;
+
+  void workerMain(std::size_t w);
+  void fail(const char* what) {
+    const std::lock_guard<std::mutex> lk(mtx);
+    if (!failed) {
+      failed = true;
+      failMsg = std::string("ParallelImagePool worker: ") + what;
+    }
+  }
+};
+
+void ParallelImagePool::Impl::workerMain(std::size_t w) {
+  obs::Tracer::global().setThreadName("image-worker-" + std::to_string(w));
+
+  /// The worker's replica of one part; every handle lives in `mgr` below.
+  struct LocalPart {
+    std::size_t specIdx;
+    Bdd local;
+    Bdd curWrittenCube;
+    Bdd nextWrittenCube;
+  };
+
+  // The shadow manager is constructed (and therefore owned) HERE, on the
+  // worker thread; everything it allocates is confined to this thread.
+  bdd::Manager mgr(main.varCount());
+  std::vector<LocalPart> parts;
+  std::size_t replicated = 0;
+  try {
+    // Round-robin shard: worker w owns specs w, w+N, w+2N, ... The main
+    // thread is parked in the constructor's ready-wait, so its manager is
+    // quiescent for these transfers.
+    for (std::size_t i = w; i < specs.size(); i += nWorkers) {
+      const ParallelPartSpec& spec = specs[i];
+      LocalPart lp;
+      lp.specIdx = i;
+      lp.local = bdd::transfer(spec.local, mgr, &replicated);
+      lp.curWrittenCube = mgr.cube(spec.curWrittenVars);
+      lp.nextWrittenCube = mgr.cube(spec.nextWrittenVars);
+      parts.push_back(std::move(lp));
+    }
+  } catch (const std::exception& e) {
+    fail(e.what());
+  }
+  {
+    const std::lock_guard<std::mutex> lk(mtx);
+    slots[w].transferNodes = replicated;
+    ++readyCount;
+  }
+  cvDone.notify_all();
+
+  std::uint64_t seen = 0;
+  for (;;) {
+    std::unique_lock<std::mutex> lk(mtx);
+    cvWork.wait(lk, [&] { return stop || jobSeq > seen; });
+    if (stop) break;
+    seen = jobSeq;
+    const Kind jobKind = kind;
+    const Bdd* jobS = s;
+    const Bdd* jobWithin = within;
+    Slot& slot = slots[w];
+    lk.unlock();
+
+    std::size_t moved = 0;
+    std::size_t products = 0;
+    std::size_t depth = 0;
+    Bdd combined;
+    try {
+      // Fold queued growth into the replicas first (transfer, then OR in
+      // the shadow manager), mirroring ImageEngine::growPart.
+      for (const auto& [specIdx, delta] : slot.pendingDeltas) {
+        for (LocalPart& lp : parts) {
+          if (lp.specIdx == specIdx) lp.local |= bdd::transfer(delta, mgr, &moved);
+        }
+      }
+      const Bdd sT = bdd::transfer(*jobS, mgr, &moved);
+      Bdd withinT;
+      if (jobWithin != nullptr) withinT = bdd::transfer(*jobWithin, mgr, &moved);
+
+      std::vector<Bdd> prods;
+      prods.reserve(parts.size());
+      for (const LocalPart& lp : parts) {
+        // part false <=> its frame-stripped local false, so this matches
+        // the sequential engine's skip (and its product count).
+        if (lp.local.isFalse()) continue;
+        ++products;
+        const ParallelPartSpec& spec = specs[lp.specIdx];
+        Bdd r = jobKind == Kind::Image
+                    ? lp.local.andExists(sT, lp.curWrittenCube)
+                          .rename(spec.nextToCurWritten)
+                    : lp.local.andExists(sT.rename(spec.curToNextWritten),
+                                         lp.nextWrittenCube);
+        if (jobWithin != nullptr) r &= withinT;
+        prods.push_back(std::move(r));
+      }
+      combined = bdd::orReduce(mgr, prods, &depth);
+    } catch (const std::exception& e) {
+      fail(e.what());
+      combined = Bdd();
+    }
+
+    lk.lock();
+    slot.result = std::move(combined);
+    slot.products = products;
+    slot.transferNodes = moved;
+    slot.reduceDepth = depth;
+    ++doneCount;
+    lk.unlock();
+    cvDone.notify_all();
+  }
+
+  // Shutdown: worker-manager handles must die on the worker thread, before
+  // the manager does.
+  slots[w].result = Bdd();
+  parts.clear();
+}
+
+ParallelImagePool::ParallelImagePool(bdd::Manager& main,
+                                     std::vector<ParallelPartSpec> specs,
+                                     std::size_t workers)
+    : impl_(std::make_unique<Impl>(main, std::move(specs))) {
+  Impl& im = *impl_;
+  im.nWorkers = std::min(workers, im.specs.size());
+  if (im.nWorkers == 0) im.nWorkers = 1;
+  im.slots.resize(im.nWorkers);
+  im.threads.reserve(im.nWorkers);
+  obs::Span span("image_pool_start", "symbolic");
+  span.arg("workers", im.nWorkers);
+  span.arg("parts", im.specs.size());
+  for (std::size_t w = 0; w < im.nWorkers; ++w) {
+    im.threads.emplace_back([&im, w] { im.workerMain(w); });
+  }
+  {
+    // Parking here is what lets workers replicate out of the main manager.
+    std::unique_lock<std::mutex> lk(im.mtx);
+    im.cvDone.wait(lk, [&] { return im.readyCount == im.nWorkers; });
+    for (const Impl::Slot& slot : im.slots) {
+      im.replicationNodes += slot.transferNodes;
+    }
+  }
+  span.arg("transfer_nodes", im.replicationNodes);
+  if (im.failed) {
+    // Join before throwing so the half-built pool tears down cleanly.
+    {
+      const std::lock_guard<std::mutex> lk(im.mtx);
+      im.stop = true;
+    }
+    im.cvWork.notify_all();
+    for (std::thread& t : im.threads) t.join();
+    throw std::runtime_error(im.failMsg);
+  }
+}
+
+ParallelImagePool::~ParallelImagePool() {
+  Impl& im = *impl_;
+  {
+    const std::lock_guard<std::mutex> lk(im.mtx);
+    im.stop = true;
+  }
+  im.cvWork.notify_all();
+  for (std::thread& t : im.threads) {
+    if (t.joinable()) t.join();
+  }
+  // Slots now hold only main-manager handles (pending deltas), destroyed
+  // here on the main thread.
+}
+
+std::size_t ParallelImagePool::workerCount() const { return impl_->nWorkers; }
+
+std::size_t ParallelImagePool::replicationTransferNodes() const {
+  return impl_->replicationNodes;
+}
+
+Bdd ParallelImagePool::run(Kind kind, const Bdd& s, const Bdd* within,
+                           PoolCounters& counters) {
+  Impl& im = *impl_;
+  std::unique_lock<std::mutex> lk(im.mtx);
+  if (im.failed) throw std::runtime_error(im.failMsg);
+  im.kind = kind;
+  im.s = &s;
+  im.within = within;
+  im.doneCount = 0;
+  ++im.jobSeq;
+  im.cvWork.notify_all();
+  // Blocking here keeps the main manager quiescent while workers read it.
+  im.cvDone.wait(lk, [&] { return im.doneCount == im.nWorkers; });
+  if (im.failed) throw std::runtime_error(im.failMsg);
+
+  // Workers are parked again (or blocked on mtx), so their shadow managers
+  // are quiescent: transfer the per-worker results back and reduce.
+  std::vector<Bdd> results;
+  results.reserve(im.nWorkers);
+  std::size_t workerDepth = 0;
+  for (Impl::Slot& slot : im.slots) {
+    counters.partProducts += slot.products;
+    counters.transferNodes += slot.transferNodes;
+    if (slot.reduceDepth > workerDepth) workerDepth = slot.reduceDepth;
+    slot.pendingDeltas.clear();  // consumed this job; freed on main thread
+    if (slot.result.valid() && !slot.result.isFalse()) {
+      results.push_back(
+          bdd::transfer(slot.result, im.main, &counters.transferNodes));
+    }
+  }
+  std::size_t mainDepth = 0;
+  Bdd out = bdd::orReduce(im.main, results, &mainDepth);
+  if (workerDepth + mainDepth > counters.reduceDepth) {
+    counters.reduceDepth = workerDepth + mainDepth;
+  }
+  return out;
+}
+
+void ParallelImagePool::growPart(std::size_t part, const Bdd& strippedDelta) {
+  Impl& im = *impl_;
+  const std::lock_guard<std::mutex> lk(im.mtx);
+  // Spec i describes part i (1:1), so the owning worker is part % N.
+  im.slots[part % im.nWorkers].pendingDeltas.emplace_back(part, strippedDelta);
+}
+
+}  // namespace stsyn::symbolic

@@ -1,0 +1,93 @@
+// Worker pool for parallel disjunctively-partitioned image products.
+//
+// ROADMAP item 1(a): the per-process products of ImageEngine's partitioned
+// mode are independent, so they parallelize — but bdd::Manager is
+// thread-confined, so the parallelism model is REPLICATION, not locking:
+//
+//   * each worker thread owns a PRIVATE shadow Manager holding replicas
+//     (bdd::transfer) of its round-robin shard of the frame-stripped
+//     local_j relations plus the per-process cubes, rebuilt worker-side
+//     from stable variable indices;
+//   * an image/preimage call transfers the frontier S (and the optional
+//     `within` bound) into every worker, each worker computes its shard's
+//     products and OR-combines them locally as a balanced reduction tree,
+//     and the main thread transfers the per-worker results back and
+//     reduces them the same way;
+//   * incremental growth (ImageEngine::growPart) queues the frame-stripped
+//     delta per worker; workers fold it into their replicas at the next
+//     job, so replicas never rebuild from scratch.
+//
+// Synchronization is a single mutex + two condition variables around a job
+// sequence number. The main thread BLOCKS for the whole job, which makes
+// its manager quiescent — workers may then read it through transfer()'s
+// raw node loads without touching its ref counts (the thread contract in
+// bdd.hpp). Symmetrically, workers are parked when the main thread reads
+// their result replicas back. The BDD-for-BDD identity of the parallel
+// path with the sequential one follows from canonicity: OR is associative
+// and commutative, and every function has exactly one node per manager.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "bdd/bdd.hpp"
+
+namespace stsyn::symbolic {
+
+/// Replication recipe for one part, in MAIN-manager terms. Variable index
+/// vectors are manager-independent (indices are stable), so workers rebuild
+/// cubes and apply renames from them directly.
+struct ParallelPartSpec {
+  std::size_t part = 0;      ///< index in the engine's parts_
+  bdd::Bdd local;            ///< frame-stripped local_j (main manager)
+  std::vector<bdd::Var> curWrittenVars;
+  std::vector<bdd::Var> nextWrittenVars;
+  std::vector<bdd::Var> nextToCurWritten;  ///< partial rename, next->cur
+  std::vector<bdd::Var> curToNextWritten;  ///< partial rename, cur->next
+};
+
+/// Counters of one parallel call, folded into ImageEngineStats by the
+/// engine.
+struct PoolCounters {
+  std::size_t partProducts = 0;   ///< per-part products computed by workers
+  std::size_t transferNodes = 0;  ///< nodes copied across managers
+  std::size_t reduceDepth = 0;    ///< worker-local + main OR-tree depth
+};
+
+class ParallelImagePool {
+ public:
+  enum class Kind { Image, Preimage };
+
+  /// Spawns min(workers, specs.size()) threads and blocks until every
+  /// worker has replicated its shard. Throws std::runtime_error when a
+  /// worker fails to replicate.
+  ParallelImagePool(bdd::Manager& main, std::vector<ParallelPartSpec> specs,
+                    std::size_t workers);
+  ~ParallelImagePool();
+
+  ParallelImagePool(const ParallelImagePool&) = delete;
+  ParallelImagePool& operator=(const ParallelImagePool&) = delete;
+
+  [[nodiscard]] std::size_t workerCount() const;
+
+  /// Nodes copied while replicating the shards at construction.
+  [[nodiscard]] std::size_t replicationTransferNodes() const;
+
+  /// One parallel image/preimage over all parts. `within`, when non-null,
+  /// bounds every per-part product (distributes over the OR, so the
+  /// result is identical to bounding the combined image). `s` and
+  /// `within` must outlive the call; both live in the main manager.
+  [[nodiscard]] bdd::Bdd run(Kind kind, const bdd::Bdd& s,
+                             const bdd::Bdd* within, PoolCounters& counters);
+
+  /// Queues `strippedDelta` (already frame-stripped, main manager) to be
+  /// OR-folded into part's worker replica at the next run().
+  void growPart(std::size_t part, const bdd::Bdd& strippedDelta);
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace stsyn::symbolic

@@ -3,15 +3,40 @@
 // collection.
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <sstream>
+#include <thread>
 
 #include "bdd/bdd.hpp"
 #include "util/rng.hpp"
+
+namespace stsyn::bdd {
+
+/// Test-only backdoor (friend of Manager) used to plant adversarial
+/// operation-cache entries for the GC sweep regression tests.
+struct ManagerTestAccess {
+  static void plantCacheEntry(Manager& m, NodeIndex a, NodeIndex b,
+                              NodeIndex c, NodeIndex result) {
+    Manager::CacheEntry& e = m.cache_.front();
+    e.op = 0;
+    e.a = a;
+    e.b = b;
+    e.c = c;
+    e.result = result;
+  }
+  static bool frontSlotEvicted(const Manager& m) {
+    return m.cache_.front().op == 0xff;
+  }
+};
+
+}  // namespace stsyn::bdd
 
 namespace {
 
 using stsyn::bdd::Bdd;
 using stsyn::bdd::Manager;
+using stsyn::bdd::ManagerTestAccess;
+using stsyn::bdd::NodeIndex;
 using stsyn::bdd::Var;
 
 std::vector<Var> levels(Var n) {
@@ -351,5 +376,67 @@ TEST(BddSerialize, ConstantsAndErrors) {
     EXPECT_THROW((void)loadBdd(toBig, tiny), std::runtime_error);
   }
 }
+
+TEST(BddGc, CacheSweepEvictsEntriesWithOutOfRangeResults) {
+  // Regression: the sweep bounds-checked the operand slots a/b/c against
+  // the mark table but indexed marks_[e.result] unchecked, an
+  // out-of-bounds read for any entry whose result slot carries a stale or
+  // non-node payload. Plant exactly that entry and collect.
+  Manager m(4);
+  const Bdd keep = m.var(0) & m.var(1);
+  ManagerTestAccess::plantCacheEntry(m, /*a=*/1, /*b=*/1, /*c=*/1,
+                                     /*result=*/NodeIndex{1} << 30);
+  m.collectGarbage();
+  EXPECT_TRUE(ManagerTestAccess::frontSlotEvicted(m));
+  // The manager still computes correctly after the sweep.
+  EXPECT_EQ(keep & m.var(0), keep);
+}
+
+TEST(BddGc, CacheSweepEvictsEntriesWhoseResultDied) {
+  Manager m(4);
+  {
+    const Bdd dead = m.var(2) ^ m.var(3);
+    ManagerTestAccess::plantCacheEntry(m, /*a=*/1, /*b=*/1, /*c=*/1,
+                                       dead.raw());
+  }  // handle dropped: the planted result node is now garbage
+  m.collectGarbage();
+  EXPECT_TRUE(ManagerTestAccess::frontSlotEvicted(m));
+}
+
+TEST(BddThreads, BindToCurrentThreadAdoptsAManagerBuiltElsewhere) {
+  // The sanctioned handoff: build on one thread, join, re-pin, then use
+  // freely — exactly what the schedule portfolio does per instance.
+  std::unique_ptr<Manager> m;
+  Bdd f;
+  std::thread builder([&] {
+    m = std::make_unique<Manager>(3);
+    f = m->var(1) & m->var(2);
+  });
+  builder.join();
+  m->bindToCurrentThread();
+  EXPECT_EQ(f, m->var(1) & m->var(2));
+  const Bdd g = f | m->var(0);
+  EXPECT_FALSE(g.isFalse());
+}
+
+#ifndef NDEBUG
+TEST(BddThreadsDeathTest, OffThreadHandleCopyAssertsInDebugBuilds) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  // Copying a handle bumps the owning manager's ref counts — the widest
+  // cross-thread mutation surface, and the one the confinement assert
+  // must catch.
+  EXPECT_DEATH(
+      {
+        Manager m(2);
+        const Bdd f = m.var(0);
+        std::thread t([&] {
+          const Bdd copy = f;  // ref() off the owning thread
+          (void)copy;
+        });
+        t.join();
+      },
+      "thread-confined");
+}
+#endif
 
 }  // namespace

@@ -174,4 +174,66 @@ TEST(Portfolio, AllInstancesReportedEvenWhenAllFail) {
   }
 }
 
+TEST(Portfolio, ResultsAreUsableOnTheCallingThreadAfterAParallelRun) {
+  // Regression for the ownership handoff: each instance's BDD manager is
+  // built on a worker thread, and managers are thread-confined. The
+  // portfolio must re-pin every manager to the calling thread on return,
+  // or reading/copying/destroying the result BDDs here (below) trips the
+  // debug confinement assert.
+  const protocol::Protocol p = casestudies::tokenRing(4, 3);
+  std::vector<Schedule> schedules;
+  for (std::size_t rot = 0; rot < 4; ++rot) {
+    schedules.push_back(core::rotatedSchedule(4, rot));
+  }
+  const core::PortfolioResult r =
+      core::synthesizePortfolio(p, schedules, /*threads=*/4);
+  ASSERT_TRUE(r.success());
+  for (const auto& inst : r.instances) {
+    if (!inst.ran) continue;
+    // Copying bumps ref counts; nodeCount walks the manager's node pool.
+    const bdd::Bdd copy = inst.result.relation;
+    EXPECT_GE(copy.nodeCount(), 0u);
+  }
+}
+
+TEST(Portfolio, NoInstanceClaimedAfterASuccessIsObserved) {
+  // Regression for the claim race: a worker used to claim an index between
+  // another worker's success and its own early-exit check, run it anyway,
+  // and make the set of `ran` instances depend on thread interleaving. The
+  // ordered-claim argument gives a timing-independent invariant instead:
+  // every ran instance at an index above the winner was claimed BEFORE the
+  // success published, so in every execution the prefix [0, winner] ran.
+  const protocol::Protocol p = casestudies::tokenRing(4, 3);
+  std::vector<Schedule> schedules;
+  for (std::size_t rot = 0; rot < 4; ++rot) {
+    schedules.push_back(core::rotatedSchedule(4, rot));
+  }
+  for (const unsigned threads : {1u, 2u, 4u}) {
+    const core::PortfolioResult r =
+        core::synthesizePortfolio(p, schedules, threads);
+    ASSERT_TRUE(r.success());
+    for (std::size_t i = 0; i <= r.winner; ++i) {
+      EXPECT_TRUE(r.instances[i].ran) << "threads=" << threads;
+    }
+  }
+}
+
+TEST(Portfolio, ImageWorkersForwardedToEveryInstance) {
+  const protocol::Protocol p = casestudies::tokenRing(4, 3);
+  const std::vector<Schedule> schedules{core::identitySchedule(4)};
+  const std::vector<symbolic::ImagePolicy> policies{
+      symbolic::ImagePolicy::PerProcess};
+  const core::PortfolioResult seq =
+      core::synthesizePortfolio(p, schedules, 1, policies, /*imageWorkers=*/1);
+  const core::PortfolioResult par =
+      core::synthesizePortfolio(p, schedules, 1, policies, /*imageWorkers=*/2);
+  ASSERT_TRUE(seq.success());
+  ASSERT_TRUE(par.success());
+  EXPECT_EQ(par.winnerStats()->imageWorkers, 2u);
+  EXPECT_EQ(seq.winnerStats()->imageWorkers, 1u);
+  // Identical synthesis either way (canonicity): same pass, same program.
+  EXPECT_EQ(par.winnerStats()->passCompleted, seq.winnerStats()->passCompleted);
+  EXPECT_EQ(par.winnerStats()->programNodes, seq.winnerStats()->programNodes);
+}
+
 }  // namespace

@@ -1,0 +1,136 @@
+// Unit tests for the cross-manager copy kernel (bdd::transfer) and the
+// balanced OR reduction (bdd::orReduce) — the substrate of the parallel
+// image pool (symbolic/parallel.hpp).
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstddef>
+#include <stdexcept>
+#include <vector>
+
+#include "bdd/bdd.hpp"
+
+namespace {
+
+using namespace stsyn;
+using bdd::Bdd;
+using bdd::Manager;
+using bdd::Var;
+
+/// Evaluates f at every assignment of `vars` and returns the truth table,
+/// a manager-independent fingerprint of the function.
+std::vector<bool> truthTable(const Bdd& f, Var varCount) {
+  std::vector<bool> table;
+  const std::size_t rows = std::size_t{1} << varCount;
+  table.reserve(rows);
+  for (std::size_t row = 0; row < rows; ++row) {
+    std::vector<char> assignment(varCount);
+    for (Var v = 0; v < varCount; ++v) {
+      assignment[v] = static_cast<char>((row >> v) & 1);
+    }
+    table.push_back(f.eval(assignment));
+  }
+  return table;
+}
+
+Bdd sampleFunction(Manager& m) {
+  // (x0 XOR x2) OR (x1 AND x3) OR (!x0 AND x4) — wide support, some
+  // sharing, not a cube.
+  return (m.var(0) ^ m.var(2)) | (m.var(1) & m.var(3)) |
+         (!m.var(0) & m.var(4));
+}
+
+TEST(Transfer, RoundTripPreservesTheFunction) {
+  Manager a(5);
+  Manager b(5);
+  const Bdd f = sampleFunction(a);
+  const Bdd g = bdd::transfer(f, b);
+  EXPECT_EQ(g.manager(), &b);
+  EXPECT_EQ(truthTable(g, 5), truthTable(f, 5));
+  // And back: the round trip lands on the identical node (canonicity).
+  const Bdd h = bdd::transfer(g, a);
+  EXPECT_EQ(h, f);
+}
+
+TEST(Transfer, ConstantsAndNullHandles) {
+  Manager a(3);
+  Manager b(3);
+  EXPECT_EQ(bdd::transfer(a.trueBdd(), b), b.trueBdd());
+  EXPECT_EQ(bdd::transfer(a.falseBdd(), b), b.falseBdd());
+  EXPECT_FALSE(bdd::transfer(Bdd(), b).valid());
+}
+
+TEST(Transfer, SameManagerIsIdentity) {
+  Manager a(4);
+  const Bdd f = a.var(0) & a.var(3);
+  std::size_t copied = 0;
+  EXPECT_EQ(bdd::transfer(f, a, &copied), f);
+  EXPECT_EQ(copied, 0u);
+}
+
+TEST(Transfer, TargetWithFewerVariablesThrows) {
+  Manager a(5);
+  Manager b(3);
+  EXPECT_THROW((void)bdd::transfer(sampleFunction(a), b),
+               std::invalid_argument);
+}
+
+TEST(Transfer, CorrectUnderDivergentVariableOrders) {
+  Manager a(5);
+  Manager b(5);
+  // Reverse b's level order: the copy must re-canonicalize, not assume the
+  // managers agree on levels.
+  const std::array<Var, 5> reversed{4, 3, 2, 1, 0};
+  b.setLevelOrder(reversed);
+  const Bdd f = sampleFunction(a);
+  const Bdd g = bdd::transfer(f, b);
+  EXPECT_EQ(truthTable(g, 5), truthTable(f, 5));
+  EXPECT_EQ(bdd::transfer(g, a), f);
+}
+
+TEST(Transfer, MemoizationCopiesEachSharedSubgraphOnce) {
+  Manager a(6);
+  Manager b(6);
+  // h appears under both branches of the ite, so its subgraph is shared;
+  // the memo must visit every source node exactly once.
+  const Bdd h = (a.var(2) & a.var(3)) | (a.var(4) ^ a.var(5));
+  const Bdd f = a.var(0).ite(a.var(1) & h, !a.var(1) | h);
+  std::size_t copied = 0;
+  const Bdd g = bdd::transfer(f, b, &copied);
+  EXPECT_EQ(truthTable(g, 6), truthTable(f, 6));
+  EXPECT_EQ(copied, f.nodeCount());
+}
+
+TEST(Transfer, TargetMayHaveMoreVariablesThanSource) {
+  Manager a(3);
+  Manager b(8);
+  const Bdd f = (a.var(0) | a.var(1)) & !a.var(2);
+  const Bdd g = bdd::transfer(f, b);
+  const Bdd expect = (b.var(0) | b.var(1)) & !b.var(2);
+  EXPECT_EQ(g, expect);
+}
+
+TEST(OrReduce, MatchesTheLeftFoldAndReportsTreeDepth) {
+  Manager m(6);
+  std::vector<Bdd> fs;
+  Bdd fold = m.falseBdd();
+  for (Var v = 0; v < 5; ++v) {
+    fs.push_back(m.var(v) & !m.var(v + 1));
+    fold |= fs.back();
+  }
+  std::size_t depth = 0;
+  EXPECT_EQ(bdd::orReduce(m, fs, &depth), fold);
+  EXPECT_EQ(depth, 3u);  // ceil(log2(5))
+}
+
+TEST(OrReduce, EmptyAndSingletonSpans) {
+  Manager m(2);
+  std::size_t depth = 7;
+  EXPECT_EQ(bdd::orReduce(m, {}, &depth), m.falseBdd());
+  EXPECT_EQ(depth, 0u);
+  const std::vector<Bdd> one{m.var(1)};
+  EXPECT_EQ(bdd::orReduce(m, one, &depth), m.var(1));
+  EXPECT_EQ(depth, 0u);
+}
+
+}  // namespace
