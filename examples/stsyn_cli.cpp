@@ -26,6 +26,14 @@
 //                        (default 1, or $STSYN_IMAGE_WORKERS; 0 = hardware
 //                        concurrency; results are bit-identical for every
 //                        worker count)
+//   --var-order O        BDD variable-order seed: declared (default; may
+//                        also come from $STSYN_VAR_ORDER) or static
+//                        (reverse Cuthill–McKee over the communication
+//                        graph); dynamic reordering still applies on top
+//   --orbit-prune        portfolio: run one schedule per process-symmetry
+//                        orbit signature up front, deferring the rest to
+//                        a fallback phase that only runs if every
+//                        representative failed
 //   --schedule P2,P0,P1  recovery schedule (default: identity)
 //   --max-pass N         stop after pass N (1..3)
 //   --no-greedy          disable the greedy cycle-resolution pass
@@ -63,6 +71,7 @@ int usage() {
                "usage: stsyn <protocol.stsyn> [--weak] [--schedule P1,P0,...]"
                " [--max-pass N] [--no-greedy] [--image-policy"
                " monolithic|perprocess|auto|both] [--image-workers N]"
+               " [--var-order declared|static] [--orbit-prune]"
                " [--print] [--quiet]"
                " [--stats-json FILE] [--trace FILE]\n"
                "       stsyn lint <protocol.stsyn> [--werror] [--no-symbolic]"
@@ -76,6 +85,7 @@ struct PortfolioRow {
   std::string imagePolicy;
   bool ran = false;
   bool success = false;
+  bool pruned = false;
   int pass = 0;
   double wallSeconds = 0.0;
 };
@@ -100,6 +110,9 @@ struct RunReport {
   bool havePortfolio = false;
   std::size_t portfolioWinner = SIZE_MAX;
   double portfolioWallSeconds = 0.0;
+  bool portfolioOrbitPrune = false;
+  std::size_t portfolioSymmetryOrbits = 0;
+  std::size_t portfolioSchedulesPruned = 0;
   std::vector<PortfolioRow> portfolioRows;
 
   ~RunReport() {
@@ -145,6 +158,12 @@ struct RunReport {
       std::uint64_t ran = 0;
       for (const PortfolioRow& row : portfolioRows) ran += row.ran ? 1 : 0;
       w.field("instances_run", ran);
+      if (portfolioOrbitPrune) {
+        w.field("symmetry_orbits",
+                static_cast<std::uint64_t>(portfolioSymmetryOrbits));
+        w.field("schedules_pruned",
+                static_cast<std::uint64_t>(portfolioSchedulesPruned));
+      }
       w.key("instances");
       w.beginArray();
       for (const PortfolioRow& row : portfolioRows) {
@@ -153,6 +172,7 @@ struct RunReport {
         w.field("image_policy", row.imagePolicy);
         w.field("ran", row.ran);
         w.field("success", row.success);
+        if (portfolioOrbitPrune) w.field("pruned", row.pruned);
         w.field("pass", row.pass);
         w.field("wall_seconds", row.wallSeconds);
         w.endObject();
@@ -251,8 +271,10 @@ int main(int argc, char** argv) {
   bool print = false;
   bool quiet = false;
   bool explain = false;
+  bool orbitPrune = false;
   std::string scheduleArg;
   std::string imagePolicyArg;
+  std::string varOrderArg;
   std::string outputPath;
   std::string lintFormat = "text";
   RunReport report;
@@ -293,6 +315,10 @@ int main(int argc, char** argv) {
       scheduleArg = argv[++i];
     } else if (!std::strcmp(a, "--image-policy") && i + 1 < argc) {
       imagePolicyArg = argv[++i];
+    } else if (!std::strcmp(a, "--var-order") && i + 1 < argc) {
+      varOrderArg = argv[++i];
+    } else if (!std::strcmp(a, "--orbit-prune")) {
+      orbitPrune = true;
     } else if (!std::strcmp(a, "--image-workers") && i + 1 < argc) {
       const int n = std::atoi(argv[++i]);
       if (n < 0) return usage();
@@ -341,6 +367,23 @@ int main(int argc, char** argv) {
     options.imagePolicy = *parsed;
     policies = {*parsed};
   }
+
+  symbolic::EncodingOptions encOptions;
+  if (!varOrderArg.empty()) {
+    const auto parsed = symbolic::parseVarOrder(varOrderArg);
+    if (!parsed.has_value()) {
+      std::fprintf(stderr,
+                   "stsyn: unknown --var-order '%s' (expected "
+                   "declared|static)\n",
+                   varOrderArg.c_str());
+      return 2;
+    }
+    encOptions.varOrder = *parsed;
+  }
+  if (orbitPrune && portfolio == 0) {
+    std::fprintf(stderr, "stsyn: --orbit-prune requires --portfolio\n");
+    return 2;
+  }
   if (!report.tracePath.empty()) obs::Tracer::global().enable();
 
   protocol::Protocol p;
@@ -352,7 +395,7 @@ int main(int argc, char** argv) {
   }
   if (print) std::printf("%s\n", lang::printProtocol(p).c_str());
 
-  symbolic::Encoding enc(p);
+  symbolic::Encoding enc(p, encOptions);
   symbolic::SymbolicProtocol sp(enc);
   std::printf("protocol %s: %zu processes, %.0f states, %.0f legitimate\n",
               p.name.c_str(), p.processCount(), p.stateCount(),
@@ -449,17 +492,33 @@ int main(int argc, char** argv) {
     for (std::size_t rot = 0; rot < p.processCount(); ++rot) {
       schedules.push_back(core::rotatedSchedule(p.processCount(), rot));
     }
-    const core::PortfolioResult pr = core::synthesizePortfolio(
-        p, schedules, portfolio, policies, options.imageWorkers);
+    core::PortfolioOptions popt;
+    popt.threads = portfolio;
+    popt.policies = policies;
+    popt.imageWorkers = options.imageWorkers;
+    popt.encoding = encOptions;
+    popt.orbitPrune = orbitPrune;
+    const core::PortfolioResult pr =
+        core::synthesizePortfolio(p, schedules, popt);
     report.havePortfolio = true;
     report.portfolioWinner = pr.winner;
     report.portfolioWallSeconds = pr.wallSeconds;
+    report.portfolioOrbitPrune = orbitPrune;
+    report.portfolioSymmetryOrbits = pr.symmetryOrbits;
+    report.portfolioSchedulesPruned = pr.schedulesPruned();
     for (const core::PortfolioInstance& inst : pr.instances) {
       report.portfolioRows.push_back({core::toString(inst.schedule),
                                       symbolic::toString(inst.imagePolicy),
                                       inst.ran, inst.result.success,
+                                      inst.pruned,
                                       inst.result.stats.passCompleted,
                                       inst.wallSeconds});
+    }
+    if (orbitPrune) {
+      std::printf("orbit pruning: %zu symmetry orbits, %zu of %zu schedule "
+                  "instances pruned\n",
+                  pr.symmetryOrbits, pr.schedulesPruned(),
+                  pr.instances.size());
     }
     if (const core::SynthesisStats* ws = pr.winnerStats()) {
       report.stats = *ws;

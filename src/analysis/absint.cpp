@@ -1,0 +1,429 @@
+#include "analysis/absint.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace stsyn::analysis {
+
+using protocol::Expr;
+using protocol::Protocol;
+
+void ValueSet::join(const ValueSet& o) {
+  if (top) return;
+  if (o.top) {
+    top = true;
+    values.clear();
+    return;
+  }
+  values.insert(o.values.begin(), o.values.end());
+  if (values.size() > kValueSetCap) {
+    top = true;
+    values.clear();
+  }
+}
+
+void ValueSet::insert(long v) {
+  if (top) return;
+  values.insert(v);
+  if (values.size() > kValueSetCap) {
+    top = true;
+    values.clear();
+  }
+}
+
+AbsEnv fullEnv(const Protocol& p) {
+  AbsEnv env(p.vars.size());
+  for (std::size_t v = 0; v < p.vars.size(); ++v) {
+    const long d = p.vars[v].domain;
+    if (d > static_cast<long>(kValueSetCap)) {
+      env[v] = ValueSet::topSet();
+    } else {
+      for (long val = 0; val < d; ++val) env[v].values.insert(val);
+    }
+  }
+  return env;
+}
+
+namespace {
+
+long euclideanMod(long a, long m) {
+  const long r = a % m;
+  return r < 0 ? r + m : r;
+}
+
+/// Pairwise application of an arithmetic op; Top if either side is Top.
+template <typename F>
+ValueSet pairwise(const ValueSet& a, const ValueSet& b, F op) {
+  if (a.top || b.top) return ValueSet::topSet();
+  ValueSet out;
+  for (const long x : a.values) {
+    for (const long y : b.values) {
+      op(out, x, y);
+      if (out.top) return out;
+    }
+  }
+  return out;
+}
+
+bool concreteCompare(Expr::Kind k, long a, long b) {
+  switch (k) {
+    case Expr::Kind::Eq: return a == b;
+    case Expr::Kind::Ne: return a != b;
+    case Expr::Kind::Lt: return a < b;
+    case Expr::Kind::Le: return a <= b;
+    case Expr::Kind::Gt: return a > b;
+    case Expr::Kind::Ge: return a >= b;
+    default: return false;
+  }
+}
+
+bool isCompare(Expr::Kind k) {
+  return k == Expr::Kind::Eq || k == Expr::Kind::Ne || k == Expr::Kind::Lt ||
+         k == Expr::Kind::Le || k == Expr::Kind::Gt || k == Expr::Kind::Ge;
+}
+
+}  // namespace
+
+ValueSet absEvalInt(const Expr& e, const AbsEnv& env) {
+  switch (e.kind) {
+    case Expr::Kind::Const:
+      return ValueSet::of(e.value);
+    case Expr::Kind::Ref:
+      return e.var < env.size() ? env[e.var] : ValueSet::topSet();
+    case Expr::Kind::Add:
+      return pairwise(absEvalInt(*e.args[0], env), absEvalInt(*e.args[1], env),
+                      [](ValueSet& o, long a, long b) { o.insert(a + b); });
+    case Expr::Kind::Sub:
+      return pairwise(absEvalInt(*e.args[0], env), absEvalInt(*e.args[1], env),
+                      [](ValueSet& o, long a, long b) { o.insert(a - b); });
+    case Expr::Kind::Mul:
+      return pairwise(absEvalInt(*e.args[0], env), absEvalInt(*e.args[1], env),
+                      [](ValueSet& o, long a, long b) { o.insert(a * b); });
+    case Expr::Kind::Mod: {
+      const ValueSet a = absEvalInt(*e.args[0], env);
+      const ValueSet m = absEvalInt(*e.args[1], env);
+      // A constant positive modulus bounds the result to [0, m) even when
+      // the dividend is Top — the common `x.mod(k)` shape stays precise.
+      if (a.top && e.args[1]->kind == Expr::Kind::Const &&
+          e.args[1]->value > 0 &&
+          e.args[1]->value <= static_cast<long>(kValueSetCap)) {
+        ValueSet out;
+        for (long r = 0; r < e.args[1]->value; ++r) out.values.insert(r);
+        return out;
+      }
+      return pairwise(a, m, [](ValueSet& o, long x, long y) {
+        if (y > 0) o.insert(euclideanMod(x, y));
+      });
+    }
+    case Expr::Kind::Ite: {
+      switch (absEvalBool(*e.args[0], env)) {
+        case AbsBool::True: return absEvalInt(*e.args[1], env);
+        case AbsBool::False: return absEvalInt(*e.args[2], env);
+        case AbsBool::Top: {
+          ValueSet out = absEvalInt(*e.args[1], env);
+          out.join(absEvalInt(*e.args[2], env));
+          return out;
+        }
+      }
+      return ValueSet::topSet();
+    }
+    default:
+      return ValueSet::topSet();  // bool-valued: callers check isBool()
+  }
+}
+
+AbsBool absEvalBool(const Expr& e, const AbsEnv& env) {
+  switch (e.kind) {
+    case Expr::Kind::BoolConst:
+      return e.value != 0 ? AbsBool::True : AbsBool::False;
+    case Expr::Kind::Not: {
+      const AbsBool a = absEvalBool(*e.args[0], env);
+      if (a == AbsBool::Top) return AbsBool::Top;
+      return a == AbsBool::True ? AbsBool::False : AbsBool::True;
+    }
+    case Expr::Kind::And: {
+      bool allTrue = true;
+      for (const auto& arg : e.args) {
+        const AbsBool a = absEvalBool(*arg, env);
+        if (a == AbsBool::False) return AbsBool::False;
+        if (a != AbsBool::True) allTrue = false;
+      }
+      return allTrue ? AbsBool::True : AbsBool::Top;
+    }
+    case Expr::Kind::Or: {
+      bool allFalse = true;
+      for (const auto& arg : e.args) {
+        const AbsBool a = absEvalBool(*arg, env);
+        if (a == AbsBool::True) return AbsBool::True;
+        if (a != AbsBool::False) allFalse = false;
+      }
+      return allFalse ? AbsBool::False : AbsBool::Top;
+    }
+    case Expr::Kind::Implies: {
+      const AbsBool a = absEvalBool(*e.args[0], env);
+      const AbsBool b = absEvalBool(*e.args[1], env);
+      if (a == AbsBool::False || b == AbsBool::True) return AbsBool::True;
+      if (a == AbsBool::True && b == AbsBool::False) return AbsBool::False;
+      return AbsBool::Top;
+    }
+    case Expr::Kind::Iff: {
+      const AbsBool a = absEvalBool(*e.args[0], env);
+      const AbsBool b = absEvalBool(*e.args[1], env);
+      if (a == AbsBool::Top || b == AbsBool::Top) return AbsBool::Top;
+      return a == b ? AbsBool::True : AbsBool::False;
+    }
+    default: {
+      if (!isCompare(e.kind)) return AbsBool::Top;
+      const ValueSet ls = absEvalInt(*e.args[0], env);
+      const ValueSet rs = absEvalInt(*e.args[1], env);
+      if (ls.top || rs.top || ls.empty() || rs.empty()) return AbsBool::Top;
+      bool sawTrue = false;
+      bool sawFalse = false;
+      for (const long a : ls.values) {
+        for (const long b : rs.values) {
+          (concreteCompare(e.kind, a, b) ? sawTrue : sawFalse) = true;
+          if (sawTrue && sawFalse) return AbsBool::Top;
+        }
+      }
+      return sawTrue ? AbsBool::True : AbsBool::False;
+    }
+  }
+}
+
+namespace {
+
+/// Narrowing for a single comparison (or its negation when !want): checks
+/// satisfiability over the current sets, then filters each bare-Ref side
+/// to the values that still have a partner on the other side.
+bool assumeCompare(const Expr& e, bool want, AbsEnv& env) {
+  const Expr& lhs = *e.args[0];
+  const Expr& rhs = *e.args[1];
+  const ValueSet ls = absEvalInt(lhs, env);
+  const ValueSet rs = absEvalInt(rhs, env);
+  const auto sat = [&](long a, long b) {
+    return concreteCompare(e.kind, a, b) == want;
+  };
+
+  if (!ls.top && !rs.top) {
+    bool any = false;
+    for (const long a : ls.values) {
+      for (const long b : rs.values) {
+        if (sat(a, b)) {
+          any = true;
+          break;
+        }
+      }
+      if (any) break;
+    }
+    if (!any) return false;  // definitely unsatisfiable
+  }
+
+  if (lhs.kind == Expr::Kind::Ref && lhs.var < env.size() &&
+      !env[lhs.var].top && !rs.top) {
+    std::erase_if(env[lhs.var].values, [&](long a) {
+      return std::none_of(rs.values.begin(), rs.values.end(),
+                          [&](long b) { return sat(a, b); });
+    });
+    if (env[lhs.var].empty()) return false;
+  }
+  if (rhs.kind == Expr::Kind::Ref && rhs.var < env.size() &&
+      !env[rhs.var].top && !ls.top) {
+    std::erase_if(env[rhs.var].values, [&](long b) {
+      return std::none_of(ls.values.begin(), ls.values.end(),
+                          [&](long a) { return sat(a, b); });
+    });
+    if (env[rhs.var].empty()) return false;
+  }
+  return true;
+}
+
+/// Join of per-branch environments for disjunctive constraints: assume
+/// each branch on a copy, union the feasible results. Infeasible when no
+/// branch survives.
+bool assumeBranches(
+    const std::vector<std::pair<const Expr*, bool>>* const* branches,
+    std::size_t branchCount, AbsEnv& env) {
+  AbsEnv joined;
+  bool anyFeasible = false;
+  for (std::size_t i = 0; i < branchCount; ++i) {
+    AbsEnv copy = env;
+    bool ok = true;
+    for (const auto& [expr, want] : *branches[i]) {
+      if (!assume(*expr, want, copy)) {
+        ok = false;
+        break;
+      }
+    }
+    if (!ok) continue;
+    if (!anyFeasible) {
+      joined = std::move(copy);
+      anyFeasible = true;
+    } else {
+      for (std::size_t v = 0; v < joined.size(); ++v) joined[v].join(copy[v]);
+    }
+  }
+  if (!anyFeasible) return false;
+  env = std::move(joined);
+  return true;
+}
+
+constexpr int kAssumeFixpointBound = 16;
+
+}  // namespace
+
+bool assume(const Expr& e, bool want, AbsEnv& env) {
+  switch (e.kind) {
+    case Expr::Kind::BoolConst:
+      return (e.value != 0) == want;
+    case Expr::Kind::Not:
+      return assume(*e.args[0], !want, env);
+    case Expr::Kind::And:
+    case Expr::Kind::Or: {
+      const bool conjunctive = (e.kind == Expr::Kind::And) == want;
+      if (conjunctive) {
+        // AC-3: re-run every conjunct until nothing narrows (bounded).
+        for (int iter = 0; iter < kAssumeFixpointBound; ++iter) {
+          const AbsEnv before = env;
+          for (const auto& arg : e.args) {
+            if (!assume(*arg, want, env)) return false;
+          }
+          if (env == before) break;
+        }
+        return true;
+      }
+      // Disjunctive: one branch per arg.
+      std::vector<std::vector<std::pair<const Expr*, bool>>> storage;
+      storage.reserve(e.args.size());
+      for (const auto& arg : e.args) {
+        storage.push_back({{arg.get(), want}});
+      }
+      std::vector<const std::vector<std::pair<const Expr*, bool>>*> ptrs;
+      ptrs.reserve(storage.size());
+      for (const auto& b : storage) ptrs.push_back(&b);
+      return assumeBranches(ptrs.data(), ptrs.size(), env);
+    }
+    case Expr::Kind::Implies: {
+      const Expr* a = e.args[0].get();
+      const Expr* b = e.args[1].get();
+      if (want) {  // !a or b
+        const std::vector<std::pair<const Expr*, bool>> b1{{a, false}};
+        const std::vector<std::pair<const Expr*, bool>> b2{{b, true}};
+        const std::vector<std::pair<const Expr*, bool>>* branches[] = {&b1,
+                                                                       &b2};
+        return assumeBranches(branches, 2, env);
+      }
+      return assume(*a, true, env) && assume(*b, false, env);
+    }
+    case Expr::Kind::Iff: {
+      const Expr* a = e.args[0].get();
+      const Expr* b = e.args[1].get();
+      const std::vector<std::pair<const Expr*, bool>> b1{{a, true},
+                                                         {b, want}};
+      const std::vector<std::pair<const Expr*, bool>> b2{{a, false},
+                                                         {b, !want}};
+      const std::vector<std::pair<const Expr*, bool>>* branches[] = {&b1, &b2};
+      return assumeBranches(branches, 2, env);
+    }
+    default:
+      if (isCompare(e.kind)) return assumeCompare(e, want, env);
+      return true;  // not a bool expression: no information
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Lint rules.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+bool supportInRange(const Expr& e, const Protocol& p) {
+  std::set<protocol::VarId> support;
+  protocol::collectSupport(e, support);
+  return support.empty() || *support.rbegin() < p.vars.size();
+}
+
+void addAbs(Diagnostics& diags, std::string rule, Severity sev,
+            std::string message, protocol::SourceLoc loc) {
+  Diagnostic d;
+  d.ruleId = std::move(rule);
+  d.severity = sev;
+  d.message = std::move(message);
+  d.loc = loc;
+  d.precision = "overapprox";
+  diags.add(std::move(d));
+}
+
+}  // namespace
+
+void lintAbstract(const Protocol& p, Diagnostics& diags) {
+  if (std::any_of(p.vars.begin(), p.vars.end(),
+                  [](const protocol::Variable& v) { return v.domain < 1; })) {
+    return;  // the AST tier reports non-positive domains as errors
+  }
+  const AbsEnv base = fullEnv(p);
+  const std::vector<std::string> names = p.varNames();
+
+  if (p.invariant && p.invariant->isBool() &&
+      supportInRange(*p.invariant, p)) {
+    AbsEnv env = base;
+    if (!assume(*p.invariant, true, env)) {
+      addAbs(diags, "abs-invariant-empty", Severity::Error,
+             "invariant is unsatisfiable over the declared domains",
+             p.invariantLoc);
+    } else if (absEvalBool(*p.invariant, base) == AbsBool::True) {
+      addAbs(diags, "abs-invariant-trivial", Severity::Warning,
+             "invariant holds in every state over the declared domains",
+             p.invariantLoc);
+    }
+  }
+
+  for (const protocol::Process& proc : p.processes) {
+    for (const protocol::Action& act : proc.actions) {
+      if (!act.guard || !act.guard->isBool() ||
+          !supportInRange(*act.guard, p)) {
+        continue;
+      }
+      AbsEnv guarded = base;
+      if (!assume(*act.guard, true, guarded)) {
+        addAbs(diags, "abs-guard-unsat", Severity::Warning,
+               "guard of action '" + act.label +
+                   "' is unsatisfiable over the declared domains",
+               act.loc);
+        continue;  // dead action: its assignments never execute
+      }
+      if (absEvalBool(*act.guard, base) == AbsBool::True) {
+        addAbs(diags, "abs-guard-tautology", Severity::Note,
+               "guard of action '" + act.label +
+                   "' holds in every state (action is always enabled)",
+               act.loc);
+      }
+
+      for (const protocol::Assignment& asg : act.assigns) {
+        if (!asg.value || asg.var >= p.vars.size() ||
+            asg.value->isBool() || !supportInRange(*asg.value, p)) {
+          continue;
+        }
+        // Syntactic self-assignment, or — stronger — no valuation under
+        // the guard where target and right-hand side differ.
+        const bool selfAssign = asg.value->kind == Expr::Kind::Ref &&
+                                asg.value->var == asg.var;
+        bool dead = selfAssign;
+        if (!dead) {
+          const protocol::E neq =
+              protocol::ref(asg.var) != protocol::E(asg.value);
+          AbsEnv env = guarded;
+          dead = !assume(*neq.ptr(), true, env);
+        }
+        if (dead) {
+          addAbs(diags, "abs-dead-assignment", Severity::Warning,
+                 "assignment to '" + names[asg.var] + "' in action '" +
+                     act.label +
+                     "' can never change its value under the guard",
+                 act.loc);
+        }
+      }
+    }
+  }
+}
+
+}  // namespace stsyn::analysis

@@ -1,0 +1,88 @@
+// Abstract-interpretation lint tier: per-variable value-set domains
+// propagated through guards and assignments, without touching a Manager.
+//
+// The domain is non-relational — each variable is tracked as an
+// independent finite set of possible values (or Top past a size cap) —
+// so every answer is an over-approximation of the reachable concrete
+// states. The lint rules built on it therefore only fire on *definite*
+// impossibilities (a guard with no satisfying valuation at all, an
+// assignment that can never change its target): when the abstract
+// machinery is unsure, it stays silent. That makes the tier's
+// false-positive rate zero by construction, at the cost of missing
+// defects a relational or exact (symbolic) analysis would catch —
+// diagnostics carry `precision: overapprox` in SARIF to say so.
+#pragma once
+
+#include <cstddef>
+#include <set>
+#include <vector>
+
+#include "analysis/diagnostics.hpp"
+#include "protocol/protocol.hpp"
+
+namespace stsyn::analysis {
+
+/// Past this many elements a ValueSet collapses to Top. Big enough that
+/// the paper's domains (< 16 values) never collapse through a few
+/// arithmetic ops; small enough to bound the pairwise-product evaluators.
+inline constexpr std::size_t kValueSetCap = 512;
+
+/// A finite set of possible values, or Top (= "any long").
+struct ValueSet {
+  bool top = false;
+  std::set<long> values;  ///< meaningful only when !top
+
+  [[nodiscard]] static ValueSet topSet() { return ValueSet{true, {}}; }
+  [[nodiscard]] static ValueSet of(long v) { return ValueSet{false, {v}}; }
+
+  [[nodiscard]] bool empty() const { return !top && values.empty(); }
+  [[nodiscard]] bool contains(long v) const {
+    return top || values.contains(v);
+  }
+
+  /// Set union; collapses to Top past kValueSetCap.
+  void join(const ValueSet& o);
+  /// Inserts one value; collapses to Top past kValueSetCap.
+  void insert(long v);
+
+  bool operator==(const ValueSet&) const = default;
+};
+
+/// Abstract environment: one ValueSet per VarId.
+using AbsEnv = std::vector<ValueSet>;
+
+/// The least informative consistent environment: every variable ranges
+/// over its full declared domain {0 .. domain-1} (Top when the domain
+/// exceeds kValueSetCap; empty when the domain is non-positive).
+[[nodiscard]] AbsEnv fullEnv(const protocol::Protocol& p);
+
+/// Abstract value of an int-valued expression. Bool-valued input yields
+/// Top (callers are expected to check Expr::isBool first).
+[[nodiscard]] ValueSet absEvalInt(const protocol::Expr& e, const AbsEnv& env);
+
+/// Three-valued abstract truth.
+enum class AbsBool : unsigned char { False, True, Top };
+
+/// Abstract truth of a bool-valued expression: True/False only when the
+/// expression has that value under EVERY concrete valuation in env.
+[[nodiscard]] AbsBool absEvalBool(const protocol::Expr& e, const AbsEnv& env);
+
+/// Narrows env towards the valuations where the bool expression e has
+/// truth value `want` (AC-3-style constraint propagation, bounded
+/// fixpoint). Returns false when the narrowed environment is definitely
+/// empty — i.e. no concrete valuation in env satisfies the constraint.
+/// Returning true guarantees nothing (over-approximation).
+[[nodiscard]] bool assume(const protocol::Expr& e, bool want, AbsEnv& env);
+
+/// The abstract lint rules (severity in parentheses):
+///   abs-guard-unsat (W)      guard unsatisfiable over the declared domains
+///   abs-guard-tautology (N)  guard true in every state (action always on)
+///   abs-dead-assignment (W)  assignment can never change its target
+///   abs-invariant-empty (E)  invariant unsatisfiable over the domains
+///   abs-invariant-trivial (W) invariant true in every state
+/// Emits into diags with precision "overapprox". Skips any entity whose
+/// expressions reference out-of-range variables or whose variables have
+/// non-positive domains (the AST tier reports those as errors already).
+void lintAbstract(const protocol::Protocol& p, Diagnostics& diags);
+
+}  // namespace stsyn::analysis

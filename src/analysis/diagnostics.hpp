@@ -28,6 +28,12 @@ struct Diagnostic {
   Severity severity = Severity::Warning;
   std::string message;
   protocol::SourceLoc loc;  // (0,0) when the entity has no source position
+
+  /// Analysis precision of the rule that produced this diagnostic:
+  /// "" for exact tiers (AST facts, symbolic BDD queries), "overapprox"
+  /// for the abstract-interpretation tier. Rendered as a SARIF result
+  /// property so consumers can tell proofs from conservative flags.
+  std::string precision;
 };
 
 /// Accumulates diagnostics from every stage of a lint run.
@@ -36,8 +42,12 @@ class Diagnostics {
   void add(Diagnostic d) { items_.push_back(std::move(d)); }
   void add(std::string ruleId, Severity severity, std::string message,
            protocol::SourceLoc loc = {}) {
-    items_.push_back(Diagnostic{std::move(ruleId), severity,
-                                std::move(message), loc});
+    Diagnostic d;
+    d.ruleId = std::move(ruleId);
+    d.severity = severity;
+    d.message = std::move(message);
+    d.loc = loc;
+    items_.push_back(std::move(d));
   }
 
   /// Converts a builder validation issue; all validation rules are errors.
@@ -53,8 +63,15 @@ class Diagnostics {
   /// warning. Notes never fail a run.
   [[nodiscard]] bool failed(bool werror) const;
 
-  /// Orders diagnostics by source position (unknown positions last),
-  /// keeping the insertion order among equals.
+  /// True when a diagnostic with this rule id exists at this position.
+  /// Used by the lint driver to suppress an exact-tier rule when the
+  /// abstract tier already reported the same defect there.
+  [[nodiscard]] bool has(const std::string& ruleId,
+                         protocol::SourceLoc loc) const;
+
+  /// Orders diagnostics fully deterministically: by source position
+  /// (unknown positions last), then rule id, then message — so SARIF
+  /// baselines and --werror gates are stable across runs and platforms.
   void sortByLocation();
 
  private:

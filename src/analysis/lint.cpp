@@ -3,6 +3,7 @@
 #include <set>
 #include <stdexcept>
 
+#include "analysis/absint.hpp"
 #include "lang/parser.hpp"
 #include "symbolic/compile.hpp"
 #include "symbolic/encoding.hpp"
@@ -206,13 +207,17 @@ void lintSymbolic(const Protocol& p, Diagnostics& diags) {
       symbolic::compileBool(*p.invariant, enc, symbolic::StateCopy::Current) &
       valid;
   if (inv.isFalse()) {
-    diags.add("invariant-empty", Severity::Error,
-              "invariant is unsatisfiable: there are no legitimate states",
-              p.invariantLoc);
+    if (!diags.has("abs-invariant-empty", p.invariantLoc)) {
+      diags.add("invariant-empty", Severity::Error,
+                "invariant is unsatisfiable: there are no legitimate states",
+                p.invariantLoc);
+    }
   } else if (inv == valid) {
-    diags.add("invariant-trivial", Severity::Warning,
-              "invariant holds in every state: nothing to converge to",
-              p.invariantLoc);
+    if (!diags.has("abs-invariant-trivial", p.invariantLoc)) {
+      diags.add("invariant-trivial", Severity::Warning,
+                "invariant holds in every state: nothing to converge to",
+                p.invariantLoc);
+    }
   }
 
   for (std::size_t j = 0; j < p.processes.size(); ++j) {
@@ -226,10 +231,12 @@ void lintSymbolic(const Protocol& p, Diagnostics& diags) {
           symbolic::compileBool(*a.guard, enc, symbolic::StateCopy::Current) &
           valid;
       if (guard.isFalse()) {
-        diags.add("guard-unsat", Severity::Warning,
-                  who + ": guard is unsatisfiable — the action can never "
-                        "fire",
-                  a.loc);
+        if (!diags.has("abs-guard-unsat", a.loc)) {
+          diags.add("guard-unsat", Severity::Warning,
+                    who + ": guard is unsatisfiable — the action can never "
+                          "fire",
+                    a.loc);
+        }
         continue;  // rels[k] stays false; overlap checks skip it
       }
       const bdd::Bdd rel = symbolic::actionRelation(enc, j, a);
@@ -273,6 +280,9 @@ void lintProtocol(const Protocol& proto,
                   Diagnostics& diags, const LintOptions& options) {
   for (const ValidationIssue& issue : issues) diags.addIssue(issue);
   lintAst(proto, diags);
+  // The abstract tier is BDD-free and defensive against ill-formed input,
+  // so it runs regardless of earlier errors and of the symbolic switch.
+  if (options.abstractTier) lintAbstract(proto, diags);
   // The symbolic tier needs a compilable protocol: skip it whenever the
   // structural tiers found an error (e.g. a non-boolean guard or an
   // out-of-domain assignment would throw inside the compiler).

@@ -286,6 +286,7 @@ StrongResult addStrongConvergence(const SymbolicProtocol& sp,
   }
 
   out.stats.imagePolicy = symbolic::toString(options.imagePolicy);
+  out.stats.varOrder = symbolic::toString(sp.enc().varOrder());
   out.stats.imageWorkers =
       options.imageWorkers == 0 ? 1 : options.imageWorkers;
 

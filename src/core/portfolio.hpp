@@ -26,6 +26,11 @@ struct PortfolioInstance {
   /// False when the instance was never claimed because an earlier schedule
   /// had already succeeded (early exit); `result` is default-constructed.
   bool ran = false;
+  /// True when orbit pruning deferred this instance: an earlier schedule
+  /// has the same orbit signature, so this one runs only in the fallback
+  /// phase (after every representative failed). A pruned instance that
+  /// did run in the fallback has both pruned and ran set.
+  bool pruned = false;
   /// Wall-clock seconds this instance's synthesis took; 0 when skipped.
   /// Summed over ran instances vs. `PortfolioResult::wallSeconds` this
   /// measures the portfolio's parallel speedup and early-exit savings.
@@ -39,8 +44,22 @@ struct PortfolioResult {
   std::vector<PortfolioInstance> instances;
   /// Wall-clock seconds of the whole portfolio run (claim + join).
   double wallSeconds = 0.0;
+  /// Number of process symmetry orbits found when orbit pruning was on
+  /// (0 when pruning was disabled).
+  std::size_t symmetryOrbits = 0;
 
   [[nodiscard]] bool success() const { return winner != SIZE_MAX; }
+
+  /// Instances orbit pruning actually saved: deferred to the fallback
+  /// phase and never run (because a representative succeeded first, or
+  /// the whole portfolio was decided before the fallback).
+  [[nodiscard]] std::size_t schedulesPruned() const {
+    std::size_t n = 0;
+    for (const PortfolioInstance& inst : instances) {
+      n += (inst.pruned && !inst.ran) ? 1 : 0;
+    }
+    return n;
+  }
 
   /// The winning instance's synthesis stats, or nullptr when every
   /// schedule failed.
@@ -57,21 +76,45 @@ struct PortfolioResult {
   }
 };
 
-/// Runs the heuristic once per (schedule, image policy) pair, using up to
-/// `threads` worker threads (0 = hardware concurrency). `policies` is a
-/// second portfolio axis; empty means the process-wide default policy
-/// only, so existing call sites get exactly one instance per schedule.
-/// Instances are ordered schedule-major, policy-minor. Workers stop
-/// claiming new instances once any instance succeeds; an instance already
-/// past that check runs to completion. Deterministic: the outcome of each
-/// instance is independent of the thread interleaving, and the winner is
-/// the first successful instance in input order (claims are handed out in
+struct PortfolioOptions {
+  /// Worker threads (0 = hardware concurrency).
+  unsigned threads = 0;
+  /// Second portfolio axis; empty means the process-wide default policy
+  /// only, so plain call sites get exactly one instance per schedule.
+  std::vector<symbolic::ImagePolicy> policies;
+  /// Forwarded to each instance's StrongOptions (0 = process default).
+  /// The nested parallelism multiplies with `threads`, so portfolio
+  /// callers usually keep one axis at 1.
+  std::size_t imageWorkers = 0;
+  /// Encoding seed (variable order) every instance is built with.
+  symbolic::EncodingOptions encoding;
+  /// Dedupe schedules equivalent under process symmetry orbits
+  /// (analysis::computeOrbits): of each group of schedules with equal
+  /// orbit signatures only the earliest runs up front; the rest are
+  /// deferred to a fallback phase that runs ONLY if every representative
+  /// failed. Orbits are a necessary-condition equivalence, so the
+  /// fallback keeps the portfolio's success equal to the unpruned run's;
+  /// on truly symmetric protocols the fallback never fires and the
+  /// pruned instances are pure savings.
+  bool orbitPrune = false;
+};
+
+/// Runs the heuristic once per (schedule, image policy) pair. Instances
+/// are ordered schedule-major, policy-minor. Workers stop claiming new
+/// instances once any instance succeeds; an instance already past that
+/// check runs to completion. Deterministic: the outcome of each instance
+/// is independent of the thread interleaving, and the winner is the first
+/// successful instance in claim order (claims are handed out in
 /// increasing order, so a skipped index always has a successful — and
-/// fully run — instance below it). `imageWorkers` is forwarded to each
-/// instance's StrongOptions (0 = the process-wide default); the nested
-/// parallelism multiplies, so portfolio callers usually keep one axis at 1.
-/// On return every instance's BDD manager is re-pinned to the calling
-/// thread, so results are safe to read and destroy here.
+/// fully run — instance below it; with orbit pruning, representatives
+/// claim before fallback instances). On return every instance's BDD
+/// manager is re-pinned to the calling thread, so results are safe to
+/// read and destroy here.
+[[nodiscard]] PortfolioResult synthesizePortfolio(
+    const protocol::Protocol& proto, const std::vector<Schedule>& schedules,
+    const PortfolioOptions& options);
+
+/// Back-compat wrapper over the options overload.
 [[nodiscard]] PortfolioResult synthesizePortfolio(
     const protocol::Protocol& proto, const std::vector<Schedule>& schedules,
     unsigned threads = 0,

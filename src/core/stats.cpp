@@ -60,6 +60,7 @@ void SynthesisStats::writeJson(obs::JsonWriter& w) const {
   w.field("cache_hit_rate", cacheHitRate());
   w.field("pass_completed", passCompleted);
   w.field("image_policy", imagePolicy);
+  w.field("var_order", varOrder);
   w.field("image_ops", static_cast<std::uint64_t>(imageOps));
   w.field("preimage_ops", static_cast<std::uint64_t>(preimageOps));
   w.field("image_part_products",

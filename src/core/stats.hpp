@@ -57,6 +57,10 @@ struct SynthesisStats {
   /// "perprocess" or "auto"; empty when the run predates the setting).
   std::string imagePolicy;
 
+  /// Variable-order seed of the encoding the run synthesized against
+  /// ("declared" or "static"; empty when the run predates the setting).
+  std::string varOrder;
+
   std::size_t imageOps = 0;     ///< ImageEngine image() fixpoint steps
   std::size_t preimageOps = 0;  ///< ImageEngine preimage() fixpoint steps
   /// Per-part relational products across all engines of the run; equals

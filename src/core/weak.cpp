@@ -10,6 +10,7 @@ WeakResult addWeakConvergence(const symbolic::SymbolicProtocol& sp,
   WeakResult out;
   util::Stopwatch total;
   out.stats.imagePolicy = symbolic::toString(policy);
+  out.stats.varOrder = symbolic::toString(sp.enc().varOrder());
   out.stats.imageWorkers = workers == 0 ? 1 : workers;
   out.ranking = computeRanks(sp, &out.stats, policy, workers);
   out.relation = out.ranking.pim;

@@ -112,19 +112,20 @@ class ExplicitSynthesizer {
         });
       }
       while (!pool.empty()) {
-        // The symbolic engine picks the bit-lexicographically smallest
-        // member pair (interleaved current/next levels) among members
-        // leaving a current deadlock; mirror that exactly.
+        // The symbolic engine picks the canonical smallest member pair —
+        // value-lexicographic over (current state, next state) in variable
+        // order — among members leaving a current deadlock; mirror that
+        // exactly.
         GroupKey best{};
         bool found = false;
-        std::vector<std::uint32_t> bestBits;
+        std::vector<int> bestKey;
         for (const GroupKey& g : pool) {
           for (const Edge& e : groups_.members(g)) {
             if (!deadlocks_.contains(e.first)) continue;
-            std::vector<std::uint32_t> bits = interleavedBits(e);
-            if (!found || bits < bestBits) {
+            std::vector<int> key = canonicalKey(e);
+            if (!found || key < bestKey) {
               found = true;
-              bestBits = std::move(bits);
+              bestKey = std::move(key);
               best = g;
             }
           }
@@ -240,24 +241,14 @@ class ExplicitSynthesizer {
     return !sccsWith(extra).empty();
   }
 
-  /// The symbolic engine's lexicographic member order: interleave the
-  /// current/next bit pairs of every variable, least significant bit
-  /// first, in variable order.
-  [[nodiscard]] std::vector<std::uint32_t> interleavedBits(
-      const Edge& e) const {
-    const std::vector<int> a = space_.unpack(e.first);
+  /// The symbolic engine's canonical member order (pickTransition): the
+  /// current-state values in variable order, then the next-state values —
+  /// independent of the BDD layout.
+  [[nodiscard]] std::vector<int> canonicalKey(const Edge& e) const {
+    std::vector<int> key = space_.unpack(e.first);
     const std::vector<int> b = space_.unpack(e.second);
-    std::vector<std::uint32_t> bits;
-    for (std::size_t v = 0; v < a.size(); ++v) {
-      int dom = space_.proto().vars[v].domain;
-      int nbits = 1;
-      while ((1 << nbits) < dom) ++nbits;
-      for (int k = 0; k < nbits; ++k) {
-        bits.push_back(static_cast<std::uint32_t>(a[v] >> k & 1));
-        bits.push_back(static_cast<std::uint32_t>(b[v] >> k & 1));
-      }
-    }
-    return bits;
+    key.insert(key.end(), b.begin(), b.end());
+    return key;
   }
 
   void recomputeDeadlocks() {

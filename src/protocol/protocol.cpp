@@ -193,4 +193,71 @@ void validate(const Protocol& p) {
   }
 }
 
+namespace {
+
+ExprPtr mapRefs(const ExprPtr& e, const std::vector<VarId>& perm) {
+  if (e == nullptr) return e;
+  auto out = std::make_shared<Expr>(*e);
+  if (out->kind == Expr::Kind::Ref && out->var < perm.size()) {
+    out->var = perm[out->var];
+  }
+  for (ExprPtr& a : out->args) a = mapRefs(a, perm);
+  return out;
+}
+
+std::vector<VarId> mapSorted(const std::vector<VarId>& ids,
+                             const std::vector<VarId>& perm) {
+  std::vector<VarId> out;
+  out.reserve(ids.size());
+  for (const VarId v : ids) out.push_back(v < perm.size() ? perm[v] : v);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace
+
+Protocol renameVars(const Protocol& p, const std::vector<VarId>& perm) {
+  if (perm.size() != p.vars.size()) {
+    throw std::invalid_argument("renameVars: permutation size mismatch");
+  }
+  std::vector<bool> hit(perm.size(), false);
+  for (const VarId v : perm) {
+    if (v >= perm.size() || hit[v]) {
+      throw std::invalid_argument("renameVars: not a permutation");
+    }
+    hit[v] = true;
+  }
+
+  Protocol out;
+  out.name = p.name;
+  out.vars.resize(p.vars.size());
+  for (VarId v = 0; v < p.vars.size(); ++v) out.vars[perm[v]] = p.vars[v];
+  out.invariant = mapRefs(p.invariant, perm);
+  out.invariantLoc = p.invariantLoc;
+  for (const ExprPtr& lp : p.localPredicates) {
+    out.localPredicates.push_back(mapRefs(lp, perm));
+  }
+  out.processes.reserve(p.processes.size());
+  for (const Process& proc : p.processes) {
+    Process q;
+    q.name = proc.name;
+    q.loc = proc.loc;
+    q.reads = mapSorted(proc.reads, perm);
+    q.writes = mapSorted(proc.writes, perm);
+    q.actions.reserve(proc.actions.size());
+    for (const Action& act : proc.actions) {
+      Action a;
+      a.label = act.label;
+      a.loc = act.loc;
+      a.guard = mapRefs(act.guard, perm);
+      for (const Assignment& asg : act.assigns) {
+        a.assigns.push_back({perm[asg.var], mapRefs(asg.value, perm)});
+      }
+      q.actions.push_back(std::move(a));
+    }
+    out.processes.push_back(std::move(q));
+  }
+  return out;
+}
+
 }  // namespace stsyn::protocol

@@ -112,4 +112,16 @@ struct ValidationIssue {
 /// when known) on the first violation.
 void validate(const Protocol& p);
 
+/// The same protocol with variable ids permuted: old id v becomes
+/// perm[v]. Declarations move to their new slots; every Ref, read/write
+/// list, assignment target, and local predicate is rewritten, and the
+/// locality lists are re-sorted to keep the sortedness invariant. `perm`
+/// must be a permutation of 0..vars.size()-1; throws
+/// std::invalid_argument otherwise. Used by the variable-order ablation
+/// (hostile declaration orders) and the symmetry tests — a renamed
+/// protocol describes the identical transition system up to state
+/// relabeling.
+[[nodiscard]] Protocol renameVars(const Protocol& p,
+                                  const std::vector<VarId>& perm);
+
 }  // namespace stsyn::protocol

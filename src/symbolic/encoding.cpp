@@ -1,10 +1,14 @@
 #include "symbolic/encoding.hpp"
 
+#include <atomic>
 #include <cassert>
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <utility>
 #include <stdexcept>
+
+#include "analysis/staticinfo.hpp"
 
 namespace stsyn::symbolic {
 
@@ -20,7 +24,43 @@ int bitsForDomain(int d) {
 }
 }  // namespace
 
-Encoding::Encoding(protocol::Protocol proto) : proto_(std::move(proto)) {
+const char* toString(VarOrder order) {
+  switch (order) {
+    case VarOrder::Declared:
+      return "declared";
+    case VarOrder::Static:
+      return "static";
+  }
+  return "?";
+}
+
+std::optional<VarOrder> parseVarOrder(std::string_view name) {
+  if (name == "declared") return VarOrder::Declared;
+  if (name == "static") return VarOrder::Static;
+  return std::nullopt;
+}
+
+VarOrder defaultVarOrder() {
+  // Re-read every call (not latched): tests and embedders flip the
+  // environment between encoding constructions. Only the malformed-value
+  // warning is once-per-process.
+  const char* env = std::getenv("STSYN_VAR_ORDER");
+  if (env == nullptr || *env == '\0') return VarOrder::Declared;
+  if (const auto parsed = parseVarOrder(env); parsed.has_value()) {
+    return *parsed;
+  }
+  static std::atomic<bool> warned{false};
+  if (!warned.exchange(true)) {
+    std::fprintf(stderr,
+                 "stsyn: ignoring unknown STSYN_VAR_ORDER '%s' "
+                 "(expected declared|static)\n",
+                 env);
+  }
+  return VarOrder::Declared;
+}
+
+Encoding::Encoding(protocol::Protocol proto, const EncodingOptions& options)
+    : proto_(std::move(proto)), varOrder_(options.varOrder) {
   protocol::validate(proto_);
 
   const std::size_t n = proto_.vars.size();
@@ -28,8 +68,20 @@ Encoding::Encoding(protocol::Protocol proto) : proto_(std::move(proto)) {
   curLevels_.resize(n);
   nextLevels_.resize(n);
 
+  if (varOrder_ == VarOrder::Static) {
+    layout_ = analysis::staticVarOrder(proto_);
+  } else {
+    layout_.resize(n);
+    for (VarId v = 0; v < n; ++v) layout_[v] = v;
+  }
+
+  // Levels are assigned walking the seed layout, so position in layout_
+  // equals position in the initial level order. Everything downstream
+  // indexes through curLevels_/nextLevels_ (never assumes VarId order),
+  // and the few enumeration helpers that need a fixed walk (decodeCur,
+  // allCurLevels) use the layout.
   Var level = 0;
-  for (VarId v = 0; v < n; ++v) {
+  for (const VarId v : layout_) {
     bits_[v] = bitsForDomain(proto_.vars[v].domain);
     for (int k = 0; k < bits_[v]; ++k) {
       curLevels_[v].push_back(level++);
@@ -56,7 +108,8 @@ Encoding::Encoding(protocol::Protocol proto) : proto_(std::move(proto)) {
     mgr_->enableAutoReorder();
   }
 
-  for (VarId v = 0; v < n; ++v) {
+  // Layout order keeps these ascending, which forEachSat requires.
+  for (const VarId v : layout_) {
     for (int k = 0; k < bits_[v]; ++k) {
       allCur_.push_back(curLevels_[v][k]);
       allNext_.push_back(nextLevels_[v][k]);
@@ -204,7 +257,8 @@ std::vector<int> Encoding::decodeCur(std::span<const char> bits) const {
   assert(bits.size() == allCur_.size());
   std::vector<int> state(proto_.vars.size());
   std::size_t pos = 0;
-  for (VarId v = 0; v < proto_.vars.size(); ++v) {
+  // bits is aligned with allCurLevels(), which walks the seed layout.
+  for (const VarId v : layout_) {
     int val = 0;
     for (int k = 0; k < bits_[v]; ++k, ++pos) {
       val |= (bits[pos] ? 1 : 0) << k;

@@ -2,16 +2,21 @@
 //
 // Each protocol variable of domain size d occupies ceil(log2 d) boolean
 // variables, twice: a current-state copy x and a next-state copy x'. The
-// copies are interleaved bit-by-bit and variables are laid out in
-// declaration order, which for the paper's ring protocols yields the
-// locality the BDDs need to stay small (neighbouring processes sit at
-// neighbouring levels).
+// copies are interleaved bit-by-bit and variables are laid out either in
+// declaration order (the default; the paper's ring protocols declare
+// their variables in ring order, which is exactly the locality the BDDs
+// need) or in the static order computed by analysis::staticVarOrder
+// (reverse Cuthill–McKee over the communication graph — recovers that
+// locality when the declaration order lacks it). Dynamic reordering, when
+// enabled, runs on top of either seed.
 //
 // Invalid binary codes (values >= d) are excluded by validCur()/validNext();
 // every state predicate and transition relation in this repository is kept
 // inside those predicates.
 #pragma once
 
+#include <string_view>
+#include <optional>
 #include <vector>
 
 #include "bdd/bdd.hpp"
@@ -19,15 +24,47 @@
 
 namespace stsyn::symbolic {
 
+/// Which seed layout the encoding assigns BDD levels from.
+enum class VarOrder {
+  /// Declaration order (the historical layout).
+  Declared,
+  /// analysis::staticVarOrder — reverse Cuthill–McKee over the variable
+  /// co-read adjacency, falling back to declared on ties (so protocols
+  /// already declared in locality order keep their layout bit-for-bit).
+  Static,
+};
+
+[[nodiscard]] const char* toString(VarOrder order);
+
+/// Parses "declared" / "static"; nullopt on anything else.
+[[nodiscard]] std::optional<VarOrder> parseVarOrder(std::string_view name);
+
+/// The process-wide default order: $STSYN_VAR_ORDER when set to a
+/// parseable value (warns once on stderr otherwise), else Declared.
+/// Re-read on every call, like defaultImagePolicy().
+[[nodiscard]] VarOrder defaultVarOrder();
+
+struct EncodingOptions {
+  VarOrder varOrder = defaultVarOrder();
+};
+
 class Encoding {
  public:
   /// Builds the encoding and allocates a dedicated BDD manager. The
   /// protocol is copied (cheap: expression trees are shared), so
   /// temporaries are safe to pass.
-  explicit Encoding(protocol::Protocol proto);
+  explicit Encoding(protocol::Protocol proto,
+                    const EncodingOptions& options = {});
 
   [[nodiscard]] bdd::Manager& manager() const { return *mgr_; }
   [[nodiscard]] const protocol::Protocol& proto() const { return proto_; }
+
+  /// The seed order this encoding was built with.
+  [[nodiscard]] VarOrder varOrder() const { return varOrder_; }
+  /// The seed layout: position -> VarId (identity under Declared).
+  [[nodiscard]] const std::vector<protocol::VarId>& layout() const {
+    return layout_;
+  }
 
   /// Number of bits used by protocol variable v.
   [[nodiscard]] int bitsOf(protocol::VarId v) const { return bits_[v]; }
@@ -120,6 +157,8 @@ class Encoding {
  private:
   protocol::Protocol proto_;
   std::unique_ptr<bdd::Manager> mgr_;
+  VarOrder varOrder_ = VarOrder::Declared;
+  std::vector<protocol::VarId> layout_;
 
   std::vector<int> bits_;
   std::vector<std::vector<bdd::Var>> curLevels_;

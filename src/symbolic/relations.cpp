@@ -125,7 +125,31 @@ std::vector<int> SymbolicProtocol::pickState(const Bdd& s) const {
   if (s.isFalse()) {
     throw std::invalid_argument("pickState on an empty state predicate");
   }
-  return enc_.completeState(s.onePath());
+  // Canonical pick: the VarId-lexicographically smallest member, found by
+  // successively restricting to the smallest feasible value per variable.
+  // Unlike onePath() (which depends on the level order), this choice is
+  // identical under every variable layout, so SCC pivots and the greedy
+  // pass's picks do not drift when --var-order changes the seed.
+  Bdd rest = s;
+  std::vector<int> state(enc_.proto().vars.size());
+  for (protocol::VarId v = 0; v < enc_.proto().vars.size(); ++v) {
+    int chosen = -1;
+    for (int val = 0; val < enc_.proto().vars[v].domain; ++val) {
+      const Bdd next = rest & enc_.curValue(v, val);
+      if (!next.isFalse()) {
+        chosen = val;
+        rest = next;
+        break;
+      }
+    }
+    if (chosen < 0) {
+      throw std::logic_error(
+          "pickState: predicate excludes every domain value "
+          "(not within validCur)");
+    }
+    state[v] = chosen;
+  }
+  return state;
 }
 
 std::pair<std::vector<int>, std::vector<int>> SymbolicProtocol::pickTransition(
@@ -133,7 +157,28 @@ std::pair<std::vector<int>, std::vector<int>> SymbolicProtocol::pickTransition(
   if (rel.isFalse()) {
     throw std::invalid_argument("pickTransition on an empty relation");
   }
-  return enc_.completeTransition(rel.onePath());
+  // Canonical pick, as in pickState: smallest current state first (all
+  // variables), then the smallest successor — layout-independent.
+  Bdd rest = rel;
+  const std::size_t n = enc_.proto().vars.size();
+  std::vector<int> cur(n);
+  std::vector<int> nxt(n);
+  const auto choose = [&](protocol::VarId v, bool nextCopy) {
+    for (int val = 0; val < enc_.proto().vars[v].domain; ++val) {
+      const Bdd next =
+          rest & (nextCopy ? enc_.nextValue(v, val) : enc_.curValue(v, val));
+      if (!next.isFalse()) {
+        rest = next;
+        return val;
+      }
+    }
+    throw std::logic_error(
+        "pickTransition: relation excludes every domain value "
+        "(not within valid codes)");
+  };
+  for (protocol::VarId v = 0; v < n; ++v) cur[v] = choose(v, false);
+  for (protocol::VarId v = 0; v < n; ++v) nxt[v] = choose(v, true);
+  return {cur, nxt};
 }
 
 }  // namespace stsyn::symbolic

@@ -76,10 +76,15 @@ class SymbolicProtocol {
     return enc_.curToNext(s);
   }
 
-  /// A deterministic representative state of a non-empty predicate.
+  /// A canonical representative state of a non-empty predicate: the
+  /// VarId-lexicographically smallest member. Independent of the BDD
+  /// variable layout, so heuristic tie-breaks (SCC pivots, greedy pass
+  /// picks) agree across --var-order seeds.
   [[nodiscard]] std::vector<int> pickState(const bdd::Bdd& s) const;
 
-  /// A deterministic representative transition of a non-empty relation.
+  /// A canonical representative transition of a non-empty relation:
+  /// lexicographically smallest source state, then smallest successor.
+  /// Layout-independent, like pickState.
   [[nodiscard]] std::pair<std::vector<int>, std::vector<int>> pickTransition(
       const bdd::Bdd& rel) const;
 

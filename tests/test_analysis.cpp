@@ -179,8 +179,10 @@ process P {
 invariant : x == 0;
 )");
   expectOne(diags, "compare-out-of-domain", 6, 3, Severity::Warning);
-  // The unsatisfiable guard is also caught by the symbolic tier.
-  EXPECT_EQ(ofRule(diags, "guard-unsat").size(), 1u);
+  // The unsatisfiable guard is also caught by the abstract tier, which
+  // suppresses the symbolic-tier duplicate at the same position.
+  EXPECT_EQ(ofRule(diags, "abs-guard-unsat").size(), 1u);
+  EXPECT_TRUE(ofRule(diags, "guard-unsat").empty());
 }
 
 TEST(Lint, AssignOutOfDomainIsAnError) {
@@ -243,10 +245,14 @@ invariant : x == 0;
 }
 
 // ---------------------------------------------------------------------------
-// Symbolic tier.
+// Abstract-interpretation tier, and its interplay with the symbolic tier:
+// defects the value-set domains can prove get abs-* ids (and suppress the
+// symbolic duplicate); relational defects still fall to the BDD tier.
 // ---------------------------------------------------------------------------
 
 TEST(Lint, UnsatisfiableGuard) {
+  // x == 0 && x == 1 is unsatisfiable per-variable, so the abstract tier
+  // proves it without BDDs and the symbolic duplicate is suppressed.
   const Diagnostics diags = lint(R"(protocol p;
 var x : 0..2;
 process P {
@@ -257,7 +263,26 @@ process P {
 }
 invariant : x == 0 || x == 1;
 )");
-  expectOne(diags, "guard-unsat", 6, 3, Severity::Warning);
+  expectOne(diags, "abs-guard-unsat", 6, 3, Severity::Warning);
+  EXPECT_TRUE(ofRule(diags, "guard-unsat").empty());
+}
+
+TEST(Lint, RelationalUnsatGuardFallsToSymbolicTier) {
+  // x == y && x != y is satisfiable under the non-relational value-set
+  // domain (each variable alone keeps its full domain), so only the exact
+  // BDD tier can prove it empty.
+  const Diagnostics diags = lint(R"(protocol p;
+var x : 0..1;
+var y : 0..1;
+process P {
+  reads x, y;
+  writes x;
+  action never : x == y && x != y -> x := y;
+}
+invariant : x == 0;
+)");
+  expectOne(diags, "guard-unsat", 7, 3, Severity::Warning);
+  EXPECT_TRUE(ofRule(diags, "abs-guard-unsat").empty());
 }
 
 TEST(Lint, IdentityAction) {
@@ -305,6 +330,8 @@ invariant : x == 2;
 }
 
 TEST(Lint, EmptyInvariant) {
+  // Per-variable provable: the abstract tier reports it (as an error, so
+  // the symbolic tier is skipped entirely).
   const Diagnostics diags = lint(R"(protocol p;
 var x : 0..1;
 process P {
@@ -313,7 +340,22 @@ process P {
 }
 invariant : x == 0 && x == 1;
 )");
-  expectOne(diags, "invariant-empty", 7, 1, Severity::Error);
+  expectOne(diags, "abs-invariant-empty", 7, 1, Severity::Error);
+  EXPECT_TRUE(ofRule(diags, "invariant-empty").empty());
+}
+
+TEST(Lint, RelationalEmptyInvariantFallsToSymbolicTier) {
+  const Diagnostics diags = lint(R"(protocol p;
+var x : 0..1;
+var y : 0..1;
+process P {
+  reads x, y;
+  writes x;
+}
+invariant : x == y && x != y;
+)");
+  expectOne(diags, "invariant-empty", 8, 1, Severity::Error);
+  EXPECT_TRUE(ofRule(diags, "abs-invariant-empty").empty());
 }
 
 TEST(Lint, TrivialInvariant) {
@@ -325,7 +367,23 @@ process P {
 }
 invariant : true;
 )");
+  expectOne(diags, "abs-invariant-trivial", 7, 1, Severity::Warning);
+  EXPECT_TRUE(ofRule(diags, "invariant-trivial").empty());
+}
+
+TEST(Lint, DisjunctiveTrivialInvariantFallsToSymbolicTier) {
+  // x == 0 || x != 0 is a tautology, but three-valued evaluation of the
+  // disjunction over value sets yields Top — only the BDD tier proves it.
+  const Diagnostics diags = lint(R"(protocol p;
+var x : 0..1;
+process P {
+  reads x;
+  writes x;
+}
+invariant : x == 0 || x != 0;
+)");
   expectOne(diags, "invariant-trivial", 7, 1, Severity::Warning);
+  EXPECT_TRUE(ofRule(diags, "abs-invariant-trivial").empty());
 }
 
 TEST(Lint, SymbolicTierCanBeDisabled) {
@@ -425,13 +483,35 @@ TEST(Sarif, OutputHasExpectedShape) {
   d.add("guard-unsat", Severity::Warning, "guard is \"unsatisfiable\"",
         {6, 3});
   d.add("invariant-empty", Severity::Error, "no legitimate states", {9, 1});
+  {
+    Diagnostic abs;
+    abs.ruleId = "abs-guard-unsat";
+    abs.severity = Severity::Warning;
+    abs.message = "never satisfiable over the domains";
+    abs.loc = {12, 3};
+    abs.precision = "overapprox";
+    d.add(std::move(abs));
+  }
   const std::string sarif = analysis::formatSarif(d, "proto.stsyn");
 
   EXPECT_NE(sarif.find("\"version\": \"2.1.0\""), std::string::npos);
   EXPECT_NE(sarif.find("\"name\": \"stsyn-lint\""), std::string::npos);
-  // Rule metadata lists each distinct rule once.
-  EXPECT_NE(sarif.find("{\"id\": \"guard-unsat\"}"), std::string::npos);
-  EXPECT_NE(sarif.find("{\"id\": \"invariant-empty\"}"), std::string::npos);
+  // Rule metadata lists each distinct rule once, with descriptions and a
+  // docs anchor.
+  EXPECT_NE(sarif.find("\"id\": \"guard-unsat\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"id\": \"invariant-empty\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"shortDescription\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"fullDescription\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"helpUri\": \"https://github.com/stsyn/stsyn/"
+                       "blob/main/docs/lint_rules.md#guard-unsat\""),
+            std::string::npos);
+  // Abstract-tier rules are tagged over-approximate at the rule level and
+  // on each result.
+  EXPECT_NE(sarif.find("\"properties\": {\"precision\": \"overapprox\"}"),
+            std::string::npos);
+  // Column semantics are pinned at the run level.
+  EXPECT_NE(sarif.find("\"columnKind\": \"unicodeCodePoints\""),
+            std::string::npos);
   // Results carry level, message, and a physical location with a region.
   EXPECT_NE(sarif.find("\"ruleId\": \"guard-unsat\""), std::string::npos);
   EXPECT_NE(sarif.find("\"level\": \"warning\""), std::string::npos);

@@ -8,9 +8,14 @@
 // disconnected reads).
 #include <gtest/gtest.h>
 
+#include <numeric>
+
+#include "analysis/staticinfo.hpp"
 #include "protocol/builder.hpp"
 #include "core/heuristic.hpp"
+#include "core/portfolio.hpp"
 #include "core/ranks.hpp"
+#include "core/schedule.hpp"
 #include "explicitstate/synthesis.hpp"
 #include "explicitstate/verify.hpp"
 #include "symbolic/decode.hpp"
@@ -332,6 +337,165 @@ TEST_P(ImagePolicyDifferential, ParallelStrongSynthesisIdenticalToSequential) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ImagePolicyDifferential,
+                         ::testing::Range<std::uint64_t>(0, 24));
+
+// ---------------------------------------------------------------------------
+// Variable-order differential testing: the static RCM layout changes the
+// BDD level assignment only — synthesis outcomes, passes, and the decoded
+// programs must match the declared order exactly.
+// ---------------------------------------------------------------------------
+
+class VarOrderDifferential : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(VarOrderDifferential, StaticOrderSynthesisIdenticalToDeclared) {
+  util::Rng rng(GetParam() * 7919 + 13);  // same stream as the engine test
+  for (int instance = 0; instance < 3; ++instance) {
+    const protocol::Protocol p = randomProtocol(rng);
+    const explicitstate::StateSpace space(p);
+    if (space.invariantSize() == 0 || space.invariantSize() == space.size()) {
+      continue;
+    }
+
+    symbolic::EncodingOptions decl;
+    decl.varOrder = symbolic::VarOrder::Declared;
+    symbolic::Encoding encD(p, decl);
+    symbolic::SymbolicProtocol spD(encD);
+    const core::StrongResult d = core::addStrongConvergence(spD);
+
+    symbolic::EncodingOptions stat;
+    stat.varOrder = symbolic::VarOrder::Static;
+    symbolic::Encoding encS(p, stat);
+    symbolic::SymbolicProtocol spS(encS);
+    const core::StrongResult s = core::addStrongConvergence(spS);
+
+    ASSERT_EQ(d.success, s.success)
+        << "seed " << GetParam() << " instance " << instance;
+    EXPECT_EQ(static_cast<int>(d.failure), static_cast<int>(s.failure));
+    EXPECT_EQ(d.stats.passCompleted, s.stats.passCompleted);
+    // Decoded (layout-independent) comparison: identical synthesized
+    // relation and identical per-process additions.
+    EXPECT_EQ(symbolic::decodeRelation(encD, d.relation),
+              symbolic::decodeRelation(encS, s.relation))
+        << "seed " << GetParam() << " instance " << instance;
+    ASSERT_EQ(d.addedPerProcess.size(), s.addedPerProcess.size());
+    for (std::size_t j = 0; j < d.addedPerProcess.size(); ++j) {
+      EXPECT_EQ(symbolic::decodeRelation(encD, d.addedPerProcess[j]),
+                symbolic::decodeRelation(encS, s.addedPerProcess[j]))
+          << "process " << j;
+    }
+  }
+}
+
+TEST_P(VarOrderDifferential, HostileDeclarationOrderStillAgrees) {
+  // Scramble the declaration order (renameVars keeps the protocol
+  // semantically identical up to state relabeling) so the static order
+  // genuinely differs from the identity, then check the same instance
+  // against itself under both orders.
+  util::Rng rng(GetParam() * 524287 + 41);
+  for (int instance = 0; instance < 2; ++instance) {
+    protocol::Protocol p = randomProtocol(rng);
+    std::vector<protocol::VarId> perm(p.vars.size());
+    std::iota(perm.begin(), perm.end(), protocol::VarId{0});
+    for (std::size_t i = perm.size(); i > 1; --i) {
+      std::swap(perm[i - 1], perm[rng.below(i)]);
+    }
+    p = protocol::renameVars(p, perm);
+    const explicitstate::StateSpace space(p);
+    if (space.invariantSize() == 0 || space.invariantSize() == space.size()) {
+      continue;
+    }
+
+    symbolic::EncodingOptions stat;
+    stat.varOrder = symbolic::VarOrder::Static;
+    symbolic::Encoding encS(p, stat);
+    symbolic::SymbolicProtocol spS(encS);
+    const core::StrongResult s = core::addStrongConvergence(spS);
+
+    symbolic::Encoding encD(p);
+    symbolic::SymbolicProtocol spD(encD);
+    const core::StrongResult d = core::addStrongConvergence(spD);
+
+    ASSERT_EQ(d.success, s.success) << "seed " << GetParam();
+    EXPECT_EQ(d.stats.passCompleted, s.stats.passCompleted);
+    EXPECT_EQ(symbolic::decodeRelation(encD, d.relation),
+              symbolic::decodeRelation(encS, s.relation))
+        << "seed " << GetParam() << " instance " << instance;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, VarOrderDifferential,
+                         ::testing::Range<std::uint64_t>(0, 24));
+
+// ---------------------------------------------------------------------------
+// Orbit-pruning differential testing: the pruned portfolio must succeed
+// exactly when the unpruned one does, and its winner is predictable from
+// the unpruned outcomes plus the static orbit analysis.
+// ---------------------------------------------------------------------------
+
+class OrbitPruneDifferential : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(OrbitPruneDifferential, PrunedPortfolioMatchesUnprunedSemantics) {
+  util::Rng rng(GetParam() * 1299709 + 3);
+  for (int instance = 0; instance < 2; ++instance) {
+    const protocol::Protocol p = randomProtocol(rng);
+    const explicitstate::StateSpace space(p);
+    if (space.invariantSize() == 0 || space.invariantSize() == space.size()) {
+      continue;
+    }
+    std::vector<core::Schedule> schedules;
+    for (std::size_t rot = 0; rot < p.processCount(); ++rot) {
+      schedules.push_back(core::rotatedSchedule(p.processCount(), rot));
+    }
+
+    core::PortfolioOptions plain;
+    plain.threads = 1;
+    const core::PortfolioResult full =
+        core::synthesizePortfolio(p, schedules, plain);
+    core::PortfolioOptions pruning;
+    pruning.threads = 1;
+    pruning.orbitPrune = true;
+    const core::PortfolioResult pruned =
+        core::synthesizePortfolio(p, schedules, pruning);
+
+    // Solvability must never change (the fallback guarantee).
+    ASSERT_EQ(pruned.success(), full.success())
+        << "seed " << GetParam() << " instance " << instance;
+    if (!full.success()) continue;
+
+    // Winner accounting. When the unpruned winner is itself a
+    // representative, the pruned run reproduces it exactly: every
+    // representative below it failed (they ran and failed in the unpruned
+    // run too), so phase one stops at the same instance. When the winner
+    // was a deferred schedule, the pruned run may legitimately settle on a
+    // later representative instead (the orbit hash grouped
+    // non-interchangeable schedules) — but the winner must then be a
+    // successful representative, never an un-run instance.
+    const analysis::ProcessOrbits orbits =
+        analysis::computeOrbits(p, analysis::buildCommGraph(p));
+    const std::vector<std::size_t> reps =
+        analysis::scheduleRepresentatives(orbits, schedules);
+    ASSERT_LT(pruned.winner, pruned.instances.size());
+    EXPECT_TRUE(pruned.instances[pruned.winner].ran);
+    EXPECT_TRUE(pruned.instances[pruned.winner].result.success);
+    if (reps[full.winner] == full.winner) {
+      EXPECT_EQ(pruned.winner, full.winner)
+          << "seed " << GetParam() << " instance " << instance;
+      // Same schedule + policy => identical synthesis: the winners'
+      // decoded programs are identical BDD-for-BDD up to decoding.
+      const auto& pw = pruned.instances[pruned.winner];
+      const auto& fw = full.instances[full.winner];
+      EXPECT_EQ(symbolic::decodeRelation(*pw.encoding, pw.result.relation),
+                symbolic::decodeRelation(*fw.encoding, fw.result.relation));
+    } else {
+      EXPECT_TRUE(pruned.winner == full.winner ||
+                  reps[pruned.winner] == pruned.winner)
+          << "seed " << GetParam() << " instance " << instance;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OrbitPruneDifferential,
                          ::testing::Range<std::uint64_t>(0, 24));
 
 }  // namespace

@@ -1,0 +1,467 @@
+// Tests for the BDD-free static-analysis engine (src/analysis/staticinfo)
+// and the abstract-interpretation tier (src/analysis/absint): communication
+// graph, topology classification, symmetry orbits, the reverse
+// Cuthill–McKee variable order, value-set evaluation/narrowing, and the
+// schedule orbit signatures the portfolio prunes with. Includes the
+// degenerate-protocol corner cases (single process, no read edges,
+// self-loop-only locality, statically unsatisfiable guards).
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "analysis/absint.hpp"
+#include "analysis/staticinfo.hpp"
+#include "casestudies/coloring.hpp"
+#include "casestudies/token_ring.hpp"
+#include "core/schedule.hpp"
+#include "protocol/builder.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace stsyn;
+using analysis::AbsBool;
+using analysis::AbsEnv;
+using analysis::CommGraph;
+using analysis::Topology;
+using analysis::ValueSet;
+using protocol::E;
+using protocol::lit;
+using protocol::ProtocolBuilder;
+using protocol::ref;
+using protocol::VarId;
+
+// ---------------------------------------------------------------------------
+// Communication graph.
+// ---------------------------------------------------------------------------
+
+TEST(CommGraph, TokenRingReadersWritersAndAdjacency) {
+  const protocol::Protocol p = casestudies::tokenRing(4, 3);
+  const CommGraph g = analysis::buildCommGraph(p);
+
+  ASSERT_EQ(g.readersOf.size(), 4u);
+  for (std::size_t v = 0; v < 4; ++v) {
+    // x_v is written by P_v only and read by P_v and its successor.
+    EXPECT_EQ(g.writersOf[v], (std::vector<std::size_t>{v}));
+    const std::size_t succ = (v + 1) % 4;
+    std::vector<std::size_t> readers{v, succ};
+    std::sort(readers.begin(), readers.end());
+    EXPECT_EQ(g.readersOf[v], readers) << "var " << v;
+    // Co-read neighbours: the two ring neighbours of x_v.
+    std::vector<VarId> nbrs{(v + 3) % 4, succ};
+    std::sort(nbrs.begin(), nbrs.end());
+    EXPECT_EQ(g.varAdj[v], nbrs) << "var " << v;
+    // Process adjacency mirrors the ring.
+    std::vector<std::size_t> procNbrs{(v + 3) % 4, succ};
+    std::sort(procNbrs.begin(), procNbrs.end());
+    EXPECT_EQ(g.procAdj[v], procNbrs) << "proc " << v;
+  }
+  EXPECT_EQ(g.procEdgeCount(), 4u);
+}
+
+TEST(CommGraph, SelfLoopOnlyLocalityProducesNoEdges) {
+  // Degenerate: a process whose entire locality is its own variable.
+  // Self-communication carries no structure, so all adjacency is empty.
+  ProtocolBuilder b("island");
+  const VarId x = b.variable("x", 2);
+  const VarId y = b.variable("y", 2);
+  b.process("P0", {x}, {x});
+  b.process("P1", {y}, {y});
+  b.invariant(ref(x) == lit(0) && ref(y) == lit(0));
+  const protocol::Protocol p = b.build();
+
+  const CommGraph g = analysis::buildCommGraph(p);
+  EXPECT_TRUE(g.varAdj[x].empty());
+  EXPECT_TRUE(g.varAdj[y].empty());
+  EXPECT_TRUE(g.procAdj[0].empty());
+  EXPECT_TRUE(g.procAdj[1].empty());
+  EXPECT_EQ(g.procEdgeCount(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Topology classification.
+// ---------------------------------------------------------------------------
+
+TEST(Topology, RingLineStarAndDegenerates) {
+  // Ring: the token ring for any n >= 3.
+  {
+    const protocol::Protocol p = casestudies::tokenRing(5, 3);
+    const CommGraph g = analysis::buildCommGraph(p);
+    EXPECT_EQ(analysis::classifyTopology(g, 5), Topology::Ring);
+  }
+  // Line: a chain of processes each sharing one variable with the next.
+  {
+    ProtocolBuilder b("chain");
+    std::vector<VarId> x;
+    for (int i = 0; i < 4; ++i) {
+      x.push_back(b.variable("x" + std::to_string(i), 2));
+    }
+    E inv = ref(x[0]) == lit(0);
+    for (int i = 0; i < 4; ++i) {
+      std::vector<VarId> reads{x[static_cast<std::size_t>(i)]};
+      if (i > 0) reads.push_back(x[static_cast<std::size_t>(i) - 1]);
+      b.process("P" + std::to_string(i), reads,
+                {x[static_cast<std::size_t>(i)]});
+    }
+    b.invariant(inv);
+    const protocol::Protocol p = b.build();
+    const CommGraph g = analysis::buildCommGraph(p);
+    EXPECT_EQ(analysis::classifyTopology(g, 4), Topology::Line);
+  }
+  // Star: one hub variable written by the hub, read by every leaf.
+  {
+    ProtocolBuilder b("star");
+    const VarId hub = b.variable("h", 2);
+    std::vector<VarId> leaf;
+    for (int i = 0; i < 3; ++i) {
+      leaf.push_back(b.variable("l" + std::to_string(i), 2));
+    }
+    b.process("Hub", {hub}, {hub});
+    for (int i = 0; i < 3; ++i) {
+      b.process("L" + std::to_string(i),
+                {hub, leaf[static_cast<std::size_t>(i)]},
+                {leaf[static_cast<std::size_t>(i)]});
+    }
+    b.invariant(ref(hub) == lit(0));
+    const protocol::Protocol p = b.build();
+    const CommGraph g = analysis::buildCommGraph(p);
+    EXPECT_EQ(analysis::classifyTopology(g, 4), Topology::Star);
+  }
+  // Single process and empty.
+  {
+    ProtocolBuilder b("solo");
+    const VarId x = b.variable("x", 2);
+    b.process("P", {x}, {x});
+    b.invariant(ref(x) == lit(0));
+    const CommGraph g = analysis::buildCommGraph(b.build());
+    EXPECT_EQ(analysis::classifyTopology(g, 1), Topology::SingleProcess);
+    EXPECT_EQ(analysis::classifyTopology(CommGraph{}, 0), Topology::Empty);
+  }
+  // No read edges between processes: disconnected -> General.
+  {
+    ProtocolBuilder b("islands");
+    const VarId x = b.variable("x", 2);
+    const VarId y = b.variable("y", 2);
+    b.process("P0", {x}, {x});
+    b.process("P1", {y}, {y});
+    b.invariant(ref(x) == lit(0) && ref(y) == lit(0));
+    const CommGraph g = analysis::buildCommGraph(b.build());
+    EXPECT_EQ(analysis::classifyTopology(g, 2), Topology::General);
+  }
+}
+
+TEST(Topology, ToStringIsStable) {
+  EXPECT_STREQ(analysis::toString(Topology::Ring), "ring");
+  EXPECT_STREQ(analysis::toString(Topology::General), "general");
+}
+
+// ---------------------------------------------------------------------------
+// Process symmetry orbits.
+// ---------------------------------------------------------------------------
+
+TEST(Orbits, TokenRingHasDistinguishedBottomProcess) {
+  const protocol::Protocol p = casestudies::tokenRing(4, 3);
+  const analysis::ProcessOrbits orbits =
+      analysis::computeOrbits(p, analysis::buildCommGraph(p));
+  ASSERT_EQ(orbits.orbitOf.size(), 4u);
+  EXPECT_EQ(orbits.orbitCount, 2u);
+  // P0 (the incrementing bottom process) is alone; P1..P3 share an orbit.
+  EXPECT_EQ(orbits.orbitOf[0], 0u);
+  EXPECT_EQ(orbits.orbitOf[1], 1u);
+  EXPECT_EQ(orbits.orbitOf[2], 1u);
+  EXPECT_EQ(orbits.orbitOf[3], 1u);
+  EXPECT_NE(orbits.shapes[0], orbits.shapes[1]);
+  EXPECT_EQ(orbits.shapes[1], orbits.shapes[2]);
+  EXPECT_EQ(orbits.shapes[2], orbits.shapes[3]);
+}
+
+TEST(Orbits, ColoringProcessesAreAllEquivalent) {
+  const protocol::Protocol p = casestudies::coloring(5);
+  const analysis::ProcessOrbits orbits =
+      analysis::computeOrbits(p, analysis::buildCommGraph(p));
+  EXPECT_EQ(orbits.orbitCount, 1u);
+  for (const std::size_t o : orbits.orbitOf) EXPECT_EQ(o, 0u);
+}
+
+TEST(Orbits, DifferentDomainsBreakTheOrbit) {
+  // Two structurally identical processes whose variables differ in domain
+  // must not share an orbit (a renaming cannot map domain 2 onto 3).
+  ProtocolBuilder b("asym");
+  const VarId x = b.variable("x", 2);
+  const VarId y = b.variable("y", 3);
+  const std::size_t p0 = b.process("P0", {x}, {x});
+  const std::size_t p1 = b.process("P1", {y}, {y});
+  b.action(p0, "a", ref(x) == lit(0), {{x, lit(1)}});
+  b.action(p1, "a", ref(y) == lit(0), {{y, lit(1)}});
+  b.invariant(ref(x) == lit(1) && ref(y) == lit(1));
+  const protocol::Protocol p = b.build();
+  const analysis::ProcessOrbits orbits =
+      analysis::computeOrbits(p, analysis::buildCommGraph(p));
+  EXPECT_EQ(orbits.orbitCount, 2u);
+}
+
+TEST(Orbits, RenamedVariablesKeepTheOrbitPartition) {
+  // computeOrbits canonicalizes up to variable renaming: permuting the
+  // declaration order must not change the partition (up to the induced
+  // process identity, which renameVars leaves fixed).
+  const protocol::Protocol p = casestudies::tokenRing(5, 4);
+  std::vector<VarId> perm(p.vars.size());
+  std::iota(perm.begin(), perm.end(), VarId{0});
+  std::swap(perm[0], perm[3]);
+  std::swap(perm[1], perm[4]);
+  const protocol::Protocol q = protocol::renameVars(p, perm);
+
+  const analysis::ProcessOrbits a =
+      analysis::computeOrbits(p, analysis::buildCommGraph(p));
+  const analysis::ProcessOrbits b =
+      analysis::computeOrbits(q, analysis::buildCommGraph(q));
+  EXPECT_EQ(a.orbitOf, b.orbitOf);
+  EXPECT_EQ(a.shapes, b.shapes);
+}
+
+// ---------------------------------------------------------------------------
+// Static variable order (reverse Cuthill–McKee) and the cost model.
+// ---------------------------------------------------------------------------
+
+TEST(StaticOrder, CaseStudyDeclarationsAreAlreadyOptimal) {
+  // The hand-written case studies declare variables in ring order — the
+  // locality optimum — so the tie-prefers-declared rule must return the
+  // identity layout and keep existing encodings bit-for-bit identical.
+  for (const protocol::Protocol& p :
+       {casestudies::tokenRing(5, 4), casestudies::coloring(5)}) {
+    const std::vector<VarId> order = analysis::staticVarOrder(p);
+    std::vector<VarId> identity(p.vars.size());
+    std::iota(identity.begin(), identity.end(), VarId{0});
+    EXPECT_EQ(order, identity) << p.name;
+  }
+}
+
+TEST(StaticOrder, RecoversLocalityFromAHostileDeclarationOrder) {
+  // Deal the token ring's variables round-robin across the two halves of
+  // the layout (0,2,4,...,1,3,5,...): ring neighbours land far apart, so
+  // the declared order of the renamed protocol is strictly worse than the
+  // ring optimum and RCM must recover a strictly cheaper layout.
+  const protocol::Protocol p = casestudies::tokenRing(6, 3);
+  std::vector<VarId> perm(p.vars.size());
+  for (std::size_t v = 0; v < perm.size(); ++v) {
+    perm[v] = v % 2 == 0 ? v / 2 : perm.size() / 2 + v / 2;
+  }
+  const protocol::Protocol q = protocol::renameVars(p, perm);
+
+  std::vector<VarId> declared(q.vars.size());
+  std::iota(declared.begin(), declared.end(), VarId{0});
+  const std::vector<VarId> order = analysis::staticVarOrder(q);
+  const std::size_t costDeclared = analysis::layoutCost(q, declared);
+  const std::size_t costStatic = analysis::layoutCost(q, order);
+  EXPECT_LE(costStatic, costDeclared);
+  // The identity-order ring costs 1 per adjacent pair plus the wrap edge;
+  // RCM must land within a constant of that on a scrambled ring.
+  const std::size_t costOriginal =
+      analysis::layoutCost(p, std::vector<VarId>{0, 1, 2, 3, 4, 5});
+  EXPECT_LT(costStatic, costDeclared);
+  EXPECT_LE(costStatic, 2 * costOriginal);
+}
+
+TEST(StaticOrder, LayoutCostCountsWeightedEdgeLengths) {
+  // Two processes co-read {x,y} and {y,z}: cost of the declared layout
+  // (x,y,z) is |0-1| + |1-2| = 2; the layout (y,x,z) costs 1 + 2 = 3.
+  ProtocolBuilder b("w");
+  const VarId x = b.variable("x", 2);
+  const VarId y = b.variable("y", 2);
+  const VarId z = b.variable("z", 2);
+  b.process("P0", {x, y}, {x});
+  b.process("P1", {y, z}, {z});
+  b.invariant(ref(x) == lit(0));
+  const protocol::Protocol p = b.build();
+  EXPECT_EQ(analysis::layoutCost(p, std::vector<VarId>{x, y, z}), 2u);
+  EXPECT_EQ(analysis::layoutCost(p, std::vector<VarId>{y, x, z}), 3u);
+}
+
+TEST(StaticOrder, AnalyzeProtocolBundlesEverything) {
+  const protocol::Protocol p = casestudies::tokenRing(4, 3);
+  const analysis::StaticInfo info = analysis::analyzeProtocol(p);
+  EXPECT_EQ(info.topology, Topology::Ring);
+  EXPECT_EQ(info.orbits.orbitCount, 2u);
+  EXPECT_EQ(info.varOrder.size(), 4u);
+  EXPECT_EQ(info.graph.procEdgeCount(), 4u);
+}
+
+// ---------------------------------------------------------------------------
+// Value sets and abstract evaluation.
+// ---------------------------------------------------------------------------
+
+TEST(ValueSet, JoinInsertAndCap) {
+  ValueSet a = ValueSet::of(1);
+  a.insert(3);
+  EXPECT_TRUE(a.contains(1));
+  EXPECT_TRUE(a.contains(3));
+  EXPECT_FALSE(a.contains(2));
+  a.join(ValueSet::of(2));
+  EXPECT_TRUE(a.contains(2));
+  EXPECT_FALSE(a.top);
+
+  ValueSet big;
+  for (long v = 0; v < static_cast<long>(analysis::kValueSetCap) + 1; ++v) {
+    big.insert(v);
+  }
+  EXPECT_TRUE(big.top);
+  EXPECT_TRUE(big.contains(-12345));  // Top contains everything
+
+  EXPECT_TRUE(ValueSet{}.empty());
+  EXPECT_FALSE(ValueSet::topSet().empty());
+}
+
+TEST(AbsEval, FullEnvAndArithmetic) {
+  ProtocolBuilder b("a");
+  const VarId x = b.variable("x", 3);
+  const VarId y = b.variable("y", 2);
+  b.process("P", {x, y}, {x});
+  b.invariant(ref(x) == lit(0));
+  const protocol::Protocol p = b.build();
+
+  const AbsEnv env = analysis::fullEnv(p);
+  ASSERT_EQ(env.size(), 2u);
+  EXPECT_EQ(env[x], (ValueSet{false, {0, 1, 2}}));
+  EXPECT_EQ(env[y], (ValueSet{false, {0, 1}}));
+
+  // x + y over {0,1,2} + {0,1} = {0,1,2,3}.
+  const E sum = ref(x) + ref(y);
+  EXPECT_EQ(analysis::absEvalInt(*sum.ptr(), env),
+            (ValueSet{false, {0, 1, 2, 3}}));
+  // (x + 1) mod 3 stays within 0..2 even though + overflows the domain.
+  const E wrap = (ref(x) + lit(1)).mod(3);
+  EXPECT_EQ(analysis::absEvalInt(*wrap.ptr(), env),
+            (ValueSet{false, {0, 1, 2}}));
+}
+
+TEST(AbsEval, ThreeValuedBool) {
+  ProtocolBuilder b("a");
+  const VarId x = b.variable("x", 3);
+  b.process("P", {x}, {x});
+  b.invariant(ref(x) == lit(0));
+  const protocol::Protocol p = b.build();
+  const AbsEnv env = analysis::fullEnv(p);
+
+  EXPECT_EQ(analysis::absEvalBool(*(ref(x) < lit(3)).ptr(), env),
+            AbsBool::True);
+  EXPECT_EQ(analysis::absEvalBool(*(ref(x) == lit(7)).ptr(), env),
+            AbsBool::False);
+  EXPECT_EQ(analysis::absEvalBool(*(ref(x) == lit(1)).ptr(), env),
+            AbsBool::Top);
+}
+
+TEST(AbsEval, AssumeNarrowsAndDetectsEmptiness) {
+  ProtocolBuilder b("a");
+  const VarId x = b.variable("x", 4);
+  const VarId y = b.variable("y", 4);
+  b.process("P", {x, y}, {x});
+  b.invariant(ref(x) == lit(0));
+  const protocol::Protocol p = b.build();
+
+  AbsEnv env = analysis::fullEnv(p);
+  EXPECT_TRUE(analysis::assume(*(ref(x) == lit(2)).ptr(), true, env));
+  EXPECT_EQ(env[x], ValueSet::of(2));
+  EXPECT_EQ(env[y], (ValueSet{false, {0, 1, 2, 3}}));
+
+  // Conjunction narrowing to empty is definite unsatisfiability.
+  AbsEnv env2 = analysis::fullEnv(p);
+  EXPECT_FALSE(
+      analysis::assume(*(ref(x) == lit(0) && ref(x) == lit(1)).ptr(), true,
+                       env2));
+
+  // want=false narrows through the negation.
+  AbsEnv env3 = analysis::fullEnv(p);
+  EXPECT_TRUE(analysis::assume(*(ref(x) < lit(2)).ptr(), false, env3));
+  EXPECT_EQ(env3[x], (ValueSet{false, {2, 3}}));
+
+  // Relational constraints keep the over-approximation (both full).
+  AbsEnv env4 = analysis::fullEnv(p);
+  EXPECT_TRUE(
+      analysis::assume(*(ref(x) == ref(y) && ref(x) != ref(y)).ptr(), true,
+                       env4));
+}
+
+TEST(AbsLint, AllGuardsStaticallyUnsatisfiable) {
+  // Degenerate protocol: every action's guard is impossible over the
+  // declared domains — the abstract tier must flag each one.
+  ProtocolBuilder b("frozen");
+  const VarId x = b.variable("x", 2);
+  const VarId y = b.variable("y", 2);
+  const std::size_t p0 = b.process("P0", {x, y}, {x});
+  const std::size_t p1 = b.process("P1", {x, y}, {y});
+  b.action(p0, "a", ref(x) == lit(5), {{x, lit(0)}});
+  b.action(p1, "b", ref(y) + ref(x) > lit(2), {{y, lit(0)}});
+  b.invariant(ref(x) == lit(0));
+  const protocol::Protocol p = b.build();
+
+  analysis::Diagnostics diags;
+  analysis::lintAbstract(p, diags);
+  std::size_t unsat = 0;
+  for (const analysis::Diagnostic& d : diags.items()) {
+    if (d.ruleId == "abs-guard-unsat") {
+      ++unsat;
+      EXPECT_EQ(d.precision, "overapprox");
+    }
+  }
+  EXPECT_EQ(unsat, 2u);
+}
+
+TEST(AbsLint, DeadAssignmentAndTautology) {
+  ProtocolBuilder b("d");
+  const VarId x = b.variable("x", 3);
+  const std::size_t p0 = b.process("P0", {x}, {x});
+  // Guard narrows x to {2}; assigning 2 can never change it.
+  b.action(p0, "dead", ref(x) == lit(2), {{x, lit(2)}});
+  // Always-true guard.
+  b.action(p0, "always", ref(x) >= lit(0), {{x, lit(1)}});
+  b.invariant(ref(x) == lit(0));
+  const protocol::Protocol p = b.build();
+
+  analysis::Diagnostics diags;
+  analysis::lintAbstract(p, diags);
+  bool dead = false;
+  bool taut = false;
+  for (const analysis::Diagnostic& d : diags.items()) {
+    if (d.ruleId == "abs-dead-assignment") dead = true;
+    if (d.ruleId == "abs-guard-tautology") taut = true;
+  }
+  EXPECT_TRUE(dead);
+  EXPECT_TRUE(taut);
+}
+
+// ---------------------------------------------------------------------------
+// Schedule orbit signatures (what the portfolio prunes with).
+// ---------------------------------------------------------------------------
+
+TEST(ScheduleOrbits, SignaturesAndRepresentatives) {
+  const protocol::Protocol p = casestudies::tokenRing(4, 3);
+  const analysis::ProcessOrbits orbits =
+      analysis::computeOrbits(p, analysis::buildCommGraph(p));
+
+  // Signature replaces each process with its orbit: schedules that walk
+  // interchangeable processes in the same order collide.
+  EXPECT_EQ(analysis::scheduleOrbitSignature(orbits, {0, 1, 2, 3}),
+            (std::vector<std::size_t>{0, 1, 1, 1}));
+  EXPECT_EQ(analysis::scheduleOrbitSignature(orbits, {0, 3, 1, 2}),
+            (std::vector<std::size_t>{0, 1, 1, 1}));
+  EXPECT_EQ(analysis::scheduleOrbitSignature(orbits, {1, 0, 2, 3}),
+            (std::vector<std::size_t>{1, 0, 1, 1}));
+
+  // All 24 schedules collapse to 4 signatures (position of P0), with the
+  // earliest schedule of each group as representative.
+  const std::vector<core::Schedule> schedules = core::allSchedules(4);
+  const std::vector<std::size_t> reps =
+      analysis::scheduleRepresentatives(orbits, schedules);
+  ASSERT_EQ(reps.size(), 24u);
+  std::size_t repCount = 0;
+  for (std::size_t i = 0; i < reps.size(); ++i) {
+    EXPECT_LE(reps[i], i);
+    EXPECT_EQ(reps[reps[i]], reps[i]);  // representatives represent themselves
+    EXPECT_EQ(analysis::scheduleOrbitSignature(orbits, schedules[i]),
+              analysis::scheduleOrbitSignature(orbits, schedules[reps[i]]));
+    if (reps[i] == i) ++repCount;
+  }
+  EXPECT_EQ(repCount, 4u);
+}
+
+}  // namespace
