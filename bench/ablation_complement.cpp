@@ -1,0 +1,227 @@
+// Ablation: complement-edge node representation vs. the recorded
+// pre-complement trajectory, on the four case studies.
+//
+// The BDD core stores f and NOT f as one node (attributed negation, the
+// CUDD representation): operator! is an O(1) bit flip instead of a full
+// recursive copy, the And-only kernel serves And/Or/Nand/Nor through one
+// cache, and the cache entry packs its op tag into the a-operand word
+// (16 aligned bytes, one cache line per probe).
+//
+// Space metric: peak REACHABLE nodes — the post-sweep high-water mark of
+// the mark-and-sweep, sampled densely by running both builds with a small
+// GC threshold (2Ki nodes). The manager's raw allocation high-water mark
+// (stats peak_live_nodes) is NOT comparable across representations: it
+// counts dead-but-unswept nodes, so under the default 8Mi GC threshold it
+// reduces to either cumulative allocations (small studies never collect)
+// or the trigger threshold itself (two_ring pins it at exactly 2^23) and
+// is blind to what the representation actually stores. Reachable peaks
+// are deterministic for a fixed build + threshold, but the GC points
+// whose maxima they take shift phase between builds, so small deltas
+// (~±10%) are sampling artifacts, not representation effects; the
+// success bar below tolerates that band.
+//
+// kBaseline holds the peak reachable nodes / wall seconds of the LAST
+// pre-complement build (commit daa7caf plus the same reachable-peak
+// instrumentation and the same 2Ki threshold), measured on the 1-core
+// build container with the identical synthesis configuration
+// (addStrongConvergence, declared order, default options). Seconds are
+// medians of three runs. The bench reruns the studies on the current
+// build and reports the reduction.
+//
+// Measured outcome (2026-08, this container): wall time improves on all
+// four studies (two_ring 33.4s -> ~30.7s). Between-operation live-store
+// compression is small — token_ring −5.5%, two_ring −1.3%, coloring and
+// matching within sampling noise — NOT the ≥25% the theoretical 2× bound
+// suggests: GC only runs at operation boundaries, where the heuristic
+// holds few complement pairs simultaneously. The representation's space
+// win is in traffic, not residency: ~4–10% fewer node allocations and
+// cache lookups (negations are never materialized), and a 20% smaller
+// operation-cache array. See EXPERIMENTS.md for the full analysis.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench/common.hpp"
+#include "casestudies/coloring.hpp"
+#include "casestudies/matching.hpp"
+#include "casestudies/token_ring.hpp"
+#include "casestudies/two_ring.hpp"
+#include "core/heuristic.hpp"
+#include "symbolic/relations.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace stsyn;
+
+/// Dense-sampling GC threshold: every study collects many times, so the
+/// post-sweep maximum tracks the true live peak closely. Identical for
+/// the baseline measurement and the current build.
+constexpr std::size_t kSamplingGcThreshold = std::size_t{1} << 11;
+
+struct Baseline {
+  const char* study;
+  std::size_t peakNodes;  // pre-complement peak reachable nodes
+  double seconds;         // pre-complement wall time (same GC threshold)
+};
+
+// Recorded trajectory of the pre-complement build; see the header comment
+// for the measurement protocol.
+constexpr Baseline kBaseline[] = {
+    {"token_ring(5,4)", 4502, 0.332},
+    {"matching(5)", 2362, 0.051},
+    {"coloring(5)", 1971, 0.011},
+    {"two_ring(4)", 108457, 33.38},
+};
+
+/// Wall-time comparisons tolerate timer jitter: "no worse" means within
+/// 10% plus a 20ms absolute floor (sub-millisecond studies are all floor).
+bool timeNoWorse(double now, double before) {
+  return now <= before * 1.10 + 0.020;
+}
+
+/// Peak-reachable comparisons tolerate GC-phase shift (see header): a
+/// peak within 15% of the baseline is "no worse"; real regressions from a
+/// representation change would blow well past that.
+bool peakNoWorse(std::size_t now, std::size_t before) {
+  return static_cast<double>(now) <= static_cast<double>(before) * 1.15;
+}
+
+struct StudyRow {
+  std::string study;
+  bool success = false;
+  std::size_t peakNodes = 0;
+  std::size_t programNodes = 0;
+  double seconds = 0;
+  const Baseline* base = nullptr;
+};
+
+std::vector<StudyRow>& rows() {
+  static std::vector<StudyRow> all;
+  return all;
+}
+
+void runStudy(benchmark::State& state, const char* name,
+              const protocol::Protocol& proto) {
+  const Baseline* base = nullptr;
+  for (const Baseline& b : kBaseline) {
+    if (std::string(name) == b.study) base = &b;
+  }
+  for (auto _ : state) {
+    symbolic::Encoding enc(proto);
+    enc.manager().setGcThreshold(kSamplingGcThreshold);
+    symbolic::SymbolicProtocol sp(enc);
+    const core::StrongResult r = core::addStrongConvergence(sp, {});
+
+    StudyRow row;
+    row.study = name;
+    row.success = r.success;
+    row.peakNodes = r.stats.peakReachableNodes;
+    row.programNodes = r.stats.programNodes;
+    row.seconds = r.stats.totalSeconds;
+    row.base = base;
+    state.counters["peak_reachable"] = static_cast<double>(row.peakNodes);
+    if (base != nullptr) {
+      state.counters["peak_baseline"] = static_cast<double>(base->peakNodes);
+    }
+
+    bench::RunRecord rec;
+    rec.label = std::string(name) + "/complement";
+    rec.x = static_cast<double>(row.peakNodes);
+    rec.success = row.success && base != nullptr &&
+                  peakNoWorse(row.peakNodes, base->peakNodes) &&
+                  timeNoWorse(row.seconds, base->seconds);
+    core::SynthesisStats s;
+    s.peakLiveNodes = r.stats.peakLiveNodes;
+    s.peakReachableNodes = row.peakNodes;
+    s.programNodes = row.programNodes;
+    s.totalSeconds = row.seconds;
+    rec.stats = s;
+    if (!rec.success) rec.note = "regressed vs pre-complement baseline";
+    bench::recordPoint(std::move(rec));
+
+    if (base != nullptr) {
+      bench::RunRecord pre;
+      pre.label = std::string(name) + "/baseline";
+      pre.x = static_cast<double>(base->peakNodes);
+      pre.success = true;
+      core::SynthesisStats bs;
+      bs.peakReachableNodes = base->peakNodes;
+      bs.totalSeconds = base->seconds;
+      pre.stats = bs;
+      bench::recordPoint(std::move(pre));
+    }
+    rows().push_back(std::move(row));
+  }
+}
+
+void BM_TokenRing(benchmark::State& state) {
+  runStudy(state, "token_ring(5,4)", casestudies::tokenRing(5, 4));
+}
+void BM_Matching(benchmark::State& state) {
+  runStudy(state, "matching(5)", casestudies::matching(5));
+}
+void BM_Coloring(benchmark::State& state) {
+  runStudy(state, "coloring(5)", casestudies::coloring(5));
+}
+void BM_TwoRing(benchmark::State& state) {
+  runStudy(state, "two_ring(4)", casestudies::twoRing(4));
+}
+
+BENCHMARK(BM_TokenRing)->Unit(benchmark::kMillisecond)->Iterations(1);
+BENCHMARK(BM_Matching)->Unit(benchmark::kMillisecond)->Iterations(1);
+BENCHMARK(BM_Coloring)->Unit(benchmark::kMillisecond)->Iterations(1);
+BENCHMARK(BM_TwoRing)->Unit(benchmark::kMillisecond)->Iterations(1);
+
+void printSummary() {
+  util::Table t({"case_study", "peak_before", "peak_after", "reduction",
+                 "time_before_s", "time_after_s", "outcome"});
+  int bigWins = 0;
+  bool timesOk = true;
+  for (const StudyRow& r : rows()) {
+    const std::size_t before = r.base != nullptr ? r.base->peakNodes : 0;
+    const double tBefore = r.base != nullptr ? r.base->seconds : 0.0;
+    const double reduction =
+        before == 0 ? 0.0
+                    : 100.0 * (1.0 - static_cast<double>(r.peakNodes) /
+                                         static_cast<double>(before));
+    if (reduction >= 25.0) ++bigWins;
+    const bool tOk = r.base == nullptr || timeNoWorse(r.seconds, tBefore);
+    timesOk = timesOk && tOk;
+    char red[32];
+    std::snprintf(red, sizeof red, "%.1f%%", reduction);
+    t.addRow({r.study, util::Table::cell(before),
+              util::Table::cell(r.peakNodes), red,
+              util::Table::cell(tBefore), util::Table::cell(r.seconds),
+              r.success && tOk ? "ok" : "REGRESSED"});
+  }
+  std::printf(
+      "\n=== Ablation: complement edges (peak reachable BDD nodes vs. "
+      "recorded pre-complement trajectory) ===\n");
+  t.printAligned(std::cout);
+  std::printf("CSV:\n");
+  t.printCsv(std::cout);
+  std::printf(
+      ">=25%% peak reduction on %d/%zu studies; wall time %s\n"
+      "(expected on this workload: 0 large peak reductions — live-store "
+      "compression is a few percent\n because GC samples operation "
+      "boundaries, where few complement pairs co-reside; the\n "
+      "representation win is wall time and allocation/lookup traffic. See "
+      "EXPERIMENTS.md.)\n",
+      bigWins, rows().size(), timesOk ? "no worse on any" : "REGRESSED");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ::benchmark::Initialize(&argc, argv);
+  if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  printSummary();
+  const bool wrote = stsyn::bench::writeBenchJson("ablation_complement");
+  return wrote ? 0 : 1;
+}

@@ -51,6 +51,68 @@ void BM_Apply(benchmark::State& state) {
   state.counters["g_nodes"] = static_cast<double>(g.nodeCount());
 }
 
+void BM_Negation(benchmark::State& state) {
+  // With complement edges operator! is a bit flip on the handle. This
+  // bench asserts the contract the complement-edge ablation rests on:
+  // negation allocates ZERO nodes, no matter how large the operand.
+  const Var vars = static_cast<Var>(state.range(0));
+  Manager m(vars);
+  util::Rng rng(6);
+  const Bdd f = randomFunction(m, rng, vars, 300);
+  m.collectGarbage();
+  const std::size_t poolBefore = m.stats().liveNodes;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(!f);
+    benchmark::DoNotOptimize(!!f);
+  }
+  m.collectGarbage();
+  state.counters["f_nodes"] = static_cast<double>(f.nodeCount());
+  state.counters["pool_growth"] =
+      static_cast<double>(m.stats().liveNodes - poolBefore);
+  if (m.stats().liveNodes != poolBefore) {
+    state.SkipWithError("operator! allocated nodes; negation must be O(1)");
+  }
+}
+
+void BM_Minus(benchmark::State& state) {
+  // minus() is the heuristic's hot path (every pass subtracts resolved
+  // states); with complement edges the f & !g it expands to pays no
+  // negation cost and shares the And cache with every other conjunction.
+  const Var vars = static_cast<Var>(state.range(0));
+  Manager m(vars);
+  util::Rng rng(7);
+  const Bdd f = randomFunction(m, rng, vars, 250);
+  const Bdd g = randomFunction(m, rng, vars, 250);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.minus(g));
+    benchmark::DoNotOptimize(g.minus(f));
+  }
+  state.counters["f_nodes"] = static_cast<double>(f.nodeCount());
+}
+
+void BM_Implies(benchmark::State& state) {
+  // implies() is a pure recursive entailment test (implRec): it must
+  // build no nodes at all, unlike the old notRec + And materialization.
+  const Var vars = static_cast<Var>(state.range(0));
+  Manager m(vars);
+  util::Rng rng(8);
+  const Bdd f = randomFunction(m, rng, vars, 250);
+  const Bdd g = randomFunction(m, rng, vars, 250);
+  const Bdd fOrG = f | g;
+  m.collectGarbage();
+  const std::size_t poolBefore = m.stats().liveNodes;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.implies(fOrG));  // tautological entailment
+    benchmark::DoNotOptimize(fOrG.implies(f));  // usually not
+  }
+  m.collectGarbage();
+  state.counters["pool_growth"] =
+      static_cast<double>(m.stats().liveNodes - poolBefore);
+  if (m.stats().liveNodes != poolBefore) {
+    state.SkipWithError("implies() allocated nodes; implRec must build none");
+  }
+}
+
 void BM_Quantify(benchmark::State& state) {
   const Var vars = static_cast<Var>(state.range(0));
   Manager m(vars);
@@ -121,15 +183,22 @@ void BM_HashTripleDistribution(benchmark::State& state) {
     std::fill(load.begin(), load.end(), 0);
     util::Rng rng(5);
     for (std::size_t i = 0; i < kTriples / 2; ++i) {
-      // Dense sequential children, as a freshly grown pool produces.
-      const auto low = static_cast<bdd::NodeIndex>((1u << 20) + i);
-      const auto high = static_cast<bdd::NodeIndex>((1u << 20) + i + 1);
+      // Dense sequential children, as a freshly grown pool produces. The
+      // children are TAGGED edges now — (index << 1) | sign — so the low
+      // slot alternates complement bits the way a real pool's low edges
+      // do (the high slot is always regular by the canonical invariant).
+      const auto low = static_cast<bdd::NodeIndex>(
+          ((((1u << 20) + i) << 1)) | (i & 1u));
+      const auto high =
+          static_cast<bdd::NodeIndex>(((1u << 20) + i + 1) << 1);
       ++load[Manager::hashTriple(static_cast<Var>(i % 160), low, high) &
              (kBuckets - 1)];
     }
     for (std::size_t i = 0; i < kTriples / 2; ++i) {
-      const auto low = static_cast<bdd::NodeIndex>(rng.below(1u << 22));
-      const auto high = static_cast<bdd::NodeIndex>(rng.below(1u << 22));
+      const auto low = static_cast<bdd::NodeIndex>(
+          (rng.below(1u << 22) << 1) | (rng.below(2)));
+      const auto high =
+          static_cast<bdd::NodeIndex>(rng.below(1u << 22) << 1);
       ++load[Manager::hashTriple(static_cast<Var>(rng.below(160)), low,
                                  high) &
              (kBuckets - 1)];
@@ -188,6 +257,9 @@ void BM_SatCount(benchmark::State& state) {
 }
 
 BENCHMARK(BM_Apply)->Arg(16)->Arg(32)->Arg(64);
+BENCHMARK(BM_Negation)->Arg(16)->Arg(32)->Arg(64);
+BENCHMARK(BM_Minus)->Arg(16)->Arg(32)->Arg(64);
+BENCHMARK(BM_Implies)->Arg(16)->Arg(32)->Arg(64);
 BENCHMARK(BM_Quantify)->Arg(16)->Arg(32)->Arg(64);
 BENCHMARK(BM_ImagePreimage)->Arg(3)->Arg(4)->Arg(5);
 BENCHMARK(BM_GroupExpand)->Arg(5)->Arg(7)->Arg(9);

@@ -2,7 +2,11 @@
 // evaluation, cube/assignment extraction.
 //
 // These traversals allocate no new nodes, so they are safe to run at any
-// time and do not interact with garbage collection.
+// time and do not interact with garbage collection. They operate on
+// tagged edges: shared f/¬f pairs are counted once (nodeCount, support
+// walk node indices), while the truth-dependent analyses (satCount, eval,
+// onePath, forEachSat) track the complement parity accumulated along each
+// path.
 #include <algorithm>
 #include <cassert>
 #include <cmath>
@@ -20,15 +24,18 @@ namespace stsyn::bdd {
 // ---------------------------------------------------------------------------
 
 std::size_t Manager::nodeCountOf(NodeIndex f) const {
-  if (f == kFalse || f == kTrue) return 0;
+  // Counts NODES, not edges: f and ¬f share every node, so the count is
+  // identical for a function and its negation (the paper's space metric
+  // counts allocated pool entries).
+  if (nodeOf(f) == kTerminalNode) return 0;
   std::unordered_set<NodeIndex> seen;
-  std::vector<NodeIndex> stack{f};
+  std::vector<NodeIndex> stack{nodeOf(f)};
   while (!stack.empty()) {
     const NodeIndex n = stack.back();
     stack.pop_back();
-    if (n == kFalse || n == kTrue || !seen.insert(n).second) continue;
-    stack.push_back(nodes_[n].low);
-    stack.push_back(nodes_[n].high);
+    if (n == kTerminalNode || !seen.insert(n).second) continue;
+    stack.push_back(nodeOf(nodes_[n].low));
+    stack.push_back(nodeOf(nodes_[n].high));
   }
   return seen.size();
 }
@@ -63,12 +70,17 @@ double Manager::satCountOf(NodeIndex f, std::span<const Var> levels) const {
     pos.emplace(levels[byLevel[r]], r);
   }
 
-  // countFrom(n, i): number of assignments to the i-th-by-level and later
-  // variables satisfying n, where n's level rank >= i.
+  // countFrom(e, i): number of assignments to the i-th-by-level and later
+  // variables satisfying edge e, where e's level rank >= i. The memo
+  // stores the count of the REGULAR edge per (node, rank); a complemented
+  // edge is the complement correction 2^(remaining) - count, so f and ¬f
+  // share every memo entry.
   std::unordered_map<std::uint64_t, double> memo;
-  auto rec = [&](auto&& self, NodeIndex n, std::size_t i) -> double {
-    if (n == kFalse) return 0.0;
-    if (n == kTrue) return std::ldexp(1.0, static_cast<int>(levels.size() - i));
+  auto rec = [&](auto&& self, NodeIndex e, std::size_t i) -> double {
+    const double all = std::ldexp(1.0, static_cast<int>(levels.size() - i));
+    if (e == kFalse) return 0.0;
+    if (e == kTrue) return all;
+    const NodeIndex n = nodeOf(e);
     const Var v = nodes_[n].var;
     const auto it = pos.find(v);
     if (it == pos.end() || it->second < i) {
@@ -76,12 +88,16 @@ double Manager::satCountOf(NodeIndex f, std::span<const Var> levels) const {
     }
     const std::size_t vi = it->second;
     const std::uint64_t key = (std::uint64_t{n} << 16) | i;
-    if (const auto m = memo.find(key); m != memo.end()) return m->second;
-    const double below = self(self, nodes_[n].low, vi + 1) +
-                         self(self, nodes_[n].high, vi + 1);
-    const double result = std::ldexp(below, static_cast<int>(vi - i));
-    memo.emplace(key, result);
-    return result;
+    double result;
+    if (const auto m = memo.find(key); m != memo.end()) {
+      result = m->second;
+    } else {
+      const double below = self(self, nodes_[n].low, vi + 1) +
+                           self(self, nodes_[n].high, vi + 1);
+      result = std::ldexp(below, static_cast<int>(vi - i));
+      memo.emplace(key, result);
+    }
+    return isComplement(e) ? all - result : result;
   };
   return rec(rec, f, 0);
 }
@@ -95,16 +111,17 @@ double Bdd::satCount(std::span<const Var> levels) const {
 // Support.
 // ---------------------------------------------------------------------------
 
-void Manager::supportOf(NodeIndex f, std::vector<bool>& seenLevel) const {
+void Manager::supportOf(NodeIndex f, std::vector<bool>& seenVar) const {
+  // Support is negation-invariant, so the walk ignores complement tags.
   std::unordered_set<NodeIndex> seen;
-  std::vector<NodeIndex> stack{f};
+  std::vector<NodeIndex> stack{nodeOf(f)};
   while (!stack.empty()) {
     const NodeIndex n = stack.back();
     stack.pop_back();
-    if (n == kFalse || n == kTrue || !seen.insert(n).second) continue;
-    seenLevel[nodes_[n].var] = true;
-    stack.push_back(nodes_[n].low);
-    stack.push_back(nodes_[n].high);
+    if (n == kTerminalNode || !seen.insert(n).second) continue;
+    seenVar[nodes_[n].var] = true;
+    stack.push_back(nodeOf(nodes_[n].low));
+    stack.push_back(nodeOf(nodes_[n].high));
   }
 }
 
@@ -129,10 +146,13 @@ std::vector<Var> Bdd::support() const {
 // ---------------------------------------------------------------------------
 
 bool Manager::evalOf(NodeIndex f, std::span<const char> assign) const {
-  while (f != kFalse && f != kTrue) {
-    const Node& n = nodes_[f];
+  // Walk EFFECTIVE edges: throughEdge pushes the accumulated complement
+  // parity onto the chosen child, so the loop ends on exactly kTrue or
+  // kFalse.
+  while (nodeOf(f) != kTerminalNode) {
+    const Node& n = nodes_[nodeOf(f)];
     assert(n.var < assign.size());
-    f = assign[n.var] ? n.high : n.low;
+    f = throughEdge(f, assign[n.var] ? n.high : n.low);
   }
   return f == kTrue;
 }
@@ -154,16 +174,20 @@ std::vector<signed char> Bdd::onePath() const {
     // With the identity order the greedy low-first walk IS the
     // lexicographically minimal choice by variable index, and it leaves
     // untested variables unconstrained (-1) exactly as callers expect.
-    NodeIndex n = index_;
-    while (n != Manager::kTrue) {
-      const auto& node = mgr_->nodes_[n];
-      // Deterministically prefer the low branch when it is satisfiable.
-      if (node.low != Manager::kFalse) {
+    // The walk follows effective edges; with complement edges every
+    // internal edge denotes a non-constant (hence satisfiable) function,
+    // so "low branch satisfiable" is exactly "effective low != kFalse" —
+    // the same branch the pre-complement walk took.
+    NodeIndex e = index_;
+    while (e != Manager::kTrue) {
+      const auto& node = mgr_->nodes_[Manager::nodeOf(e)];
+      const NodeIndex low = Manager::throughEdge(e, node.low);
+      if (low != Manager::kFalse) {
         out[node.var] = 0;
-        n = node.low;
+        e = low;
       } else {
         out[node.var] = 1;
-        n = node.high;
+        e = Manager::throughEdge(e, node.high);
       }
     }
     return out;
@@ -178,17 +202,22 @@ std::vector<signed char> Bdd::onePath() const {
   // assignment — the same one the identity-order walk completes to.
   std::vector<bool> inSupport(mgr_->varCount(), false);
   mgr_->supportOf(index_, inSupport);
+  // Memoized on the EFFECTIVE edge (node plus accumulated parity): the
+  // same node reached with opposite parities denotes complementary
+  // functions with different satisfiability under the partial assignment.
   std::unordered_map<NodeIndex, bool> memo;
-  auto sat = [&](auto&& self, NodeIndex n) -> bool {
-    if (n == Manager::kTrue) return true;
-    if (n == Manager::kFalse) return false;
-    if (const auto it = memo.find(n); it != memo.end()) return it->second;
-    const auto& node = mgr_->nodes_[n];
+  auto sat = [&](auto&& self, NodeIndex e) -> bool {
+    if (e == Manager::kTrue) return true;
+    if (e == Manager::kFalse) return false;
+    if (const auto it = memo.find(e); it != memo.end()) return it->second;
+    const auto& node = mgr_->nodes_[Manager::nodeOf(e)];
+    const NodeIndex lo = Manager::throughEdge(e, node.low);
+    const NodeIndex hi = Manager::throughEdge(e, node.high);
     const signed char c = out[node.var];
-    const bool ok = c == 0   ? self(self, node.low)
-                    : c == 1 ? self(self, node.high)
-                             : self(self, node.low) || self(self, node.high);
-    memo.emplace(n, ok);
+    const bool ok = c == 0   ? self(self, lo)
+                    : c == 1 ? self(self, hi)
+                             : self(self, lo) || self(self, hi);
+    memo.emplace(e, ok);
     return ok;
   };
   for (Var v = 0; v < mgr_->varCount(); ++v) {
@@ -215,7 +244,10 @@ void Bdd::forEachSat(
   // callback's span stays aligned with the caller's `levels` positions:
   // byLevel[r] is the position (in `levels`) of the r-th variable by
   // level. Identity permutation until the first reorder, so the
-  // enumeration order is unchanged for non-reordered managers.
+  // enumeration order is unchanged for non-reordered managers. The
+  // per-rank 0-then-1 descent makes the enumeration order independent of
+  // the diagram's structure, so pushing the complement parity through the
+  // edges changes nothing observable.
   std::vector<std::size_t> byLevel(levels.size());
   std::iota(byLevel.begin(), byLevel.end(), std::size_t{0});
   std::sort(byLevel.begin(), byLevel.end(), [&](std::size_t a, std::size_t b) {
@@ -223,30 +255,31 @@ void Bdd::forEachSat(
   });
 
   std::vector<char> assign(levels.size(), 0);
-  // Recursive descent: level rank r, node n at or below the rank-r
-  // variable's level. Don't-care variables fan out to both branches.
-  auto rec = [&](auto&& self, NodeIndex n, std::size_t r) -> void {
-    if (n == Manager::kFalse) return;
+  // Recursive descent: level rank r, effective edge e at or below the
+  // rank-r variable's level. Don't-care variables fan out to both
+  // branches.
+  auto rec = [&](auto&& self, NodeIndex e, std::size_t r) -> void {
+    if (e == Manager::kFalse) return;
     if (r == byLevel.size()) {
-      assert(n == Manager::kTrue && "support exceeds provided levels");
+      assert(e == Manager::kTrue && "support exceeds provided levels");
       fn(assign);
       return;
     }
     const std::size_t p = byLevel[r];
-    const auto& node = mgr_->nodes_[n];
-    if (n == Manager::kTrue || node.var != levels[p]) {
-      assert(n == Manager::kTrue ||
+    const auto& node = mgr_->nodes_[Manager::nodeOf(e)];
+    if (e == Manager::kTrue || node.var != levels[p]) {
+      assert(e == Manager::kTrue ||
              mgr_->levelOf(node.var) > mgr_->levelOf(levels[p]));
       assign[p] = 0;
-      self(self, n, r + 1);
+      self(self, e, r + 1);
       assign[p] = 1;
-      self(self, n, r + 1);
+      self(self, e, r + 1);
       return;
     }
     assign[p] = 0;
-    self(self, node.low, r + 1);
+    self(self, Manager::throughEdge(e, node.low), r + 1);
     assign[p] = 1;
-    self(self, node.high, r + 1);
+    self(self, Manager::throughEdge(e, node.high), r + 1);
   };
   rec(rec, index_, 0);
 }

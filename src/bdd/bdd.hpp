@@ -4,8 +4,12 @@
 // STSyn tool used. It provides exactly the algebra the synthesis heuristic
 // needs:
 //
-//   * canonical node storage (per-variable unique subtables),
-//   * the boolean connectives, ITE, and negation,
+//   * canonical node storage (per-variable unique subtables) with
+//     COMPLEMENT EDGES: f and NOT f occupy one node, negation is an O(1)
+//     zero-allocation bit flip, and the "then-edge is always regular"
+//     canonicalization keeps structural equality semantic,
+//   * the boolean connectives (all conjunction-shaped ones served by a
+//     single cached And kernel via De Morgan), ITE, and negation,
 //   * existential/universal quantification over variable cubes,
 //   * the AndExists relational product (the image/preimage workhorse),
 //   * order-preserving variable renaming (current-state <-> next-state),
@@ -43,11 +47,17 @@
 #include <span>
 #include <string>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 namespace stsyn::bdd {
 
-/// Index of a node inside a Manager's node pool. 0 and 1 are the terminals.
+/// A tagged EDGE into a Manager's node pool: the least-significant bit is
+/// the complement (attributed negation) bit, the remaining bits are the
+/// pool index of a node. Edge 0 is the TRUE terminal, edge 1 its
+/// complement FALSE — the pool holds a single terminal node and every
+/// function/negation pair shares one node, so negation is an O(1) bit
+/// flip that allocates nothing.
 using NodeIndex = std::uint32_t;
 
 /// Stable identifier of a boolean variable. Equal to the variable's level
@@ -167,11 +177,18 @@ class Bdd {
 struct ManagerStats {
   std::size_t liveNodes = 0;      ///< currently allocated internal nodes
   std::size_t peakLiveNodes = 0;  ///< high-water mark since construction
+  /// High-water mark of the REACHABLE node count, sampled after each
+  /// mark-and-sweep (liveNodes includes dead-but-unswept nodes between
+  /// collections, so its peak mostly reflects the GC trigger schedule;
+  /// this one measures the function store itself). 0 until the first GC.
+  std::size_t peakReachableNodes = 0;
   std::size_t gcRuns = 0;
   std::size_t nodesFreed = 0;  ///< cumulative nodes reclaimed by GC
 
   std::size_t cacheLookups = 0;  ///< operation-cache probes
   std::size_t cacheHits = 0;     ///< probes answered from the cache
+  std::size_t cacheStores = 0;   ///< operation-cache result installs
+  std::size_t uniqueProbes = 0;  ///< unique-table (mk) probes
 
   std::size_t reorderRuns = 0;  ///< completed sifting passes
   double reorderSeconds = 0.0;  ///< cumulative wall time spent sifting
@@ -222,6 +239,15 @@ class Manager {
 
   /// Forces a mark-and-sweep collection now.
   void collectGarbage();
+
+  /// Walks every live node and verifies the structural invariants of the
+  /// complement-edge representation: subtable membership matches the
+  /// node's variable, the then-edge is regular (never complemented), no
+  /// node is redundant (low != high), and children sit on strictly
+  /// deeper levels. Throws std::logic_error on the first violation.
+  /// Intended for tests (notably after reorder passes); cost is linear
+  /// in the pool.
+  void checkInvariants() const;
 
   // --- dynamic variable reordering ------------------------------------
 
@@ -275,25 +301,34 @@ class Manager {
   friend class Bdd;
   friend Bdd transfer(const Bdd& f, Manager& target,
                       std::size_t* copiedNodes);
+  friend void saveBdd(std::ostream& os, const Bdd& f);
   /// Test-only backdoor (defined by the test binaries) used to plant
   /// adversarial cache entries for the GC sweep regression tests.
   friend struct ManagerTestAccess;
 
   struct Node {
-    Var var;         // variable INDEX; kTerminalVar for the two terminals
-    NodeIndex low;   // cofactor at var=0
-    NodeIndex high;  // cofactor at var=1
-    NodeIndex next;  // unique-subtable chain / free-list link
+    Var var;         // variable INDEX; kTerminalVar for the terminal
+    NodeIndex low;   // EDGE to the cofactor at var=0 (may be complemented)
+    NodeIndex high;  // EDGE to the cofactor at var=1 (always regular)
+    NodeIndex next;  // unique-subtable chain / free-list link (NODE index)
   };
 
   struct CacheEntry {
     // Exact operands, not a hash: a false cache hit is a soundness bug.
-    NodeIndex a = ~NodeIndex{0};
+    // The op tag is packed into the top 4 bits of `ka` (allocNode caps
+    // node indices at 2^27, so a-operand edges need only 28 bits), which
+    // keeps the entry at 16 aligned bytes: a probe touches exactly one
+    // cache line, where a 20-byte entry straddles two about a third of
+    // the time — measurable on a cache this much larger than LLC.
+    NodeIndex ka = kCacheEmpty;  // (op << kCacheOpShift) | a-operand edge
     NodeIndex b = 0;
     NodeIndex c = 0;
-    std::uint8_t op = 0xff;
     NodeIndex result = 0;
   };
+  static constexpr int kCacheOpShift = 28;
+  /// Empty-slot sentinel: op nibble 0xF is not a valid Op, so no stored
+  /// key can ever equal it.
+  static constexpr NodeIndex kCacheEmpty = ~NodeIndex{0};
 
   /// Unique table of the nodes of one variable. Keeping a subtable per
   /// variable makes "all nodes of variable v" — the unit a reorder swap
@@ -304,32 +339,63 @@ class Manager {
   };
 
   static constexpr Var kTerminalVar = ~Var{0};
-  static constexpr NodeIndex kFalse = 0;
-  static constexpr NodeIndex kTrue = 1;
+  /// The single terminal node's pool index.
+  static constexpr NodeIndex kTerminalNode = 0;
+  /// Edges to the terminal: regular = TRUE, complemented = FALSE.
+  static constexpr NodeIndex kTrue = 0;
+  static constexpr NodeIndex kFalse = 1;
   static constexpr NodeIndex kNil = ~NodeIndex{0};
 
+  // --- tagged-edge helpers --------------------------------------------
+  [[nodiscard]] static constexpr NodeIndex nodeOf(NodeIndex e) {
+    return e >> 1;
+  }
+  [[nodiscard]] static constexpr bool isComplement(NodeIndex e) {
+    return (e & 1u) != 0;
+  }
+  [[nodiscard]] static constexpr NodeIndex negateEdge(NodeIndex e) {
+    return e ^ 1u;
+  }
+  [[nodiscard]] static constexpr NodeIndex regularEdge(NodeIndex e) {
+    return e & ~NodeIndex{1};
+  }
+  [[nodiscard]] static constexpr NodeIndex makeEdge(NodeIndex node,
+                                                   bool complement) {
+    return (node << 1) | NodeIndex{complement};
+  }
+  /// Pushes an edge's complement bit onto a child edge of its node.
+  [[nodiscard]] static constexpr NodeIndex throughEdge(NodeIndex e,
+                                                      NodeIndex child) {
+    return child ^ (e & 1u);
+  }
+
+  /// Op::Not, Op::Or, and Op::Forall no longer exist: negation is a bit
+  /// flip, and Or/Nand/Nor/Forall reach the And/Exists kernels through
+  /// De Morgan — one unified cache per kernel.
   enum class Op : std::uint8_t {
     And,
-    Or,
     Xor,
-    Not,
     Ite,
     Exists,
-    Forall,
     AndExists,
     Rename,
     Compose,
+    Impl,
   };
 
   // --- node pool -----------------------------------------------------
+  /// Returns the canonical EDGE for ITE(var; high, low); re-establishes
+  /// the regular-then-edge invariant by negating through when `high` is
+  /// complemented.
   [[nodiscard]] NodeIndex mk(Var var, NodeIndex low, NodeIndex high);
   [[nodiscard]] NodeIndex allocNode(Var var, NodeIndex low, NodeIndex high);
   void rehashSubtable(Subtable& st);
 
-  /// Level of the node's variable; terminals get the out-of-band maximal
-  /// pseudo-level so every internal level compares smaller.
-  [[nodiscard]] Var nodeLevel(NodeIndex n) const {
-    const Var v = nodes_[n].var;
+  /// Level of the edge's node's variable; the terminal gets the
+  /// out-of-band maximal pseudo-level so every internal level compares
+  /// smaller.
+  [[nodiscard]] Var nodeLevel(NodeIndex e) const {
+    const Var v = nodes_[nodeOf(e)].var;
     return v == kTerminalVar ? kTerminalVar : indexToLevel_[v];
   }
 
@@ -356,12 +422,20 @@ class Manager {
   void cacheStore(Op op, NodeIndex a, NodeIndex b, NodeIndex c,
                   NodeIndex result);
   void clearCache();
+  /// Doubles the cache (bounded) when the probes since the last GC show a
+  /// low hit rate at high store pressure — the direct-mapped table is
+  /// thrashing on conflicts, not cold misses. Called from collectGarbage.
+  void maybeGrowCache();
 
   // --- recursive kernels ----------------------------------------------
-  [[nodiscard]] NodeIndex applyRec(Op op, NodeIndex f, NodeIndex g);
-  [[nodiscard]] NodeIndex notRec(NodeIndex f);
+  [[nodiscard]] NodeIndex andRec(NodeIndex f, NodeIndex g);
+  [[nodiscard]] NodeIndex orRec(NodeIndex f, NodeIndex g) {
+    return negateEdge(andRec(negateEdge(f), negateEdge(g)));
+  }
+  [[nodiscard]] NodeIndex xorRec(NodeIndex f, NodeIndex g);
+  [[nodiscard]] bool implRec(NodeIndex f, NodeIndex g);
   [[nodiscard]] NodeIndex iteRec(NodeIndex f, NodeIndex g, NodeIndex h);
-  [[nodiscard]] NodeIndex quantRec(Op op, NodeIndex f, NodeIndex cube);
+  [[nodiscard]] NodeIndex existsRec(NodeIndex f, NodeIndex cube);
   [[nodiscard]] NodeIndex andExistsRec(NodeIndex f, NodeIndex g,
                                        NodeIndex cube);
   [[nodiscard]] NodeIndex renameRec(NodeIndex f, std::span<const Var> perm,
@@ -421,22 +495,33 @@ class Manager {
   std::vector<std::size_t> groupOrder_;  // group ids by position, sift scratch
   std::vector<std::uint32_t> reorderRefs_;  // total (ext+parent) refs, scratch
 
-  // Rename permutations are cached per distinct permutation identity.
+  // Rename permutations are interned per distinct permutation identity;
+  // the content-hash index makes the repeated current<->next renames an
+  // O(1) lookup instead of a linear scan over every permutation seen.
   std::vector<std::vector<Var>> internedPerms_;
+  std::unordered_map<std::uint64_t, std::vector<std::uint32_t>> permIndex_;
+
+  // Cache-counter snapshots at the last adaptive-growth decision point.
+  std::size_t cacheLookupsAtGrow_ = 0;
+  std::size_t cacheHitsAtGrow_ = 0;
+  std::size_t cacheStoresAtGrow_ = 0;
 
   // Scratch marks for GC / traversals.
   std::vector<bool> marks_;
 };
 
 /// Writes `f` in a self-describing text format (variable count, node
-/// table, root). Loadable by loadBdd into any manager with at least as
-/// many variables.
+/// table, root) — the complement-edge-aware v2 format ("bdd2" header,
+/// refs tagged with a complement bit). Loadable by loadBdd into any
+/// manager with at least as many variables.
 void saveBdd(std::ostream& os, const Bdd& f);
 
-/// Reads a function previously written by saveBdd. Throws
-/// std::runtime_error on malformed input (bad references, rows not
-/// depending on their declared variable, variable count exceeding the
-/// manager's).
+/// Reads a function previously written by saveBdd — either the current
+/// v2 format or the pre-complement v1 format ("bdd" header, separate
+/// false/true terminal refs), so files written before complement edges
+/// still load. Throws std::runtime_error on malformed input (bad
+/// references, rows not depending on their declared variable, variable
+/// count exceeding the manager's).
 [[nodiscard]] Bdd loadBdd(std::istream& is, Manager& manager);
 
 /// Copies `f` into `target` (which must have at least as many variables)

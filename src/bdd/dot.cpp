@@ -1,4 +1,9 @@
 // Graphviz DOT export, mainly for debugging and documentation figures.
+//
+// Complement-edge rendering follows the CUDD convention: one terminal box
+// "1", low arcs dashed, and a COMPLEMENTED arc carries a dot arrowhead
+// (odot) — FALSE appears as a complemented arc into the terminal. The
+// root's sign is shown with a small entry arrow into the diagram.
 #include <ostream>
 #include <unordered_set>
 
@@ -10,29 +15,44 @@ void Manager::writeDot(std::ostream& os, const Bdd& f,
                        const std::function<std::string(Var)>& varName) const {
   os << "digraph bdd {\n";
   os << "  node [shape=circle];\n";
-  os << "  f0 [shape=box,label=\"0\"];\n";
   os << "  f1 [shape=box,label=\"1\"];\n";
   if (f.valid()) {
-    std::unordered_set<NodeIndex> seen;
-    std::vector<NodeIndex> stack{f.raw()};
-    auto name = [&](NodeIndex n) -> std::string {
-      if (n == kFalse) return "f0";
-      if (n == kTrue) return "f1";
+    auto name = [&](NodeIndex e) -> std::string {
+      const NodeIndex n = nodeOf(e);
+      if (n == kTerminalNode) return "f1";
       return "n" + std::to_string(n);
     };
+    auto arc = [&](const std::string& from, NodeIndex e, bool dashed) {
+      os << "  " << from << " -> " << name(e);
+      const char* sep = " [";
+      if (dashed) {
+        os << sep << "style=dashed";
+        sep = ",";
+      }
+      if (isComplement(e)) {
+        os << sep << "arrowhead=odot";
+        sep = ",";
+      }
+      if (sep[0] == ',') os << "]";
+      os << ";\n";
+    };
+    // Root pseudo-node so the diagram shows the root edge's own sign.
+    os << "  root [shape=none,label=\"\"];\n";
+    arc("root", f.raw(), false);
+    std::unordered_set<NodeIndex> seen;
+    std::vector<NodeIndex> stack{nodeOf(f.raw())};
     while (!stack.empty()) {
       const NodeIndex n = stack.back();
       stack.pop_back();
-      if (n == kFalse || n == kTrue || !seen.insert(n).second) continue;
+      if (n == kTerminalNode || !seen.insert(n).second) continue;
       const Node& node = nodes_[n];
       const std::string label =
           varName ? varName(node.var) : "x" + std::to_string(node.var);
-      os << "  " << name(n) << " [label=\"" << label << "\"];\n";
-      os << "  " << name(n) << " -> " << name(node.low)
-         << " [style=dashed];\n";
-      os << "  " << name(n) << " -> " << name(node.high) << ";\n";
-      stack.push_back(node.low);
-      stack.push_back(node.high);
+      os << "  n" << n << " [label=\"" << label << "\"];\n";
+      arc("n" + std::to_string(n), node.low, true);
+      arc("n" + std::to_string(n), node.high, false);
+      stack.push_back(nodeOf(node.low));
+      stack.push_back(nodeOf(node.high));
     }
   }
   os << "}\n";

@@ -1,15 +1,20 @@
 // Node pool, per-variable unique subtables, operation cache, external
 // references, and mark-and-sweep garbage collection.
 //
-// Invariants:
-//   * nodes_[0] / nodes_[1] are the FALSE / TRUE terminals and never move.
+// Invariants (complement-edge representation):
+//   * nodes_[0] is the single TRUE terminal and never moves. Edges are
+//     tagged: edge 0 (kTrue) points at it regular, edge 1 (kFalse) is its
+//     complement. There is no FALSE node.
 //   * Every internal node n satisfies level(low) > level(n) and
-//     level(high) > level(n) (terminals have the largest pseudo-level).
+//     level(high) > level(n) (the terminal has the largest pseudo-level).
 //     Levels come from the dynamic order; node `var` fields are stable
-//     variable indices.
+//     variable indices. low/high are EDGES; levels read through the tag.
+//   * The then-edge (high) is always REGULAR: mk() factors a complement
+//     sign out of both children and returns a complemented edge instead,
+//     so each function/negation pair occupies exactly one node and
+//     structural equality of edges is semantic equality of functions.
 //   * low != high for every internal node (reduction rule).
-//   * subtables_[v] holds exactly the live internal nodes of variable v,
-//     so structural equality of indices is semantic equality of functions.
+//   * subtables_[v] holds exactly the live internal nodes of variable v.
 //
 // GC safety: collection only runs at public operation boundaries
 // (maybeGc()), never inside a recursive kernel, so intermediate results in
@@ -29,6 +34,8 @@ namespace stsyn::bdd {
 namespace {
 constexpr std::size_t kInitialBucketsPerVar = 1u << 6;
 constexpr std::size_t kCacheEntries = 1u << 20;
+/// Adaptive-growth ceiling for the operation cache (entries).
+constexpr std::size_t kMaxCacheEntries = 1u << 22;
 constexpr std::size_t kInitialGcThreshold = std::size_t{1} << 23;
 constexpr std::size_t kInitialReorderThreshold = std::size_t{1} << 17;
 
@@ -95,11 +102,11 @@ Manager::Manager(Var varCount)
       gcThreshold_(kInitialGcThreshold),
       reorderThreshold_(kInitialReorderThreshold) {
   nodes_.reserve(1u << 16);
-  // Terminals. Their var field is the out-of-band terminal marker so that
-  // every internal level compares smaller.
-  nodes_.push_back(Node{kTerminalVar, kFalse, kFalse, kNil});
+  // The single terminal. Its var field is the out-of-band terminal marker
+  // so that every internal level compares smaller; FALSE is the
+  // complemented edge to this node, not a node of its own.
   nodes_.push_back(Node{kTerminalVar, kTrue, kTrue, kNil});
-  extRefs_.resize(2, 0);
+  extRefs_.resize(1, 0);
 
   subtables_.resize(varCount_);
   for (Subtable& st : subtables_) st.buckets.assign(kInitialBucketsPerVar, kNil);
@@ -124,7 +131,8 @@ std::uint64_t Manager::hashTriple(Var var, NodeIndex low, NodeIndex high) {
   // Two full mix64 rounds. The first round sees (low, high) in disjoint
   // 32-bit lanes, so — unlike a shifted-XOR fold — bucket distribution
   // does not degrade once the pool exceeds 2^20 nodes and child indices
-  // start overlapping each other's lanes.
+  // start overlapping each other's lanes. The inputs are tagged edges;
+  // the complement bit participates in the hash like any other bit.
   const std::uint64_t children =
       (std::uint64_t{low} << 32) | std::uint64_t{high};
   return mix64(mix64(children) ^ std::uint64_t{var});
@@ -133,16 +141,26 @@ std::uint64_t Manager::hashTriple(Var var, NodeIndex low, NodeIndex high) {
 NodeIndex Manager::mk(Var var, NodeIndex low, NodeIndex high) {
   assert(var < varCount_);
   if (low == high) return low;
+  // Canonicalization: the then-edge must be regular. When it is not,
+  // factor the sign out of both children (ITE(v; ¬a, ¬b) = ¬ITE(v; a, b))
+  // and return a complemented edge to the shared node.
+  const bool complementOut = isComplement(high);
+  if (complementOut) {
+    low = negateEdge(low);
+    high = negateEdge(high);
+  }
   assert(nodeLevel(low) > indexToLevel_[var] &&
          nodeLevel(high) > indexToLevel_[var]);
 
+  ++stats_.uniqueProbes;
   Subtable& st = subtables_[var];
   const std::uint64_t h = hashTriple(var, low, high);
   for (NodeIndex n = st.buckets[h & (st.buckets.size() - 1)]; n != kNil;
        n = nodes_[n].next) {
     const Node& node = nodes_[n];
     assert(node.var == var);
-    if (node.low == low && node.high == high) return n;
+    if (node.low == low && node.high == high)
+      return makeEdge(n, complementOut);
   }
   if (st.count + 1 > st.buckets.size()) rehashSubtable(st);
   const NodeIndex n = allocNode(var, low, high);
@@ -150,7 +168,7 @@ NodeIndex Manager::mk(Var var, NodeIndex low, NodeIndex high) {
   nodes_[n].next = st.buckets[b];
   st.buckets[b] = n;
   ++st.count;
-  return n;
+  return makeEdge(n, complementOut);
 }
 
 NodeIndex Manager::allocNode(Var var, NodeIndex low, NodeIndex high) {
@@ -161,7 +179,12 @@ NodeIndex Manager::allocNode(Var var, NodeIndex low, NodeIndex high) {
     nodes_[n] = Node{var, low, high, kNil};
   } else {
     n = static_cast<NodeIndex>(nodes_.size());
-    if (n == kNil) throw std::length_error("BDD node pool exhausted");
+    // A node index must leave room for the complement tag (edges are
+    // (index << 1) | sign) plus the 4-bit op tag the operation cache
+    // packs into the top of its a-operand slot, so the pool is capped at
+    // 2^27 nodes (~2.7 GB of Node storage — far beyond this machine).
+    if (n >= (NodeIndex{1} << 27))
+      throw std::length_error("BDD node pool exhausted");
     nodes_.push_back(Node{var, low, high, kNil});
     extRefs_.push_back(0);
   }
@@ -196,13 +219,13 @@ void Manager::ref(NodeIndex n) {
   // Handle copies are the widest cross-thread surface: a Bdd copied on
   // the wrong thread races every other handle of this manager.
   assertOwned();
-  ++extRefs_[n];
+  ++extRefs_[nodeOf(n)];
 }
 
 void Manager::deref(NodeIndex n) {
   assertOwned();
-  assert(extRefs_[n] > 0);
-  --extRefs_[n];
+  assert(extRefs_[nodeOf(n)] > 0);
+  --extRefs_[nodeOf(n)];
 }
 
 void Manager::maybeGc() {
@@ -230,7 +253,8 @@ void Manager::maybeGc() {
 }
 
 void Manager::markRecursive(NodeIndex root) {
-  // Iterative DFS; state spaces of 160+ boolean variables produce BDDs too
+  // Iterative DFS over NODE indices (the complement tag is irrelevant to
+  // liveness); state spaces of 160+ boolean variables produce BDDs too
   // deep-ish for comfort with recursion during GC.
   static thread_local std::vector<NodeIndex> stack;
   stack.clear();
@@ -241,8 +265,8 @@ void Manager::markRecursive(NodeIndex root) {
     if (marks_[n]) continue;
     marks_[n] = true;
     if (nodes_[n].var == kTerminalVar) continue;
-    stack.push_back(nodes_[n].low);
-    stack.push_back(nodes_[n].high);
+    stack.push_back(nodeOf(nodes_[n].low));
+    stack.push_back(nodeOf(nodes_[n].high));
   }
 }
 
@@ -251,7 +275,7 @@ void Manager::collectGarbage() {
   obs::Span span("bdd_gc", "bdd");
   const std::size_t beforeGc = liveNodes_;
   marks_.assign(nodes_.size(), false);
-  marks_[kFalse] = marks_[kTrue] = true;
+  marks_[kTerminalNode] = true;
   for (NodeIndex n = 0; n < extRefs_.size(); ++n) {
     if (extRefs_[n] > 0) markRecursive(n);
   }
@@ -264,7 +288,7 @@ void Manager::collectGarbage() {
   }
   freeList_ = kNil;
   std::size_t live = 0;
-  for (NodeIndex n = 2; n < nodes_.size(); ++n) {
+  for (NodeIndex n = 1; n < nodes_.size(); ++n) {
     if (marks_[n]) {
       const Node& node = nodes_[n];
       Subtable& st = subtables_[node.var];
@@ -287,23 +311,32 @@ void Manager::collectGarbage() {
   }
   liveNodes_ = live;
   stats_.liveNodes = live;
+  if (live > stats_.peakReachableNodes) stats_.peakReachableNodes = live;
   stats_.gcRuns += 1;
   span.arg("live_before", beforeGc);
   span.arg("live_after", live);
   // Sweep the operation cache instead of clearing it: an entry survives
-  // only if everything it references is still live. (For entries whose
-  // operand slots carry non-node payloads — the rename permutation tag —
-  // this is merely conservative: a stale-looking tag drops a valid entry,
-  // never the reverse, because lookups compare all operands exactly.)
+  // only if everything it references is still live. Slots hold tagged
+  // edges, so liveness reads through nodeOf(). (For entries whose operand
+  // slots carry non-node payloads — the rename permutation tag, implies'
+  // boolean result — this is merely conservative: a stale-looking payload
+  // drops a valid entry, never the reverse, because lookups compare all
+  // operands exactly.)
+  constexpr NodeIndex kKaEdgeMask =
+      (NodeIndex{1} << kCacheOpShift) - 1;
   for (CacheEntry& e : cache_) {
-    if (e.op == 0xff) continue;
-    if (e.a >= marks_.size() || e.b >= marks_.size() ||
-        e.c >= marks_.size() || e.result >= marks_.size() || !marks_[e.a] ||
-        !marks_[e.b] || !marks_[e.c] || !marks_[e.result]) {
-      e.a = ~NodeIndex{0};
-      e.op = 0xff;
+    if (e.ka == kCacheEmpty) continue;
+    const NodeIndex na = nodeOf(e.ka & kKaEdgeMask);
+    const NodeIndex nb = nodeOf(e.b);
+    const NodeIndex nc = nodeOf(e.c);
+    const NodeIndex nr = nodeOf(e.result);
+    if (na >= marks_.size() || nb >= marks_.size() || nc >= marks_.size() ||
+        nr >= marks_.size() || !marks_[na] || !marks_[nb] || !marks_[nc] ||
+        !marks_[nr]) {
+      e.ka = kCacheEmpty;
     }
   }
+  maybeGrowCache();
 }
 
 // ---------------------------------------------------------------------------
@@ -311,10 +344,8 @@ void Manager::collectGarbage() {
 // ---------------------------------------------------------------------------
 
 namespace {
-std::uint64_t cacheHash(std::uint8_t op, NodeIndex a, NodeIndex b,
-                        NodeIndex c) {
-  std::uint64_t k = op;
-  k = k * 0x100000001b3ULL ^ a;
+std::uint64_t cacheHash(NodeIndex ka, NodeIndex b, NodeIndex c) {
+  std::uint64_t k = ka;
   k = k * 0x100000001b3ULL ^ b;
   k = k * 0x100000001b3ULL ^ c;
   return mix64(k);
@@ -323,10 +354,11 @@ std::uint64_t cacheHash(std::uint8_t op, NodeIndex a, NodeIndex b,
 
 bool Manager::cacheLookup(Op op, NodeIndex a, NodeIndex b, NodeIndex c,
                           NodeIndex& out) const {
-  const auto o = static_cast<std::uint8_t>(op);
+  const NodeIndex ka =
+      (static_cast<NodeIndex>(op) << kCacheOpShift) | a;
   ++stats_.cacheLookups;
-  const CacheEntry& e = cache_[cacheHash(o, a, b, c) & (cache_.size() - 1)];
-  if (e.op != o || e.a != a || e.b != b || e.c != c) return false;
+  const CacheEntry& e = cache_[cacheHash(ka, b, c) & (cache_.size() - 1)];
+  if (e.ka != ka || e.b != b || e.c != c) return false;
   ++stats_.cacheHits;
   out = e.result;
   return true;
@@ -334,17 +366,92 @@ bool Manager::cacheLookup(Op op, NodeIndex a, NodeIndex b, NodeIndex c,
 
 void Manager::cacheStore(Op op, NodeIndex a, NodeIndex b, NodeIndex c,
                          NodeIndex result) {
-  const auto o = static_cast<std::uint8_t>(op);
-  CacheEntry& e = cache_[cacheHash(o, a, b, c) & (cache_.size() - 1)];
-  e.op = o;
-  e.a = a;
+  const NodeIndex ka =
+      (static_cast<NodeIndex>(op) << kCacheOpShift) | a;
+  ++stats_.cacheStores;
+  CacheEntry& e = cache_[cacheHash(ka, b, c) & (cache_.size() - 1)];
+  e.ka = ka;
   e.b = b;
   e.c = c;
   e.result = result;
 }
 
 void Manager::clearCache() {
-  for (CacheEntry& e : cache_) e.a = ~NodeIndex{0}, e.op = 0xff;
+  for (CacheEntry& e : cache_) e.ka = kCacheEmpty;
+}
+
+void Manager::maybeGrowCache() {
+  // Direct-mapped tables lose entries to slot conflicts, and the loss
+  // shows up as a poor hit rate DESPITE heavy store traffic. Grow
+  // (power-of-two doubling, bounded) only when the window since the last
+  // decision shows exactly that signature; cold caches and well-fitting
+  // workloads keep the current size. Live entries are rehashed into the
+  // doubled table so warm state survives the resize.
+  const std::size_t lookups = stats_.cacheLookups - cacheLookupsAtGrow_;
+  const std::size_t hits = stats_.cacheHits - cacheHitsAtGrow_;
+  const std::size_t stores = stats_.cacheStores - cacheStoresAtGrow_;
+  cacheLookupsAtGrow_ = stats_.cacheLookups;
+  cacheHitsAtGrow_ = stats_.cacheHits;
+  cacheStoresAtGrow_ = stats_.cacheStores;
+  if (cache_.size() >= kMaxCacheEntries) return;
+  if (lookups < cache_.size()) return;      // too few probes to judge
+  if (hits * 5 >= lookups * 2) return;      // >= 40% hit rate: healthy
+  if (stores * 2 < cache_.size()) return;   // low occupancy: misses are cold
+  std::vector<CacheEntry> grown(cache_.size() * 2);
+  for (const CacheEntry& e : cache_) {
+    if (e.ka == kCacheEmpty) continue;
+    grown[cacheHash(e.ka, e.b, e.c) & (grown.size() - 1)] = e;
+  }
+  cache_ = std::move(grown);
+}
+
+// ---------------------------------------------------------------------------
+// Structural invariant checking (tests).
+// ---------------------------------------------------------------------------
+
+void Manager::checkInvariants() const {
+  assertOwned();
+  std::vector<bool> inTable(nodes_.size(), false);
+  std::size_t tabled = 0;
+  for (Var v = 0; v < varCount_; ++v) {
+    const Subtable& st = subtables_[v];
+    std::size_t chained = 0;
+    for (const NodeIndex head : st.buckets) {
+      for (NodeIndex n = head; n != kNil; n = nodes_[n].next) {
+        if (n >= nodes_.size() || inTable[n])
+          throw std::logic_error("bdd invariant: corrupt subtable chain");
+        inTable[n] = true;
+        ++chained;
+        const Node& node = nodes_[n];
+        if (node.var != v)
+          throw std::logic_error(
+              "bdd invariant: node filed under the wrong variable");
+        if (isComplement(node.high))
+          throw std::logic_error("bdd invariant: complemented then-edge");
+        if (node.low == node.high)
+          throw std::logic_error("bdd invariant: redundant node (low == high)");
+        if (nodeOf(node.low) >= nodes_.size() ||
+            nodeOf(node.high) >= nodes_.size())
+          throw std::logic_error("bdd invariant: child edge out of range");
+        if (nodeLevel(node.low) <= indexToLevel_[v] ||
+            nodeLevel(node.high) <= indexToLevel_[v])
+          throw std::logic_error("bdd invariant: child not strictly deeper");
+      }
+    }
+    if (chained != st.count)
+      throw std::logic_error("bdd invariant: subtable count mismatch");
+    tabled += chained;
+  }
+  if (tabled != liveNodes_)
+    throw std::logic_error("bdd invariant: live-node count mismatch");
+  for (NodeIndex n = 1; n < nodes_.size(); ++n) {
+    if (!inTable[n]) continue;
+    const NodeIndex lo = nodeOf(nodes_[n].low);
+    const NodeIndex hi = nodeOf(nodes_[n].high);
+    if ((lo != kTerminalNode && !inTable[lo]) ||
+        (hi != kTerminalNode && !inTable[hi]))
+      throw std::logic_error("bdd invariant: child not in a unique table");
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -365,6 +472,8 @@ Bdd Manager::var(Var v) {
 Bdd Manager::nvar(Var v) {
   assertOwned();
   if (v >= varCount_) throw std::out_of_range("BDD variable out of range");
+  // mk canonicalizes the complemented then-edge: the negative literal is
+  // the complement edge to the positive literal's node, not a second node.
   return wrap(mk(v, kTrue, kFalse));
 }
 

@@ -1,6 +1,16 @@
-// Recursive BDD operation kernels: apply (AND/OR/XOR), NOT, ITE,
-// quantification, the AndExists relational product, and order-preserving
-// renaming.
+// Recursive BDD operation kernels over complement edges: the unified And
+// kernel (serving And/Or/Nand/Nor through De Morgan), Xor, ITE with
+// standard-triple normalization, existential quantification (universal is
+// ¬∃¬f), the AndExists relational product, the non-materializing
+// implication test, composition, and order-preserving renaming.
+//
+// Negation is NOT a kernel any more: with complement edges it is an O(1)
+// bit flip on the handle (operator! below), allocates nothing, and needs
+// no cache. The kernels exploit the structural visibility of negation —
+// f ∧ ¬f = false, f ∨ ¬f = true, ITE(f, g, ¬g) = ¬(f ⊕ g) — as terminal
+// rules, and sign-normalize their operands (Xor, Compose, Rename, the ITE
+// standard triple) so all four sign combinations of an operand pair share
+// one cache entry.
 //
 // All kernels share the direct-mapped operation cache. Kernels never
 // trigger garbage collection (see maybeGc() in manager.cpp); the public
@@ -26,85 +36,151 @@ Manager* commonManager(const Bdd& a, const Bdd& b) {
 }  // namespace
 
 // ---------------------------------------------------------------------------
-// apply: AND / OR / XOR.
+// The And kernel (Or/Nand/Nor reach it through De Morgan, see orRec).
 // ---------------------------------------------------------------------------
 
-NodeIndex Manager::applyRec(Op op, NodeIndex f, NodeIndex g) {
-  // Terminal cases.
-  switch (op) {
-    case Op::And:
-      if (f == kFalse || g == kFalse) return kFalse;
-      if (f == kTrue) return g;
-      if (g == kTrue) return f;
-      if (f == g) return f;
-      break;
-    case Op::Or:
-      if (f == kTrue || g == kTrue) return kTrue;
-      if (f == kFalse) return g;
-      if (g == kFalse) return f;
-      if (f == g) return f;
-      break;
-    case Op::Xor:
-      if (f == kFalse) return g;
-      if (g == kFalse) return f;
-      if (f == g) return kFalse;
-      if (f == kTrue) return notRec(g);
-      if (g == kTrue) return notRec(f);
-      break;
-    default:
-      assert(false);
-  }
+NodeIndex Manager::andRec(NodeIndex f, NodeIndex g) {
+  // Terminal rules; f == ¬g is structurally visible with complement edges.
+  if (f == kFalse || g == kFalse) return kFalse;
+  if (f == kTrue) return g;
+  if (g == kTrue) return f;
+  if (f == g) return f;
+  if (f == negateEdge(g)) return kFalse;
   // Commutative: normalize operand order for better cache hit rates.
   if (f > g) std::swap(f, g);
 
   NodeIndex cached;
-  if (cacheLookup(op, f, g, 0, cached)) return cached;
+  if (cacheLookup(Op::And, f, g, 0, cached)) return cached;
 
   // Copy (not reference) the nodes: recursion below may grow the pool and
-  // invalidate references into nodes_.
-  const Node nf = nodes_[f];
-  const Node ng = nodes_[g];
+  // invalidate references into nodes_. Cofactors read through the edge
+  // sign (throughEdge), so a complemented operand cofactors into the
+  // complements of its node's children.
+  const Node nf = nodes_[nodeOf(f)];
+  const Node ng = nodes_[nodeOf(g)];
   // Both operands are internal here (terminal cases handled above), so
   // their vars have levels; the topmost (smallest level) splits first.
   const Var top =
       indexToLevel_[nf.var] < indexToLevel_[ng.var] ? nf.var : ng.var;
-  const NodeIndex f0 = nf.var == top ? nf.low : f;
-  const NodeIndex f1 = nf.var == top ? nf.high : f;
-  const NodeIndex g0 = ng.var == top ? ng.low : g;
-  const NodeIndex g1 = ng.var == top ? ng.high : g;
+  const NodeIndex f0 = nf.var == top ? throughEdge(f, nf.low) : f;
+  const NodeIndex f1 = nf.var == top ? throughEdge(f, nf.high) : f;
+  const NodeIndex g0 = ng.var == top ? throughEdge(g, ng.low) : g;
+  const NodeIndex g1 = ng.var == top ? throughEdge(g, ng.high) : g;
 
-  const NodeIndex low = applyRec(op, f0, g0);
-  const NodeIndex high = applyRec(op, f1, g1);
+  const NodeIndex low = andRec(f0, g0);
+  const NodeIndex high = andRec(f1, g1);
   const NodeIndex result = mk(top, low, high);
-  cacheStore(op, f, g, 0, result);
+  cacheStore(Op::And, f, g, 0, result);
   return result;
 }
 
-NodeIndex Manager::notRec(NodeIndex f) {
-  if (f == kFalse) return kTrue;
-  if (f == kTrue) return kFalse;
+NodeIndex Manager::xorRec(NodeIndex f, NodeIndex g) {
+  // Sign-normalize: ¬f ⊕ g = ¬(f ⊕ g), so the kernel recurses and caches
+  // on regular operands only and all four sign combinations of (f, g)
+  // share one cache entry.
+  const bool flip = isComplement(f) != isComplement(g);
+  f = regularEdge(f);
+  g = regularEdge(g);
+  NodeIndex r;
+  if (f == g) {
+    r = kFalse;
+  } else if (f == kTrue) {
+    r = negateEdge(g);
+  } else if (g == kTrue) {
+    r = negateEdge(f);
+  } else {
+    if (f > g) std::swap(f, g);
+    if (!cacheLookup(Op::Xor, f, g, 0, r)) {
+      const Node nf = nodes_[nodeOf(f)];  // copies: recursion may realloc
+      const Node ng = nodes_[nodeOf(g)];
+      const Var top =
+          indexToLevel_[nf.var] < indexToLevel_[ng.var] ? nf.var : ng.var;
+      // Both operands are regular, so their children are their cofactors.
+      const NodeIndex f0 = nf.var == top ? nf.low : f;
+      const NodeIndex f1 = nf.var == top ? nf.high : f;
+      const NodeIndex g0 = ng.var == top ? ng.low : g;
+      const NodeIndex g1 = ng.var == top ? ng.high : g;
+      const NodeIndex low = xorRec(f0, g0);
+      const NodeIndex high = xorRec(f1, g1);
+      r = mk(top, low, high);
+      cacheStore(Op::Xor, f, g, 0, r);
+    }
+  }
+  return flip ? negateEdge(r) : r;
+}
+
+// ---------------------------------------------------------------------------
+// Implication test: f -> g valid iff f ∧ ¬g is UNSAT, decided without
+// building a single node.
+// ---------------------------------------------------------------------------
+
+bool Manager::implRec(NodeIndex f, NodeIndex g) {
+  if (f == kFalse || g == kTrue) return true;
+  if (f == g) return true;
+  if (g == kFalse) return false;  // f != kFalse here, so f ∧ ¬g = f is SAT
+  if (f == kTrue) return false;   // g != kTrue here
+  if (f == negateEdge(g)) return false;  // f ∧ ¬g = f, internal, SAT
   NodeIndex cached;
-  if (cacheLookup(Op::Not, f, 0, 0, cached)) return cached;
-  const Node nf = nodes_[f];  // copy: recursion may reallocate nodes_
-  const NodeIndex low = notRec(nf.low);
-  const NodeIndex high = notRec(nf.high);
-  const NodeIndex result = mk(nf.var, low, high);
-  cacheStore(Op::Not, f, 0, 0, result);
+  if (cacheLookup(Op::Impl, f, g, 0, cached)) return cached == kTrue;
+
+  const Node nf = nodes_[nodeOf(f)];
+  const Node ng = nodes_[nodeOf(g)];
+  const Var top =
+      indexToLevel_[nf.var] < indexToLevel_[ng.var] ? nf.var : ng.var;
+  const NodeIndex f0 = nf.var == top ? throughEdge(f, nf.low) : f;
+  const NodeIndex f1 = nf.var == top ? throughEdge(f, nf.high) : f;
+  const NodeIndex g0 = ng.var == top ? throughEdge(g, ng.low) : g;
+  const NodeIndex g1 = ng.var == top ? throughEdge(g, ng.high) : g;
+
+  const bool result = implRec(f0, g0) && implRec(f1, g1);
+  cacheStore(Op::Impl, f, g, 0, result ? kTrue : kFalse);
   return result;
 }
+
+// ---------------------------------------------------------------------------
+// ITE with standard-triple normalization.
+// ---------------------------------------------------------------------------
 
 NodeIndex Manager::iteRec(NodeIndex f, NodeIndex g, NodeIndex h) {
+  // Terminal and absorption rules; branches equal to ±f collapse to
+  // constants (ITE(f, f, h) = ITE(f, 1, h) etc.).
   if (f == kTrue) return g;
   if (f == kFalse) return h;
+  if (g == f) g = kTrue;
+  else if (g == negateEdge(f)) g = kFalse;
+  if (h == f) h = kFalse;
+  else if (h == negateEdge(f)) h = kTrue;
   if (g == h) return g;
   if (g == kTrue && h == kFalse) return f;
-  if (g == kFalse && h == kTrue) return notRec(f);
+  if (g == kFalse && h == kTrue) return negateEdge(f);
+  // Constant branches route to the cached And/Xor kernels rather than
+  // running a private recursion that would duplicate their caches.
+  if (g == kTrue) return orRec(f, h);
+  if (g == kFalse) return andRec(negateEdge(f), h);
+  if (h == kFalse) return andRec(f, g);
+  if (h == kTrue) return orRec(negateEdge(f), g);
+  if (g == negateEdge(h)) return negateEdge(xorRec(f, g));
+
+  // Standard triple: make the condition regular (ITE(¬f, g, h) =
+  // ITE(f, h, g)), then the then-branch regular (ITE(f, ¬g, ¬h) =
+  // ¬ITE(f, g, h)), so equivalent triples share one cache entry.
+  if (isComplement(f)) {
+    f = negateEdge(f);
+    std::swap(g, h);
+  }
+  bool complementOut = false;
+  if (isComplement(g)) {
+    complementOut = true;
+    g = negateEdge(g);
+    h = negateEdge(h);
+  }
 
   NodeIndex cached;
-  if (cacheLookup(Op::Ite, f, g, h, cached)) return cached;
+  if (cacheLookup(Op::Ite, f, g, h, cached))
+    return complementOut ? negateEdge(cached) : cached;
 
-  // g and h may be terminals; nodeLevel() maps those past every internal
-  // level. f is internal (terminal f handled above), so topLevel is real.
+  // All three are internal here (constant branches were routed above), so
+  // every level is real; the topmost (smallest level) splits first.
   const Var lf = nodeLevel(f);
   const Var lg = nodeLevel(g);
   const Var lh = nodeLevel(h);
@@ -113,86 +189,93 @@ NodeIndex Manager::iteRec(NodeIndex f, NodeIndex g, NodeIndex h) {
   if (lh < topLevel) topLevel = lh;
   const Var top = levelToIndex_[topLevel];
 
-  auto cof = [&](NodeIndex n, bool hi) {
-    const Node& node = nodes_[n];
-    if (node.var != top) return n;
-    return hi ? node.high : node.low;
+  auto cof = [&](NodeIndex e, bool hi) {
+    const Node& node = nodes_[nodeOf(e)];
+    if (node.var != top) return e;
+    return throughEdge(e, hi ? node.high : node.low);
   };
   const NodeIndex low = iteRec(cof(f, false), cof(g, false), cof(h, false));
   const NodeIndex high = iteRec(cof(f, true), cof(g, true), cof(h, true));
   const NodeIndex result = mk(top, low, high);
   cacheStore(Op::Ite, f, g, h, result);
-  return result;
+  return complementOut ? negateEdge(result) : result;
 }
 
 // ---------------------------------------------------------------------------
-// Quantification.
+// Quantification. Universal quantification has no kernel of its own:
+// ∀x.f = ¬∃x.¬f, two bit flips around the Exists kernel (see forall).
 // ---------------------------------------------------------------------------
 
-NodeIndex Manager::quantRec(Op op, NodeIndex f, NodeIndex cube) {
-  assert(op == Op::Exists || op == Op::Forall);
+NodeIndex Manager::existsRec(NodeIndex f, NodeIndex cube) {
   if (f == kFalse || f == kTrue) return f;
   // Skip cube variables above the top variable of f (by current level).
+  // Cube edges are regular throughout: cube() chains positive literals.
   while (cube != kTrue && nodeLevel(cube) < nodeLevel(f)) {
-    cube = nodes_[cube].high;
+    cube = nodes_[nodeOf(cube)].high;
   }
   if (cube == kTrue) return f;
 
+  // ∃x.¬f ≠ ¬∃x.f, so the sign of f stays in the cache key.
   NodeIndex cached;
-  if (cacheLookup(op, f, cube, 0, cached)) return cached;
+  if (cacheLookup(Op::Exists, f, cube, 0, cached)) return cached;
 
-  const Node nf = nodes_[f];  // copy: recursion may reallocate nodes_
-  const NodeIndex cubeRest = nodes_[cube].high;
+  const Node nf = nodes_[nodeOf(f)];  // copy: recursion may reallocate
+  const NodeIndex f0 = throughEdge(f, nf.low);
+  const NodeIndex f1 = throughEdge(f, nf.high);
+  const NodeIndex cubeRest = nodes_[nodeOf(cube)].high;
   NodeIndex result;
-  if (nf.var == nodes_[cube].var) {
-    const NodeIndex low = quantRec(op, nf.low, cubeRest);
-    const NodeIndex high = quantRec(op, nf.high, cubeRest);
-    result = op == Op::Exists ? applyRec(Op::Or, low, high)
-                              : applyRec(Op::And, low, high);
+  if (nf.var == nodes_[nodeOf(cube)].var) {
+    const NodeIndex low = existsRec(f0, cubeRest);
+    if (low == kTrue) {
+      result = kTrue;  // OR with anything is TRUE: short-circuit
+    } else {
+      result = orRec(low, existsRec(f1, cubeRest));
+    }
   } else {
-    const NodeIndex low = quantRec(op, nf.low, cube);
-    const NodeIndex high = quantRec(op, nf.high, cube);
+    const NodeIndex low = existsRec(f0, cube);
+    const NodeIndex high = existsRec(f1, cube);
     result = mk(nf.var, low, high);
   }
-  cacheStore(op, f, cube, 0, result);
+  cacheStore(Op::Exists, f, cube, 0, result);
   return result;
 }
 
 NodeIndex Manager::andExistsRec(NodeIndex f, NodeIndex g, NodeIndex cube) {
   if (f == kFalse || g == kFalse) return kFalse;
+  if (f == negateEdge(g)) return kFalse;
   if (f == kTrue && g == kTrue) return kTrue;
-  if (f == kTrue) return quantRec(Op::Exists, g, cube);
-  if (g == kTrue) return quantRec(Op::Exists, f, cube);
-  if (f == g) return quantRec(Op::Exists, f, cube);
+  if (f == kTrue) return existsRec(g, cube);
+  if (g == kTrue) return existsRec(f, cube);
+  if (f == g) return existsRec(f, cube);
   if (f > g) std::swap(f, g);
 
-  const Node nf = nodes_[f];  // copies: recursion may reallocate nodes_
-  const Node ng = nodes_[g];
+  const Node nf = nodes_[nodeOf(f)];  // copies: recursion may reallocate
+  const Node ng = nodes_[nodeOf(g)];
   const Var top =
       indexToLevel_[nf.var] < indexToLevel_[ng.var] ? nf.var : ng.var;
   while (cube != kTrue && nodeLevel(cube) < indexToLevel_[top]) {
-    cube = nodes_[cube].high;
+    cube = nodes_[nodeOf(cube)].high;
   }
-  if (cube == kTrue) return applyRec(Op::And, f, g);
+  if (cube == kTrue) return andRec(f, g);
 
   NodeIndex cached;
   if (cacheLookup(Op::AndExists, f, g, cube, cached)) return cached;
 
-  const NodeIndex f0 = nf.var == top ? nf.low : f;
-  const NodeIndex f1 = nf.var == top ? nf.high : f;
-  const NodeIndex g0 = ng.var == top ? ng.low : g;
-  const NodeIndex g1 = ng.var == top ? ng.high : g;
+  const NodeIndex f0 = nf.var == top ? throughEdge(f, nf.low) : f;
+  const NodeIndex f1 = nf.var == top ? throughEdge(f, nf.high) : f;
+  const NodeIndex g0 = ng.var == top ? throughEdge(g, ng.low) : g;
+  const NodeIndex g1 = ng.var == top ? throughEdge(g, ng.high) : g;
 
   NodeIndex result;
-  const NodeIndex cubeRest = nodes_[cube].high;
-  const bool quantifyTop = nodes_[cube].var == top;
+  const NodeIndex cubeRest = nodes_[nodeOf(cube)].high;
+  const bool quantifyTop = nodes_[nodeOf(cube)].var == top;
   if (quantifyTop) {
     const NodeIndex low = andExistsRec(f0, g0, cubeRest);
     if (low == kTrue) {
       result = kTrue;  // OR with anything is TRUE: short-circuit
     } else {
       const NodeIndex high = andExistsRec(f1, g1, cubeRest);
-      result = applyRec(Op::Or, low, high);
+      result = orRec(low, high);
     }
   } else {
     const NodeIndex low = andExistsRec(f0, g0, cube);
@@ -204,8 +287,11 @@ NodeIndex Manager::andExistsRec(NodeIndex f, NodeIndex g, NodeIndex cube) {
 }
 
 NodeIndex Manager::composeRec(NodeIndex f, Var v, NodeIndex g) {
-  if (f == kFalse || f == kTrue) return f;
-  const Node nf = nodes_[f];  // copy: recursion may reallocate nodes_
+  if (regularEdge(f) == kTrue) return f;  // constants: nothing to replace
+  // Sign-normalize: (¬f)[v := g] = ¬(f[v := g]); recurse and cache on the
+  // regular edge only.
+  if (isComplement(f)) return negateEdge(composeRec(negateEdge(f), v, g));
+  const Node nf = nodes_[nodeOf(f)];  // copy: recursion may reallocate
   if (indexToLevel_[nf.var] > indexToLevel_[v]) {
     return f;  // v cannot appear below its own level
   }
@@ -234,12 +320,15 @@ NodeIndex Manager::composeRec(NodeIndex f, Var v, NodeIndex g) {
 
 NodeIndex Manager::renameRec(NodeIndex f, std::span<const Var> perm,
                              std::uint64_t permTag) {
-  if (f == kFalse || f == kTrue) return f;
+  if (regularEdge(f) == kTrue) return f;
+  // Sign-normalize: renaming commutes with negation.
+  if (isComplement(f))
+    return negateEdge(renameRec(negateEdge(f), perm, permTag));
   NodeIndex cached;
   const auto tag = static_cast<NodeIndex>(permTag);
   if (cacheLookup(Op::Rename, f, tag, 0, cached)) return cached;
 
-  const Node nf = nodes_[f];  // copy: recursion may reallocate nodes_
+  const Node nf = nodes_[nodeOf(f)];  // copy: recursion may reallocate
   const NodeIndex low = renameRec(nf.low, perm, permTag);
   const NodeIndex high = renameRec(nf.high, perm, permTag);
   const Var target = perm[nf.var];
@@ -257,33 +346,34 @@ NodeIndex Manager::renameRec(NodeIndex f, std::span<const Var> perm,
 Bdd Bdd::operator&(const Bdd& rhs) const {
   Manager* m = commonManager(*this, rhs);
   m->maybeGc();
-  return m->wrap(m->applyRec(Manager::Op::And, index_, rhs.index_));
+  return m->wrap(m->andRec(index_, rhs.index_));
 }
 
 Bdd Bdd::operator|(const Bdd& rhs) const {
   Manager* m = commonManager(*this, rhs);
   m->maybeGc();
-  return m->wrap(m->applyRec(Manager::Op::Or, index_, rhs.index_));
+  return m->wrap(m->orRec(index_, rhs.index_));
 }
 
 Bdd Bdd::operator^(const Bdd& rhs) const {
   Manager* m = commonManager(*this, rhs);
   m->maybeGc();
-  return m->wrap(m->applyRec(Manager::Op::Xor, index_, rhs.index_));
+  return m->wrap(m->xorRec(index_, rhs.index_));
 }
 
 Bdd Bdd::operator!() const {
   if (!valid()) throw std::invalid_argument("negation of a null BDD");
-  mgr_->maybeGc();
-  return mgr_->wrap(mgr_->notRec(index_));
+  // O(1), zero allocation: flip the complement bit on the edge. No GC
+  // boundary — nothing here can grow the pool.
+  return mgr_->wrap(Manager::negateEdge(index_));
 }
 
 bool Bdd::implies(const Bdd& rhs) const {
   Manager* m = commonManager(*this, rhs);
-  // f -> g is valid iff f AND NOT g is unsatisfiable.
+  // Recursive entailment check: decides f ∧ ¬g == false without
+  // materializing either the negation (free anyway) or the conjunction.
   m->maybeGc();
-  const NodeIndex ng = m->notRec(rhs.index_);
-  return m->applyRec(Manager::Op::And, index_, ng) == Manager::kFalse;
+  return m->implRec(index_, rhs.index_);
 }
 
 Bdd Bdd::ite(const Bdd& g, const Bdd& h) const {
@@ -307,13 +397,16 @@ Bdd Bdd::compose(Var v, const Bdd& g) const {
 Bdd Bdd::exists(const Bdd& cube) const {
   Manager* m = commonManager(*this, cube);
   m->maybeGc();
-  return m->wrap(m->quantRec(Manager::Op::Exists, index_, cube.index_));
+  return m->wrap(m->existsRec(index_, cube.index_));
 }
 
 Bdd Bdd::forall(const Bdd& cube) const {
   Manager* m = commonManager(*this, cube);
   m->maybeGc();
-  return m->wrap(m->quantRec(Manager::Op::Forall, index_, cube.index_));
+  // ∀x.f = ¬∃x.¬f — two free bit flips around the Exists kernel, so
+  // universal quantification shares its cache.
+  return m->wrap(Manager::negateEdge(
+      m->existsRec(Manager::negateEdge(index_), cube.index_)));
 }
 
 Bdd Bdd::andExists(const Bdd& rhs, const Bdd& cube) const {
@@ -343,14 +436,29 @@ Bdd Bdd::rename(std::span<const Var> perm) const {
     }
   }
 #endif
-  // Intern the permutation so the cache can distinguish different renamings.
-  std::uint64_t tag = 0;
-  for (; tag < mgr_->internedPerms_.size(); ++tag) {
-    const auto& p = mgr_->internedPerms_[tag];
-    if (std::equal(p.begin(), p.end(), perm.begin(), perm.end())) break;
+  // Intern the permutation so the cache can distinguish different
+  // renamings. A content-hash index keyed on the permutation makes the
+  // repeated current<->next renames an O(1) map hit instead of a linear
+  // std::equal scan over every permutation ever interned; the bucket's
+  // std::equal pass handles hash collisions exactly.
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const Var v : perm) {
+    h ^= v;
+    h *= 0x100000001b3ULL;
   }
-  if (tag == mgr_->internedPerms_.size()) {
+  std::uint64_t tag = ~std::uint64_t{0};
+  std::vector<std::uint32_t>& bucket = mgr_->permIndex_[h];
+  for (const std::uint32_t id : bucket) {
+    const auto& p = mgr_->internedPerms_[id];
+    if (std::equal(p.begin(), p.end(), perm.begin(), perm.end())) {
+      tag = id;
+      break;
+    }
+  }
+  if (tag == ~std::uint64_t{0}) {
+    tag = mgr_->internedPerms_.size();
     mgr_->internedPerms_.emplace_back(perm.begin(), perm.end());
+    bucket.push_back(static_cast<std::uint32_t>(tag));
   }
   mgr_->maybeGc();
   return mgr_->wrap(mgr_->renameRec(index_, perm, tag));

@@ -102,40 +102,49 @@ void Manager::buildReorderRefs() {
   // Start from a fully-collected pool: every remaining node is reachable
   // from an externally referenced root, so its total refcount is > 0.
   collectGarbage();
+  // Counts are per NODE: child slots hold tagged edges, liveness ignores
+  // the complement bit.
   reorderRefs_.assign(nodes_.size(), 0);
-  for (NodeIndex n = 2; n < nodes_.size(); ++n) {
+  for (NodeIndex n = 1; n < nodes_.size(); ++n) {
     if (nodes_[n].var == kTerminalVar) continue;  // free-list tombstone
-    ++reorderRefs_[nodes_[n].low];
-    ++reorderRefs_[nodes_[n].high];
+    ++reorderRefs_[nodeOf(nodes_[n].low)];
+    ++reorderRefs_[nodeOf(nodes_[n].high)];
   }
   for (NodeIndex n = 0; n < extRefs_.size(); ++n) {
     reorderRefs_[n] += extRefs_[n];
   }
 }
 
-// Unique-table insertion used inside a swap. Like mk(), but maintains the
-// pass's reference counts for newly allocated nodes and never touches the
-// operation cache.
+// Unique-table insertion used inside a swap. Like mk() — including the
+// complement canonicalization, so it returns a tagged EDGE — but
+// maintains the pass's reference counts for newly allocated nodes and
+// never touches the operation cache.
 NodeIndex Manager::reorderMk(Var var, NodeIndex low, NodeIndex high) {
   if (low == high) return low;
+  const bool complementOut = isComplement(high);
+  if (complementOut) {
+    low = negateEdge(low);
+    high = negateEdge(high);
+  }
   Subtable& st = subtables_[var];
   const std::uint64_t h = hashTriple(var, low, high);
   for (NodeIndex n = st.buckets[h & (st.buckets.size() - 1)]; n != kNil;
        n = nodes_[n].next) {
     const Node& node = nodes_[n];
-    if (node.low == low && node.high == high) return n;
+    if (node.low == low && node.high == high)
+      return makeEdge(n, complementOut);
   }
   if (st.count + 1 > st.buckets.size()) rehashSubtable(st);
   const NodeIndex n = allocNode(var, low, high);
   if (n >= reorderRefs_.size()) reorderRefs_.resize(n + 1, 0);
   reorderRefs_[n] = 0;
-  ++reorderRefs_[low];
-  ++reorderRefs_[high];
+  ++reorderRefs_[nodeOf(low)];
+  ++reorderRefs_[nodeOf(high)];
   const std::size_t b = h & (st.buckets.size() - 1);
   nodes_[n].next = st.buckets[b];
   st.buckets[b] = n;
   ++st.count;
-  return n;
+  return makeEdge(n, complementOut);
 }
 
 void Manager::reorderUnlink(NodeIndex n) {
@@ -152,19 +161,20 @@ void Manager::reorderUnlink(NodeIndex n) {
 }
 
 void Manager::reorderDeref(NodeIndex root) {
+  // `root` is an edge; the walk operates on node indices.
   static thread_local std::vector<NodeIndex> stack;
-  stack.push_back(root);
+  stack.push_back(nodeOf(root));
   while (!stack.empty()) {
     const NodeIndex n = stack.back();
     stack.pop_back();
-    if (n == kFalse || n == kTrue) continue;
+    if (n == kTerminalNode) continue;
     assert(reorderRefs_[n] > 0);
     if (--reorderRefs_[n] > 0) continue;
     // Last reference gone (external refs are part of the count, so the
     // node is truly unreachable): free it now so sifting sees true sizes.
     reorderUnlink(n);
-    stack.push_back(nodes_[n].low);
-    stack.push_back(nodes_[n].high);
+    stack.push_back(nodeOf(nodes_[n].low));
+    stack.push_back(nodeOf(nodes_[n].high));
     nodes_[n].var = kTerminalVar;  // tombstone
     nodes_[n].next = freeList_;
     freeList_ = n;
@@ -191,7 +201,8 @@ void Manager::swapAdjacentLevels(Var level) {
     NodeIndex* link = &head;
     while (*link != kNil) {
       const NodeIndex n = *link;
-      if (nodes_[nodes_[n].low].var == vj || nodes_[nodes_[n].high].var == vj) {
+      if (nodes_[nodeOf(nodes_[n].low)].var == vj ||
+          nodes_[nodeOf(nodes_[n].high)].var == vj) {
         *link = nodes_[n].next;
         moved.push_back(n);
       } else {
@@ -203,22 +214,31 @@ void Manager::swapAdjacentLevels(Var level) {
 
   // Phase 2: rewrite each pulled node n = ITE(vi; f1, f0) as
   // ITE(vj; B, A) with A = ITE(vi; f10, f00), B = ITE(vi; f11, f01) —
-  // same function, same index, vj on top.
+  // same function, same index, vj on top. Cofactors of the (possibly
+  // complemented) low edge read through the sign; the high edge and the
+  // then-children of vj-nodes are regular by the canonical invariant, so
+  // f11 is always regular, hence B is always a regular edge and the
+  // rewritten node re-establishes the regular-then invariant for free —
+  // no parent rewriting needed.
   for (const NodeIndex n : moved) {
-    const NodeIndex f0 = nodes_[n].low;
-    const NodeIndex f1 = nodes_[n].high;
-    const bool lowDep = nodes_[f0].var == vj;
-    const bool highDep = nodes_[f1].var == vj;
-    const NodeIndex f00 = lowDep ? nodes_[f0].low : f0;
-    const NodeIndex f01 = lowDep ? nodes_[f0].high : f0;
-    const NodeIndex f10 = highDep ? nodes_[f1].low : f1;
-    const NodeIndex f11 = highDep ? nodes_[f1].high : f1;
+    const NodeIndex f0 = nodes_[n].low;   // edge, may be complemented
+    const NodeIndex f1 = nodes_[n].high;  // edge, regular by invariant
+    const bool lowDep = nodes_[nodeOf(f0)].var == vj;
+    const bool highDep = nodes_[nodeOf(f1)].var == vj;
+    const NodeIndex f00 =
+        lowDep ? throughEdge(f0, nodes_[nodeOf(f0)].low) : f0;
+    const NodeIndex f01 =
+        lowDep ? throughEdge(f0, nodes_[nodeOf(f0)].high) : f0;
+    const NodeIndex f10 = highDep ? nodes_[nodeOf(f1)].low : f1;
+    const NodeIndex f11 = highDep ? nodes_[nodeOf(f1)].high : f1;
 
     const NodeIndex a = reorderMk(vi, f00, f10);
-    ++reorderRefs_[a];
+    ++reorderRefs_[nodeOf(a)];
     const NodeIndex b = reorderMk(vi, f01, f11);
-    ++reorderRefs_[b];
+    ++reorderRefs_[nodeOf(b)];
     assert(a != b && "swapped node would be redundant");
+    assert(!isComplement(b) &&
+           "then-edge of a rewritten node must be regular");
 
     nodes_[n].var = vj;
     nodes_[n].low = a;

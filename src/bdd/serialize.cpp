@@ -1,15 +1,22 @@
 // Textual (de)serialization of BDDs.
 //
-// Format:
+// Current format (v2, complement-edge aware):
+//   bdd2 <varCount> <nodeCount> <rootRef>
+//   <id> <var> <lowRef> <highRef>         (nodeCount lines)
+//
+// A ref is a TAGGED value (id << 1) | complementBit; id 0 is the single
+// TRUE terminal (so ref 0 = true, ref 1 = false) and internal rows use
+// ids 1.. in bottom-up order (children always precede their parents).
+// The writer walks the shared graph directly — one row per NODE, so a
+// function and its negation serialize to the same table — and the loader
+// rebuilds with the public algebra, re-canonicalizing on the fly.
+//
+// Legacy format (v1, pre-complement):
 //   bdd <varCount> <nodeCount> <rootRef>
 //   <ref> <var> <lowRef> <highRef>        (nodeCount lines)
-//
-// Refs 0 and 1 are the terminals; internal nodes use refs 2.. in
-// bottom-up order (children always precede their parents), which lets the
-// loader rebuild with the public algebra and re-canonicalize on the fly.
-// The writer likewise uses only the public interface (top-of-support +
-// cofactoring via compose), so serialization stays decoupled from the
-// manager's internals.
+// with untagged refs, 0 = false, 1 = true, internal refs 2.. bottom-up.
+// loadBdd still accepts it, so files written before the complement-edge
+// representation keep loading; only the writer moved to v2.
 #include <algorithm>
 #include <functional>
 #include <istream>
@@ -26,47 +33,40 @@ void saveBdd(std::ostream& os, const Bdd& f) {
   if (!f.valid()) throw std::invalid_argument("saveBdd: null BDD");
   Manager* m = f.manager();
 
-  std::unordered_map<NodeIndex, std::uint64_t> ref{{f.manager()->falseBdd().raw(), 0},
-                                                   {f.manager()->trueBdd().raw(), 1}};
+  // Post-order over REGULAR node indices (friend access: raw reads only),
+  // so children precede their parents and an f/¬f pair shares one row.
+  std::unordered_map<NodeIndex, std::uint64_t> id;  // node -> row id (1..)
   std::vector<std::tuple<std::uint64_t, Var, std::uint64_t, std::uint64_t>>
       rows;
-  std::uint64_t next = 2;
-
-  const std::function<std::uint64_t(const Bdd&)> visit =
-      [&](const Bdd& g) -> std::uint64_t {
-    if (g.isFalse()) return 0;
-    if (g.isTrue()) return 1;
-    const auto it = ref.find(g.raw());
-    if (it != ref.end()) return it->second;
-    const Var v = g.support().front();
-    const std::uint64_t low = visit(g.compose(v, m->falseBdd()));
-    const std::uint64_t high = visit(g.compose(v, m->trueBdd()));
-    const std::uint64_t id = next++;
-    ref.emplace(g.raw(), id);
-    rows.emplace_back(id, v, low, high);
-    return id;
+  const auto refOf = [&](NodeIndex e) -> std::uint64_t {
+    const NodeIndex n = Manager::nodeOf(e);
+    const std::uint64_t i =
+        n == Manager::kTerminalNode ? 0 : id.at(n);
+    return (i << 1) | std::uint64_t{Manager::isComplement(e) ? 1u : 0u};
   };
-  const std::uint64_t root = visit(f);
+  const std::function<void(NodeIndex)> visit = [&](NodeIndex n) {
+    if (n == Manager::kTerminalNode || id.contains(n)) return;
+    const Manager::Node node = m->nodes_[n];
+    visit(Manager::nodeOf(node.low));
+    visit(Manager::nodeOf(node.high));
+    const std::uint64_t i = id.size() + 1;
+    id.emplace(n, i);
+    rows.emplace_back(i, node.var, refOf(node.low), refOf(node.high));
+  };
+  visit(Manager::nodeOf(f.raw()));
 
-  os << "bdd " << m->varCount() << ' ' << rows.size() << ' ' << root << '\n';
-  for (const auto& [id, var, low, high] : rows) {
-    os << id << ' ' << var << ' ' << low << ' ' << high << '\n';
+  os << "bdd2 " << m->varCount() << ' ' << rows.size() << ' '
+     << refOf(f.raw()) << '\n';
+  for (const auto& [rowId, var, low, high] : rows) {
+    os << rowId << ' ' << var << ' ' << low << ' ' << high << '\n';
   }
 }
 
-Bdd loadBdd(std::istream& is, Manager& manager) {
-  std::string magic;
-  std::uint64_t varCount = 0;
-  std::uint64_t nodeCount = 0;
-  std::uint64_t root = 0;
-  if (!(is >> magic >> varCount >> nodeCount >> root) || magic != "bdd") {
-    throw std::runtime_error("loadBdd: bad header");
-  }
-  if (varCount > manager.varCount()) {
-    throw std::runtime_error("loadBdd: function uses more variables than "
-                             "the manager has");
-  }
+namespace {
 
+/// Legacy v1 table: untagged refs, 0 = false, 1 = true, rows 2.. .
+Bdd loadV1(std::istream& is, Manager& manager, std::uint64_t varCount,
+           std::uint64_t nodeCount, std::uint64_t root) {
   std::unordered_map<std::uint64_t, Bdd> byRef;
   byRef.emplace(0, manager.falseBdd());
   byRef.emplace(1, manager.trueBdd());
@@ -106,6 +106,63 @@ Bdd loadBdd(std::istream& is, Manager& manager) {
     byRef.emplace(id, node);
   }
   return resolve(root);
+}
+
+/// v2 table: tagged refs (id << 1) | sign, id 0 = TRUE terminal, rows 1.. .
+Bdd loadV2(std::istream& is, Manager& manager, std::uint64_t varCount,
+           std::uint64_t nodeCount, std::uint64_t root) {
+  std::unordered_map<std::uint64_t, Bdd> byId;
+  byId.emplace(0, manager.trueBdd());
+  auto resolve = [&](std::uint64_t r) -> Bdd {
+    const auto it = byId.find(r >> 1);
+    if (it == byId.end()) {
+      throw std::runtime_error("loadBdd: forward or dangling reference");
+    }
+    return (r & 1) != 0 ? !it->second : it->second;
+  };
+
+  for (std::uint64_t i = 0; i < nodeCount; ++i) {
+    std::uint64_t id = 0;
+    Var var = 0;
+    std::uint64_t lowRef = 0;
+    std::uint64_t highRef = 0;
+    if (!(is >> id >> var >> lowRef >> highRef)) {
+      throw std::runtime_error("loadBdd: truncated node table");
+    }
+    if (var >= varCount || byId.contains(id) || id < 1) {
+      throw std::runtime_error("loadBdd: malformed node row");
+    }
+    const Bdd low = resolve(lowRef);
+    const Bdd high = resolve(highRef);
+    const Bdd node = manager.var(var).ite(high, low);
+    if (!(low == high)) {
+      const auto sup = node.support();
+      if (std::find(sup.begin(), sup.end(), var) == sup.end()) {
+        throw std::runtime_error("loadBdd: variable order violation");
+      }
+    }
+    byId.emplace(id, node);
+  }
+  return resolve(root);
+}
+
+}  // namespace
+
+Bdd loadBdd(std::istream& is, Manager& manager) {
+  std::string magic;
+  std::uint64_t varCount = 0;
+  std::uint64_t nodeCount = 0;
+  std::uint64_t root = 0;
+  if (!(is >> magic >> varCount >> nodeCount >> root) ||
+      (magic != "bdd" && magic != "bdd2")) {
+    throw std::runtime_error("loadBdd: bad header");
+  }
+  if (varCount > manager.varCount()) {
+    throw std::runtime_error("loadBdd: function uses more variables than "
+                             "the manager has");
+  }
+  return magic == "bdd2" ? loadV2(is, manager, varCount, nodeCount, root)
+                         : loadV1(is, manager, varCount, nodeCount, root);
 }
 
 }  // namespace stsyn::bdd

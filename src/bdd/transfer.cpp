@@ -27,13 +27,18 @@ Bdd transfer(const Bdd& f, Manager& target, std::size_t* copiedNodes) {
     throw std::invalid_argument(
         "bdd::transfer: target manager has fewer variables than the source");
   }
-  // Memo keyed on SOURCE node index; values hold target refs so target-side
-  // GC (triggered by the ite calls) cannot reclaim partial results.
+  // Memo keyed on the REGULAR source node index — an f/¬f pair is copied
+  // once, the sign is re-applied on the way out (target-side negation is a
+  // free bit flip). Values hold target refs so target-side GC (triggered
+  // by the ite calls) cannot reclaim partial results.
   std::unordered_map<NodeIndex, Bdd> memo;
-  auto rec = [&](auto&& self, NodeIndex n) -> Bdd {
-    if (n == Manager::kFalse) return target.constant(false);
-    if (n == Manager::kTrue) return target.constant(true);
-    if (const auto it = memo.find(n); it != memo.end()) return it->second;
+  auto rec = [&](auto&& self, NodeIndex e) -> Bdd {
+    const bool neg = Manager::isComplement(e);
+    const NodeIndex n = Manager::nodeOf(e);
+    if (n == Manager::kTerminalNode) return target.constant(!neg);
+    if (const auto it = memo.find(n); it != memo.end()) {
+      return neg ? !it->second : it->second;
+    }
     // Copy the node out before recursing: a raw read of the (quiescent)
     // source.
     const Manager::Node node = src->nodes_[n];
@@ -44,7 +49,8 @@ Bdd transfer(const Bdd& f, Manager& target, std::size_t* copiedNodes) {
     // like every other kernel.
     Bdd out = target.var(node.var).ite(high, low);
     if (copiedNodes != nullptr) ++*copiedNodes;
-    return memo.emplace(n, std::move(out)).first->second;
+    const Bdd& stored = memo.emplace(n, std::move(out)).first->second;
+    return neg ? !stored : stored;
   };
   return rec(rec, f.raw());
 }

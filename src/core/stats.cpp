@@ -50,6 +50,8 @@ void SynthesisStats::writeJson(obs::JsonWriter& w) const {
   w.field("avg_scc_nodes", avgSccNodes());
   w.field("program_nodes", static_cast<std::uint64_t>(programNodes));
   w.field("peak_live_nodes", static_cast<std::uint64_t>(peakLiveNodes));
+  w.field("peak_reachable_nodes",
+          static_cast<std::uint64_t>(peakReachableNodes));
   w.field("reorder_runs", static_cast<std::uint64_t>(reorderRuns));
   w.field("reorder_seconds", reorderSeconds);
   w.field("reorder_nodes_saved",
@@ -58,6 +60,8 @@ void SynthesisStats::writeJson(obs::JsonWriter& w) const {
   w.field("cache_lookups", static_cast<std::uint64_t>(cacheLookups));
   w.field("cache_hits", static_cast<std::uint64_t>(cacheHits));
   w.field("cache_hit_rate", cacheHitRate());
+  w.field("cache_stores", static_cast<std::uint64_t>(cacheStores));
+  w.field("unique_probes", static_cast<std::uint64_t>(uniqueProbes));
   w.field("pass_completed", passCompleted);
   w.field("image_policy", imagePolicy);
   w.field("var_order", varOrder);

@@ -39,6 +39,11 @@ struct SynthesisStats {
 
   std::size_t programNodes = 0;   ///< BDD nodes of the synthesized relation
   std::size_t peakLiveNodes = 0;  ///< manager high-water mark
+  /// High-water mark of the REACHABLE node count, sampled post-sweep at
+  /// each GC (peakLiveNodes counts dead-but-unswept nodes too, so it
+  /// mostly tracks the GC trigger schedule; this measures the function
+  /// store). 0 when the run never collected.
+  std::size_t peakReachableNodes = 0;
 
   std::size_t reorderRuns = 0;       ///< dynamic-reordering passes
   double reorderSeconds = 0.0;       ///< time spent sifting
@@ -47,6 +52,8 @@ struct SynthesisStats {
   std::size_t gcRuns = 0;        ///< manager garbage collections
   std::size_t cacheLookups = 0;  ///< operation-cache probes
   std::size_t cacheHits = 0;     ///< probes answered from the cache
+  std::size_t cacheStores = 0;   ///< operation-cache result installs
+  std::size_t uniqueProbes = 0;  ///< unique-table (mk) probes
 
   /// Pass that resolved the last deadlock: 1..3 are the paper's passes,
   /// 4 is the implementation's greedy cycle-resolution pass, 0 means the

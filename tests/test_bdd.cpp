@@ -18,14 +18,13 @@ struct ManagerTestAccess {
   static void plantCacheEntry(Manager& m, NodeIndex a, NodeIndex b,
                               NodeIndex c, NodeIndex result) {
     Manager::CacheEntry& e = m.cache_.front();
-    e.op = 0;
-    e.a = a;
+    e.ka = a;  // op nibble 0 (And) | a-operand edge
     e.b = b;
     e.c = c;
     e.result = result;
   }
   static bool frontSlotEvicted(const Manager& m) {
-    return m.cache_.front().op == 0xff;
+    return m.cache_.front().ka == Manager::kCacheEmpty;
   }
 };
 
@@ -375,6 +374,62 @@ TEST(BddSerialize, ConstantsAndErrors) {
     std::stringstream toBig("bdd 3 0 1\n");
     EXPECT_THROW((void)loadBdd(toBig, tiny), std::runtime_error);
   }
+}
+
+TEST(BddSerialize, ComplementedFunctionsRoundTripAndShareTheTable) {
+  // With complement edges f and !f are the same node table under opposite
+  // root signs: the v2 writer must emit identical rows for both, and the
+  // loader must restore the relationship exactly.
+  Manager m(6);
+  const Bdd f = (m.var(0) & m.var(3)) ^ (!m.var(1) | m.var(5));
+  const Bdd nf = !f;
+
+  std::stringstream bufF;
+  std::stringstream bufNf;
+  saveBdd(bufF, f);
+  saveBdd(bufNf, nf);
+  const std::string textF = bufF.str();
+  const std::string textNf = bufNf.str();
+  // Both are v2 documents and differ only in the header's root ref (the
+  // node rows — everything after the first line — are byte-identical).
+  EXPECT_EQ(textF.substr(0, 4), "bdd2");
+  EXPECT_EQ(textF.substr(textF.find('\n')), textNf.substr(textNf.find('\n')));
+
+  Manager m2(6);
+  std::stringstream inF(textF);
+  std::stringstream inNf(textNf);
+  const Bdd g = loadBdd(inF, m2);
+  const Bdd ng = loadBdd(inNf, m2);
+  EXPECT_EQ(ng, !g);
+  for (unsigned bits = 0; bits < 64; ++bits) {
+    std::vector<char> assign(6);
+    for (Var v = 0; v < 6; ++v) assign[v] = (bits >> v) & 1;
+    EXPECT_EQ(g.eval(assign), f.eval(assign)) << bits;
+    EXPECT_EQ(ng.eval(assign), nf.eval(assign)) << bits;
+  }
+  // The constant FALSE is a complemented edge into the terminal: ref 1,
+  // zero rows.
+  std::stringstream bufFalse;
+  saveBdd(bufFalse, m.falseBdd());
+  EXPECT_EQ(bufFalse.str(), "bdd2 6 0 1\n");
+  std::stringstream inFalse(bufFalse.str());
+  EXPECT_TRUE(loadBdd(inFalse, m2).isFalse());
+}
+
+TEST(BddSerialize, LoadsLegacyV1Documents) {
+  // A v1 document written before the complement-edge representation:
+  // untagged refs, 0 = false, 1 = true, internal ids from 2 bottom-up.
+  // This exact text is what the old writer produced for x0 & x1.
+  Manager m(2);
+  std::stringstream v1("bdd 2 2 3\n2 1 0 1\n3 0 0 2\n");
+  const Bdd f = loadBdd(v1, m);
+  EXPECT_EQ(f, m.var(0) & m.var(1));
+
+  // And a v1 document whose root is the FALSE ref still means false.
+  std::stringstream v1False("bdd 2 0 0\n");
+  EXPECT_TRUE(loadBdd(v1False, m).isFalse());
+  std::stringstream v1True("bdd 2 0 1\n");
+  EXPECT_TRUE(loadBdd(v1True, m).isTrue());
 }
 
 TEST(BddGc, CacheSweepEvictsEntriesWithOutOfRangeResults) {

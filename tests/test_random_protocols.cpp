@@ -156,6 +156,63 @@ INSTANTIATE_TEST_SUITE_P(Seeds, RandomProtocolWeak,
                          ::testing::Range<std::uint64_t>(100, 110));
 
 // ---------------------------------------------------------------------------
+// Analysis parity under complement edges: satCount, forEachSat (via
+// decodeStates) and onePath must agree with the explicit state space on
+// random protocols — for a predicate AND its complement, since the
+// complemented operand exercises the 2^n - count correction and the
+// effective-edge walks that the representation rewrite introduced.
+// ---------------------------------------------------------------------------
+
+class AnalysisParity : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(AnalysisParity, CountEnumerateAndWitnessMatchExplicit) {
+  util::Rng rng(GetParam() * 15485863 + 11);
+  for (int instance = 0; instance < 4; ++instance) {
+    const protocol::Protocol p = randomProtocol(rng);
+    const explicitstate::StateSpace space(p);
+    symbolic::Encoding enc(p);
+    symbolic::SymbolicProtocol sp(enc);
+    const bdd::Bdd inv = sp.invariant();
+    // A genuinely complemented operand: everything valid outside I.
+    const bdd::Bdd outside = enc.validCur() & !inv;
+
+    std::vector<std::uint64_t> inStates;
+    std::vector<std::uint64_t> outStates;
+    for (explicitstate::StateId s = 0; s < space.size(); ++s) {
+      (space.inInvariant(s) ? inStates : outStates).push_back(s);
+    }
+
+    // satCount parity (countStates divides out the next-state copy and
+    // invalid codes; satCountOf's complement correction sits underneath).
+    EXPECT_DOUBLE_EQ(enc.countStates(inv),
+                     static_cast<double>(inStates.size()))
+        << "seed " << GetParam() << " instance " << instance;
+    EXPECT_DOUBLE_EQ(enc.countStates(outside),
+                     static_cast<double>(outStates.size()));
+
+    // forEachSat parity: decodeStates enumerates every satisfying cur-state
+    // assignment; ascending packed codes must match the explicit scan.
+    EXPECT_EQ(symbolic::decodeStates(enc, inv), inStates)
+        << "seed " << GetParam() << " instance " << instance;
+    EXPECT_EQ(symbolic::decodeStates(enc, outside), outStates);
+
+    // onePath parity: the completed witness lies in the set it was drawn
+    // from, on both sides of the complement.
+    if (!inv.isFalse()) {
+      const auto st = enc.completeState(inv.onePath());
+      EXPECT_TRUE(space.inInvariant(symbolic::packState(p, st)));
+    }
+    if (!outside.isFalse()) {
+      const auto st = enc.completeState(outside.onePath());
+      EXPECT_FALSE(space.inInvariant(symbolic::packState(p, st)));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AnalysisParity,
+                         ::testing::Range<std::uint64_t>(0, 12));
+
+// ---------------------------------------------------------------------------
 // Image-policy differential testing: the partitioned engine must agree with
 // the monolithic one BDD for BDD — not just up to verification, but on the
 // exact node of every product and every synthesized relation.

@@ -50,6 +50,7 @@ TEST(Reorder, HandlesStayValidAndFunctionsUnchanged) {
   }
 
   m.reorderNow();
+  m.checkInvariants();
 
   for (unsigned a = 0; a < (1u << (2 * kN)); ++a) {
     for (Var v = 0; v < 2 * kN; ++v) assign[v] = (a >> v) & 1;
@@ -70,6 +71,7 @@ TEST(Reorder, ShrinksAdversarialOrder) {
   const Bdd f = distantPairs(m, kN);
   const std::size_t before = f.nodeCount();
   m.reorderNow();
+  m.checkInvariants();
   const std::size_t after = f.nodeCount();
   // Identity order needs ~2^n nodes, a good order ~3n; sifting must find a
   // dramatically smaller diagram (well beyond the 20% bar).
@@ -99,6 +101,7 @@ TEST(Reorder, GroupsStayAdjacentInRegisteredOrder) {
   for (Var i = 0; i + 1 < kN; ++i) f |= m.var(2 * i) & m.var(2 * (i + 1) + 1);
   f |= m.var(0) & m.var(2 * kN - 1);
   m.reorderNow();
+  m.checkInvariants();
 
   for (Var v = 0; v < 2 * kN; v += 2) {
     EXPECT_EQ(m.levelOf(Var(v + 1)), m.levelOf(v) + 1)
@@ -125,6 +128,7 @@ TEST(Reorder, OperationsAndAnalysesAgreeAfterReorder) {
   const double cf = f.satCount(all);
   const auto supBefore = f.support();
   m.reorderNow();
+  m.checkInvariants();
 
   // satCount is order-independent; support is re-sorted by level but has
   // the same membership.
@@ -168,6 +172,7 @@ TEST(Reorder, OnePathCompletionIsOrderIndependent) {
       b = b | tb;
     }
     sifted.reorderNow();
+    sifted.checkInvariants();
     if (a.isFalse()) continue;
     // The completed (-1 -> 0) paths must coincide: transition selection
     // depends on this for cross-engine determinism.
@@ -204,6 +209,7 @@ TEST(Reorder, SerializationRoundTripsAcrossDifferentOrders) {
   Manager a(2 * kN);
   const Bdd f = distantPairs(a, kN);
   a.reorderNow();
+  a.checkInvariants();
 
   std::stringstream buffer;
   saveBdd(buffer, f);
@@ -222,11 +228,49 @@ TEST(Reorder, RepeatedSiftingIsStableAndCheap) {
   Manager m(2 * kN);
   const Bdd f = distantPairs(m, kN);
   m.reorderNow();
+  m.checkInvariants();
   const std::size_t settled = f.nodeCount();
   m.reorderNow();
+  m.checkInvariants();
   // A second pass on an already-sifted pool must not regress.
   EXPECT_LE(f.nodeCount(), settled);
   EXPECT_EQ(m.stats().reorderRuns, 2u);
+}
+
+TEST(Reorder, PoolInvariantsHoldAfterEveryPass) {
+  // Stress the swap kernel against the structural invariant checker: the
+  // complement-edge canonical form (regular then-edges, no redundant or
+  // duplicate nodes, children strictly deeper) must survive arbitrary
+  // interleavings of construction, sifting, and forced order changes.
+  constexpr Var kVars = 10;
+  Manager m(kVars);
+  Rng rng(2024);
+  std::vector<Bdd> keep;
+  for (int round = 0; round < 8; ++round) {
+    Bdd f = rng.flip() ? m.trueBdd() : m.falseBdd();
+    for (int i = 0; i < 12; ++i) {
+      Bdd lit = m.var(static_cast<Var>(rng.below(kVars)));
+      if (rng.flip()) lit = !lit;
+      switch (rng.below(3)) {
+        case 0: f = f & lit; break;
+        case 1: f = f | lit; break;
+        default: f = f ^ lit; break;
+      }
+    }
+    keep.push_back(f);
+    m.reorderNow();
+    m.checkInvariants();  // throws std::logic_error on any violation
+  }
+  // A forced (non-sifted) order change goes through the same swap kernel.
+  std::vector<Var> reversed(kVars);
+  for (Var v = 0; v < kVars; ++v) reversed[v] = kVars - 1 - v;
+  m.setLevelOrder(reversed);
+  m.checkInvariants();
+  // And the functions still mean what they meant.
+  std::vector<char> assign(kVars, 0);
+  for (const Bdd& f : keep) {
+    (void)f.eval(assign);  // must not trip internal assertions
+  }
 }
 
 }  // namespace

@@ -88,6 +88,37 @@ TEST(Transfer, CorrectUnderDivergentVariableOrders) {
   EXPECT_EQ(bdd::transfer(g, a), f);
 }
 
+TEST(Transfer, ComplementedRootsAcrossDivergentOrders) {
+  // The copy kernel memoizes on REGULAR nodes and re-applies the edge sign
+  // on exit, so f and !f must land on the same target subgraph (one node
+  // pool, two signs) even when the target disagrees about levels.
+  Manager a(5);
+  Manager b(5);
+  const std::array<Var, 5> reversed{4, 3, 2, 1, 0};
+  b.setLevelOrder(reversed);
+  const Bdd f = sampleFunction(a);
+  const Bdd nf = !f;
+  const Bdd g = bdd::transfer(f, b);
+  const Bdd ng = bdd::transfer(nf, b);
+  EXPECT_EQ(ng, !g);  // sign survives the copy; canonicity in the target
+  EXPECT_EQ(truthTable(ng, 5), truthTable(nf, 5));
+  // Both directions round-trip onto the identical source handles.
+  EXPECT_EQ(bdd::transfer(g, a), f);
+  EXPECT_EQ(bdd::transfer(ng, a), nf);
+  // A function and its negation cost the same number of copied nodes: the
+  // walk never materializes a negated pool.
+  std::size_t copiedF = 0;
+  std::size_t copiedNf = 0;
+  Manager c(5);
+  c.setLevelOrder(reversed);
+  (void)bdd::transfer(f, c, &copiedF);
+  Manager d(5);
+  d.setLevelOrder(reversed);
+  (void)bdd::transfer(nf, d, &copiedNf);
+  EXPECT_EQ(copiedF, copiedNf);
+  EXPECT_EQ(copiedF, f.nodeCount());
+}
+
 TEST(Transfer, MemoizationCopiesEachSharedSubgraphOnce) {
   Manager a(6);
   Manager b(6);
