@@ -1,603 +1,125 @@
-// The stsyn command-line tool: the STSyn workflow on textual protocol
-// descriptions.
+// stsyn — the command-line frontend.
 //
-//   stsyn <protocol.stsyn> [options]
-//   stsyn lint <protocol.stsyn> [--werror] [--no-symbolic] [--format=sarif]
+// All real work lives in src/cli (argument parsing, the run driver, the
+// stats document) and src/serve (the daemon); this file only owns what a
+// terminal session needs that a daemon does not: reading protocol files,
+// writing the --output/--stats-json/--trace artifacts, and process exit
+// codes.
 //
-//   lint / --lint        run the protocol linter (docs/lint_rules.md) and
-//                        exit without synthesizing; exit 0 when clean,
-//                        1 when diagnostics fail the run, 2 on usage errors
-//   --werror             lint: treat warnings as errors
-//   --no-symbolic        lint: skip the BDD-backed semantic rules
-//   --format=sarif       lint: emit SARIF 2.1.0 JSON instead of text
-//   --weak               add weak convergence (Theorem IV.1) instead of
-//                        strong
-//   --verify             verify the input as-is (closure, deadlocks,
-//                        cycles, convergence) and print counterexamples;
-//                        no synthesis
-//   --portfolio N        run N rotated schedules in parallel (paper Fig. 1)
-//                        and keep the first success
-//   --image-policy P     image computation policy: monolithic, perprocess,
-//                        auto (default; may also come from
-//                        $STSYN_IMAGE_POLICY), or both — `both` needs
-//                        --portfolio and races the two policies as a
-//                        second portfolio axis
-//   --image-workers N    worker threads for partitioned image products
-//                        (default 1, or $STSYN_IMAGE_WORKERS; 0 = hardware
-//                        concurrency; results are bit-identical for every
-//                        worker count)
-//   --var-order O        BDD variable-order seed: declared (default; may
-//                        also come from $STSYN_VAR_ORDER) or static
-//                        (reverse Cuthill–McKee over the communication
-//                        graph); dynamic reordering still applies on top
-//   --orbit-prune        portfolio: run one schedule per process-symmetry
-//                        orbit signature up front, deferring the rest to
-//                        a fallback phase that only runs if every
-//                        representative failed
-//   --schedule P2,P0,P1  recovery schedule (default: identity)
-//   --max-pass N         stop after pass N (1..3)
-//   --no-greedy          disable the greedy cycle-resolution pass
-//   --explain            on failure, print a per-deadlock diagnosis
-//   --output <file>      write the synthesized stabilizing protocol as
-//                        .stsyn text (original actions + recovery actions)
-//   --stats-json <file>  write a machine-readable JSON document with the
-//                        run outcome and SynthesisStats (schema in
-//                        docs/observability.md)
-//   --trace <file>       record trace spans and write Chrome trace_event
-//                        JSON (load in Perfetto / chrome://tracing)
-//   --print              echo the parsed protocol back as .stsyn text
-//   --quiet              suppress the extracted actions
+//   stsyn <file.stsyn> [options]   synthesize / --weak / --verify
+//   stsyn lint <file.stsyn> [...]  static analysis (text or SARIF)
+//   stsyn serve [options]          synthesis-as-a-service daemon
 //
-// Exit status: 0 synthesis succeeded (verified), 1 synthesis failed,
-// 2 usage/parse error.
-#include <algorithm>
-#include <cstdint>
+// Run with no arguments for the full option list.
+
 #include <cstdio>
-#include <cstring>
 #include <fstream>
+#include <iostream>
 #include <sstream>
 #include <string>
-#include <thread>
-#include <vector>
 
-#include "obs/json.hpp"
+#include "cli/driver.hpp"
+#include "cli/options.hpp"
+#include "lang/parser.hpp"
+#include "lang/printer.hpp"
 #include "obs/trace.hpp"
-#include "stsyn.hpp"
+#include "serve/server.hpp"
 
 namespace {
 
-int usage() {
-  std::fprintf(stderr,
-               "usage: stsyn <protocol.stsyn> [--weak] [--schedule P1,P0,...]"
-               " [--max-pass N] [--no-greedy] [--image-policy"
-               " monolithic|perprocess|auto|both] [--image-workers N]"
-               " [--var-order declared|static] [--orbit-prune]"
-               " [--print] [--quiet]"
-               " [--stats-json FILE] [--trace FILE]\n"
-               "       stsyn lint <protocol.stsyn> [--werror] [--no-symbolic]"
-               " [--format=sarif|text]\n");
-  return 2;
-}
+/// Writes the stats document and Chrome trace on every exit path once a
+/// run was attempted, like the old in-main report destructor did: a
+/// failed or timed-out run still produces its artifacts.
+struct ArtifactWriter {
+  const stsyn::cli::Options& opt;
+  const stsyn::cli::Report& report;
 
-/// One portfolio instance's outcome, copied out for the stats document.
-struct PortfolioRow {
-  std::string schedule;
-  std::string imagePolicy;
-  bool ran = false;
-  bool success = false;
-  bool pruned = false;
-  int pass = 0;
-  double wallSeconds = 0.0;
-};
-
-/// Collects the run's outcome and writes the --stats-json / --trace files
-/// on destruction, so every exit path of main emits them.
-struct RunReport {
-  std::string statsPath;
-  std::string tracePath;
-
-  std::string protoName;
-  bool haveProtocol = false;
-  double processes = 0, states = 0, legitimate = 0;
-
-  const char* mode = "strong";
-  bool success = false;
-  bool verified = false;
-  std::string failure;
-  stsyn::core::SynthesisStats stats;
-  bool haveStats = false;
-
-  bool havePortfolio = false;
-  std::size_t portfolioWinner = SIZE_MAX;
-  double portfolioWallSeconds = 0.0;
-  bool portfolioOrbitPrune = false;
-  std::size_t portfolioSymmetryOrbits = 0;
-  std::size_t portfolioSchedulesPruned = 0;
-  std::vector<PortfolioRow> portfolioRows;
-
-  ~RunReport() {
-    if (!statsPath.empty()) writeStats();
-    if (!tracePath.empty()) writeTrace();
+  ~ArtifactWriter() {
+    if (!opt.statsPath.empty()) writeStats();
+    if (!opt.tracePath.empty()) writeTrace();
   }
 
   void writeStats() const {
-    namespace obs = stsyn::obs;
-    std::ofstream out(statsPath);
+    std::ofstream out(opt.statsPath);
     if (!out) {
-      std::fprintf(stderr, "stsyn: cannot write %s\n", statsPath.c_str());
+      std::fprintf(stderr, "stsyn: cannot write %s\n", opt.statsPath.c_str());
       return;
     }
-    obs::JsonWriter w(out);
-    w.beginObject();
-    w.field("schema_version", stsyn::core::kStatsJsonSchemaVersion);
-    w.field("tool", "stsyn");
-    if (haveProtocol) {
-      w.key("protocol");
-      w.beginObject();
-      w.field("name", protoName);
-      w.field("processes", processes);
-      w.field("states", states);
-      w.field("legitimate_states", legitimate);
-      w.endObject();
-    }
-    w.field("mode", mode);
-    w.field("success", success);
-    w.field("verified", verified);
-    if (!failure.empty()) w.field("failure", failure);
-    if (haveStats) {
-      w.key("stats");
-      stats.writeJson(w);
-    }
-    if (havePortfolio) {
-      w.key("portfolio");
-      w.beginObject();
-      w.field("winner", portfolioWinner == SIZE_MAX
-                            ? static_cast<std::int64_t>(-1)
-                            : static_cast<std::int64_t>(portfolioWinner));
-      w.field("wall_seconds", portfolioWallSeconds);
-      std::uint64_t ran = 0;
-      for (const PortfolioRow& row : portfolioRows) ran += row.ran ? 1 : 0;
-      w.field("instances_run", ran);
-      if (portfolioOrbitPrune) {
-        w.field("symmetry_orbits",
-                static_cast<std::uint64_t>(portfolioSymmetryOrbits));
-        w.field("schedules_pruned",
-                static_cast<std::uint64_t>(portfolioSchedulesPruned));
-      }
-      w.key("instances");
-      w.beginArray();
-      for (const PortfolioRow& row : portfolioRows) {
-        w.beginObject();
-        w.field("schedule", row.schedule);
-        w.field("image_policy", row.imagePolicy);
-        w.field("ran", row.ran);
-        w.field("success", row.success);
-        if (portfolioOrbitPrune) w.field("pruned", row.pruned);
-        w.field("pass", row.pass);
-        w.field("wall_seconds", row.wallSeconds);
-        w.endObject();
-      }
-      w.endArray();
-      w.endObject();
-    }
-    w.endObject();
-    out << '\n';
+    out << report.renderStatsJson() << '\n';
     if (out.good()) {
-      std::printf("wrote stats to %s\n", statsPath.c_str());
+      std::printf("wrote stats to %s\n", opt.statsPath.c_str());
     } else {
-      std::fprintf(stderr, "stsyn: error writing %s\n", statsPath.c_str());
+      std::fprintf(stderr, "stsyn: error writing %s\n", opt.statsPath.c_str());
     }
   }
 
   void writeTrace() const {
-    std::ofstream out(tracePath);
+    std::ofstream out(opt.tracePath);
     if (!out) {
-      std::fprintf(stderr, "stsyn: cannot write %s\n", tracePath.c_str());
+      std::fprintf(stderr, "stsyn: cannot write %s\n", opt.tracePath.c_str());
       return;
     }
     stsyn::obs::Tracer::global().writeChromeTrace(out);
     if (out.good()) {
-      std::printf("wrote trace to %s (%zu events)\n", tracePath.c_str(),
+      std::printf("wrote trace to %s (%zu events)\n", opt.tracePath.c_str(),
                   stsyn::obs::Tracer::global().eventCount());
     } else {
-      std::fprintf(stderr, "stsyn: error writing %s\n", tracePath.c_str());
+      std::fprintf(stderr, "stsyn: error writing %s\n", opt.tracePath.c_str());
     }
   }
 };
 
-/// The `stsyn lint` subcommand: parse leniently, run both lint tiers, and
-/// render diagnostics. Exit 0 clean, 1 when the run fails, 2 on I/O errors.
-int runLint(const char* path, bool werror, const std::string& format,
-            const stsyn::analysis::LintOptions& options) {
-  using namespace stsyn;
-  std::ifstream in(path);
+int runLintFile(const stsyn::cli::Options& opt) {
+  std::ifstream in(opt.path);
   if (!in) {
-    std::fprintf(stderr, "stsyn: cannot open protocol file %s\n", path);
+    std::fprintf(stderr, "stsyn: cannot open protocol file %s\n",
+                 opt.path.c_str());
     return 2;
   }
   std::ostringstream buf;
   buf << in.rdbuf();
-
-  analysis::Diagnostics diags;
-  analysis::lintSource(buf.str(), diags, options);
-  if (format == "sarif") {
-    std::printf("%s", analysis::formatSarif(diags, path).c_str());
-  } else {
-    std::printf("%s", analysis::formatText(diags, path).c_str());
-  }
-  return diags.failed(werror) ? 1 : 0;
-}
-
-/// Parses "P2,P0,P1" against the protocol's process names.
-bool parseSchedule(const std::string& arg, const stsyn::protocol::Protocol& p,
-                   stsyn::core::Schedule& out) {
-  out.clear();
-  std::size_t pos = 0;
-  while (pos <= arg.size()) {
-    const std::size_t comma = arg.find(',', pos);
-    const std::string name =
-        arg.substr(pos, comma == std::string::npos ? comma : comma - pos);
-    bool found = false;
-    for (std::size_t j = 0; j < p.processes.size(); ++j) {
-      if (p.processes[j].name == name) {
-        out.push_back(j);
-        found = true;
-        break;
-      }
-    }
-    if (!found) {
-      std::fprintf(stderr, "stsyn: unknown process '%s' in schedule\n",
-                   name.c_str());
-      return false;
-    }
-    if (comma == std::string::npos) break;
-    pos = comma + 1;
-  }
-  return stsyn::core::isValidSchedule(out, p.processes.size());
+  return stsyn::cli::runLintSource(buf.str(), opt.path, opt, std::cout);
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   using namespace stsyn;
-  if (argc < 2) return usage();
 
-  const char* path = nullptr;
-  bool weak = false;
-  bool verifyOnly = false;
-  bool lint = false;
-  bool werror = false;
-  unsigned portfolio = 0;
-  bool print = false;
-  bool quiet = false;
-  bool explain = false;
-  bool orbitPrune = false;
-  std::string scheduleArg;
-  std::string imagePolicyArg;
-  std::string varOrderArg;
-  std::string outputPath;
-  std::string lintFormat = "text";
-  RunReport report;
-  core::StrongOptions options;
-  analysis::LintOptions lintOptions;
+  cli::Options opt;
+  const int parseStatus = cli::parseArgs(argc, argv, opt, std::cerr);
+  if (parseStatus >= 0) return parseStatus;
 
-  int argStart = 1;
-  if (!std::strcmp(argv[1], "lint")) {
-    lint = true;
-    argStart = 2;
-  }
-  for (int i = argStart; i < argc; ++i) {
-    const char* a = argv[i];
-    if (!std::strcmp(a, "--weak")) {
-      weak = true;
-    } else if (!std::strcmp(a, "--verify")) {
-      verifyOnly = true;
-    } else if (!std::strcmp(a, "--lint")) {
-      lint = true;
-    } else if (!std::strcmp(a, "--werror")) {
-      werror = true;
-    } else if (!std::strcmp(a, "--no-symbolic")) {
-      lintOptions.symbolic = false;
-    } else if (!std::strncmp(a, "--format=", 9)) {
-      lintFormat = a + 9;
-      if (lintFormat != "text" && lintFormat != "sarif") return usage();
-    } else if (!std::strcmp(a, "--portfolio") && i + 1 < argc) {
-      portfolio = static_cast<unsigned>(std::atoi(argv[++i]));
-    } else if (!std::strcmp(a, "--print")) {
-      print = true;
-    } else if (!std::strcmp(a, "--quiet")) {
-      quiet = true;
-    } else if (!std::strcmp(a, "--no-greedy")) {
-      options.greedyCycleResolution = false;
-    } else if (!std::strcmp(a, "--explain")) {
-      explain = true;
-    } else if (!std::strcmp(a, "--schedule") && i + 1 < argc) {
-      scheduleArg = argv[++i];
-    } else if (!std::strcmp(a, "--image-policy") && i + 1 < argc) {
-      imagePolicyArg = argv[++i];
-    } else if (!std::strcmp(a, "--var-order") && i + 1 < argc) {
-      varOrderArg = argv[++i];
-    } else if (!std::strcmp(a, "--orbit-prune")) {
-      orbitPrune = true;
-    } else if (!std::strcmp(a, "--image-workers") && i + 1 < argc) {
-      const int n = std::atoi(argv[++i]);
-      if (n < 0) return usage();
-      // 0 = hardware concurrency, mirroring $STSYN_IMAGE_WORKERS.
-      options.imageWorkers =
-          n == 0 ? std::max(1u, std::thread::hardware_concurrency())
-                 : static_cast<std::size_t>(n);
-    } else if (!std::strcmp(a, "--output") && i + 1 < argc) {
-      outputPath = argv[++i];
-    } else if (!std::strcmp(a, "--stats-json") && i + 1 < argc) {
-      report.statsPath = argv[++i];
-    } else if (!std::strcmp(a, "--trace") && i + 1 < argc) {
-      report.tracePath = argv[++i];
-    } else if (!std::strcmp(a, "--max-pass") && i + 1 < argc) {
-      options.maxPass = std::atoi(argv[++i]);
-    } else if (a[0] == '-') {
-      return usage();
-    } else if (path == nullptr) {
-      path = a;
-    } else {
-      return usage();
-    }
-  }
-  if (path == nullptr) return usage();
-  if (lint) return runLint(path, werror, lintFormat, lintOptions);
-
-  // Policies raced when --portfolio is active; a single entry otherwise.
-  std::vector<symbolic::ImagePolicy> policies;
-  if (imagePolicyArg == "both") {
-    if (portfolio == 0) {
-      std::fprintf(stderr,
-                   "stsyn: --image-policy both requires --portfolio\n");
-      return 2;
-    }
-    policies = {symbolic::ImagePolicy::Monolithic,
-                symbolic::ImagePolicy::PerProcess};
-  } else if (!imagePolicyArg.empty()) {
-    const auto parsed = symbolic::parseImagePolicy(imagePolicyArg);
-    if (!parsed.has_value()) {
-      std::fprintf(stderr,
-                   "stsyn: unknown --image-policy '%s' (expected "
-                   "monolithic|perprocess|auto|both)\n",
-                   imagePolicyArg.c_str());
-      return 2;
-    }
-    options.imagePolicy = *parsed;
-    policies = {*parsed};
+  if (opt.mode == cli::Mode::Lint) return runLintFile(opt);
+  if (opt.mode == cli::Mode::Serve) {
+    return serve::runServe(opt, std::cout, std::cerr);
   }
 
-  symbolic::EncodingOptions encOptions;
-  if (!varOrderArg.empty()) {
-    const auto parsed = symbolic::parseVarOrder(varOrderArg);
-    if (!parsed.has_value()) {
-      std::fprintf(stderr,
-                   "stsyn: unknown --var-order '%s' (expected "
-                   "declared|static)\n",
-                   varOrderArg.c_str());
-      return 2;
-    }
-    encOptions.varOrder = *parsed;
-  }
-  if (orbitPrune && portfolio == 0) {
-    std::fprintf(stderr, "stsyn: --orbit-prune requires --portfolio\n");
-    return 2;
-  }
-  if (!report.tracePath.empty()) obs::Tracer::global().enable();
+  if (!opt.tracePath.empty()) obs::Tracer::global().enable();
+
+  cli::Report report;
+  const ArtifactWriter artifacts{opt, report};
 
   protocol::Protocol p;
   try {
-    p = lang::parseProtocolFile(path);
+    p = lang::parseProtocolFile(opt.path);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "stsyn: %s\n", e.what());
     return 2;
   }
-  if (print) std::printf("%s\n", lang::printProtocol(p).c_str());
+  if (opt.print) std::printf("%s\n", lang::printProtocol(p).c_str());
 
-  symbolic::Encoding enc(p, encOptions);
-  symbolic::SymbolicProtocol sp(enc);
-  std::printf("protocol %s: %zu processes, %.0f states, %.0f legitimate\n",
-              p.name.c_str(), p.processCount(), p.stateCount(),
-              enc.countStates(sp.invariant()));
-  report.protoName = p.name;
-  report.haveProtocol = true;
-  report.processes = static_cast<double>(p.processCount());
-  report.states = p.stateCount();
-  report.legitimate = enc.countStates(sp.invariant());
+  const cli::RunOutcome outcome =
+      cli::runProtocol(p, opt, report, std::cout, std::cerr);
 
-  if (verifyOnly) {
-    report.mode = "verify";
-    const verify::Report rep = verify::check(sp, sp.protocolRelation());
-    std::printf("closure of I:        %s\n", rep.closed ? "yes" : "NO");
-    std::printf("deadlock-free in ~I: %s (%.0f deadlocks)\n",
-                rep.deadlockFree ? "yes" : "NO",
-                enc.countStates(rep.deadlocks));
-    std::printf("cycle-free in ~I:    %s (%zu non-progress components)\n",
-                rep.cycleFree ? "yes" : "NO", rep.cycles.size());
-    std::printf("weakly converges:    %s\n",
-                rep.weaklyConverges ? "yes" : "NO");
-    std::printf("verdict: %s\n",
-                rep.stronglyStabilizing()
-                    ? "STRONGLY SELF-STABILIZING"
-                    : "NOT self-stabilizing");
-    if (!rep.closed) {
-      const bdd::Bdd escape =
-          sp.protocolRelation() & sp.invariant() &
-          sp.onNext(enc.validCur() & !sp.invariant());
-      const auto [s0, s1] = sp.pickTransition(escape);
-      std::printf("closure violation: %s --> %s\n",
-                  verify::formatState(p, s0).c_str(),
-                  verify::formatState(p, s1).c_str());
-    }
-    if (!rep.deadlockFree) {
-      std::printf("example deadlock: %s\n",
-                  verify::formatState(p, sp.pickState(rep.deadlocks))
-                      .c_str());
-    }
-    if (!rep.cycleFree) {
-      std::vector<bdd::Bdd> perProcess;
-      for (std::size_t j = 0; j < sp.processCount(); ++j) {
-        perProcess.push_back(sp.processRelation(j));
-      }
-      const auto cycle = verify::extractCycle(
-          sp, sp.protocolRelation(), rep.cycles.front(), perProcess);
-      std::printf("non-progress cycle (schedule %s):\n%s\n",
-                  verify::cycleSchedule(p, cycle).c_str(),
-                  verify::formatCycle(p, cycle).c_str());
-    }
-    report.success = report.verified = rep.stronglyStabilizing();
-    return rep.stronglyStabilizing() ? 0 : 1;
-  }
-
-  if (!verify::isClosed(sp, sp.protocolRelation(), sp.invariant())) {
-    std::fprintf(stderr,
-                 "stsyn: the invariant is not closed in the input protocol "
-                 "(Problem III.1 requires closure)\n");
-    return 1;
-  }
-
-  if (weak) {
-    report.mode = "weak";
-    const core::WeakResult w = core::addWeakConvergence(
-        sp, options.imagePolicy, options.imageWorkers);
-    report.stats = w.stats;
-    report.haveStats = true;
-    report.success = report.verified = w.success;
-    if (!w.success) {
-      report.failure = "rank-infinity states exist";
-      std::printf("weak convergence: IMPOSSIBLE — %.0f states can never "
-                  "reach the invariant\n",
-                  enc.countStates(w.rankInfinityStates));
-      return 1;
-    }
-    std::printf("weak convergence added: M = %zu ranks, %s\n",
-                w.ranking.maxRank(), w.stats.summary().c_str());
-    std::printf("rank histogram (states at recovery distance i):\n");
-    for (std::size_t i = 0; i < w.ranking.ranks.size(); ++i) {
-      std::printf("  Rank[%zu]: %.0f states\n", i,
-                  enc.countStates(w.ranking.ranks[i]));
-    }
-    return 0;
-  }
-
-  if (!scheduleArg.empty() &&
-      !parseSchedule(scheduleArg, p, options.schedule)) {
-    return 2;
-  }
-
-  if (portfolio > 0) {
-    report.mode = "portfolio";
-    std::vector<core::Schedule> schedules;
-    for (std::size_t rot = 0; rot < p.processCount(); ++rot) {
-      schedules.push_back(core::rotatedSchedule(p.processCount(), rot));
-    }
-    core::PortfolioOptions popt;
-    popt.threads = portfolio;
-    popt.policies = policies;
-    popt.imageWorkers = options.imageWorkers;
-    popt.encoding = encOptions;
-    popt.orbitPrune = orbitPrune;
-    const core::PortfolioResult pr =
-        core::synthesizePortfolio(p, schedules, popt);
-    report.havePortfolio = true;
-    report.portfolioWinner = pr.winner;
-    report.portfolioWallSeconds = pr.wallSeconds;
-    report.portfolioOrbitPrune = orbitPrune;
-    report.portfolioSymmetryOrbits = pr.symmetryOrbits;
-    report.portfolioSchedulesPruned = pr.schedulesPruned();
-    for (const core::PortfolioInstance& inst : pr.instances) {
-      report.portfolioRows.push_back({core::toString(inst.schedule),
-                                      symbolic::toString(inst.imagePolicy),
-                                      inst.ran, inst.result.success,
-                                      inst.pruned,
-                                      inst.result.stats.passCompleted,
-                                      inst.wallSeconds});
-    }
-    if (orbitPrune) {
-      std::printf("orbit pruning: %zu symmetry orbits, %zu of %zu schedule "
-                  "instances pruned\n",
-                  pr.symmetryOrbits, pr.schedulesPruned(),
-                  pr.instances.size());
-    }
-    if (const core::SynthesisStats* ws = pr.winnerStats()) {
-      report.stats = *ws;
-      report.haveStats = true;
-    }
-    if (!pr.success()) {
-      report.failure = "all schedules failed";
-      std::printf("portfolio synthesis FAILED for all %zu schedules\n",
-                  schedules.size());
-      return 1;
-    }
-    const auto& win = pr.instances[pr.winner];
-    const verify::Report rep =
-        verify::check(*win.symbolic, win.result.relation);
-    std::printf("portfolio: schedule %s won (policy %s, pass %d),"
-                " verified=%s\n"
-                "  %zu of %zu instances ran, wall %.3fs\n  %s\n",
-                core::toString(win.schedule).c_str(),
-                symbolic::toString(win.imagePolicy),
-                win.result.stats.passCompleted,
-                rep.stronglyStabilizing() ? "yes" : "NO",
-                pr.instancesRun(), pr.instances.size(), pr.wallSeconds,
-                win.result.stats.summary().c_str());
-    report.success = report.verified = rep.stronglyStabilizing();
-    if (!quiet) {
-      for (const auto& pa : extraction::extractAllActions(
-               *win.symbolic, win.result.addedPerProcess)) {
-        std::printf("%s", extraction::formatActions(p, pa).c_str());
-      }
-    }
-    return rep.stronglyStabilizing() ? 0 : 1;
-  }
-
-  const core::StrongResult r = core::addStrongConvergence(sp, options);
-  report.stats = r.stats;
-  report.haveStats = true;
-  report.success = r.success;
-  if (!r.success) {
-    report.failure = core::toString(r.failure);
-    std::printf("synthesis FAILED: %s (remaining deadlocks: %.0f)\n",
-                core::toString(r.failure),
-                enc.countStates(r.remainingDeadlocks));
-    if (explain) {
-      const core::Diagnosis d = core::diagnose(sp, r);
-      std::printf("%s", d.summary(p).c_str());
-    }
-    return 1;
-  }
-  const verify::Report rep = verify::check(sp, r.relation);
-  report.verified = rep.stronglyStabilizing();
-  std::printf("synthesis succeeded: pass %d, verified strongly "
-              "stabilizing=%s\n  %s\n  worst-case recovery: %zu steps\n",
-              r.stats.passCompleted, rep.stronglyStabilizing() ? "yes" : "NO",
-              r.stats.summary().c_str(),
-              core::recoveryDepth(sp, r.relation));
-  std::printf("  rank histogram:");
-  for (std::size_t i = 0; i < r.ranking.ranks.size(); ++i) {
-    std::printf(" %zu:%.0f", i, enc.countStates(r.ranking.ranks[i]));
-  }
-  std::printf("\n");
-  if (!quiet) {
-    std::printf("\nadded recovery actions:\n");
-    for (const auto& pa :
-         extraction::extractAllActions(sp, r.addedPerProcess)) {
-      std::printf("%s", extraction::formatActions(p, pa).c_str());
-    }
-  }
-  if (!outputPath.empty()) {
-    const protocol::Protocol stabilized =
-        extraction::toProtocol(sp, r.addedPerProcess);
-    std::ofstream out(outputPath);
+  if (!opt.outputPath.empty() && !outcome.program.empty()) {
+    std::ofstream out(opt.outputPath);
     if (!out) {
-      std::fprintf(stderr, "stsyn: cannot write %s\n", outputPath.c_str());
+      std::fprintf(stderr, "stsyn: cannot write %s\n", opt.outputPath.c_str());
       return 2;
     }
-    out << "# generated by stsyn: " << p.name
-        << " with synthesized convergence\n"
-        << lang::printProtocol(stabilized);
-    std::printf("wrote stabilizing protocol to %s\n", outputPath.c_str());
+    out << outcome.program;
+    std::printf("wrote stabilizing protocol to %s\n", opt.outputPath.c_str());
   }
-  return rep.stronglyStabilizing() ? 0 : 1;
+  return outcome.exitCode;
 }

@@ -314,6 +314,13 @@ bool lintSource(std::string_view source, Diagnostics& diags,
     diags.add("parse-error", Severity::Error, std::move(message),
               SourceLoc{e.line, e.column});
     return false;
+  } catch (const std::exception& e) {
+    // Lint is the lenient path — callers (the CLI's --lint mode, the serve
+    // daemon's validator) rely on every failure surfacing as a diagnostic,
+    // so even an unexpected exception becomes one instead of escaping.
+    diags.add("internal-error", Severity::Error,
+              std::string("analysis failed: ") + e.what(), {});
+    return false;
   }
 }
 

@@ -64,6 +64,12 @@ void saveBdd(std::ostream& os, const Bdd& f) {
 
 namespace {
 
+/// Hard ceiling on the declared node count. Serialized functions in this
+/// system are orders of magnitude smaller; anything larger is a corrupt
+/// or hostile document (the serve daemon feeds loadBdd network bytes),
+/// and failing the header beats looping over 2^64 declared rows.
+constexpr std::uint64_t kMaxSerializedNodes = std::uint64_t{1} << 28;
+
 /// Legacy v1 table: untagged refs, 0 = false, 1 = true, rows 2.. .
 Bdd loadV1(std::istream& is, Manager& manager, std::uint64_t varCount,
            std::uint64_t nodeCount, std::uint64_t root) {
@@ -77,6 +83,10 @@ Bdd loadV1(std::istream& is, Manager& manager, std::uint64_t varCount,
     }
     return it->second;
   };
+  // v1 refs are node ids: 0/1 terminals plus rows 2 .. nodeCount+1.
+  if (root > nodeCount + 1) {
+    throw std::runtime_error("loadBdd: root reference out of range");
+  }
 
   for (std::uint64_t i = 0; i < nodeCount; ++i) {
     std::uint64_t id = 0;
@@ -86,7 +96,8 @@ Bdd loadV1(std::istream& is, Manager& manager, std::uint64_t varCount,
     if (!(is >> id >> var >> lowRef >> highRef)) {
       throw std::runtime_error("loadBdd: truncated node table");
     }
-    if (var >= varCount || byRef.contains(id) || id < 2) {
+    if (var >= varCount || byRef.contains(id) || id < 2 ||
+        id > nodeCount + 1) {
       throw std::runtime_error("loadBdd: malformed node row");
     }
     const Bdd low = resolve(lowRef);
@@ -120,6 +131,10 @@ Bdd loadV2(std::istream& is, Manager& manager, std::uint64_t varCount,
     }
     return (r & 1) != 0 ? !it->second : it->second;
   };
+  // v2 refs are tagged (id << 1) | sign with ids 0 (terminal) .. nodeCount.
+  if ((root >> 1) > nodeCount) {
+    throw std::runtime_error("loadBdd: root reference out of range");
+  }
 
   for (std::uint64_t i = 0; i < nodeCount; ++i) {
     std::uint64_t id = 0;
@@ -129,7 +144,7 @@ Bdd loadV2(std::istream& is, Manager& manager, std::uint64_t varCount,
     if (!(is >> id >> var >> lowRef >> highRef)) {
       throw std::runtime_error("loadBdd: truncated node table");
     }
-    if (var >= varCount || byId.contains(id) || id < 1) {
+    if (var >= varCount || byId.contains(id) || id < 1 || id > nodeCount) {
       throw std::runtime_error("loadBdd: malformed node row");
     }
     const Bdd low = resolve(lowRef);
@@ -160,6 +175,10 @@ Bdd loadBdd(std::istream& is, Manager& manager) {
   if (varCount > manager.varCount()) {
     throw std::runtime_error("loadBdd: function uses more variables than "
                              "the manager has");
+  }
+  if (nodeCount > kMaxSerializedNodes) {
+    throw std::runtime_error("loadBdd: declared node count is implausibly "
+                             "large");
   }
   return magic == "bdd2" ? loadV2(is, manager, varCount, nodeCount, root)
                          : loadV1(is, manager, varCount, nodeCount, root);

@@ -7,6 +7,7 @@
 
 #include "obs/trace.hpp"
 #include "symbolic/scc.hpp"
+#include "util/cancel.hpp"
 #include "util/timer.hpp"
 
 namespace stsyn::core {
@@ -115,6 +116,7 @@ class Synthesizer {
       Bdd pool = sp_.groupExpand(j, cand & deadlocks_) & cand;
       pool = pool.minus(sp_.groupExpand(j, pool & inv_));
       while (!pool.isFalse()) {
+        util::checkCancellation();
         const Bdd useful = pool & deadlocks_;
         if (useful.isFalse()) break;
         const auto [s0, s1] = sp_.pickTransition(useful);
@@ -149,6 +151,7 @@ class Synthesizer {
     span.arg("pass", passNo);
     Bdd ruledOutTargets = passNo == 1 ? deadlocks_ : sp_.manager().falseBdd();
     for (std::size_t idx = 0; idx < schedule_.size(); ++idx) {
+      util::checkCancellation();
       const std::size_t j = schedule_[idx];
       addRecovery(j, from, to, ruledOutTargets);
       deadlocks_ = computeDeadlocks();

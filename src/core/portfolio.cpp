@@ -6,6 +6,7 @@
 
 #include "analysis/staticinfo.hpp"
 #include "obs/trace.hpp"
+#include "util/cancel.hpp"
 #include "util/timer.hpp"
 
 namespace stsyn::core {
@@ -78,15 +79,25 @@ PortfolioResult synthesizePortfolio(const protocol::Protocol& proto,
   // BELOW it — the lowest-index-success winner was claimed earlier, runs
   // to completion, and stays deterministic.
   std::atomic<bool> succeeded{false};
+  // The caller's cancellation token (CLI --timeout, serve deadlines) is
+  // thread-local, so each worker re-installs it; the first worker to
+  // observe expiry stops every other one via `cancelled` and the
+  // CancelledError is rethrown on the calling thread after the join.
+  util::CancelToken* parentCancel = util::currentCancelToken();
+  std::atomic<bool> cancelled{false};
   auto runPhase = [&](const std::vector<std::size_t>& order) {
-    if (order.empty()) return;
+    if (order.empty() || cancelled.load(std::memory_order_acquire)) return;
     const std::size_t count = order.size();
     std::atomic<std::size_t> next{0};
     auto worker = [&](unsigned workerIdx) {
+      const util::CancelScope cancelScope(parentCancel);
       obs::Tracer::global().setThreadName("portfolio-worker-" +
                                           std::to_string(workerIdx));
       for (;;) {
-        if (succeeded.load(std::memory_order_acquire)) return;
+        if (succeeded.load(std::memory_order_acquire) ||
+            cancelled.load(std::memory_order_acquire)) {
+          return;
+        }
         // Claim with a CAS bounded by `count`: an unconditional fetch_add
         // would let racing workers push `next` arbitrarily far past the
         // end, so late joiners claimed garbage indices before bailing.
@@ -117,7 +128,13 @@ PortfolioResult synthesizePortfolio(const protocol::Protocol& proto,
         opt.schedule = inst.schedule;
         opt.imagePolicy = inst.imagePolicy;
         opt.imageWorkers = imageWorkers;
-        inst.result = addStrongConvergence(*inst.symbolic, opt);
+        try {
+          inst.result = addStrongConvergence(*inst.symbolic, opt);
+        } catch (const util::CancelledError&) {
+          cancelled.store(true, std::memory_order_release);
+          inst.wallSeconds = watch.seconds();
+          return;
+        }
         inst.wallSeconds = watch.seconds();
         span.arg("success", inst.result.success);
         if (inst.result.success) {
@@ -153,6 +170,11 @@ PortfolioResult synthesizePortfolio(const protocol::Protocol& proto,
   for (PortfolioInstance& inst : out.instances) {
     if (inst.encoding) inst.encoding->manager().bindToCurrentThread();
   }
+
+  // Surface a deadline hit only after every manager is re-pinned, so the
+  // unwinding destroys `out` (and with it every instance manager) on the
+  // thread that now owns them.
+  if (cancelled.load(std::memory_order_acquire)) throw util::CancelledError();
 
   // Winner: first success in instance order among the phase(s) that ran.
   // Within the upfront phase claim order is increasing instance order, so

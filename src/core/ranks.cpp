@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "obs/trace.hpp"
+#include "util/cancel.hpp"
 
 namespace stsyn::core {
 
@@ -28,6 +29,7 @@ Ranking computeRanks(const symbolic::SymbolicProtocol& sp,
     std::vector<Bdd> pimParts;
     pimParts.reserve(sp.processCount());
     for (std::size_t j = 0; j < sp.processCount(); ++j) {
+      util::checkCancellation();
       const Bdd all = sp.candidates(j);
       const Bdd touchingI = sp.groupExpand(j, all & inv);
       pimParts.push_back(sp.processRelation(j) | (all & !touchingI));
@@ -45,6 +47,7 @@ Ranking computeRanks(const symbolic::SymbolicProtocol& sp,
     Bdd frontier = inv;
     out.ranks.push_back(inv);
     for (;;) {
+      util::checkCancellation();
       frontier = engine.preimage(frontier) & sp.enc().validCur() & !explored;
       ++frontierSteps;
       if (frontier.isFalse()) break;

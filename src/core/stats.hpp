@@ -20,7 +20,11 @@ namespace stsyn::core {
 /// Version of the machine-readable stats/bench documents. Bump on any
 /// removal or semantic change of a key; pure additions keep the version
 /// (see docs/observability.md for the policy).
-inline constexpr int kStatsJsonSchemaVersion = 1;
+///
+/// v2: the top-level document gained `cache_hit` and `deadline_exceeded`
+/// (always present, so consumers can branch on them without existence
+/// checks — that guarantee is the semantic change that forced the bump).
+inline constexpr int kStatsJsonSchemaVersion = 2;
 
 struct SynthesisStats {
   double rankingSeconds = 0.0;

@@ -118,7 +118,15 @@ std::vector<Token> tokenize(std::string_view src) {
         digits += peek();
         advance();
       }
-      Token tok{TokenKind::Integer, digits, std::stol(digits), line, startCol};
+      long value = 0;
+      try {
+        value = std::stol(digits);
+      } catch (const std::out_of_range&) {
+        // Without this, std::out_of_range escapes past the ParseError
+        // handlers in lintSource and the daemon's request validator.
+        throw ParseError("integer literal out of range", line, startCol);
+      }
+      Token tok{TokenKind::Integer, digits, value, line, startCol};
       out.push_back(std::move(tok));
       continue;
     }

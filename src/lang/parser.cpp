@@ -172,15 +172,54 @@ class Parser {
   }
 
   // --- expressions ------------------------------------------------------
-  E parseExpr() { return parseIff(); }
+
+  // The grammar recurses through parenthesized sub-expressions and through
+  // `!`/unary-minus chains; hostile input (the daemon parses network
+  // bytes) can nest thousands deep and overflow the stack. The guard
+  // counts every recursive entry point, so one paren level costs a few
+  // ticks — the cap still admits hundreds of nesting levels, far beyond
+  // any real protocol, while keeping total stack depth bounded.
+  struct DepthGuard {
+    explicit DepthGuard(Parser& p) : parser(p) {
+      if (++parser.exprDepth_ > kMaxExprDepth) {
+        parser.fail("expression nesting too deep");
+      }
+    }
+    ~DepthGuard() { --parser.exprDepth_; }
+    Parser& parser;
+  };
+  static constexpr int kMaxExprDepth = 2000;
+
+  /// Left-fold chains (`a || b || c || ...`) are parsed iteratively, so
+  /// the recursion guard never sees them — but each iteration still adds
+  /// one level to the resulting AST, and a multi-megabyte chain builds a
+  /// tree deep enough to overflow the stack in every later recursive
+  /// consumer (validation, the symbolic compiler, destruction). This
+  /// budget bounds the tree a single top-level expression may reach.
+  void tickChain() {
+    if (++chainNodes_ > kMaxChainNodes) fail("expression too large");
+  }
+  static constexpr int kMaxChainNodes = 20000;
+
+  E parseExpr() {
+    if (exprDepth_ == 0) chainNodes_ = 0;  // budget is per statement
+    const DepthGuard guard(*this);
+    return parseIff();
+  }
 
   E parseIff() {
     E lhs = parseImplies();
-    while (accept(TokenKind::Iff)) lhs = lhs.iff(parseImplies());
+    while (accept(TokenKind::Iff)) {
+      tickChain();
+      lhs = lhs.iff(parseImplies());
+    }
     return lhs;
   }
 
   E parseImplies() {
+    // Right-recursive: `a => a => ...` nests through this function alone,
+    // so it needs its own guard tick.
+    const DepthGuard guard(*this);
     E lhs = parseOr();
     if (accept(TokenKind::Implies)) return lhs.implies(parseImplies());
     return lhs;
@@ -188,17 +227,24 @@ class Parser {
 
   E parseOr() {
     E lhs = parseAnd();
-    while (accept(TokenKind::OrOr)) lhs = lhs || parseAnd();
+    while (accept(TokenKind::OrOr)) {
+      tickChain();
+      lhs = lhs || parseAnd();
+    }
     return lhs;
   }
 
   E parseAnd() {
     E lhs = parseUnary();
-    while (accept(TokenKind::AndAnd)) lhs = lhs && parseUnary();
+    while (accept(TokenKind::AndAnd)) {
+      tickChain();
+      lhs = lhs && parseUnary();
+    }
     return lhs;
   }
 
   E parseUnary() {
+    const DepthGuard guard(*this);
     if (accept(TokenKind::Not)) return !parseUnary();
     return parseCompare();
   }
@@ -220,8 +266,10 @@ class Parser {
     E lhs = parseTerm();
     for (;;) {
       if (accept(TokenKind::Plus)) {
+        tickChain();
         lhs = lhs + parseTerm();
       } else if (accept(TokenKind::Minus)) {
+        tickChain();
         lhs = lhs - parseTerm();
       } else {
         return lhs;
@@ -233,8 +281,10 @@ class Parser {
     E lhs = parseFactor();
     for (;;) {
       if (accept(TokenKind::Star)) {
+        tickChain();
         lhs = lhs * parseFactor();
       } else if (accept(TokenKind::KwMod)) {
+        tickChain();
         const Token m = expect(TokenKind::Integer);
         lhs = lhs.mod(m.value);
       } else {
@@ -244,6 +294,7 @@ class Parser {
   }
 
   E parseFactor() {
+    const DepthGuard guard(*this);
     if (at(TokenKind::Integer)) return protocol::lit(advance().value);
     if (accept(TokenKind::KwTrue)) return protocol::blit(true);
     if (accept(TokenKind::KwFalse)) return protocol::blit(false);
@@ -261,6 +312,8 @@ class Parser {
 
   std::vector<Token> tokens_;
   std::size_t pos_ = 0;
+  int exprDepth_ = 0;
+  int chainNodes_ = 0;
   std::optional<protocol::ProtocolBuilder> builder_;
   std::map<std::string, VarId, std::less<>> vars_;
 };

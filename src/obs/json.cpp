@@ -36,7 +36,11 @@ std::string jsonQuote(std::string_view s) {
 }
 
 std::string jsonNumber(double v) {
-  if (!std::isfinite(v)) return "0";
+  // JSON has no NaN/Inf literal. These used to be rewritten to "0", which
+  // silently corrupted stats documents where a real zero is meaningful
+  // (a 0-second phase vs. a broken timer); null keeps the document
+  // parseable while staying distinguishable from every real value.
+  if (!std::isfinite(v)) return "null";
   // Round-trippable and integer-friendly: integral values within the
   // exactly-representable range print without an exponent or fraction.
   if (v == std::floor(v) && std::fabs(v) < 1e15) {

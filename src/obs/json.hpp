@@ -24,8 +24,10 @@ namespace stsyn::obs {
 /// Escapes and quotes `s` as a JSON string literal (quotes included).
 [[nodiscard]] std::string jsonQuote(std::string_view s);
 
-/// Renders a double as a JSON number. JSON has no inf/nan; both are
-/// rendered as 0 (observability output must never poison a parser).
+/// Renders a double as a JSON number. JSON has no inf/nan literals; a
+/// non-finite value renders as `null` — parseable everywhere, and never
+/// mistakable for a genuine zero. Consumers reading numeric fields must
+/// tolerate Kind::Null (JsonValue defaults number to 0.0).
 [[nodiscard]] std::string jsonNumber(double v);
 
 /// A streaming JSON writer. Usage:

@@ -1,0 +1,51 @@
+#include "serve/cache.hpp"
+
+namespace stsyn::serve {
+
+std::uint64_t fnv1a(std::string_view data) {
+  std::uint64_t h = 14695981039346656037ull;
+  for (const char c : data) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+std::optional<std::string> ResultCache::lookup(std::string_view key) {
+  const std::uint64_t hash = fnv1a(key);
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = byHash_.find(hash);
+  if (it == byHash_.end()) return std::nullopt;
+  // Collision guard: the stored canonical key must match byte-for-byte.
+  if (it->second->key != key) return std::nullopt;
+  lru_.splice(lru_.begin(), lru_, it->second);  // refresh recency
+  return it->second->result;
+}
+
+void ResultCache::insert(std::string key, std::string result) {
+  if (capacity_ == 0) return;
+  const std::uint64_t hash = fnv1a(key);
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = byHash_.find(hash);
+  if (it != byHash_.end()) {
+    // Same hash: overwrite (same key refreshes; a colliding key is
+    // evicted — correctness comes from the key comparison in lookup()).
+    it->second->key = std::move(key);
+    it->second->result = std::move(result);
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  if (lru_.size() >= capacity_) {
+    byHash_.erase(fnv1a(lru_.back().key));
+    lru_.pop_back();
+  }
+  lru_.push_front(Entry{std::move(key), std::move(result)});
+  byHash_.emplace(hash, lru_.begin());
+}
+
+std::size_t ResultCache::size() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return lru_.size();
+}
+
+}  // namespace stsyn::serve

@@ -1,0 +1,53 @@
+// The daemon's content-hash keyed result cache.
+//
+// A synthesize request is cached under the CANONICAL form of its input,
+// not its bytes: the parsed protocol is round-tripped through the printer
+// (so whitespace, comments and formatting differences collapse), extended
+// with the process-orbit shape signatures from analysis/staticinfo (a
+// cheap semantic fingerprint that distinguishes protocols the printer
+// might render alike after renaming), and concatenated with the request's
+// option fingerprint. Entries are LRU-evicted; the full canonical key is
+// stored alongside the 64-bit hash so a hash collision degrades to a
+// cache miss, never to a wrong answer.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+namespace stsyn::serve {
+
+/// FNV-1a 64-bit over the canonical key.
+[[nodiscard]] std::uint64_t fnv1a(std::string_view data);
+
+class ResultCache {
+ public:
+  explicit ResultCache(std::size_t capacity) : capacity_(capacity) {}
+
+  /// Returns the cached result fragment for this canonical key, or
+  /// nullopt. Thread-safe; a hit refreshes the entry's LRU position.
+  [[nodiscard]] std::optional<std::string> lookup(std::string_view key);
+
+  /// Stores `result` under `key`, evicting the least-recently-used entry
+  /// when full. A capacity of 0 disables caching entirely.
+  void insert(std::string key, std::string result);
+
+  [[nodiscard]] std::size_t size() const;
+
+ private:
+  struct Entry {
+    std::string key;
+    std::string result;
+  };
+
+  std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::list<Entry> lru_;  // front = most recent
+  std::unordered_map<std::uint64_t, std::list<Entry>::iterator> byHash_;
+};
+
+}  // namespace stsyn::serve

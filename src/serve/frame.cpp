@@ -1,0 +1,81 @@
+#include "serve/frame.hpp"
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+#include <sys/socket.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+namespace stsyn::serve {
+
+namespace {
+
+/// Reads exactly `len` bytes. Returns the count actually read (short only
+/// on EOF); throws on socket errors.
+std::size_t readAll(int fd, char* buf, std::size_t len) {
+  std::size_t got = 0;
+  while (got < len) {
+    const ssize_t n = ::recv(fd, buf + got, len - got, 0);
+    if (n == 0) break;  // EOF
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw std::runtime_error(std::string("recv: ") + std::strerror(errno));
+    }
+    got += static_cast<std::size_t>(n);
+  }
+  return got;
+}
+
+void writeAll(int fd, const char* buf, std::size_t len) {
+  std::size_t sent = 0;
+  while (sent < len) {
+    // MSG_NOSIGNAL: a vanished client must surface as an error on this
+    // connection, not SIGPIPE the whole daemon.
+    const ssize_t n = ::send(fd, buf + sent, len - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw std::runtime_error(std::string("send: ") + std::strerror(errno));
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+}  // namespace
+
+bool readFrame(int fd, std::string& out) {
+  unsigned char header[4];
+  const std::size_t got = readAll(fd, reinterpret_cast<char*>(header), 4);
+  if (got == 0) return false;  // clean EOF between frames
+  if (got < 4) throw std::runtime_error("truncated frame header");
+  const std::uint32_t len = (std::uint32_t{header[0]} << 24) |
+                            (std::uint32_t{header[1]} << 16) |
+                            (std::uint32_t{header[2]} << 8) |
+                            std::uint32_t{header[3]};
+  if (len > kMaxFrameBytes) {
+    throw std::runtime_error("frame exceeds the 64 MiB payload cap");
+  }
+  out.resize(len);
+  if (len > 0 && readAll(fd, out.data(), len) < len) {
+    throw std::runtime_error("truncated frame payload");
+  }
+  return true;
+}
+
+void writeFrame(int fd, std::string_view payload) {
+  if (payload.size() > kMaxFrameBytes) {
+    throw std::runtime_error("response exceeds the frame payload cap");
+  }
+  const auto len = static_cast<std::uint32_t>(payload.size());
+  const unsigned char header[4] = {
+      static_cast<unsigned char>(len >> 24),
+      static_cast<unsigned char>((len >> 16) & 0xFF),
+      static_cast<unsigned char>((len >> 8) & 0xFF),
+      static_cast<unsigned char>(len & 0xFF),
+  };
+  writeAll(fd, reinterpret_cast<const char*>(header), 4);
+  writeAll(fd, payload.data(), payload.size());
+}
+
+}  // namespace stsyn::serve

@@ -1,0 +1,29 @@
+// Length-prefixed framing for the stsyn serve wire protocol.
+//
+// Every message — request and response — is one JSON document preceded by
+// a 4-byte big-endian payload length. Framing lives below the JSON layer
+// so a client never has to guess where a document ends, and the daemon
+// can reject oversized payloads before allocating for them.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace stsyn::serve {
+
+/// Hard cap on a single frame's payload. Real protocols are kilobytes;
+/// anything larger is hostile or corrupt, and rejecting the header beats
+/// allocating gigabytes on a 4-byte say-so.
+inline constexpr std::uint32_t kMaxFrameBytes = 64u << 20;  // 64 MiB
+
+/// Reads one frame from `fd` into `out`. Returns false on clean EOF
+/// before any header byte; throws std::runtime_error on truncated input,
+/// oversized length, or socket errors.
+bool readFrame(int fd, std::string& out);
+
+/// Writes one frame (header + payload) to `fd`; throws std::runtime_error
+/// when the peer is gone or the payload exceeds kMaxFrameBytes.
+void writeFrame(int fd, std::string_view payload);
+
+}  // namespace stsyn::serve

@@ -1,0 +1,598 @@
+#include "serve/server.hpp"
+
+#include <cerrno>
+#include <chrono>
+#include <cmath>
+#include <cstring>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "analysis/staticinfo.hpp"
+#include "cli/driver.hpp"
+#include "lang/parser.hpp"
+#include "lang/printer.hpp"
+#include "obs/json.hpp"
+#include "obs/trace.hpp"
+#include "serve/frame.hpp"
+
+namespace stsyn::serve {
+
+namespace {
+
+/// Bumps a monotonic counter and mirrors it into the tracer so a --trace
+/// of the daemon carries the same series the stats verb reports.
+void bump(std::atomic<std::uint64_t>& c, const char* name) {
+  const std::uint64_t v = c.fetch_add(1, std::memory_order_relaxed) + 1;
+  obs::Tracer::global().counter(name, static_cast<double>(v));
+}
+
+/// Reads an unsigned integer request field: a JSON number (integral,
+/// in range) or a decimal string routed through the same strict
+/// cli::parseUint the command line uses.
+bool getUint(const obs::JsonValue& v, std::uint64_t maxValue,
+             std::uint64_t& out) {
+  if (v.kind == obs::JsonValue::Kind::Number) {
+    if (!(v.number >= 0) || v.number != std::floor(v.number) ||
+        v.number > static_cast<double>(maxValue)) {
+      return false;
+    }
+    out = static_cast<std::uint64_t>(v.number);
+    return true;
+  }
+  if (v.kind == obs::JsonValue::Kind::String) {
+    const auto parsed = cli::parseUint(v.str, maxValue);
+    if (!parsed.has_value()) return false;
+    out = *parsed;
+    return true;
+  }
+  return false;
+}
+
+bool getBool(const obs::JsonValue& v, bool& out) {
+  if (v.kind != obs::JsonValue::Kind::Bool) return false;
+  out = v.boolean;
+  return true;
+}
+
+/// Applies the request's "options" object onto a cli::Options. The
+/// validator is strict: unknown keys and ill-typed values fail the whole
+/// request, because a silently ignored option would return a cached or
+/// fresh result for a different run than the client asked for.
+bool applyRequestOptions(const obs::JsonValue& opts, cli::Options& o,
+                         std::string& error) {
+  if (opts.kind != obs::JsonValue::Kind::Object) {
+    error = "\"options\" must be an object";
+    return false;
+  }
+  unsigned portfolio = 0;
+  std::string imagePolicy;
+  bool weak = false;
+  bool verify = false;
+  for (const auto& [key, value] : opts.members) {
+    std::uint64_t n = 0;
+    bool b = false;
+    if (key == "weak") {
+      if (!getBool(value, weak)) {
+        error = "weak must be a boolean";
+        return false;
+      }
+    } else if (key == "verify") {
+      if (!getBool(value, verify)) {
+        error = "verify must be a boolean";
+        return false;
+      }
+    } else if (key == "portfolio") {
+      if (!getUint(value, cli::kMaxPortfolioThreads, n)) {
+        error = "portfolio must be an unsigned integer <= 4096";
+        return false;
+      }
+      portfolio = static_cast<unsigned>(n);
+    } else if (key == "image_policy") {
+      if (value.kind != obs::JsonValue::Kind::String) {
+        error = "image_policy must be a string";
+        return false;
+      }
+      imagePolicy = value.str;
+    } else if (key == "image_workers") {
+      if (!getUint(value, cli::kMaxImageWorkers, n) || n == 0) {
+        error = "image_workers must be an unsigned integer in 1..4096";
+        return false;
+      }
+      o.strong.imageWorkers = static_cast<std::size_t>(n);
+    } else if (key == "var_order") {
+      if (value.kind != obs::JsonValue::Kind::String) {
+        error = "var_order must be a string";
+        return false;
+      }
+      const auto parsed = symbolic::parseVarOrder(value.str);
+      if (!parsed.has_value()) {
+        error = "unknown var_order '" + value.str + "'";
+        return false;
+      }
+      o.encoding.varOrder = *parsed;
+    } else if (key == "orbit_prune") {
+      if (!getBool(value, b)) {
+        error = "orbit_prune must be a boolean";
+        return false;
+      }
+      o.orbitPrune = b;
+    } else if (key == "schedule") {
+      if (value.kind != obs::JsonValue::Kind::String) {
+        error = "schedule must be a string";
+        return false;
+      }
+      o.scheduleArg = value.str;
+    } else if (key == "max_pass") {
+      if (!getUint(value, 3, n) || n == 0) {
+        error = "max_pass must be 1, 2 or 3";
+        return false;
+      }
+      o.strong.maxPass = static_cast<int>(n);
+    } else if (key == "no_greedy") {
+      if (!getBool(value, b)) {
+        error = "no_greedy must be a boolean";
+        return false;
+      }
+      o.strong.greedyCycleResolution = !b;
+    } else {
+      error = "unknown option '" + key + "'";
+      return false;
+    }
+  }
+  o.portfolio = portfolio;
+  if (!imagePolicy.empty()) {
+    if (imagePolicy == "both") {
+      if (portfolio == 0) {
+        error = "image_policy \"both\" requires portfolio > 0";
+        return false;
+      }
+      o.policies = {symbolic::ImagePolicy::Monolithic,
+                    symbolic::ImagePolicy::PerProcess};
+    } else {
+      const auto parsed = symbolic::parseImagePolicy(imagePolicy);
+      if (!parsed.has_value()) {
+        error = "unknown image_policy '" + imagePolicy + "'";
+        return false;
+      }
+      o.strong.imagePolicy = *parsed;
+      o.policies = {*parsed};
+    }
+  }
+  if (o.orbitPrune && portfolio == 0) {
+    error = "orbit_prune requires portfolio > 0";
+    return false;
+  }
+  if (weak && verify) {
+    error = "weak and verify are mutually exclusive";
+    return false;
+  }
+  if (weak) o.mode = cli::Mode::Weak;
+  if (verify) o.mode = cli::Mode::Verify;
+  return true;
+}
+
+/// Every option that can change the produced document, rendered into the
+/// cache key. timeout_ms is deliberately absent: a cached result answers
+/// any deadline instantly, so two requests differing only in budget share
+/// an entry.
+std::string optionsFingerprint(const cli::Options& o) {
+  std::ostringstream key;
+  key << "mode=" << static_cast<int>(o.mode) << ";maxPass=" << o.strong.maxPass
+      << ";greedy=" << o.strong.greedyCycleResolution
+      << ";imagePolicy=" << symbolic::toString(o.strong.imagePolicy)
+      << ";imageWorkers=" << o.strong.imageWorkers
+      << ";varOrder=" << static_cast<int>(o.encoding.varOrder)
+      << ";portfolio=" << o.portfolio << ";orbitPrune=" << o.orbitPrune
+      << ";schedule=" << o.scheduleArg << ";policies=";
+  for (const auto p : o.policies) key << symbolic::toString(p) << ',';
+  return key.str();
+}
+
+/// The canonical cache key: printer round-trip of the parsed protocol
+/// (formatting-insensitive), the orbit shape signatures (a semantic
+/// fingerprint of process interchangeability), and the option string.
+std::string canonicalKey(const protocol::Protocol& p,
+                         const cli::Options& opt) {
+  std::string key = lang::printProtocol(p);
+  key += "\n--orbits--\n";
+  const analysis::ProcessOrbits orbits =
+      analysis::computeOrbits(p, analysis::buildCommGraph(p));
+  for (const std::string& shape : orbits.shapes) {
+    key += shape;
+    key += '\n';
+  }
+  key += "--options--\n";
+  key += optionsFingerprint(opt);
+  return key;
+}
+
+}  // namespace
+
+Server::Server(ServeOptions options)
+    : options_(options), cache_(options.cacheCapacity) {}
+
+Server::~Server() { stop(); }
+
+bool Server::start(std::string& error) {
+  listenFd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listenFd_ < 0) {
+    error = std::string("socket: ") + std::strerror(errno);
+    return false;
+  }
+  const int one = 1;
+  ::setsockopt(listenFd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);  // local clients only
+  addr.sin_port = htons(static_cast<std::uint16_t>(options_.port));
+  if (::bind(listenFd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0 ||
+      ::listen(listenFd_, 64) < 0) {
+    error = std::string("bind/listen: ") + std::strerror(errno);
+    ::close(listenFd_);
+    listenFd_ = -1;
+    return false;
+  }
+  socklen_t len = sizeof addr;
+  ::getsockname(listenFd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  port_ = ntohs(addr.sin_port);
+
+  acceptor_ = std::thread([this] { acceptorLoop(); });
+  workers_.reserve(options_.workers);
+  for (unsigned i = 0; i < options_.workers; ++i) {
+    workers_.emplace_back([this, i] { workerLoop(i); });
+  }
+  return true;
+}
+
+void Server::stop() {
+  const bool wasStopping = stopping_.exchange(true);
+  if (listenFd_ >= 0) ::shutdown(listenFd_, SHUT_RDWR);
+  queueCv_.notify_all();
+  stopCv_.notify_all();
+  if (wasStopping && !acceptor_.joinable() && workers_.empty()) return;
+
+  if (acceptor_.joinable()) acceptor_.join();
+  for (std::thread& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+  workers_.clear();
+
+  // Jobs still queued never ran; tell their clients instead of hanging
+  // them until the recv timeout.
+  std::deque<Job> leftovers;
+  {
+    const std::lock_guard<std::mutex> lock(queueMutex_);
+    leftovers.swap(queue_);
+  }
+  for (Job& job : leftovers) {
+    respondError(job.fd, "shutting_down", "daemon is shutting down");
+    ::close(job.fd);
+  }
+  if (listenFd_ >= 0) {
+    ::close(listenFd_);
+    listenFd_ = -1;
+  }
+}
+
+void Server::waitUntilStopped() {
+  std::unique_lock<std::mutex> lock(stopMutex_);
+  stopCv_.wait(lock, [this] { return stopping_.load(); });
+}
+
+std::size_t Server::queueDepth() const {
+  const std::lock_guard<std::mutex> lock(queueMutex_);
+  return queue_.size();
+}
+
+void Server::holdJobs(bool hold) {
+  hold_.store(hold);
+  queueCv_.notify_all();
+}
+
+void Server::acceptorLoop() {
+  obs::Tracer::global().setThreadName("serve-acceptor");
+  while (!stopping_.load()) {
+    const int fd = ::accept(listenFd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      // shutdown() from stop() lands here.
+      return;
+    }
+    // A silent client must not wedge the acceptor: give the single
+    // request frame ten seconds to arrive.
+    timeval timeout{10, 0};
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof timeout);
+    handleConnection(fd);
+  }
+}
+
+void Server::handleConnection(int fd) {
+  std::string payload;
+  try {
+    if (!readFrame(fd, payload)) {
+      ::close(fd);
+      return;
+    }
+  } catch (const std::exception&) {
+    ::close(fd);
+    return;
+  }
+  bump(counters_.requests, "serve/requests");
+
+  std::string parseError;
+  const auto doc = obs::parseJson(payload, &parseError);
+  if (!doc.has_value() || !doc->isObject()) {
+    bump(counters_.invalid, "serve/invalid");
+    respondError(fd, "invalid_request",
+                 doc.has_value() ? "request must be a JSON object"
+                                 : "bad JSON: " + parseError);
+    ::close(fd);
+    return;
+  }
+  const obs::JsonValue* verb = doc->find("verb");
+  if (verb == nullptr || verb->kind != obs::JsonValue::Kind::String) {
+    bump(counters_.invalid, "serve/invalid");
+    respondError(fd, "invalid_request", "missing string field \"verb\"");
+    ::close(fd);
+    return;
+  }
+
+  if (verb->str == "ping") {
+    try {
+      writeFrame(fd, R"({"ok":true,"verb":"pong"})");
+    } catch (const std::exception&) {}
+    ::close(fd);
+    return;
+  }
+  if (verb->str == "stats") {
+    try {
+      writeFrame(fd, statsJson());
+    } catch (const std::exception&) {}
+    ::close(fd);
+    return;
+  }
+  if (verb->str == "shutdown") {
+    try {
+      writeFrame(fd, R"({"ok":true,"verb":"shutdown"})");
+    } catch (const std::exception&) {}
+    ::close(fd);
+    // Flip the flag and wake waitUntilStopped(); the owner thread calls
+    // stop() and joins us — joining from here would deadlock.
+    stopping_.store(true);
+    ::shutdown(listenFd_, SHUT_RDWR);
+    queueCv_.notify_all();
+    stopCv_.notify_all();
+    return;
+  }
+  if (verb->str != "synthesize") {
+    bump(counters_.invalid, "serve/invalid");
+    respondError(fd, "invalid_request", "unknown verb '" + verb->str + "'");
+    ::close(fd);
+    return;
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(queueMutex_);
+    if (queue_.size() >= options_.queueCapacity) {
+      bump(counters_.rejected, "serve/rejected");
+      respondError(fd, "rejected", "work queue is full");
+      ::close(fd);
+      return;
+    }
+    queue_.push_back(Job{fd, std::move(payload)});
+    bump(counters_.synthesize, "serve/synthesize");
+    obs::Tracer::global().counter("serve/queue_depth",
+                                  static_cast<double>(queue_.size()));
+  }
+  queueCv_.notify_one();
+}
+
+void Server::workerLoop(unsigned index) {
+  obs::Tracer::global().setThreadName("serve-worker-" +
+                                      std::to_string(index));
+  for (;;) {
+    Job job;
+    {
+      std::unique_lock<std::mutex> lock(queueMutex_);
+      queueCv_.wait(lock, [this] {
+        return stopping_.load() || (!queue_.empty() && !hold_.load());
+      });
+      if (stopping_.load()) return;  // stop() answers the leftovers
+      job = std::move(queue_.front());
+      queue_.pop_front();
+      obs::Tracer::global().counter("serve/queue_depth",
+                                    static_cast<double>(queue_.size()));
+    }
+    busyWorkers_.fetch_add(1, std::memory_order_relaxed);
+    try {
+      handleSynthesize(job);
+    } catch (const std::exception& e) {
+      respondError(job.fd, "internal_error", e.what());
+    }
+    ::close(job.fd);
+    busyWorkers_.fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+void Server::handleSynthesize(const Job& job) {
+  // Re-parse on the worker: the payload already survived one parse on the
+  // acceptor, so this cannot fail in practice and keeps Job trivially
+  // movable.
+  const auto doc = obs::parseJson(job.payload);
+  const obs::JsonValue* source = doc->find("protocol");
+  if (source == nullptr || source->kind != obs::JsonValue::Kind::String) {
+    bump(counters_.invalid, "serve/invalid");
+    respondError(job.fd, "invalid_request",
+                 "missing string field \"protocol\"");
+    return;
+  }
+
+  cli::Options opt;
+  opt.quiet = true;  // the narration still goes into "console", minus
+                     // the per-action dump nobody reads over a socket
+  std::string validationError;
+  if (const obs::JsonValue* options = doc->find("options")) {
+    if (!applyRequestOptions(*options, opt, validationError)) {
+      bump(counters_.invalid, "serve/invalid");
+      respondError(job.fd, "invalid_request", validationError);
+      return;
+    }
+  }
+  if (const obs::JsonValue* timeout = doc->find("timeout_ms")) {
+    if (!getUint(*timeout, cli::kMaxTimeoutMs, opt.timeoutMs)) {
+      bump(counters_.invalid, "serve/invalid");
+      respondError(job.fd, "invalid_request",
+                   "timeout_ms must be an unsigned integer of milliseconds");
+      return;
+    }
+  }
+
+  protocol::Protocol proto;
+  try {
+    proto = lang::parseProtocol(source->str);
+  } catch (const lang::ParseError& e) {
+    respondError(job.fd, "parse_error", e.what());
+    return;
+  } catch (const std::exception& e) {
+    respondError(job.fd, "invalid_request", e.what());
+    return;
+  }
+
+  const std::string key = canonicalKey(proto, opt);
+  if (const auto cached = cache_.lookup(key)) {
+    bump(counters_.cacheHits, "serve/cache_hits");
+    bump(counters_.completed, "serve/completed");
+    std::ostringstream response;
+    obs::JsonWriter w(response);
+    w.beginObject();
+    w.field("ok", true);
+    w.field("cache_hit", true);
+    w.key("result");
+    w.raw(*cached);  // byte-identical replay of program + stats document
+    w.endObject();
+    try {
+      writeFrame(job.fd, response.str());
+    } catch (const std::exception&) {}
+    return;
+  }
+  bump(counters_.cacheMisses, "serve/cache_misses");
+
+  const obs::Span span("serve_synthesize", "serve");
+  cli::Report report;
+  std::ostringstream console;
+  const cli::RunOutcome outcome =
+      cli::runProtocol(proto, opt, report, console, console);
+
+  std::ostringstream result;
+  {
+    obs::JsonWriter w(result);
+    w.beginObject();
+    w.field("exit_code", outcome.exitCode);
+    w.field("success", report.success);
+    w.field("verified", report.verified);
+    w.field("deadline_exceeded", outcome.deadlineExceeded);
+    w.field("program", outcome.program);
+    w.key("stats");
+    w.raw(report.renderStatsJson());
+    w.field("console", console.str());
+    w.endObject();
+  }
+
+  if (outcome.deadlineExceeded) {
+    // A timed-out run is a statement about the budget, not the protocol;
+    // caching it would poison every future request for this input.
+    bump(counters_.deadlineExceeded, "serve/deadline_exceeded");
+  } else {
+    cache_.insert(key, result.str());
+  }
+  bump(counters_.completed, "serve/completed");
+
+  std::ostringstream response;
+  obs::JsonWriter w(response);
+  w.beginObject();
+  w.field("ok", true);
+  w.field("cache_hit", false);
+  w.key("result");
+  w.raw(result.str());
+  w.endObject();
+  try {
+    writeFrame(job.fd, response.str());
+  } catch (const std::exception&) {}
+}
+
+void Server::respondError(int fd, const char* kind,
+                          const std::string& message) {
+  std::ostringstream response;
+  obs::JsonWriter w(response);
+  w.beginObject();
+  w.field("ok", false);
+  w.field("kind", kind);
+  w.field("error", message);
+  w.endObject();
+  try {
+    writeFrame(fd, response.str());
+  } catch (const std::exception&) {
+    // The client is already gone; nothing to deliver the error to.
+  }
+}
+
+std::string Server::statsJson() const {
+  std::ostringstream out;
+  obs::JsonWriter w(out);
+  w.beginObject();
+  w.field("ok", true);
+  w.key("counters");
+  w.beginObject();
+  const auto get = [](const std::atomic<std::uint64_t>& c) {
+    return c.load(std::memory_order_relaxed);
+  };
+  w.field("requests", get(counters_.requests));
+  w.field("synthesize", get(counters_.synthesize));
+  w.field("completed", get(counters_.completed));
+  w.field("cache_hits", get(counters_.cacheHits));
+  w.field("cache_misses", get(counters_.cacheMisses));
+  w.field("cache_size", static_cast<std::uint64_t>(cache_.size()));
+  w.field("rejected", get(counters_.rejected));
+  w.field("deadline_exceeded", get(counters_.deadlineExceeded));
+  w.field("invalid", get(counters_.invalid));
+  w.field("queue_depth", static_cast<std::uint64_t>(queueDepth()));
+  w.field("busy_workers",
+          static_cast<std::uint64_t>(busyWorkers_.load()));
+  w.field("workers", static_cast<std::uint64_t>(options_.workers));
+  w.endObject();
+  w.endObject();
+  return out.str();
+}
+
+int runServe(const cli::Options& options, std::ostream& out,
+             std::ostream& err) {
+  ServeOptions serveOptions;
+  serveOptions.port = options.servePort;
+  serveOptions.workers = options.serveWorkers;
+  serveOptions.queueCapacity = options.serveQueueCapacity;
+  serveOptions.cacheCapacity = options.serveCacheCapacity;
+  if (!options.tracePath.empty()) obs::Tracer::global().enable();
+
+  Server server(serveOptions);
+  std::string error;
+  if (!server.start(error)) {
+    err << "stsyn serve: " << error << "\n";
+    return 1;
+  }
+  out << "stsyn serve: listening on 127.0.0.1:" << server.port() << "\n";
+  out.flush();
+  server.waitUntilStopped();
+  server.stop();
+  out << "stsyn serve: shut down\n";
+  return 0;
+}
+
+}  // namespace stsyn::serve

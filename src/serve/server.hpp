@@ -1,0 +1,135 @@
+// The stsyn serve daemon: synthesis-as-a-service over a TCP socket.
+//
+// Wire protocol: one length-prefixed JSON request per connection
+// (serve/frame.hpp), one framed JSON response back, then the daemon
+// closes. Verbs:
+//
+//   {"verb":"synthesize","protocol":"<stsyn text>",
+//    "options":{...}, "timeout_ms":N}
+//   {"verb":"ping"} | {"verb":"stats"} | {"verb":"shutdown"}
+//
+// Architecture: an acceptor thread reads and parses each request.
+// Control verbs (ping/stats/shutdown) are answered inline so the daemon
+// stays responsive while every worker is busy; synthesize jobs go into a
+// bounded queue drained by a fixed worker pool. A full queue rejects the
+// request immediately ("kind":"rejected") instead of stalling the
+// acceptor. Each worker runs the shared cli driver, so a job builds —
+// and destroys — its thread-confined bdd::Manager entirely on that
+// worker; per-request deadlines ride the util::CancelToken the fixpoint
+// loops already poll, and a timed-out job unwinds through RAII before the
+// response is written.
+//
+// Results are cached by canonical content (serve/cache.hpp); a hit skips
+// synthesis entirely and replays the stored program + stats document
+// byte-for-byte, with "cache_hit":true in the response envelope.
+//
+// Full request/response schema: docs/serve.md.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <iosfwd>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cli/options.hpp"
+#include "serve/cache.hpp"
+
+namespace stsyn::serve {
+
+struct ServeOptions {
+  unsigned port = 0;  ///< 0 = ephemeral; Server::port() has the real one
+  unsigned workers = 2;
+  unsigned queueCapacity = 16;
+  unsigned cacheCapacity = 64;
+};
+
+/// Monotonic counters reported by the stats verb. Mirrored into
+/// obs::Tracer counter events so a --trace of the daemon shows the same
+/// series.
+struct ServeCounters {
+  std::atomic<std::uint64_t> requests{0};        ///< frames accepted
+  std::atomic<std::uint64_t> synthesize{0};      ///< synthesize jobs queued
+  std::atomic<std::uint64_t> completed{0};       ///< synthesize jobs answered
+  std::atomic<std::uint64_t> cacheHits{0};
+  std::atomic<std::uint64_t> cacheMisses{0};
+  std::atomic<std::uint64_t> rejected{0};        ///< queue-full rejections
+  std::atomic<std::uint64_t> deadlineExceeded{0};
+  std::atomic<std::uint64_t> invalid{0};         ///< malformed requests
+};
+
+class Server {
+ public:
+  explicit Server(ServeOptions options);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds 127.0.0.1:<port> and spawns the acceptor and worker threads.
+  /// Returns false (with `error` set) when the socket cannot be bound.
+  [[nodiscard]] bool start(std::string& error);
+
+  /// The bound port (valid after start()).
+  [[nodiscard]] int port() const { return port_; }
+
+  /// Stops accepting, drains the queue with shutdown errors, joins every
+  /// thread. Idempotent; also run by the destructor.
+  void stop();
+
+  /// Blocks until stop() is triggered (by the shutdown verb or a call
+  /// from another thread).
+  void waitUntilStopped();
+
+  [[nodiscard]] const ServeCounters& counters() const { return counters_; }
+  [[nodiscard]] std::size_t queueDepth() const;
+
+  /// Test hook: while held, workers do not dequeue jobs — lets tests
+  /// fill the bounded queue deterministically.
+  void holdJobs(bool hold);
+
+ private:
+  struct Job {
+    int fd = -1;
+    std::string payload;  ///< the full request JSON (re-parsed by worker)
+  };
+
+  void acceptorLoop();
+  void workerLoop(unsigned index);
+  void handleConnection(int fd);
+  void handleSynthesize(const Job& job);
+  void respondError(int fd, const char* kind, const std::string& message);
+  [[nodiscard]] std::string statsJson() const;
+
+  ServeOptions options_;
+  ServeCounters counters_;
+  ResultCache cache_;
+
+  int listenFd_ = -1;
+  int port_ = 0;
+  std::atomic<bool> stopping_{false};
+  std::atomic<bool> hold_{false};
+  std::atomic<unsigned> busyWorkers_{0};
+
+  mutable std::mutex queueMutex_;
+  std::condition_variable queueCv_;
+  std::deque<Job> queue_;
+
+  std::mutex stopMutex_;
+  std::condition_variable stopCv_;
+
+  std::thread acceptor_;
+  std::vector<std::thread> workers_;
+};
+
+/// The `stsyn serve` subcommand: starts a Server from the parsed CLI
+/// options, prints the listening address to `out`, and blocks until a
+/// shutdown request arrives. Returns the process exit status.
+int runServe(const cli::Options& options, std::ostream& out,
+             std::ostream& err);
+
+}  // namespace stsyn::serve

@@ -9,6 +9,7 @@
 #include <utility>
 
 #include "symbolic/parallel.hpp"
+#include "util/cancel.hpp"
 
 namespace stsyn::symbolic {
 
@@ -302,6 +303,11 @@ Bdd ImageEngine::preimagePart(std::size_t i, const Bdd& s) const {
 }
 
 Bdd ImageEngine::image(const Bdd& s) const {
+  // Every fixpoint of the system (ranking BFS, deadlock scans, SCC
+  // detection, convergence checks) steps through these four entry points,
+  // so one cancellation checkpoint here bounds how far past its deadline
+  // any synthesis can run by a single relational product.
+  util::checkCancellation();
   ++stats_->imageCalls;
   if (!partitioned_) {
     ++stats_->partProducts;
@@ -320,6 +326,7 @@ Bdd ImageEngine::image(const Bdd& s) const {
 }
 
 Bdd ImageEngine::image(const Bdd& s, const Bdd& within) const {
+  util::checkCancellation();
   ++stats_->imageCalls;
   if (!partitioned_) {
     ++stats_->partProducts;
@@ -338,6 +345,7 @@ Bdd ImageEngine::image(const Bdd& s, const Bdd& within) const {
 }
 
 Bdd ImageEngine::preimage(const Bdd& s) const {
+  util::checkCancellation();
   ++stats_->preimageCalls;
   if (!partitioned_) {
     ++stats_->partProducts;
@@ -356,6 +364,7 @@ Bdd ImageEngine::preimage(const Bdd& s) const {
 }
 
 Bdd ImageEngine::preimage(const Bdd& s, const Bdd& within) const {
+  util::checkCancellation();
   ++stats_->preimageCalls;
   if (!partitioned_) {
     ++stats_->partProducts;
@@ -374,6 +383,7 @@ Bdd ImageEngine::preimage(const Bdd& s, const Bdd& within) const {
 }
 
 Bdd ImageEngine::sources() const {
+  util::checkCancellation();
   const Encoding& enc = sp_->enc();
   if (!partitioned_) return relation().exists(enc.nextCube());
   Bdd out = sp_->manager().falseBdd();

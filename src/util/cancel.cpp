@@ -1,0 +1,21 @@
+#include "util/cancel.hpp"
+
+namespace stsyn::util {
+
+namespace {
+thread_local CancelToken* tCurrent = nullptr;
+}  // namespace
+
+CancelToken* currentCancelToken() noexcept { return tCurrent; }
+
+void checkCancellation() {
+  if (tCurrent != nullptr) tCurrent->check();
+}
+
+CancelScope::CancelScope(CancelToken* token) noexcept : prev_(tCurrent) {
+  tCurrent = token;
+}
+
+CancelScope::~CancelScope() { tCurrent = prev_; }
+
+}  // namespace stsyn::util

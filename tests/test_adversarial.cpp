@@ -1,0 +1,170 @@
+// Adversarial-input wall for the .stsyn front end. The serve daemon feeds
+// parseProtocolLenient and lintSource raw network bytes, so hostile input
+// must surface as ParseError / diagnostics — never a stack overflow, an
+// escaped foreign exception, or a wrong source position.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "analysis/diagnostics.hpp"
+#include "analysis/lint.hpp"
+#include "lang/parser.hpp"
+#include "protocol/protocol.hpp"
+
+namespace {
+
+using namespace stsyn;
+using lang::ParseError;
+using lang::parseProtocol;
+using lang::parseProtocolLenient;
+
+/// A minimal valid protocol with `expr` spliced into the invariant.
+std::string withInvariant(const std::string& expr) {
+  return "protocol p;\n"
+         "var x : 0..2;\n"
+         "process q { reads x; writes x; action a : x != 0 -> x := 0; }\n"
+         "invariant : " + expr + ";\n";
+}
+
+TEST(AdversarialLang, DeeplyNestedParensFailCleanly) {
+  // 100k paren levels would overflow the stack without the depth guard.
+  const std::string deep =
+      withInvariant(std::string(100000, '(') + "x == 0" +
+                    std::string(100000, ')'));
+  EXPECT_THROW((void)parseProtocol(deep), ParseError);
+}
+
+TEST(AdversarialLang, DeepNotAndUnaryMinusChainsFailCleanly) {
+  EXPECT_THROW((void)parseProtocol(withInvariant(
+                   std::string(100000, '!') + "(x == 0)")),
+               ParseError);
+  EXPECT_THROW((void)parseProtocol(withInvariant(
+                   std::string(100000, '-') + "1 == x")),
+               ParseError);
+}
+
+TEST(AdversarialLang, ModerateNestingStillParses) {
+  // The guard must reject runaway input, not real protocols.
+  const std::string ok = withInvariant(std::string(50, '(') + "x == 0" +
+                                       std::string(50, ')'));
+  EXPECT_NO_THROW((void)parseProtocol(ok));
+}
+
+TEST(AdversarialLang, HugeIntegerLiteralIsAParseError) {
+  // std::stol would throw std::out_of_range here; that must be converted
+  // to ParseError so the lenient/lint paths can catch it.
+  try {
+    (void)parseProtocol(withInvariant("x == 99999999999999999999999999"));
+    FAIL() << "huge literal accepted";
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.line, 4);
+  }
+}
+
+TEST(AdversarialLang, CrlfLineEndingsKeepPositionsCorrect) {
+  // Same document with \n and \r\n endings: errors must land on the same
+  // (line, column), i.e. '\r' may not advance the column past the real one.
+  const std::string lf = "protocol p;\nvar x : 0..2;\ninvariant @;\n";
+  std::string crlf = lf;
+  std::string withCr;
+  for (const char c : crlf) {
+    if (c == '\n') withCr += '\r';
+    withCr += c;
+  }
+  int lfLine = 0, lfCol = 0, crLine = 0, crCol = 0;
+  try {
+    (void)parseProtocol(lf);
+  } catch (const ParseError& e) {
+    lfLine = e.line;
+    lfCol = e.column;
+  }
+  try {
+    (void)parseProtocol(withCr);
+  } catch (const ParseError& e) {
+    crLine = e.line;
+    crCol = e.column;
+  }
+  EXPECT_EQ(lfLine, 3);
+  EXPECT_EQ(lfLine, crLine);
+  EXPECT_EQ(lfCol, crCol);
+}
+
+TEST(AdversarialLang, EmbeddedNulBytesAreRejectedNotTruncated) {
+  std::string src = withInvariant("x == 0");
+  src.insert(src.size() / 2, 1, '\0');
+  EXPECT_THROW((void)parseProtocol(src), ParseError);
+}
+
+TEST(AdversarialLang, MultiMegabyteSingleLineInput) {
+  // A 4 MB disjunction chain would build an AST ~400k levels deep — far
+  // past what any recursive consumer (validation, compilation, even
+  // destruction) survives — so the parser must reject it cleanly instead
+  // of handing a stack-overflow bomb downstream.
+  std::string expr = "x == 0";
+  while (expr.size() < (4u << 20)) expr += " || x == 1";
+  EXPECT_THROW((void)parseProtocol(withInvariant(expr)), ParseError);
+
+  // A legitimately long chain (well under the budget) still parses.
+  std::string ok = "x == 0";
+  for (int i = 0; i < 1000; ++i) ok += " || x == 1";
+  EXPECT_NO_THROW((void)parseProtocol(withInvariant(ok)));
+
+  // A 4 MB single LINE with harmless content: column arithmetic must not
+  // overflow and the trailing garbage still reports a clean position.
+  std::string padded = "protocol p;\nvar x : 0..2;\ninvariant :";
+  padded += std::string(4u << 20, ' ');
+  padded += "x == 0;\nprocess q { reads x; writes x; "
+            "action a : x != 0 -> x := 0; }\n";
+  EXPECT_NO_THROW((void)parseProtocol(padded));
+}
+
+TEST(AdversarialLang, LenientParserCollectsIssuesOnBadSemantics) {
+  // Semantic violations must land in `issues`, not throw.
+  std::vector<protocol::ValidationIssue> issues;
+  const std::string src =
+      "protocol p;\n"
+      "var x : 0..2;\n"
+      "process q { reads x; writes x; action a : y == 0 -> x := 0; }\n"
+      "invariant : x == 0;\n";
+  EXPECT_THROW((void)parseProtocolLenient(src, issues), ParseError)
+      << "unknown identifier is a (caught) parse error";
+}
+
+TEST(AdversarialLint, NoThrowEscapesLintSource) {
+  const std::vector<std::string> corpus = {
+      "",                                             // empty
+      std::string(100000, '('),                       // nesting bomb
+      withInvariant(std::string(100000, '!') + "x == 0"),
+      withInvariant("x == 99999999999999999999999999"),
+      std::string("\x00\x01\x02", 3),                 // binary garbage
+      "protocol p;\x00 invariant : true;",              // embedded NUL
+      "protocol p;\r\nvar x : 0..2;\r\ninvariant x == 0;\r\n",  // CRLF, no proc
+      withInvariant("x == 5"),                        // out-of-domain compare
+  };
+  for (const std::string& src : corpus) {
+    analysis::Diagnostics diags;
+    EXPECT_NO_THROW((void)analysis::lintSource(src, diags))
+        << "input escaped the collector: " << src.substr(0, 40);
+  }
+}
+
+TEST(AdversarialLint, CrlfInputLintsWithCorrectPositions) {
+  analysis::Diagnostics diags;
+  const std::string crlf =
+      "protocol p;\r\n"
+      "var x : 0..2;\r\n"
+      "process q { reads x; writes x; action a : x != 0 -> x := 0; }\r\n"
+      "invariant : x == 5;\r\n";
+  EXPECT_TRUE(analysis::lintSource(crlf, diags));
+  bool found = false;
+  for (const auto& d : diags.items()) {
+    if (d.ruleId == "compare-out-of-domain") {
+      found = true;
+      EXPECT_EQ(d.loc.line, 4);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+}  // namespace

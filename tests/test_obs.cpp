@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <sstream>
 
 #include "casestudies/token_ring.hpp"
@@ -49,8 +50,45 @@ TEST(Json, QuoteEscapesSpecials) {
 TEST(Json, NumberNeverEmitsNonFinite) {
   EXPECT_EQ(obs::jsonNumber(0.0), "0");
   EXPECT_EQ(obs::jsonNumber(42.0), "42");
-  EXPECT_EQ(obs::jsonNumber(std::nan("")), "0");
-  EXPECT_EQ(obs::jsonNumber(HUGE_VAL), "0");
+  // NaN/Inf render as null — NOT as "0", which would be indistinguishable
+  // from a genuine zero in a stats document.
+  EXPECT_EQ(obs::jsonNumber(std::nan("")), "null");
+  EXPECT_EQ(obs::jsonNumber(HUGE_VAL), "null");
+  EXPECT_EQ(obs::jsonNumber(-HUGE_VAL), "null");
+}
+
+TEST(Json, NonFiniteValuesRoundTripAsNull) {
+  std::ostringstream os;
+  JsonWriter w(os);
+  w.beginObject();
+  w.field("nan", std::nan(""));
+  w.field("pos_inf", HUGE_VAL);
+  w.field("neg_inf", -HUGE_VAL);
+  w.field("zero", 0.0);
+  w.key("mixed");
+  w.beginArray();
+  w.value(1.5);
+  w.value(std::numeric_limits<double>::infinity());
+  w.endArray();
+  w.endObject();
+
+  std::string err;
+  const auto doc = parseJson(os.str(), &err);
+  ASSERT_TRUE(doc.has_value()) << err << "\n" << os.str();
+  for (const char* key : {"nan", "pos_inf", "neg_inf"}) {
+    const JsonValue* v = doc->find(key);
+    ASSERT_NE(v, nullptr) << key;
+    EXPECT_EQ(v->kind, JsonValue::Kind::Null) << key;
+    // Consumers that read .number from a tolerated null see 0.0 — the
+    // documented JsonValue default — rather than garbage.
+    EXPECT_DOUBLE_EQ(v->number, 0.0) << key;
+  }
+  EXPECT_EQ(doc->find("zero")->kind, JsonValue::Kind::Number);
+  const JsonValue* mixed = doc->find("mixed");
+  ASSERT_TRUE(mixed->isArray());
+  ASSERT_EQ(mixed->items.size(), 2u);
+  EXPECT_EQ(mixed->items[0].kind, JsonValue::Kind::Number);
+  EXPECT_EQ(mixed->items[1].kind, JsonValue::Kind::Null);
 }
 
 TEST(Json, WriterProducesParsableDocument) {
@@ -298,8 +336,8 @@ TEST(StatsJson, WriteJsonRoundTripsEveryField) {
   EXPECT_DOUBLE_EQ(doc->find("preimage_ops")->number, 13.0);
   EXPECT_DOUBLE_EQ(doc->find("image_part_products")->number, 44.0);
   EXPECT_DOUBLE_EQ(doc->find("frontier_steps")->number, 6.0);
-  // Pure additions: the schema version only moves on a breaking change.
-  EXPECT_EQ(core::kStatsJsonSchemaVersion, 1);
+  // v2: cache_hit / deadline_exceeded became mandatory top-level keys.
+  EXPECT_EQ(core::kStatsJsonSchemaVersion, 2);
 }
 
 // The human-readable summary is consumed by eyeballs and by the existing

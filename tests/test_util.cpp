@@ -3,13 +3,17 @@
 // extraction.
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <sstream>
 #include <thread>
 
 #include "protocol/builder.hpp"
 #include "bdd/bdd.hpp"
 #include "core/heuristic.hpp"
+#include "symbolic/encoding.hpp"
+#include "symbolic/relations.hpp"
 #include "extraction/actions.hpp"
+#include "util/cancel.hpp"
 #include "util/table.hpp"
 #include "util/timer.hpp"
 
@@ -120,6 +124,88 @@ TEST(Extraction, EmptyRelationYieldsNoActions) {
   const auto pa = extraction::extractProcessActions(
       sp, 0, enc.manager().falseBdd());
   EXPECT_TRUE(pa.actions.empty());
+}
+
+// ---------------------------------------------------------------------------
+// Cooperative cancellation.
+// ---------------------------------------------------------------------------
+
+TEST(Cancel, CheckpointIsANoOpWithoutAScope) {
+  EXPECT_EQ(util::currentCancelToken(), nullptr);
+  EXPECT_NO_THROW(util::checkCancellation());
+}
+
+TEST(Cancel, ScopeInstallsAndRestoresTheToken) {
+  util::CancelToken outer;
+  {
+    const util::CancelScope a(&outer);
+    EXPECT_EQ(util::currentCancelToken(), &outer);
+    util::CancelToken inner;
+    {
+      const util::CancelScope b(&inner);
+      EXPECT_EQ(util::currentCancelToken(), &inner);
+    }
+    EXPECT_EQ(util::currentCancelToken(), &outer);
+    {
+      // nullptr masks the outer token — checkpoints must not fire.
+      outer.cancel();
+      const util::CancelScope mask(nullptr);
+      EXPECT_EQ(util::currentCancelToken(), nullptr);
+      EXPECT_NO_THROW(util::checkCancellation());
+    }
+    EXPECT_THROW(util::checkCancellation(), util::CancelledError);
+  }
+  EXPECT_EQ(util::currentCancelToken(), nullptr);
+}
+
+TEST(Cancel, ExplicitCancelAndDeadlines) {
+  util::CancelToken t;
+  EXPECT_FALSE(t.expired());
+  EXPECT_NO_THROW(t.check());
+
+  t.setTimeout(std::chrono::hours(1));
+  EXPECT_FALSE(t.expired());
+
+  t.setTimeout(std::chrono::nanoseconds(-1));
+  EXPECT_TRUE(t.expired());
+  EXPECT_THROW(t.check(), util::CancelledError);
+
+  util::CancelToken u;
+  u.cancel();
+  EXPECT_TRUE(u.expired());
+}
+
+TEST(Cancel, CancelFromAnotherThreadIsObserved) {
+  util::CancelToken t;
+  const util::CancelScope scope(&t);
+  std::thread other([&t] { t.cancel(); });
+  other.join();
+  EXPECT_THROW(util::checkCancellation(), util::CancelledError);
+}
+
+TEST(Cancel, ExpiredTokenAbortsSynthesisAndLeavesManagerReusable) {
+  // An already-expired token must unwind addStrongConvergence through the
+  // fixpoint checkpoints, and the unwinding must leave the manager usable.
+  using protocol::lit;
+  using protocol::ref;
+  protocol::ProtocolBuilder b("cancelme");
+  const protocol::VarId x = b.variable("x", 4);
+  const std::size_t p0 = b.process("P0", {x}, {x});
+  b.action(p0, "step", ref(x) != lit(0), {{x, lit(0)}});
+  b.invariant(ref(x) == lit(0));
+  const protocol::Protocol p = b.build();
+
+  symbolic::Encoding enc(p);
+  symbolic::SymbolicProtocol sp(enc);
+  util::CancelToken t;
+  t.cancel();
+  {
+    const util::CancelScope scope(&t);
+    EXPECT_THROW((void)core::addStrongConvergence(sp), util::CancelledError);
+  }
+  // Outside the scope the same protocol synthesizes normally.
+  const core::StrongResult r = core::addStrongConvergence(sp);
+  EXPECT_TRUE(r.success);
 }
 
 }  // namespace
