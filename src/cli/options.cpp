@@ -31,7 +31,7 @@ int usage(std::ostream& err) {
          "       stsyn lint <protocol.stsyn> [--werror] [--no-symbolic]"
          " [--format=sarif|text]\n"
          "       stsyn serve [--port N] [--workers N] [--queue N]"
-         " [--cache N]\n";
+         " [--cache N] [--cache-dir PATH] [--max-inflight N]\n";
   return 2;
 }
 
@@ -170,6 +170,20 @@ int parseArgs(int argc, const char* const* argv, Options& out,
         return usage(err);
       }
       out.serveCacheCapacity = static_cast<unsigned>(n);
+    } else if (!std::strcmp(a, "--cache-dir") && i + 1 < argc) {
+      out.serveCacheDir = argv[++i];
+      if (out.serveCacheDir.empty()) {
+        err << "stsyn: --cache-dir expects a non-empty path\n";
+        return usage(err);
+      }
+    } else if (!std::strcmp(a, "--max-inflight") && i + 1 < argc) {
+      const auto n = parseUint(argv[++i], kMaxServeInflight);
+      if (!n.has_value() || *n == 0) {
+        err << "stsyn: --max-inflight expects 1.." << kMaxServeInflight
+            << ", got '" << argv[i] << "'\n";
+        return usage(err);
+      }
+      out.serveMaxInflight = static_cast<unsigned>(*n);
     } else if (a[0] == '-') {
       return usage(err);
     } else if (path == nullptr) {

@@ -38,6 +38,7 @@ inline constexpr std::uint64_t kMaxTimeoutMs = 86'400'000;  // 24h
 inline constexpr std::uint64_t kMaxServeWorkers = 256;
 inline constexpr std::uint64_t kMaxQueueCapacity = 65'536;
 inline constexpr std::uint64_t kMaxCacheCapacity = 1'048'576;
+inline constexpr std::uint64_t kMaxServeInflight = 65'536;
 
 enum class Mode : std::uint8_t {
   Synth,    ///< add strong convergence (default)
@@ -78,6 +79,11 @@ struct Options {
   unsigned serveWorkers = 2;
   unsigned serveQueueCapacity = 16;
   unsigned serveCacheCapacity = 64;
+  /// Per-connection cap on queued + running jobs (--max-inflight N).
+  unsigned serveMaxInflight = 8;
+  /// Directory for the persistent result cache (--cache-dir PATH);
+  /// empty = in-memory only.
+  std::string serveCacheDir;
 };
 
 /// Prints the usage text to `err` and returns 2 (the usage exit status).

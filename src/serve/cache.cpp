@@ -1,5 +1,7 @@
 #include "serve/cache.hpp"
 
+#include "serve/persist.hpp"
+
 namespace stsyn::serve {
 
 std::uint64_t fnv1a(std::string_view data) {
@@ -24,6 +26,29 @@ std::optional<std::string> ResultCache::lookup(std::string_view key) {
 
 void ResultCache::insert(std::string key, std::string result) {
   if (capacity_ == 0) return;
+  // Write-through before taking the lock: file I/O must not stall
+  // concurrent lookups, and a crash between the two leaves a durable
+  // entry the in-memory cache simply has not seen yet.
+  if (!dir_.empty()) (void)writeCacheEntry(dir_, key, result);
+  insertInMemory(std::move(key), std::move(result));
+}
+
+std::size_t ResultCache::enablePersistence(const std::string& dir,
+                                           std::size_t* rejected) {
+  dir_ = dir;
+  if (capacity_ == 0) {
+    if (rejected != nullptr) *rejected = 0;
+    return 0;
+  }
+  return loadCacheDir(
+      dir,
+      [this](std::string key, std::string result) {
+        insertInMemory(std::move(key), std::move(result));
+      },
+      rejected);
+}
+
+void ResultCache::insertInMemory(std::string key, std::string result) {
   const std::uint64_t hash = fnv1a(key);
   const std::lock_guard<std::mutex> lock(mutex_);
   const auto it = byHash_.find(hash);

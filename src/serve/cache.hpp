@@ -33,8 +33,22 @@ class ResultCache {
   [[nodiscard]] std::optional<std::string> lookup(std::string_view key);
 
   /// Stores `result` under `key`, evicting the least-recently-used entry
-  /// when full. A capacity of 0 disables caching entirely.
+  /// when full. A capacity of 0 disables caching entirely. When a cache
+  /// directory is enabled, the entry is also written through to disk
+  /// (atomic temp-file + rename; serve/persist.hpp) so a restarted
+  /// daemon replays it byte-for-byte.
   void insert(std::string key, std::string result);
+
+  /// Enables cross-run persistence under `dir`: existing versioned entry
+  /// documents are loaded into the cache (corrupt or truncated ones are
+  /// skipped — a bad entry degrades to a miss), and every future insert
+  /// is written through. Returns the number of entries loaded; stores the
+  /// number of rejected files in `rejected` when non-null. Call before
+  /// the cache is shared across threads.
+  std::size_t enablePersistence(const std::string& dir,
+                                std::size_t* rejected = nullptr);
+
+  [[nodiscard]] const std::string& persistDir() const { return dir_; }
 
   [[nodiscard]] std::size_t size() const;
 
@@ -44,7 +58,10 @@ class ResultCache {
     std::string result;
   };
 
+  void insertInMemory(std::string key, std::string result);
+
   std::size_t capacity_;
+  std::string dir_;  ///< empty = in-memory only
   mutable std::mutex mutex_;
   std::list<Entry> lru_;  // front = most recent
   std::unordered_map<std::uint64_t, std::list<Entry>::iterator> byHash_;

@@ -1,0 +1,134 @@
+// Per-client fair admission and dispatch for the serve work queue.
+//
+// The v1 daemon used one global FIFO with one global capacity, so a
+// single greedy client pipelining requests could fill the queue and
+// starve everyone else. FairQueue replaces it with:
+//
+//  * one FIFO per client (= per connection), drained round-robin, so K
+//    clients with pending work each get every K-th worker slot no matter
+//    how deep any one client's backlog is;
+//
+//  * a per-client in-flight cap counting queued + running jobs, so one
+//    client cannot occupy every worker even when the queue has room; and
+//
+//  * the global capacity bound on total queued jobs v1 had.
+//
+// Admission distinguishes the two rejection causes (ClientCapped vs
+// QueueFull) so the wire response can tell a client "you, specifically,
+// are over your budget — finish something first" apart from "the daemon
+// is saturated — retry later".
+//
+// Not thread-safe by itself: the daemon already serializes queue state
+// under one mutex, and keeping the locking outside makes the scheduling
+// policy directly unit-testable.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace stsyn::serve {
+
+enum class Admission : std::uint8_t {
+  Admitted,      ///< queued; the client's in-flight charge was taken
+  QueueFull,     ///< total queued jobs is at global capacity
+  ClientCapped,  ///< this client's queued+running jobs is at its cap
+};
+
+[[nodiscard]] constexpr const char* toString(Admission a) {
+  switch (a) {
+    case Admission::Admitted: return "admitted";
+    case Admission::QueueFull: return "queue_full";
+    case Admission::ClientCapped: return "client_capped";
+  }
+  return "?";
+}
+
+template <typename Job>
+class FairQueue {
+ public:
+  /// `capacity` bounds jobs queued (not yet popped) across all clients;
+  /// `perClientCap` bounds one client's queued + running jobs.
+  FairQueue(std::size_t capacity, std::size_t perClientCap)
+      : capacity_(capacity), perClientCap_(perClientCap) {}
+
+  /// Admission check + enqueue. On Admitted the client is charged one
+  /// in-flight unit, released by finish() once its response is rendered.
+  Admission push(std::uint64_t client, Job job) {
+    ClientState& state = clients_[client];
+    if (state.inflight >= perClientCap_) return Admission::ClientCapped;
+    if (depth_ >= capacity_) return Admission::QueueFull;
+    ++state.inflight;
+    ++depth_;
+    if (state.queued.empty()) rr_.push_back(client);
+    state.queued.push_back(std::move(job));
+    return Admission::Admitted;
+  }
+
+  /// Round-robin dispatch: takes the oldest job of the least-recently
+  /// served client with pending work. Returns false when nothing is
+  /// queued. The popped job stays charged to `client` until finish().
+  bool pop(Job& out, std::uint64_t& client) {
+    if (rr_.empty()) return false;
+    client = rr_.front();
+    rr_.pop_front();
+    ClientState& state = clients_.at(client);
+    out = std::move(state.queued.front());
+    state.queued.pop_front();
+    --depth_;
+    if (!state.queued.empty()) rr_.push_back(client);  // rotate to the back
+    return true;
+  }
+
+  /// Releases one in-flight unit after the job's response was rendered.
+  /// Clients with no charge and no backlog are forgotten entirely, so a
+  /// daemon serving millions of short-lived connections does not grow a
+  /// tombstone per connection.
+  void finish(std::uint64_t client) {
+    const auto it = clients_.find(client);
+    if (it == clients_.end()) return;
+    if (it->second.inflight > 0) --it->second.inflight;
+    if (it->second.inflight == 0 && it->second.queued.empty()) {
+      clients_.erase(it);
+    }
+  }
+
+  /// Removes and returns every queued job (shutdown: their clients get a
+  /// shutting_down response instead of a silent hang).
+  std::vector<Job> drain() {
+    std::vector<Job> leftovers;
+    for (const std::uint64_t client : rr_) {
+      ClientState& state = clients_.at(client);
+      for (Job& job : state.queued) leftovers.push_back(std::move(job));
+      state.queued.clear();
+    }
+    rr_.clear();
+    depth_ = 0;
+    return leftovers;
+  }
+
+  [[nodiscard]] std::size_t depth() const { return depth_; }
+
+  /// This client's queued + running charge (0 for unknown clients).
+  [[nodiscard]] std::size_t inflight(std::uint64_t client) const {
+    const auto it = clients_.find(client);
+    return it == clients_.end() ? 0 : it->second.inflight;
+  }
+
+ private:
+  struct ClientState {
+    std::deque<Job> queued;
+    std::size_t inflight = 0;  // queued + popped-but-unfinished
+  };
+
+  std::size_t capacity_;
+  std::size_t perClientCap_;
+  std::size_t depth_ = 0;                     // total queued
+  std::deque<std::uint64_t> rr_;              // clients with pending work
+  std::unordered_map<std::uint64_t, ClientState> clients_;
+};
+
+}  // namespace stsyn::serve

@@ -12,8 +12,14 @@ namespace stsyn::serve {
 
 namespace {
 
+std::uint32_t decodeLength(const unsigned char* header) {
+  return (std::uint32_t{header[0]} << 24) | (std::uint32_t{header[1]} << 16) |
+         (std::uint32_t{header[2]} << 8) | std::uint32_t{header[3]};
+}
+
 /// Reads exactly `len` bytes. Returns the count actually read (short only
-/// on EOF); throws on socket errors.
+/// on EOF); throws on socket errors. EINTR is retried — a signal landing
+/// mid-payload must not truncate the frame.
 std::size_t readAll(int fd, char* buf, std::size_t len) {
   std::size_t got = 0;
   while (got < len) {
@@ -32,7 +38,8 @@ void writeAll(int fd, const char* buf, std::size_t len) {
   std::size_t sent = 0;
   while (sent < len) {
     // MSG_NOSIGNAL: a vanished client must surface as an error on this
-    // connection, not SIGPIPE the whole daemon.
+    // connection, not SIGPIPE the whole process. send() may also return
+    // short on a signal or a full socket buffer; continue from `sent`.
     const ssize_t n = ::send(fd, buf + sent, len - sent, MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR) continue;
@@ -44,15 +51,27 @@ void writeAll(int fd, const char* buf, std::size_t len) {
 
 }  // namespace
 
+std::string encodeFrame(std::string_view payload) {
+  if (payload.size() > kMaxFrameBytes) {
+    throw std::runtime_error("response exceeds the frame payload cap");
+  }
+  const auto len = static_cast<std::uint32_t>(payload.size());
+  std::string wire;
+  wire.reserve(payload.size() + 4);
+  wire.push_back(static_cast<char>((len >> 24) & 0xFF));
+  wire.push_back(static_cast<char>((len >> 16) & 0xFF));
+  wire.push_back(static_cast<char>((len >> 8) & 0xFF));
+  wire.push_back(static_cast<char>(len & 0xFF));
+  wire.append(payload);
+  return wire;
+}
+
 bool readFrame(int fd, std::string& out) {
   unsigned char header[4];
   const std::size_t got = readAll(fd, reinterpret_cast<char*>(header), 4);
   if (got == 0) return false;  // clean EOF between frames
   if (got < 4) throw std::runtime_error("truncated frame header");
-  const std::uint32_t len = (std::uint32_t{header[0]} << 24) |
-                            (std::uint32_t{header[1]} << 16) |
-                            (std::uint32_t{header[2]} << 8) |
-                            std::uint32_t{header[3]};
+  const std::uint32_t len = decodeLength(header);
   if (len > kMaxFrameBytes) {
     throw std::runtime_error("frame exceeds the 64 MiB payload cap");
   }
@@ -64,18 +83,31 @@ bool readFrame(int fd, std::string& out) {
 }
 
 void writeFrame(int fd, std::string_view payload) {
-  if (payload.size() > kMaxFrameBytes) {
-    throw std::runtime_error("response exceeds the frame payload cap");
+  // One buffer, one send loop: the header cannot be separated from its
+  // payload by a crash or a signal between two writes.
+  const std::string wire = encodeFrame(payload);
+  writeAll(fd, wire.data(), wire.size());
+}
+
+void FrameReader::feed(std::string_view data) {
+  if (poisoned_) return;  // the stream is already unsynchronizable
+  buffer_.append(data);
+}
+
+FrameReader::Status FrameReader::next(std::string& out) {
+  if (poisoned_) return Status::TooLarge;
+  if (buffer_.size() < 4) return Status::NeedMore;
+  const std::uint32_t len =
+      decodeLength(reinterpret_cast<const unsigned char*>(buffer_.data()));
+  if (len > maxFrameBytes_) {
+    poisoned_ = true;
+    buffer_.clear();
+    return Status::TooLarge;
   }
-  const auto len = static_cast<std::uint32_t>(payload.size());
-  const unsigned char header[4] = {
-      static_cast<unsigned char>(len >> 24),
-      static_cast<unsigned char>((len >> 16) & 0xFF),
-      static_cast<unsigned char>((len >> 8) & 0xFF),
-      static_cast<unsigned char>(len & 0xFF),
-  };
-  writeAll(fd, reinterpret_cast<const char*>(header), 4);
-  writeAll(fd, payload.data(), payload.size());
+  if (buffer_.size() < std::size_t{4} + len) return Status::NeedMore;
+  out.assign(buffer_, 4, len);
+  buffer_.erase(0, std::size_t{4} + len);
+  return Status::Frame;
 }
 
 }  // namespace stsyn::serve

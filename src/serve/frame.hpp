@@ -4,6 +4,20 @@
 // a 4-byte big-endian payload length. Framing lives below the JSON layer
 // so a client never has to guess where a document ends, and the daemon
 // can reject oversized payloads before allocating for them.
+//
+// Two consumers with different I/O shapes share the format:
+//
+//  * Blocking clients (tests, the load bench, external tools) use
+//    readFrame/writeFrame, which own the socket loop: EINTR is retried,
+//    short reads/writes are continued, and a vanished peer surfaces as a
+//    std::runtime_error instead of SIGPIPE.
+//
+//  * The daemon's event loop never blocks on a peer. It feeds whatever
+//    bytes recv() produced into a per-connection FrameReader, which
+//    assembles frames incrementally — a client trickling one byte at a
+//    time, or pipelining ten requests into a single segment, parses
+//    identically — and flags an oversized declared length the moment the
+//    4-byte header is complete, before any payload is buffered.
 #pragma once
 
 #include <cstdint>
@@ -17,13 +31,58 @@ namespace stsyn::serve {
 /// allocating gigabytes on a 4-byte say-so.
 inline constexpr std::uint32_t kMaxFrameBytes = 64u << 20;  // 64 MiB
 
-/// Reads one frame from `fd` into `out`. Returns false on clean EOF
-/// before any header byte; throws std::runtime_error on truncated input,
-/// oversized length, or socket errors.
+/// Renders the wire form of one frame: 4-byte big-endian length header
+/// followed by the payload. Throws std::runtime_error when the payload
+/// exceeds kMaxFrameBytes. Header and payload in one buffer means one
+/// send() per response on the happy path — a frame can no longer be torn
+/// between its header and payload by a crash between two writes.
+[[nodiscard]] std::string encodeFrame(std::string_view payload);
+
+/// Reads one frame from `fd` into `out`, blocking until it is complete.
+/// Returns false on clean EOF before any header byte; throws
+/// std::runtime_error on truncated input, oversized length, or socket
+/// errors. EINTR is retried internally.
 bool readFrame(int fd, std::string& out);
 
-/// Writes one frame (header + payload) to `fd`; throws std::runtime_error
-/// when the peer is gone or the payload exceeds kMaxFrameBytes.
+/// Writes one frame (header + payload) to `fd`, retrying EINTR and short
+/// writes; throws std::runtime_error when the peer is gone or the payload
+/// exceeds kMaxFrameBytes. Uses MSG_NOSIGNAL so a vanished peer is an
+/// error on this call, never a process-wide SIGPIPE.
 void writeFrame(int fd, std::string_view payload);
+
+/// Incremental frame assembly for non-blocking reads. Feed bytes as they
+/// arrive; poll next() for completed frames. One reader per connection.
+class FrameReader {
+ public:
+  explicit FrameReader(std::uint32_t maxFrameBytes = kMaxFrameBytes)
+      : maxFrameBytes_(maxFrameBytes) {}
+
+  enum class Status : std::uint8_t {
+    NeedMore,  ///< no complete frame buffered yet
+    Frame,     ///< `out` holds the next payload
+    TooLarge,  ///< a header declared more than maxFrameBytes (sticky)
+  };
+
+  /// Appends raw socket bytes to the buffer.
+  void feed(std::string_view data);
+
+  /// Extracts the next complete frame into `out`. Call repeatedly until
+  /// NeedMore: a single feed() may complete several pipelined frames.
+  /// TooLarge is sticky — the stream is unsynchronizable past a bad
+  /// header, so the connection must be dropped.
+  Status next(std::string& out);
+
+  /// True when EOF at this point would not truncate a frame: nothing
+  /// buffered, no half-read header, no partial payload.
+  [[nodiscard]] bool atBoundary() const { return buffer_.empty(); }
+
+  /// Bytes currently buffered (header + partial payload).
+  [[nodiscard]] std::size_t buffered() const { return buffer_.size(); }
+
+ private:
+  std::uint32_t maxFrameBytes_;
+  bool poisoned_ = false;
+  std::string buffer_;
+};
 
 }  // namespace stsyn::serve

@@ -3,6 +3,7 @@
 #include <cerrno>
 #include <chrono>
 #include <cmath>
+#include <csignal>
 #include <cstring>
 #include <ostream>
 #include <sstream>
@@ -10,7 +11,9 @@
 #include <utility>
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -26,11 +29,24 @@ namespace stsyn::serve {
 
 namespace {
 
+/// Display path used for lint-verb SARIF documents: requests arrive as
+/// in-memory text, so there is no real file to point at.
+constexpr const char* kLintDisplayPath = "request.stsyn";
+
+/// Ceiling for a numeric request "id": the largest integer a JSON double
+/// carries exactly, so the echo is byte-faithful.
+constexpr std::uint64_t kMaxRequestId = std::uint64_t{1} << 53;
+
 /// Bumps a monotonic counter and mirrors it into the tracer so a --trace
 /// of the daemon carries the same series the stats verb reports.
 void bump(std::atomic<std::uint64_t>& c, const char* name) {
   const std::uint64_t v = c.fetch_add(1, std::memory_order_relaxed) + 1;
   obs::Tracer::global().counter(name, static_cast<double>(v));
+}
+
+void setNonBlocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags >= 0) ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
 }
 
 /// Reads an unsigned integer request field: a JSON number (integral,
@@ -59,6 +75,23 @@ bool getBool(const obs::JsonValue& v, bool& out) {
   if (v.kind != obs::JsonValue::Kind::Bool) return false;
   out = v.boolean;
   return true;
+}
+
+/// Renders the request's "id" for verbatim echo. Accepted shapes: a
+/// non-negative integer (exact in a double) or a string. Returns false
+/// for anything else — a lossy echo would break client correlation.
+bool renderRequestId(const obs::JsonValue& v, std::string& idJson) {
+  if (v.kind == obs::JsonValue::Kind::Number) {
+    std::uint64_t n = 0;
+    if (!getUint(v, kMaxRequestId, n)) return false;
+    idJson = std::to_string(n);
+    return true;
+  }
+  if (v.kind == obs::JsonValue::Kind::String) {
+    idJson = obs::jsonQuote(v.str);
+    return true;
+  }
+  return false;
 }
 
 /// Applies the request's "options" object onto a cli::Options. The
@@ -178,6 +211,35 @@ bool applyRequestOptions(const obs::JsonValue& opts, cli::Options& o,
   return true;
 }
 
+/// The lint verb's option subset; strict like applyRequestOptions.
+bool applyLintOptions(const obs::JsonValue& opts, cli::Options& o,
+                      std::string& error) {
+  if (opts.kind != obs::JsonValue::Kind::Object) {
+    error = "\"options\" must be an object";
+    return false;
+  }
+  for (const auto& [key, value] : opts.members) {
+    bool b = false;
+    if (key == "werror") {
+      if (!getBool(value, b)) {
+        error = "werror must be a boolean";
+        return false;
+      }
+      o.werror = b;
+    } else if (key == "no_symbolic") {
+      if (!getBool(value, b)) {
+        error = "no_symbolic must be a boolean";
+        return false;
+      }
+      o.lintOptions.symbolic = !b;
+    } else {
+      error = "unknown option '" + key + "'";
+      return false;
+    }
+  }
+  return true;
+}
+
 /// Every option that can change the produced document, rendered into the
 /// cache key. timeout_ms is deliberately absent: a cached result answers
 /// any deadline instantly, so two requests differing only in budget share
@@ -213,14 +275,32 @@ std::string canonicalKey(const protocol::Protocol& p,
   return key;
 }
 
+/// Opens the response envelope, echoing the request id first (when
+/// present) so every byte after it is id-independent — the keep-alive
+/// differential compares exactly that suffix.
+void beginEnvelope(obs::JsonWriter& w, const std::string& idJson) {
+  w.beginObject();
+  if (!idJson.empty()) {
+    w.key("id");
+    w.raw(idJson);
+  }
+}
+
 }  // namespace
 
 Server::Server(ServeOptions options)
-    : options_(options), cache_(options.cacheCapacity) {}
+    : options_(options),
+      cache_(options.cacheCapacity),
+      queue_(options.queueCapacity, options.maxInflight) {}
 
 Server::~Server() { stop(); }
 
 bool Server::start(std::string& error) {
+  if (!options_.cacheDir.empty()) {
+    cacheLoaded_ = cache_.enablePersistence(options_.cacheDir,
+                                            &cacheRejected_);
+  }
+
   listenFd_ = ::socket(AF_INET, SOCK_STREAM, 0);
   if (listenFd_ < 0) {
     error = std::string("socket: ") + std::strerror(errno);
@@ -243,8 +323,18 @@ bool Server::start(std::string& error) {
   socklen_t len = sizeof addr;
   ::getsockname(listenFd_, reinterpret_cast<sockaddr*>(&addr), &len);
   port_ = ntohs(addr.sin_port);
+  setNonBlocking(listenFd_);
 
-  acceptor_ = std::thread([this] { acceptorLoop(); });
+  if (::pipe(wakePipe_) != 0) {
+    error = std::string("pipe: ") + std::strerror(errno);
+    ::close(listenFd_);
+    listenFd_ = -1;
+    return false;
+  }
+  setNonBlocking(wakePipe_[0]);
+  setNonBlocking(wakePipe_[1]);
+
+  loop_ = std::thread([this] { eventLoop(); });
   workers_.reserve(options_.workers);
   for (unsigned i = 0; i < options_.workers; ++i) {
     workers_.emplace_back([this, i] { workerLoop(i); });
@@ -252,33 +342,57 @@ bool Server::start(std::string& error) {
   return true;
 }
 
+void Server::signalStop() {
+  stopping_.store(true);
+  // Fence through each condition's mutex before notifying: a waiter that
+  // just evaluated its predicate still holds the mutex, so acquiring it
+  // here orders this store before the wait — no missed wake-up.
+  { const std::lock_guard<std::mutex> lock(queueMutex_); }
+  queueCv_.notify_all();
+  { const std::lock_guard<std::mutex> lock(stopMutex_); }
+  stopCv_.notify_all();
+  wakeLoop();
+}
+
 void Server::stop() {
   const bool wasStopping = stopping_.exchange(true);
-  if (listenFd_ >= 0) ::shutdown(listenFd_, SHUT_RDWR);
-  queueCv_.notify_all();
-  stopCv_.notify_all();
-  if (wasStopping && !acceptor_.joinable() && workers_.empty()) return;
+  signalStop();
+  if (wasStopping && !loop_.joinable() && workers_.empty()) return;
 
-  if (acceptor_.joinable()) acceptor_.join();
+  if (loop_.joinable()) loop_.join();
   for (std::thread& w : workers_) {
     if (w.joinable()) w.join();
   }
   workers_.clear();
 
   // Jobs still queued never ran; tell their clients instead of hanging
-  // them until the recv timeout.
-  std::deque<Job> leftovers;
+  // them until they give up.
+  std::vector<Job> leftovers;
   {
     const std::lock_guard<std::mutex> lock(queueMutex_);
-    leftovers.swap(queue_);
+    leftovers = queue_.drain();
   }
-  for (Job& job : leftovers) {
-    respondError(job.fd, "shutting_down", "daemon is shutting down");
-    ::close(job.fd);
+  for (const Job& job : leftovers) {
+    respondError(job.session, job.idJson, "shutting_down",
+                 "daemon is shutting down");
   }
+  // Best-effort delivery of everything still buffered (the shutdown
+  // verb's own response, late worker results, the shutting_down errors).
+  for (auto& [fd, session] : sessions_) {
+    session->flushBlocking();
+    session->close();
+  }
+  sessions_.clear();
+
   if (listenFd_ >= 0) {
     ::close(listenFd_);
     listenFd_ = -1;
+  }
+  for (int& fd : wakePipe_) {
+    if (fd >= 0) {
+      ::close(fd);
+      fd = -1;
+    }
   }
 }
 
@@ -289,148 +403,271 @@ void Server::waitUntilStopped() {
 
 std::size_t Server::queueDepth() const {
   const std::lock_guard<std::mutex> lock(queueMutex_);
-  return queue_.size();
+  return queue_.depth();
 }
 
 void Server::holdJobs(bool hold) {
   hold_.store(hold);
+  { const std::lock_guard<std::mutex> lock(queueMutex_); }
   queueCv_.notify_all();
 }
 
-void Server::acceptorLoop() {
-  obs::Tracer::global().setThreadName("serve-acceptor");
-  while (!stopping_.load()) {
-    const int fd = ::accept(listenFd_, nullptr, nullptr);
-    if (fd < 0) {
-      if (errno == EINTR) continue;
-      // shutdown() from stop() lands here.
-      return;
-    }
-    // A silent client must not wedge the acceptor: give the single
-    // request frame ten seconds to arrive.
-    timeval timeout{10, 0};
-    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof timeout);
-    handleConnection(fd);
+void Server::wakeLoop() {
+  if (wakePipe_[1] >= 0) {
+    const char byte = 1;
+    // Non-blocking: a full pipe already guarantees a pending wake-up.
+    (void)::write(wakePipe_[1], &byte, 1);
   }
 }
 
-void Server::handleConnection(int fd) {
-  std::string payload;
-  try {
-    if (!readFrame(fd, payload)) {
-      ::close(fd);
+void Server::eventLoop() {
+  obs::Tracer::global().setThreadName("serve-loop");
+  std::vector<pollfd> fds;
+  std::vector<int> toDrop;
+  while (!stopping_.load()) {
+    fds.clear();
+    fds.push_back({listenFd_, POLLIN, 0});
+    fds.push_back({wakePipe_[0], POLLIN, 0});
+    for (const auto& [fd, session] : sessions_) {
+      short events = POLLIN;
+      if (session->hasPendingOutput()) events |= POLLOUT;
+      fds.push_back({fd, events, 0});
+    }
+
+    const int ready = ::poll(fds.data(), fds.size(), -1);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      return;  // unrecoverable poll failure
+    }
+    if (stopping_.load()) break;
+
+    if ((fds[1].revents & POLLIN) != 0) {
+      char sink[256];
+      while (::read(wakePipe_[0], sink, sizeof sink) > 0) {
+      }
+    }
+    if ((fds[0].revents & (POLLIN | POLLERR)) != 0) acceptPending();
+
+    toDrop.clear();
+    for (std::size_t i = 2; i < fds.size(); ++i) {
+      const auto it = sessions_.find(fds[i].fd);
+      if (it == sessions_.end()) continue;
+      const std::shared_ptr<Session>& session = it->second;
+      if ((fds[i].revents & (POLLIN | POLLHUP | POLLERR)) != 0) {
+        if (!serviceReadable(session)) {
+          toDrop.push_back(fds[i].fd);
+          continue;
+        }
+      }
+      if (session->hasPendingOutput() && !session->flushSome()) {
+        toDrop.push_back(fds[i].fd);
+        continue;
+      }
+      // A half-closed session dies once nothing more is owed to it.
+      if (session->peerClosed() && session->owedResponses() == 0 &&
+          !session->hasPendingOutput()) {
+        toDrop.push_back(fds[i].fd);
+      }
+    }
+    // Worker completions may have filled buffers of sessions poll()
+    // reported nothing for; drain those too before sleeping again.
+    for (const auto& [fd, session] : sessions_) {
+      if (session->hasPendingOutput() && !session->flushSome()) {
+        toDrop.push_back(fd);
+      }
+    }
+    for (const int fd : toDrop) {
+      const auto it = sessions_.find(fd);
+      if (it == sessions_.end()) continue;
+      it->second->close();
+      sessions_.erase(it);
+    }
+  }
+  // Final courtesy pass: anything already buffered gets one non-blocking
+  // flush before stop() switches to blocking delivery.
+  for (const auto& [fd, session] : sessions_) {
+    (void)session->flushSome();
+  }
+}
+
+void Server::acceptPending() {
+  for (;;) {
+    const int fd = ::accept(listenFd_, nullptr, nullptr);
+    if (fd < 0) {
+      // EAGAIN: drained. EINTR: retry next loop turn. Anything else on a
+      // non-blocking listener is transient (e.g. the peer reset before
+      // accept); never kill the loop for it.
       return;
     }
-  } catch (const std::exception&) {
-    ::close(fd);
-    return;
+    setNonBlocking(fd);
+    bump(counters_.sessions, "serve/sessions");
+    sessions_.emplace(fd, std::make_shared<Session>(fd, nextSessionId_++));
   }
+}
+
+bool Server::serviceReadable(const std::shared_ptr<Session>& session) {
+  char buf[64 * 1024];
+  for (;;) {
+    const ssize_t n = ::recv(session->fd(), buf, sizeof buf, 0);
+    if (n == 0) {
+      session->markPeerClosed();
+      // A partial frame at EOF is simply torn — there is nobody left to
+      // answer; pending responses for earlier frames still get flushed.
+      break;
+    }
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      return false;  // connection error: drop
+    }
+    session->reader().feed(
+        std::string_view(buf, static_cast<std::size_t>(n)));
+  }
+
+  std::string payload;
+  for (;;) {
+    const FrameReader::Status status = session->reader().next(payload);
+    if (status == FrameReader::Status::NeedMore) break;
+    if (status == FrameReader::Status::TooLarge) {
+      // The stream cannot be resynchronized past a hostile header. Tell
+      // the client why, then drop it; responses already owed are lost
+      // with the connection (the client broke the framing contract).
+      bump(counters_.invalid, "serve/invalid");
+      respondError(session, "", "invalid_request",
+                   "frame exceeds the 64 MiB payload cap");
+      (void)session->flushSome();
+      return false;
+    }
+    handleFrame(session, payload);
+    if (session->closed()) return false;
+  }
+  return true;
+}
+
+void Server::handleFrame(const std::shared_ptr<Session>& session,
+                         const std::string& payload) {
   bump(counters_.requests, "serve/requests");
 
   std::string parseError;
   const auto doc = obs::parseJson(payload, &parseError);
   if (!doc.has_value() || !doc->isObject()) {
     bump(counters_.invalid, "serve/invalid");
-    respondError(fd, "invalid_request",
+    respondError(session, "", "invalid_request",
                  doc.has_value() ? "request must be a JSON object"
                                  : "bad JSON: " + parseError);
-    ::close(fd);
     return;
   }
+
+  std::string idJson;
+  if (const obs::JsonValue* id = doc->find("id")) {
+    if (!renderRequestId(*id, idJson)) {
+      bump(counters_.invalid, "serve/invalid");
+      respondError(session, "", "invalid_request",
+                   "\"id\" must be a non-negative integer or a string");
+      return;
+    }
+  }
+
   const obs::JsonValue* verb = doc->find("verb");
   if (verb == nullptr || verb->kind != obs::JsonValue::Kind::String) {
     bump(counters_.invalid, "serve/invalid");
-    respondError(fd, "invalid_request", "missing string field \"verb\"");
-    ::close(fd);
+    respondError(session, idJson, "invalid_request",
+                 "missing string field \"verb\"");
     return;
   }
 
   if (verb->str == "ping") {
-    try {
-      writeFrame(fd, R"({"ok":true,"verb":"pong"})");
-    } catch (const std::exception&) {}
-    ::close(fd);
+    bump(counters_.inlineVerbs, "serve/inline");
+    std::ostringstream response;
+    obs::JsonWriter w(response);
+    beginEnvelope(w, idJson);
+    w.field("ok", true);
+    w.field("verb", "pong");
+    w.endObject();
+    respond(session, response.str());
     return;
   }
   if (verb->str == "stats") {
-    try {
-      writeFrame(fd, statsJson());
-    } catch (const std::exception&) {}
-    ::close(fd);
+    bump(counters_.inlineVerbs, "serve/inline");
+    respond(session, statsJson(idJson));
     return;
   }
   if (verb->str == "shutdown") {
-    try {
-      writeFrame(fd, R"({"ok":true,"verb":"shutdown"})");
-    } catch (const std::exception&) {}
-    ::close(fd);
+    bump(counters_.inlineVerbs, "serve/inline");
+    std::ostringstream response;
+    obs::JsonWriter w(response);
+    beginEnvelope(w, idJson);
+    w.field("ok", true);
+    w.field("verb", "shutdown");
+    w.endObject();
+    respond(session, response.str());
+    (void)session->flushSome();
     // Flip the flag and wake waitUntilStopped(); the owner thread calls
-    // stop() and joins us — joining from here would deadlock.
-    stopping_.store(true);
-    ::shutdown(listenFd_, SHUT_RDWR);
-    queueCv_.notify_all();
-    stopCv_.notify_all();
+    // stop(), which joins us and delivers anything still buffered.
+    signalStop();
+    return;
+  }
+  if (verb->str == "lint") {
+    handleLint(session, idJson, *doc);
     return;
   }
   if (verb->str != "synthesize") {
     bump(counters_.invalid, "serve/invalid");
-    respondError(fd, "invalid_request", "unknown verb '" + verb->str + "'");
-    ::close(fd);
+    respondError(session, idJson, "invalid_request",
+                 "unknown verb '" + verb->str + "'");
     return;
   }
-
-  {
-    std::lock_guard<std::mutex> lock(queueMutex_);
-    if (queue_.size() >= options_.queueCapacity) {
-      bump(counters_.rejected, "serve/rejected");
-      respondError(fd, "rejected", "work queue is full");
-      ::close(fd);
-      return;
-    }
-    queue_.push_back(Job{fd, std::move(payload)});
-    bump(counters_.synthesize, "serve/synthesize");
-    obs::Tracer::global().counter("serve/queue_depth",
-                                  static_cast<double>(queue_.size()));
-  }
-  queueCv_.notify_one();
+  dispatchSynthesize(session, idJson, *doc);
 }
 
-void Server::workerLoop(unsigned index) {
-  obs::Tracer::global().setThreadName("serve-worker-" +
-                                      std::to_string(index));
-  for (;;) {
-    Job job;
-    {
-      std::unique_lock<std::mutex> lock(queueMutex_);
-      queueCv_.wait(lock, [this] {
-        return stopping_.load() || (!queue_.empty() && !hold_.load());
-      });
-      if (stopping_.load()) return;  // stop() answers the leftovers
-      job = std::move(queue_.front());
-      queue_.pop_front();
-      obs::Tracer::global().counter("serve/queue_depth",
-                                    static_cast<double>(queue_.size()));
-    }
-    busyWorkers_.fetch_add(1, std::memory_order_relaxed);
-    try {
-      handleSynthesize(job);
-    } catch (const std::exception& e) {
-      respondError(job.fd, "internal_error", e.what());
-    }
-    ::close(job.fd);
-    busyWorkers_.fetch_sub(1, std::memory_order_relaxed);
-  }
-}
-
-void Server::handleSynthesize(const Job& job) {
-  // Re-parse on the worker: the payload already survived one parse on the
-  // acceptor, so this cannot fail in practice and keeps Job trivially
-  // movable.
-  const auto doc = obs::parseJson(job.payload);
-  const obs::JsonValue* source = doc->find("protocol");
+void Server::handleLint(const std::shared_ptr<Session>& session,
+                        const std::string& idJson,
+                        const obs::JsonValue& doc) {
+  const obs::JsonValue* source = doc.find("protocol");
   if (source == nullptr || source->kind != obs::JsonValue::Kind::String) {
     bump(counters_.invalid, "serve/invalid");
-    respondError(job.fd, "invalid_request",
+    respondError(session, idJson, "invalid_request",
+                 "missing string field \"protocol\"");
+    return;
+  }
+  cli::Options opt;
+  opt.lintFormat = "sarif";
+  std::string validationError;
+  if (const obs::JsonValue* options = doc.find("options")) {
+    if (!applyLintOptions(*options, opt, validationError)) {
+      bump(counters_.invalid, "serve/invalid");
+      respondError(session, idJson, "invalid_request", validationError);
+      return;
+    }
+  }
+  bump(counters_.lint, "serve/lint");
+
+  // Answered inline: both lint tiers are bounded (the parser's depth and
+  // size budgets cap hostile input) and lintSource never throws — the
+  // adversarial wall pins that.
+  std::ostringstream sarif;
+  const int exitCode =
+      cli::runLintSource(source->str, kLintDisplayPath, opt, sarif);
+
+  std::ostringstream response;
+  obs::JsonWriter w(response);
+  beginEnvelope(w, idJson);
+  w.field("ok", true);
+  w.field("verb", "lint");
+  w.field("exit_code", exitCode);
+  w.key("sarif");
+  w.raw(sarif.str());
+  w.endObject();
+  respond(session, response.str());
+}
+
+void Server::dispatchSynthesize(const std::shared_ptr<Session>& session,
+                                const std::string& idJson,
+                                const obs::JsonValue& doc) {
+  const obs::JsonValue* source = doc.find("protocol");
+  if (source == nullptr || source->kind != obs::JsonValue::Kind::String) {
+    bump(counters_.invalid, "serve/invalid");
+    respondError(session, idJson, "invalid_request",
                  "missing string field \"protocol\"");
     return;
   }
@@ -439,48 +676,121 @@ void Server::handleSynthesize(const Job& job) {
   opt.quiet = true;  // the narration still goes into "console", minus
                      // the per-action dump nobody reads over a socket
   std::string validationError;
-  if (const obs::JsonValue* options = doc->find("options")) {
+  if (const obs::JsonValue* options = doc.find("options")) {
     if (!applyRequestOptions(*options, opt, validationError)) {
       bump(counters_.invalid, "serve/invalid");
-      respondError(job.fd, "invalid_request", validationError);
+      respondError(session, idJson, "invalid_request", validationError);
       return;
     }
   }
-  if (const obs::JsonValue* timeout = doc->find("timeout_ms")) {
+  if (const obs::JsonValue* timeout = doc.find("timeout_ms")) {
     if (!getUint(*timeout, cli::kMaxTimeoutMs, opt.timeoutMs)) {
       bump(counters_.invalid, "serve/invalid");
-      respondError(job.fd, "invalid_request",
+      respondError(session, idJson, "invalid_request",
                    "timeout_ms must be an unsigned integer of milliseconds");
       return;
     }
   }
 
-  protocol::Protocol proto;
+  // Parse on the loop: it is cheap (text only, no BDDs, hard budgets in
+  // the lexer/parser), and it means every job that reaches the queue
+  // runs to completion — the counter reconciliation invariant
+  // `synthesize == completed + rejected` holds exactly.
+  Job job;
   try {
-    proto = lang::parseProtocol(source->str);
+    job.proto = lang::parseProtocol(source->str);
   } catch (const lang::ParseError& e) {
-    respondError(job.fd, "parse_error", e.what());
+    bump(counters_.invalid, "serve/invalid");
+    respondError(session, idJson, "parse_error", e.what());
     return;
   } catch (const std::exception& e) {
-    respondError(job.fd, "invalid_request", e.what());
+    bump(counters_.invalid, "serve/invalid");
+    respondError(session, idJson, "invalid_request", e.what());
     return;
   }
+  job.session = session;
+  job.idJson = idJson;
+  job.opt = std::move(opt);
 
-  const std::string key = canonicalKey(proto, opt);
+  bump(counters_.synthesize, "serve/synthesize");
+  Admission verdict = Admission::Admitted;
+  {
+    const std::lock_guard<std::mutex> lock(queueMutex_);
+    verdict = queue_.push(session->id(), std::move(job));
+    if (verdict == Admission::Admitted) {
+      session->jobStarted();
+      obs::Tracer::global().counter("serve/queue_depth",
+                                    static_cast<double>(queue_.depth()));
+    }
+  }
+  switch (verdict) {
+    case Admission::Admitted:
+      queueCv_.notify_one();
+      return;
+    case Admission::QueueFull:
+      bump(counters_.rejected, "serve/rejected");
+      bump(counters_.rejectedQueueFull, "serve/rejected_queue_full");
+      respondError(session, idJson, "rejected", "work queue is full",
+                   "queue_full");
+      return;
+    case Admission::ClientCapped:
+      bump(counters_.rejected, "serve/rejected");
+      bump(counters_.rejectedCapped, "serve/rejected_client_capped");
+      respondError(session, idJson, "rejected",
+                   "per-client in-flight cap reached", "client_capped");
+      return;
+  }
+}
+
+void Server::workerLoop(unsigned index) {
+  obs::Tracer::global().setThreadName("serve-worker-" +
+                                      std::to_string(index));
+  for (;;) {
+    Job job;
+    std::uint64_t client = 0;
+    {
+      std::unique_lock<std::mutex> lock(queueMutex_);
+      queueCv_.wait(lock, [this] {
+        return stopping_.load() || (queue_.depth() > 0 && !hold_.load());
+      });
+      if (stopping_.load()) return;  // stop() answers the leftovers
+      if (!queue_.pop(job, client)) continue;
+      obs::Tracer::global().counter("serve/queue_depth",
+                                    static_cast<double>(queue_.depth()));
+    }
+    busyWorkers_.fetch_add(1, std::memory_order_relaxed);
+    try {
+      runJob(job);
+    } catch (const std::exception& e) {
+      respondError(job.session, job.idJson, "internal_error", e.what());
+    }
+    // Order matters: the response is buffered before the owed-response
+    // count drops, so the event loop can never reap the session between
+    // the two; the fairness charge is released last.
+    job.session->jobFinished();
+    {
+      const std::lock_guard<std::mutex> lock(queueMutex_);
+      queue_.finish(client);
+    }
+    wakeLoop();
+    busyWorkers_.fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+void Server::runJob(const Job& job) {
+  const std::string key = canonicalKey(job.proto, job.opt);
   if (const auto cached = cache_.lookup(key)) {
     bump(counters_.cacheHits, "serve/cache_hits");
     bump(counters_.completed, "serve/completed");
     std::ostringstream response;
     obs::JsonWriter w(response);
-    w.beginObject();
+    beginEnvelope(w, job.idJson);
     w.field("ok", true);
     w.field("cache_hit", true);
     w.key("result");
     w.raw(*cached);  // byte-identical replay of program + stats document
     w.endObject();
-    try {
-      writeFrame(job.fd, response.str());
-    } catch (const std::exception&) {}
+    respond(job.session, response.str());
     return;
   }
   bump(counters_.cacheMisses, "serve/cache_misses");
@@ -489,7 +799,7 @@ void Server::handleSynthesize(const Job& job) {
   cli::Report report;
   std::ostringstream console;
   const cli::RunOutcome outcome =
-      cli::runProtocol(proto, opt, report, console, console);
+      cli::runProtocol(job.proto, job.opt, report, console, console);
 
   std::ostringstream result;
   {
@@ -517,56 +827,71 @@ void Server::handleSynthesize(const Job& job) {
 
   std::ostringstream response;
   obs::JsonWriter w(response);
-  w.beginObject();
+  beginEnvelope(w, job.idJson);
   w.field("ok", true);
   w.field("cache_hit", false);
   w.key("result");
   w.raw(result.str());
   w.endObject();
-  try {
-    writeFrame(job.fd, response.str());
-  } catch (const std::exception&) {}
+  respond(job.session, response.str());
 }
 
-void Server::respondError(int fd, const char* kind,
-                          const std::string& message) {
-  std::ostringstream response;
-  obs::JsonWriter w(response);
-  w.beginObject();
-  w.field("ok", false);
-  w.field("kind", kind);
-  w.field("error", message);
-  w.endObject();
+void Server::respond(const std::shared_ptr<Session>& session,
+                     const std::string& payload) {
   try {
-    writeFrame(fd, response.str());
+    (void)session->enqueue(encodeFrame(payload));
   } catch (const std::exception&) {
-    // The client is already gone; nothing to deliver the error to.
+    // Oversized response (cannot happen for well-formed results, which
+    // are bounded by the input caps); nothing deliverable.
   }
 }
 
-std::string Server::statsJson() const {
+void Server::respondError(const std::shared_ptr<Session>& session,
+                          const std::string& idJson, const char* kind,
+                          const std::string& message, const char* reason) {
+  std::ostringstream response;
+  obs::JsonWriter w(response);
+  beginEnvelope(w, idJson);
+  w.field("ok", false);
+  w.field("kind", kind);
+  if (reason != nullptr) w.field("reason", reason);
+  w.field("error", message);
+  w.endObject();
+  respond(session, response.str());
+}
+
+std::string Server::statsJson(const std::string& idJson) const {
   std::ostringstream out;
   obs::JsonWriter w(out);
-  w.beginObject();
+  beginEnvelope(w, idJson);
   w.field("ok", true);
   w.key("counters");
   w.beginObject();
   const auto get = [](const std::atomic<std::uint64_t>& c) {
     return c.load(std::memory_order_relaxed);
   };
+  w.field("sessions", get(counters_.sessions));
   w.field("requests", get(counters_.requests));
   w.field("synthesize", get(counters_.synthesize));
+  w.field("lint", get(counters_.lint));
+  w.field("inline", get(counters_.inlineVerbs));
   w.field("completed", get(counters_.completed));
   w.field("cache_hits", get(counters_.cacheHits));
   w.field("cache_misses", get(counters_.cacheMisses));
   w.field("cache_size", static_cast<std::uint64_t>(cache_.size()));
+  w.field("cache_loaded", static_cast<std::uint64_t>(cacheLoaded_));
   w.field("rejected", get(counters_.rejected));
+  w.field("rejected_queue_full", get(counters_.rejectedQueueFull));
+  w.field("rejected_client_capped", get(counters_.rejectedCapped));
   w.field("deadline_exceeded", get(counters_.deadlineExceeded));
   w.field("invalid", get(counters_.invalid));
   w.field("queue_depth", static_cast<std::uint64_t>(queueDepth()));
   w.field("busy_workers",
           static_cast<std::uint64_t>(busyWorkers_.load()));
   w.field("workers", static_cast<std::uint64_t>(options_.workers));
+  w.field("queue_capacity",
+          static_cast<std::uint64_t>(options_.queueCapacity));
+  w.field("max_inflight", static_cast<std::uint64_t>(options_.maxInflight));
   w.endObject();
   w.endObject();
   return out.str();
@@ -574,11 +899,18 @@ std::string Server::statsJson() const {
 
 int runServe(const cli::Options& options, std::ostream& out,
              std::ostream& err) {
+  // A client vanishing mid-response must surface as a write error on
+  // that one session, never SIGPIPE the daemon. The event loop already
+  // sends with MSG_NOSIGNAL; this covers every other descriptor.
+  std::signal(SIGPIPE, SIG_IGN);
+
   ServeOptions serveOptions;
   serveOptions.port = options.servePort;
   serveOptions.workers = options.serveWorkers;
   serveOptions.queueCapacity = options.serveQueueCapacity;
   serveOptions.cacheCapacity = options.serveCacheCapacity;
+  serveOptions.maxInflight = options.serveMaxInflight;
+  serveOptions.cacheDir = options.serveCacheDir;
   if (!options.tracePath.empty()) obs::Tracer::global().enable();
 
   Server server(serveOptions);
@@ -588,6 +920,11 @@ int runServe(const cli::Options& options, std::ostream& out,
     return 1;
   }
   out << "stsyn serve: listening on 127.0.0.1:" << server.port() << "\n";
+  if (!serveOptions.cacheDir.empty()) {
+    out << "stsyn serve: cache-dir " << serveOptions.cacheDir << " ("
+        << server.cacheEntriesLoaded() << " entries loaded, "
+        << server.cacheEntriesRejected() << " rejected)\n";
+  }
   out.flush();
   server.waitUntilStopped();
   server.stop();

@@ -1,0 +1,79 @@
+#include "serve/session.hpp"
+
+#include <cerrno>
+
+#include <fcntl.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace stsyn::serve {
+
+Session::~Session() { close(); }
+
+bool Session::enqueue(std::string_view wireBytes) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (closed_) return false;
+  outbound_.append(wireBytes);
+  return true;
+}
+
+bool Session::flushSome() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (closed_) return false;
+  std::size_t sent = 0;
+  while (sent < outbound_.size()) {
+    const ssize_t n = ::send(fd_, outbound_.data() + sent,
+                             outbound_.size() - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;  // retry later
+      outbound_.erase(0, sent);
+      return false;  // peer is gone (EPIPE, ECONNRESET, ...)
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  outbound_.erase(0, sent);
+  return true;
+}
+
+void Session::flushBlocking() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (closed_ || outbound_.empty()) return;
+  // Back to blocking with a short timeout: shutdown must not hang on a
+  // client that stopped reading.
+  const int flags = ::fcntl(fd_, F_GETFL, 0);
+  if (flags >= 0) ::fcntl(fd_, F_SETFL, flags & ~O_NONBLOCK);
+  timeval timeout{2, 0};
+  ::setsockopt(fd_, SOL_SOCKET, SO_SNDTIMEO, &timeout, sizeof timeout);
+  std::size_t sent = 0;
+  while (sent < outbound_.size()) {
+    const ssize_t n = ::send(fd_, outbound_.data() + sent,
+                             outbound_.size() - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;  // best effort only
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  outbound_.clear();
+}
+
+bool Session::hasPendingOutput() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return !outbound_.empty();
+}
+
+void Session::close() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (closed_) return;
+  closed_ = true;
+  outbound_.clear();
+  ::close(fd_);
+}
+
+bool Session::closed() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return closed_;
+}
+
+}  // namespace stsyn::serve

@@ -1,0 +1,91 @@
+// Per-connection state for the keep-alive serve protocol (v2).
+//
+// A Session is one accepted TCP connection that stays open across frames.
+// The event loop (serve/server.cpp) owns all socket I/O: it feeds recv()
+// bytes into the session's FrameReader and drains the session's outbound
+// buffer when the socket is writable. Worker threads never touch the fd —
+// they render a complete response frame and append it with enqueue(),
+// which is the only cross-thread entry point (mutex-protected, atomic per
+// frame, so two workers finishing pipelined jobs for one client can never
+// interleave bytes).
+//
+// Lifecycle: a session dies when (a) the peer half-closes and no queued
+// or in-flight job still owes it a response and the outbound buffer is
+// drained, (b) a socket error occurs, or (c) a frame header is hostile
+// (oversized). Jobs hold shared_ptr<Session>; a job finishing after the
+// socket closed appends to a closed session, which discards the bytes.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+#include "serve/frame.hpp"
+
+namespace stsyn::serve {
+
+class Session {
+ public:
+  Session(int fd, std::uint64_t id) : fd_(fd), id_(id) {}
+  ~Session();
+
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  [[nodiscard]] int fd() const { return fd_; }
+  /// Monotonic per-daemon connection id; the fairness key.
+  [[nodiscard]] std::uint64_t id() const { return id_; }
+
+  FrameReader& reader() { return reader_; }
+
+  /// Appends one complete, already-encoded frame to the outbound buffer.
+  /// Thread-safe; returns false when the session already closed (the
+  /// response has no recipient and is dropped).
+  bool enqueue(std::string_view wireBytes);
+
+  /// Event-loop side: writes as much buffered output as the socket
+  /// accepts right now (non-blocking). Returns false on a fatal socket
+  /// error — the caller must close the session. EINTR and EAGAIN are not
+  /// fatal; partial sends leave the unsent suffix buffered.
+  [[nodiscard]] bool flushSome();
+
+  /// Best-effort blocking flush used at shutdown: switches the socket
+  /// back to blocking with a short send timeout and pushes the remaining
+  /// buffered responses out.
+  void flushBlocking();
+
+  [[nodiscard]] bool hasPendingOutput() const;
+
+  /// The peer sent EOF: no further requests will arrive. The session
+  /// stays alive until owed responses are flushed.
+  void markPeerClosed() { peerClosed_ = true; }
+  [[nodiscard]] bool peerClosed() const { return peerClosed_; }
+
+  /// Jobs accepted from this session that have not yet produced a
+  /// response (queued or running). Started on the event loop, finished on
+  /// whichever worker rendered the response — hence atomic.
+  void jobStarted() { owedResponses_.fetch_add(1, std::memory_order_relaxed); }
+  void jobFinished() { owedResponses_.fetch_sub(1, std::memory_order_relaxed); }
+  [[nodiscard]] std::uint64_t owedResponses() const {
+    return owedResponses_.load(std::memory_order_relaxed);
+  }
+
+  /// Closes the socket and discards any un-flushed output. Idempotent.
+  void close();
+  [[nodiscard]] bool closed() const;
+
+ private:
+  int fd_;
+  std::uint64_t id_;
+  FrameReader reader_;
+  bool peerClosed_ = false;
+  std::atomic<std::uint64_t> owedResponses_{0};
+
+  mutable std::mutex mutex_;  // guards outbound_ and closed_
+  std::string outbound_;
+  bool closed_ = false;
+};
+
+}  // namespace stsyn::serve

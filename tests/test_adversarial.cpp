@@ -11,6 +11,7 @@
 #include "analysis/lint.hpp"
 #include "lang/parser.hpp"
 #include "protocol/protocol.hpp"
+#include "serve/frame.hpp"
 
 namespace {
 
@@ -147,6 +148,82 @@ TEST(AdversarialLint, NoThrowEscapesLintSource) {
     EXPECT_NO_THROW((void)analysis::lintSource(src, diags))
         << "input escaped the collector: " << src.substr(0, 40);
   }
+}
+
+// ---------------------------------------------------------------------------
+// FrameReader: the daemon-side incremental frame decoder meets hostile
+// byte streams (serve/frame.hpp). These mirror the socket-level tests in
+// test_serve_v2 at the unit layer, where every split point is cheap to
+// enumerate.
+// ---------------------------------------------------------------------------
+
+TEST(AdversarialFrame, EverySplitOfAPipelinedStreamDecodesIdentically) {
+  const std::string wire = serve::encodeFrame("first") +
+                           serve::encodeFrame("") +
+                           serve::encodeFrame("third frame");
+  // Feed the stream split at every byte position; the decoded frame
+  // sequence must be invariant under segmentation.
+  for (std::size_t split = 0; split <= wire.size(); ++split) {
+    serve::FrameReader reader;
+    reader.feed(std::string_view(wire).substr(0, split));
+    std::vector<std::string> frames;
+    std::string payload;
+    while (reader.next(payload) == serve::FrameReader::Status::Frame) {
+      frames.push_back(payload);
+    }
+    reader.feed(std::string_view(wire).substr(split));
+    while (reader.next(payload) == serve::FrameReader::Status::Frame) {
+      frames.push_back(payload);
+    }
+    ASSERT_EQ(frames,
+              (std::vector<std::string>{"first", "", "third frame"}))
+        << "split at byte " << split;
+    EXPECT_TRUE(reader.atBoundary());
+  }
+}
+
+TEST(AdversarialFrame, OversizedHeaderPoisonsTheStreamForever) {
+  serve::FrameReader reader(/*maxFrameBytes=*/16);
+  reader.feed(serve::encodeFrame("good"));
+  std::string payload;
+  ASSERT_EQ(reader.next(payload), serve::FrameReader::Status::Frame);
+  EXPECT_EQ(payload, "good");
+
+  // A header declaring 17 bytes breaches the 16-byte cap the moment it
+  // is complete — no payload needs to arrive.
+  reader.feed(std::string_view("\x00\x00\x00\x11", 4));
+  EXPECT_EQ(reader.next(payload), serve::FrameReader::Status::TooLarge);
+  // Sticky: even a well-formed follow-up cannot resynchronize the stream.
+  reader.feed(serve::encodeFrame("after"));
+  EXPECT_EQ(reader.next(payload), serve::FrameReader::Status::TooLarge);
+}
+
+TEST(AdversarialFrame, PartialHeaderIsNeverAFrame) {
+  serve::FrameReader reader;
+  std::string payload;
+  for (const char byte : {'\x00', '\x00', '\x00'}) {
+    reader.feed(std::string_view(&byte, 1));
+    EXPECT_EQ(reader.next(payload), serve::FrameReader::Status::NeedMore);
+    EXPECT_FALSE(reader.atBoundary());  // EOF here would tear a frame
+  }
+  // Completing the header to declare length 1, then the byte: one frame.
+  reader.feed(std::string_view("\x01", 1));
+  EXPECT_EQ(reader.next(payload), serve::FrameReader::Status::NeedMore);
+  reader.feed("x");
+  EXPECT_EQ(reader.next(payload), serve::FrameReader::Status::Frame);
+  EXPECT_EQ(payload, "x");
+  EXPECT_TRUE(reader.atBoundary());
+}
+
+TEST(AdversarialFrame, MaxLengthHeaderIsHostileNotAnAllocation) {
+  serve::FrameReader reader;
+  reader.feed(std::string_view("\xff\xff\xff\xff", 4));  // declares 4 GiB
+  std::string payload;
+  EXPECT_EQ(reader.next(payload), serve::FrameReader::Status::TooLarge);
+  // The poisoned reader buffers nothing: a hostile header cannot make
+  // the daemon hoard memory either.
+  reader.feed(std::string(1 << 20, 'a'));
+  EXPECT_EQ(reader.buffered(), 0u);
 }
 
 TEST(AdversarialLint, CrlfInputLintsWithCorrectPositions) {
